@@ -1,0 +1,287 @@
+package rtmobile_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation section, plus ablations and kernel micro-benchmarks. Run all:
+//
+//	go test -bench=. -benchmem
+//
+// The table benchmarks print their rendered tables once (first iteration)
+// so a bench run doubles as an experiment log; EXPERIMENTS.md records the
+// reference output.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rtmobile/internal/bench"
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/device"
+	"rtmobile/internal/dsp"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/rtmobile"
+	"rtmobile/internal/sparse"
+	"rtmobile/internal/speech"
+	"rtmobile/internal/tensor"
+)
+
+var printOnce sync.Map
+
+func printFirst(b *testing.B, key, out string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(out)
+	}
+}
+
+// BenchmarkTableII regenerates Table II: per-frame latency, GOP/s and
+// ESE-normalized energy efficiency on the mobile GPU and CPU models at the
+// paper's ten compression points, with the full 9.6M-parameter GRU.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTableII(bench.TableIIConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "table2", bench.RenderTableII(rows))
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: speedup over the dense baselines
+// as a function of compression rate.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTableII(bench.TableIIConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "fig4", bench.RenderFigure4(bench.Figure4(rows)))
+	}
+}
+
+// BenchmarkTableI regenerates Table I at quick scale (the full-scale run is
+// `rtmobile bench -exp table1 -full`; pure-Go training of the full sweep
+// takes minutes and is recorded in EXPERIMENTS.md).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTableI(bench.QuickTableIConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "table1", bench.RenderTableI(rows))
+	}
+}
+
+// BenchmarkAblation measures each compiler pass's contribution at the 103×
+// operating point (full-scale model).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblation(bench.DefaultAblationConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ablation", bench.RenderAblation(rows, "103x"))
+	}
+}
+
+// BenchmarkBlockSizeStudy runs the Section IV-B auto-tuning sweep on a
+// paper-scale gate matrix.
+func BenchmarkBlockSizeStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, best, err := bench.RunBlockSizeStudy(bench.DefaultBlockSizeStudy())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "blocksize", bench.RenderBlockSizeStudy(results, best))
+	}
+}
+
+// BenchmarkScaling runs the model-capacity-vs-pruning-tolerance study.
+func BenchmarkScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.QuickScalingConfig()
+		rows, err := bench.RunScaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "scaling", bench.RenderScaling(rows, cfg.ProbeColRate))
+	}
+}
+
+// BenchmarkQuantSweep runs the precision-vs-PER extension experiment.
+func BenchmarkQuantSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunQuantSweep(bench.QuickQuantSweepConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "quant", bench.RenderQuantSweep(rows))
+	}
+}
+
+// --- kernel micro-benchmarks -------------------------------------------
+
+func prunedMatrix(rows, cols int, scheme prune.BSP) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	m.RandNormal(tensor.NewRNG(42), 1)
+	return scheme.Project(m)
+}
+
+var benchScheme = prune.BSP{ColRate: 16, RowRate: 2, NumRowGroups: 16, NumColBlocks: 8}
+
+// BenchmarkSpMVDense is the dense GEMV reference on a GRU-sized matrix.
+func BenchmarkSpMVDense(b *testing.B) {
+	m := tensor.NewMatrix(3072, 1024)
+	m.RandNormal(tensor.NewRNG(1), 1)
+	x := make([]float32, 1024)
+	y := make([]float32, 3072)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatVec(y, m, x)
+	}
+}
+
+// BenchmarkSpMVCSR measures CSR SpMV on the 29×-pruned matrix.
+func BenchmarkSpMVCSR(b *testing.B) {
+	csr := sparse.NewCSR(prunedMatrix(3072, 1024, benchScheme))
+	x := make([]float32, 1024)
+	y := make([]float32, 3072)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MatVec(y, x)
+	}
+}
+
+// BenchmarkSpMVBSPC measures BSPC SpMV (block-shared gathers) on the same
+// pruned matrix.
+func BenchmarkSpMVBSPC(b *testing.B) {
+	bspc := sparse.NewBSPC(prunedMatrix(3072, 1024, benchScheme), benchScheme)
+	x := make([]float32, 1024)
+	y := make([]float32, 3072)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bspc.MatVec(y, x)
+	}
+}
+
+// BenchmarkBSPProjection measures the BSP Z-update projection on a
+// GRU-layer matrix (the inner loop of ADMM training).
+func BenchmarkBSPProjection(b *testing.B) {
+	m := tensor.NewMatrix(3072, 1024)
+	m.RandNormal(tensor.NewRNG(2), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchScheme.Project(m)
+	}
+}
+
+// BenchmarkMatrixReorder measures the compiler's reorder pass.
+func BenchmarkMatrixReorder(b *testing.B) {
+	m := prunedMatrix(3072, 1024, benchScheme)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compiler.Reorder(m)
+	}
+}
+
+// BenchmarkCompilePlan measures full plan compilation (all passes) of the
+// paper-scale model for the GPU target.
+func BenchmarkCompilePlan(b *testing.B) {
+	model := nn.NewGRUModel(nn.PaperGRUSpec())
+	res := rtmobile.Prune(model, nil, rtmobile.PruneConfig{ColRate: 16, RowRate: 2})
+	for i := 0; i < b.N; i++ {
+		_, err := rtmobile.Compile(model, res.Scheme, rtmobile.DeployConfig{Target: device.MobileGPU()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGRUForward measures functional GRU inference (one 100-frame
+// utterance through a 2×256 model).
+func BenchmarkGRUForward(b *testing.B) {
+	model := nn.NewGRUModel(nn.ModelSpec{InputDim: 39, Hidden: 256, NumLayers: 2, OutputDim: 39, Seed: 1})
+	rng := tensor.NewRNG(3)
+	frames := make([][]float32, 100)
+	for t := range frames {
+		row := make([]float32, 39)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		frames[t] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Forward(frames)
+	}
+}
+
+// BenchmarkMFCC measures the speech front end on one second of audio.
+func BenchmarkMFCC(b *testing.B) {
+	ext := speech.NewExtractor(speech.DefaultFeatureConfig())
+	rng := tensor.NewRNG(4)
+	wave := make([]float64, speech.SampleRate)
+	for i := range wave {
+		wave[i] = rng.NormFloat64() * 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext.Features(wave)
+	}
+}
+
+// BenchmarkFFT1024 measures the FFT kernel the MFCC front end and the
+// circulant baselines share.
+func BenchmarkFFT1024(b *testing.B) {
+	rng := tensor.NewRNG(5)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	buf := make([]complex128, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		dsp.FFT(buf)
+	}
+}
+
+// BenchmarkCirculantMul compares the C-LSTM FFT-based block product
+// against the direct product at block size 64.
+func BenchmarkCirculantMul(b *testing.B) {
+	rng := tensor.NewRNG(6)
+	c := make([]float64, 64)
+	x := make([]float64, 64)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+		x[i] = rng.NormFloat64()
+	}
+	b.Run("fft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dsp.CirculantMulFFT(c, x)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dsp.CirculantMulDirect(c, x)
+		}
+	})
+}
+
+// BenchmarkDeviceLatency measures the analytical cost model itself (it
+// runs inside the auto-tuner's search loop, so its speed matters).
+func BenchmarkDeviceLatency(b *testing.B) {
+	model := nn.NewGRUModel(nn.ModelSpec{InputDim: 39, Hidden: 256, NumLayers: 2, OutputDim: 39, Seed: 7})
+	res := rtmobile.Prune(model, nil, rtmobile.PruneConfig{ColRate: 16, RowRate: 2})
+	eng, err := rtmobile.Compile(model, res.Scheme, rtmobile.DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpu := device.MobileGPU()
+	plan := eng.Plan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpu.Latency(plan)
+	}
+}

@@ -1,0 +1,485 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtmobile/internal/bench"
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/device"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/rtmobile"
+	"rtmobile/internal/speech"
+	"rtmobile/internal/tensor"
+)
+
+// corpusFlags adds the shared corpus-shaping flags to a flag set.
+func corpusFlags(fs *flag.FlagSet) *speech.CorpusConfig {
+	cfg := speech.DefaultCorpusConfig()
+	fs.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "corpus seed")
+	fs.IntVar(&cfg.NumSpeakers, "speakers", cfg.NumSpeakers, "number of speakers")
+	fs.IntVar(&cfg.SentencesPerSpeaker, "sentences", cfg.SentencesPerSpeaker, "sentences per speaker")
+	fs.IntVar(&cfg.PhonesPerSentence, "phones", cfg.PhonesPerSentence, "mean phones per sentence")
+	fs.Float64Var(&cfg.TestFraction, "test-fraction", cfg.TestFraction, "held-out speaker fraction")
+	return &cfg
+}
+
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	cfg := corpusFlags(fs)
+	verbose := fs.Bool("v", false, "print a sample utterance alignment")
+	wavDir := fs.String("wav-dir", "", "directory to export sample WAV files to")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := speech.GenerateCorpus(*cfg)
+	if err != nil {
+		return err
+	}
+	if *wavDir != "" {
+		if err := exportWAVs(*cfg, *wavDir); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("corpus seed %d: %d speakers, %d dialect regions\n",
+		cfg.Seed, cfg.NumSpeakers, speech.NumDialects)
+	fmt.Printf("train: %d utterances, %d frames\n", len(c.Train), speech.TotalFrames(c.Train))
+	fmt.Printf("test:  %d utterances, %d frames (speaker-disjoint)\n", len(c.Test), speech.TotalFrames(c.Test))
+	fmt.Printf("features: %d-dim MFCC+delta+deltadelta, %d phone classes\n",
+		cfg.Features.Dim(), speech.NumPhones)
+	if *verbose && len(c.Train) > 0 {
+		u := c.Train[0]
+		fmt.Printf("\nsample utterance (speaker %d, %d frames):\n  phones:", u.Speaker, len(u.Frames))
+		for _, p := range u.Phones {
+			fmt.Printf(" %s", speech.PhoneSymbol(p))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	cfg := corpusFlags(fs)
+	hidden := fs.Int("hidden", 128, "GRU hidden size")
+	layers := fs.Int("layers", 2, "GRU layers")
+	epochs := fs.Int("epochs", 20, "training epochs")
+	lr := fs.Float64("lr", 3e-3, "Adam learning rate")
+	out := fs.String("out", "model.bin", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := speech.GenerateCorpus(*cfg)
+	if err != nil {
+		return err
+	}
+	train := toSequences(c.Train)
+	model := nn.NewGRUModel(nn.ModelSpec{
+		InputDim: cfg.Features.Dim(), Hidden: *hidden, NumLayers: *layers,
+		OutputDim: speech.NumPhones, Seed: 7,
+	})
+	fmt.Printf("training %s (%d params) on %d utterances...\n",
+		model.Spec, model.NumParams(), len(train))
+	loss := model.Train(train, nn.NewAdam(*lr), nn.TrainConfig{
+		Epochs: *epochs, Seed: 11, LogEvery: 2,
+		Logf: func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) },
+	})
+	fmt.Printf("final train loss %.4f\n", loss)
+	fmt.Printf("test PER %.2f%%\n", rtmobile.EvaluatePER(model, c.Test))
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s\n", *out)
+	return nil
+}
+
+func cmdPrune(args []string) error {
+	fs := flag.NewFlagSet("prune", flag.ExitOnError)
+	cfg := corpusFlags(fs)
+	in := fs.String("in", "model.bin", "input model path")
+	out := fs.String("out", "pruned.bin", "output model path")
+	col := fs.Float64("col", 16, "column compression rate")
+	row := fs.Float64("row", 2, "row compression rate")
+	rowGroups := fs.Int("row-groups", 8, "BSP row groups")
+	colBlocks := fs.Int("col-blocks", 4, "BSP column blocks")
+	iters := fs.Int("admm-iters", 3, "ADMM iterations")
+	ftEpochs := fs.Int("finetune-epochs", 14, "masked fine-tune epochs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := loadModel(*in)
+	if err != nil {
+		return err
+	}
+	c, err := speech.GenerateCorpus(*cfg)
+	if err != nil {
+		return err
+	}
+	train := toSequences(c.Train)
+	before := rtmobile.EvaluatePER(model, c.Test)
+	admm := prune.DefaultADMMConfig()
+	admm.Iterations = *iters
+	admm.FinetuneEpochs = *ftEpochs
+	admm.FinetuneLR = 3e-3
+	res := rtmobile.Prune(model, train, rtmobile.PruneConfig{
+		ColRate: *col, RowRate: *row,
+		RowGroups: *rowGroups, ColBlocks: *colBlocks, ADMM: admm,
+	})
+	after := rtmobile.EvaluatePER(model, c.Test)
+	fmt.Printf("scheme %s: %d -> %d params (%.1fx)\n",
+		res.Scheme.Name(), res.TotalParams, res.KeptParams, res.CompressionRate())
+	fmt.Printf("PER %.2f%% -> %.2f%% (degradation %+.2f)\n", before, after, after-before)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s\n", *out)
+	return nil
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	in := fs.String("in", "pruned.bin", "input model path")
+	targetName := fs.String("target", "gpu", "target: gpu or cpu")
+	formatName := fs.String("format", "bspc", "storage format: bspc, csr, or dense")
+	col := fs.Float64("col", 16, "BSP column rate the model was pruned with")
+	row := fs.Float64("row", 2, "BSP row rate the model was pruned with")
+	rowGroups := fs.Int("row-groups", 8, "BSP row groups")
+	colBlocks := fs.Int("col-blocks", 4, "BSP column blocks")
+	noReorder := fs.Bool("no-reorder", false, "disable the matrix reorder pass")
+	noLoadElim := fs.Bool("no-loadelim", false, "disable redundant load elimination")
+	tune := fs.Bool("autotune", false, "run the tiling auto-tuner")
+	listing := fs.Bool("listing", false, "emit the generated kernel pseudo-code")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := loadModel(*in)
+	if err != nil {
+		return err
+	}
+	target, err := parseTarget(*targetName)
+	if err != nil {
+		return err
+	}
+	format, err := parseFormat(*formatName)
+	if err != nil {
+		return err
+	}
+	scheme := prune.BSP{ColRate: *col, RowRate: *row, NumRowGroups: *rowGroups, NumColBlocks: *colBlocks}
+	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{
+		Target: target, Format: format,
+		DisableReorder: *noReorder, DisableLoadElim: *noLoadElim,
+		AutoTuneTiling: *tune,
+	})
+	if err != nil {
+		return err
+	}
+	lat := eng.Latency()
+	fmt.Printf("target %s, format %s\n", target, format)
+	fmt.Printf("plan: %s\n", eng.Plan())
+	fmt.Printf("per-frame latency: %.2f us (compute %.2f, memory %.2f, overhead %.2f)\n",
+		lat.TotalUS, lat.ComputeUS, lat.MemoryUS, lat.OverheadUS)
+	fmt.Printf("GOP/frame %.4f, GOP/s %.2f\n", eng.GOP(), eng.GOPs())
+	fmt.Printf("energy efficiency vs ESE FPGA: %.2fx\n", eng.EfficiencyVsESE())
+	fmt.Printf("real-time factor: %.1fx\n", eng.RealTimeFactor())
+	if *listing {
+		fmt.Println()
+		fmt.Print(compiler.EmitListing(eng.Plan()))
+	}
+	return nil
+}
+
+func cmdAutotune(args []string) error {
+	fs := flag.NewFlagSet("autotune", flag.ExitOnError)
+	targetName := fs.String("target", "gpu", "target: gpu or cpu")
+	col := fs.Float64("col", 16, "column compression rate")
+	row := fs.Float64("row", 2, "row compression rate")
+	hidden := fs.Int("hidden", 1024, "GRU hidden size to tune for")
+	accWeight := fs.Float64("acc-weight", 1.0, "accuracy-proxy weight in the block-size score")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := parseTarget(*targetName)
+	if err != nil {
+		return err
+	}
+	model := nn.NewGRUModel(nn.ModelSpec{
+		InputDim: 39, Hidden: *hidden, NumLayers: 2, OutputDim: speech.NumPhones, Seed: 7,
+	})
+	rg, cb, err := rtmobile.AutoTuneBlockSize(model, *col, *row, target, *accWeight)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best BSP grid for %s at col %g / row %g: %d row groups x %d column blocks\n",
+		target.Name, *col, *row, rg, cb)
+	res := rtmobile.Prune(model, nil, rtmobile.PruneConfig{
+		ColRate: *col, RowRate: *row, RowGroups: rg, ColBlocks: cb,
+	})
+	eng, err := rtmobile.Compile(model, res.Scheme, rtmobile.DeployConfig{
+		Target: target, AutoTuneTiling: true,
+	})
+	if err != nil {
+		return err
+	}
+	tile := eng.Plan().Options.Tile
+	fmt.Printf("tuned tiling: rows %d x cols %d, unroll %d\n", tile.RowTile, tile.ColTile, tile.Unroll)
+	fmt.Printf("predicted latency: %.2f us/frame\n", eng.Latency().TotalUS)
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, or all")
+	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
+	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runT2 := func() ([]bench.TableIIRow, error) {
+		return bench.RunTableII(bench.TableIIConfig{})
+	}
+	switch *exp {
+	case "table1":
+		cfg := bench.QuickTableIConfig()
+		if *full {
+			cfg = bench.FullTableIConfig()
+		}
+		if *stages > 0 {
+			cfg.ScheduleStages = *stages
+		}
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rows, err := bench.RunTableI(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTableI(rows))
+	case "table2":
+		rows, err := runT2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTableII(rows))
+	case "fig4":
+		rows, err := runT2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFigure4(bench.Figure4(rows)))
+	case "ablation":
+		rows, err := bench.RunAblation(bench.DefaultAblationConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderAblation(rows, "103x"))
+	case "scaling":
+		cfg := bench.QuickScalingConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rows, err := bench.RunScaling(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderScaling(rows, cfg.ProbeColRate))
+	case "blocksize":
+		results, best, err := bench.RunBlockSizeStudy(bench.DefaultBlockSizeStudy())
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderBlockSizeStudy(results, best))
+	case "quant":
+		cfg := bench.QuickQuantSweepConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rows, err := bench.RunQuantSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderQuantSweep(rows))
+	case "all":
+		rows, err := runT2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTableII(rows))
+		fmt.Println(bench.RenderFigure4(bench.Figure4(rows)))
+		ab, err := bench.RunAblation(bench.DefaultAblationConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderAblation(ab, "103x"))
+		cfg := bench.QuickTableIConfig()
+		if *full {
+			cfg = bench.FullTableIConfig()
+		}
+		t1, err := bench.RunTableI(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTableI(t1))
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func cmdDeploy(args []string) error {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	in := fs.String("in", "pruned.bin", "input model path")
+	out := fs.String("out", "model.rtmb", "output bundle path")
+	targetName := fs.String("target", "gpu", "target: gpu or cpu")
+	col := fs.Float64("col", 16, "BSP column rate the model was pruned with")
+	row := fs.Float64("row", 2, "BSP row rate the model was pruned with")
+	rowGroups := fs.Int("row-groups", 8, "BSP row groups")
+	colBlocks := fs.Int("col-blocks", 4, "BSP column blocks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := loadModel(*in)
+	if err != nil {
+		return err
+	}
+	target, err := parseTarget(*targetName)
+	if err != nil {
+		return err
+	}
+	scheme := prune.BSP{ColRate: *col, RowRate: *row, NumRowGroups: *rowGroups, NumColBlocks: *colBlocks}
+	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{Target: target})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eng.SaveBundle(f, scheme); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d KiB, %s, %s storage)\n",
+		*out, info.Size()>>10, target.Name, eng.Plan().Options.Format)
+	fmt.Printf("predicted %.2f us/frame, %.2fx energy efficiency vs ESE\n",
+		eng.Latency().TotalUS, eng.EfficiencyVsESE())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	cfg := corpusFlags(fs)
+	bundle := fs.String("bundle", "model.rtmb", "deployment bundle path")
+	targetName := fs.String("target", "gpu", "target: gpu or cpu")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := parseTarget(*targetName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*bundle)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	eng, scheme, err := rtmobile.LoadBundle(f, target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: scheme %s, %s\n", *bundle, scheme.Name(), eng.Plan())
+	c, err := speech.GenerateCorpus(*cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("test PER %.2f%% over %d utterances\n",
+		rtmobile.EvaluateEnginePER(eng, c.Test), len(c.Test))
+	fmt.Printf("latency %.2f us/frame, real-time factor %.0fx\n",
+		eng.Latency().TotalUS, eng.RealTimeFactor())
+	return nil
+}
+
+// --- helpers ------------------------------------------------------------
+
+func toSequences(utts []speech.Utterance) []nn.Sequence {
+	out := make([]nn.Sequence, len(utts))
+	for i, u := range utts {
+		out[i] = nn.Sequence{Frames: u.Frames, Labels: u.Labels}
+	}
+	return out
+}
+
+// exportWAVs re-synthesizes the first sentence of the first few speakers
+// and writes them as WAV files (the corpus itself stores features, not
+// audio; synthesis is deterministic so this reproduces the same waveforms).
+func exportWAVs(cfg speech.CorpusConfig, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	spkRNG := rng.Split()
+	n := 0
+	for s := 0; s < cfg.NumSpeakers && n < 4; s++ {
+		spk := speech.NewSpeaker(spkRNG, s)
+		uttRNG := rng.Split()
+		phones := speech.SampleSentence(uttRNG, cfg.PhonesPerSentence)
+		wave, _ := speech.SynthUtterance(phones, spk, uttRNG)
+		path := fmt.Sprintf("%s/speaker%02d_sent0.wav", dir, s)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := speech.WriteWAV(f, wave, speech.SampleRate); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%.1fs)\n", path, float64(len(wave))/speech.SampleRate)
+		n++
+	}
+	return nil
+}
+
+func loadModel(path string) (*nn.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nn.Load(f)
+}
+
+func parseTarget(name string) (*device.Target, error) {
+	switch name {
+	case "gpu":
+		return device.MobileGPU(), nil
+	case "cpu":
+		return device.MobileCPU(), nil
+	default:
+		return nil, fmt.Errorf("unknown target %q (want gpu or cpu)", name)
+	}
+}
+
+func parseFormat(name string) (compiler.Format, error) {
+	switch name {
+	case "bspc":
+		return compiler.FormatBSPC, nil
+	case "csr":
+		return compiler.FormatCSR, nil
+	case "dense":
+		return compiler.FormatDense, nil
+	default:
+		return 0, fmt.Errorf("unknown format %q (want bspc, csr, or dense)", name)
+	}
+}

@@ -1,0 +1,23 @@
+// Package rtmobile is a from-scratch Go reproduction of "RTMobile: Beyond
+// Real-Time Mobile Acceleration of RNNs for Speech Recognition" (Dong et
+// al., DAC 2020).
+//
+// The implementation lives under internal/:
+//
+//	internal/tensor    dense linear algebra, fp16 emulation, deterministic RNG
+//	internal/dsp       FFT, DCT, mel filterbanks, circulant products
+//	internal/speech    synthetic TIMIT substitute, MFCC front end, PER scoring
+//	internal/nn        GRU with BPTT, losses, SGD/Adam
+//	internal/prune     BSP + ADMM and all baseline pruning schemes
+//	internal/sparse    CSR, CSC (ESE accounting), BSPC storage formats
+//	internal/compiler  matrix reorder, load elimination, auto-tuning, plans
+//	internal/device    mobile GPU/CPU and ESE FPGA cost models
+//	internal/rtmobile  the end-to-end Prune → Compile → Infer framework
+//	internal/bench     Table I / Table II / Figure 4 / ablation harness
+//
+// See README.md for a user guide, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// top-level bench_test.go regenerates every table and figure:
+//
+//	go test -bench=. -benchmem
+package rtmobile

@@ -1,0 +1,3 @@
+module rtmobile
+
+go 1.22

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/device"
+	"rtmobile/internal/tensor"
+)
+
+// Block-size study — the auto-tuning experiment of Section IV-B: "we
+// employ it to find the best block size that results in an optimal
+// combination of accuracy and performance". Sweeps the BSP block grid on a
+// paper-scale GRU gate matrix and reports predicted GPU latency together
+// with the retained-energy accuracy proxy; the tuner's combined score
+// picks the winner.
+
+// BlockSizeStudyConfig sizes the sweep.
+type BlockSizeStudyConfig struct {
+	Rows, Cols       int
+	ColRate, RowRate float64
+	AccuracyWeight   float64
+	Seed             uint64
+}
+
+// DefaultBlockSizeStudy sweeps a 3072×1024 gate matrix at the 29× point.
+func DefaultBlockSizeStudy() BlockSizeStudyConfig {
+	return BlockSizeStudyConfig{
+		Rows: 3072, Cols: 1024,
+		ColRate: 16, RowRate: 29.0 / 16,
+		AccuracyWeight: 1.0,
+		Seed:           7,
+	}
+}
+
+// RunBlockSizeStudy executes the sweep on the mobile GPU model, returning
+// candidates sorted by combined score (best first).
+func RunBlockSizeStudy(cfg BlockSizeStudyConfig) ([]compiler.BlockSizeResult, compiler.BlockSizeResult, error) {
+	w := tensor.NewMatrix(cfg.Rows, cfg.Cols)
+	w.RandNormal(tensor.NewRNG(cfg.Seed), 1)
+	gpu := device.MobileGPU()
+	return compiler.TuneBlockSize(w, cfg.ColRate, cfg.RowRate, gpu.Threads(),
+		compiler.DefaultTuneSpace(), cfg.AccuracyWeight, gpu.CostFunc())
+}
+
+// RenderBlockSizeStudy formats the sweep.
+func RenderBlockSizeStudy(results []compiler.BlockSizeResult, best compiler.BlockSizeResult) string {
+	t := Table{
+		Title: "Auto-tuning: BSP block grid search (GPU latency vs retained energy)",
+		Headers: []string{
+			"Row groups", "Col blocks", "Latency (us)", "Energy kept", "Score",
+		},
+	}
+	for _, r := range results {
+		marker := ""
+		if r == best {
+			marker = "  <- chosen"
+		}
+		t.AddRow(
+			f(float64(r.RowGroups), 0), f(float64(r.ColBlocks), 0),
+			f(r.Cost, 2), f(100*r.RetainedEnergy, 1)+"%", f(r.Score, 3)+marker,
+		)
+	}
+	return t.Render()
+}

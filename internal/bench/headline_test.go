@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/device"
+)
+
+// TestTableIIHeadlineNumbers runs the full paper-scale Table II sweep and
+// checks the reproduction's headline quantitative claims against the
+// paper's published values. These are *shape* tolerances (the device model
+// is calibrated only on the dense row; everything else is emergent).
+func TestTableIIHeadlineNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep")
+	}
+	rows, err := RunTableII(TableIIConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("row count %d", len(rows))
+	}
+	within := func(got, want, relTol float64) bool {
+		return math.Abs(got-want) <= relTol*want
+	}
+
+	dense := rows[0]
+	// Dense row: the calibration anchor. GOP 0.58, GPU 3590 µs, CPU 7130 µs.
+	if !within(dense.GOP, 0.58, 0.05) {
+		t.Errorf("dense GOP %.4f, paper 0.58", dense.GOP)
+	}
+	if !within(dense.GPUTimeUS, 3590, 0.10) {
+		t.Errorf("dense GPU %.1f µs, paper 3590", dense.GPUTimeUS)
+	}
+	if !within(dense.CPUTimeUS, 7130, 0.10) {
+		t.Errorf("dense CPU %.1f µs, paper 7130", dense.CPUTimeUS)
+	}
+	if !within(dense.GPUEfficiency, 0.88, 0.15) {
+		t.Errorf("dense GPU efficiency %.2f, paper 0.88", dense.GPUEfficiency)
+	}
+
+	// Emergent mid-range: 10× row (paper: GPU 495 µs, CPU 1210 µs).
+	r10 := rows[1]
+	if !within(r10.GPUTimeUS, 495, 0.20) {
+		t.Errorf("10x GPU %.1f µs, paper 495", r10.GPUTimeUS)
+	}
+	if !within(r10.CPUTimeUS, 1210, 0.30) {
+		t.Errorf("10x CPU %.1f µs, paper 1210", r10.CPUTimeUS)
+	}
+
+	// The headline: at 245× the GPU matches ESE's 82.7 µs inference time
+	// with ~40× better energy efficiency.
+	var ese device.ESE
+	r245 := rows[8]
+	if !within(r245.GPUTimeUS, ese.InferenceTimeUS(), 0.25) {
+		t.Errorf("245x GPU %.1f µs, should match ESE's %.1f", r245.GPUTimeUS, ese.InferenceTimeUS())
+	}
+	if r245.GPUEfficiency < 30 || r245.GPUEfficiency > 50 {
+		t.Errorf("245x GPU efficiency %.1f, paper ~38.5 (claim ~40x)", r245.GPUEfficiency)
+	}
+
+	// Efficiency crossover: GPU overtakes ESE (≥1) by the 10× row; CPU by
+	// the 19× row (paper: 1.48 at 10×, 2.52 at 19×).
+	if r10.GPUEfficiency < 1 {
+		t.Errorf("GPU efficiency %.2f at 10x, should already beat ESE", r10.GPUEfficiency)
+	}
+	if rows[2].CPUEfficiency < 1 {
+		t.Errorf("CPU efficiency %.2f at 19x, should beat ESE", rows[2].CPUEfficiency)
+	}
+
+	// Figure 4 shape: speedup grows then saturates — the 301× point gains
+	// little over 245× (paper: curve flattens ≈250×).
+	pts := Figure4(rows)
+	last, prev := pts[len(pts)-1], pts[len(pts)-2]
+	if last.GPUSpeedup < prev.GPUSpeedup {
+		t.Errorf("speedup decreased at the top end: %.2f -> %.2f", prev.GPUSpeedup, last.GPUSpeedup)
+	}
+	if gain := last.GPUSpeedup / prev.GPUSpeedup; gain > 1.25 {
+		t.Errorf("no saturation: 301x/245x speedup ratio %.2f", gain)
+	}
+	// And it is a real speedup: ≥25× at the top end on GPU (paper ~45×).
+	if last.GPUSpeedup < 25 {
+		t.Errorf("top-end GPU speedup %.1fx too low", last.GPUSpeedup)
+	}
+
+	// Real-time check: 300 ms of audio in under 100 µs at 245×+ — "beyond
+	// real-time" by orders of magnitude (the paper's title claim).
+	if r245.GPUTimeUS > 300_000 {
+		t.Error("245x deployment not real-time")
+	}
+}

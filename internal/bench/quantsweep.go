@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"rtmobile/internal/nn"
+	"rtmobile/internal/quant"
+	"rtmobile/internal/speech"
+	"rtmobile/internal/tensor"
+)
+
+// Quantization sweep — an extension experiment beyond the paper's tables.
+// Table II's GPU column runs in fp16 and ESE stores 12-bit weights; this
+// sweep measures what each precision costs in accuracy on the same
+// trained GRU, completing the precision half of the compression story
+// (pruning × quantization).
+
+// QuantRow is one precision point.
+type QuantRow struct {
+	Label     string
+	Bits      int // 0 = fp32 reference, -16 = fp16
+	PER       float64
+	MeanError float64 // mean max reconstruction error across matrices
+}
+
+// QuantSweepConfig sizes the experiment.
+type QuantSweepConfig struct {
+	Corpus         speech.CorpusConfig
+	Hidden         int
+	BaselineEpochs int
+	Logf           func(string, ...any)
+}
+
+// QuickQuantSweepConfig runs in under a minute.
+func QuickQuantSweepConfig() QuantSweepConfig {
+	corpus := speech.DefaultCorpusConfig()
+	corpus.NumSpeakers = 12
+	corpus.SentencesPerSpeaker = 3
+	return QuantSweepConfig{Corpus: corpus, Hidden: 48, BaselineEpochs: 12}
+}
+
+// RunQuantSweep trains one baseline and evaluates it at fp32, fp16, and
+// 12/10/8/6/4-bit per-row quantized weights.
+func RunQuantSweep(cfg QuantSweepConfig) ([]QuantRow, error) {
+	corpus, err := speech.GenerateCorpus(cfg.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	train := toSequences(corpus.Train)
+	model := nn.NewGRUModel(nn.ModelSpec{
+		InputDim: cfg.Corpus.Features.Dim(), Hidden: cfg.Hidden, NumLayers: 2,
+		OutputDim: speech.NumPhones, Seed: 7,
+	})
+	model.Train(train, nn.NewAdam(3e-3), nn.TrainConfig{Epochs: cfg.BaselineEpochs, Seed: 11})
+	if cfg.Logf != nil {
+		cfg.Logf("baseline trained (%d params)", model.NumParams())
+	}
+
+	rows := []QuantRow{{Label: "fp32", Bits: 0, PER: evalPER(model, corpus.Test)}}
+
+	// fp16 (the paper's GPU path).
+	fp16 := model.Clone()
+	for _, p := range fp16.Params() {
+		tensor.QuantizeHalf(p.W)
+	}
+	rows = append(rows, QuantRow{Label: "fp16", Bits: -16, PER: evalPER(fp16, corpus.Test)})
+
+	for _, bits := range []int{12, 10, 8, 6, 4} {
+		q := model.Clone()
+		var mats []*tensor.Matrix
+		for _, p := range q.WeightMatrices() {
+			mats = append(mats, p.W)
+		}
+		meanErr, err := quant.QuantizeModelWeights(mats, bits, quant.PerRow)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, QuantRow{
+			Label: labelBits(bits), Bits: bits,
+			PER: evalPER(q, corpus.Test), MeanError: meanErr,
+		})
+		if cfg.Logf != nil {
+			cfg.Logf("%s: PER %.2f%%", labelBits(bits), rows[len(rows)-1].PER)
+		}
+	}
+	return rows, nil
+}
+
+func labelBits(bits int) string {
+	switch bits {
+	case 12:
+		return "int12 (ESE)"
+	case 10:
+		return "int10"
+	case 8:
+		return "int8"
+	case 6:
+		return "int6"
+	case 4:
+		return "int4"
+	default:
+		return "int?"
+	}
+}
+
+// RenderQuantSweep formats the sweep.
+func RenderQuantSweep(rows []QuantRow) string {
+	t := Table{
+		Title:   "Extension: weight precision vs PER (per-row symmetric quantization)",
+		Headers: []string{"Precision", "PER", "Mean max err"},
+	}
+	for _, r := range rows {
+		e := "-"
+		if r.MeanError > 0 {
+			e = f(r.MeanError, 5)
+		}
+		t.AddRow(r.Label, f(r.PER, 2)+"%", e)
+	}
+	return t.Render()
+}

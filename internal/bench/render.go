@@ -1,0 +1,66 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section (Table I compression/accuracy,
+// Table II performance/energy, Figure 4 speedup-vs-compression) plus the
+// ablation studies DESIGN.md calls out, and renders them as text tables.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a renderable grid with a title and column headers.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render produces an aligned text table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f formats a float with the given precision.
+func f(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// millions formats a parameter count as e.g. "0.48M".
+func millions(n int) string { return fmt.Sprintf("%.2fM", float64(n)/1e6) }

@@ -1,0 +1,67 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Listing emission: a human-readable pseudo-assembly rendering of the
+// execution plan, in the spirit of the generated kernels the real RTMobile
+// compiler emits for the mobile GPU/CPU. Useful for inspecting what the
+// passes did (reordered row ranges, shared gathers, tile shape) and for
+// golden-file testing of the codegen.
+
+// EmitListing renders the plan as pseudo-code.
+func EmitListing(p *Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; plan %s\n", p.ModelName)
+	fmt.Fprintf(&b, "; format=%s reorder=%v loadelim=%v valuebits=%d\n",
+		p.Options.Format, p.Options.Reorder, p.Options.EliminateRedundantLoads, p.Options.ValueBits)
+	fmt.Fprintf(&b, "; tile rows=%d cols=%d unroll=%d placement=%s\n",
+		p.Options.Tile.RowTile, p.Options.Tile.ColTile, p.Options.Tile.Unroll,
+		p.Options.Tile.Placement)
+	fmt.Fprintf(&b, "; %d timesteps/frame, %.4f GOP/frame\n\n", p.TimestepsPerFrame, p.GOP())
+
+	for i := range p.Matrices {
+		emitMatrix(&b, &p.Matrices[i], p.Options)
+	}
+	fmt.Fprintf(&b, "kernel elementwise:            ; gates/activations\n")
+	fmt.Fprintf(&b, "  vops    %d\n", p.ElementwisePerTimestep)
+	return b.String()
+}
+
+func emitMatrix(b *strings.Builder, m *MatrixStats, opt Options) {
+	fmt.Fprintf(b, "kernel %s:                 ; %dx%d %s, nnz=%d\n",
+		m.Name, m.Rows, m.Cols, m.Format, m.NNZ)
+	if m.Reordered {
+		fmt.Fprintf(b, "  permute rows[%d]             ; matrix reorder (grouped patterns)\n", len(m.RowPerm))
+	}
+	fmt.Fprintf(b, "  launch  threads=%d imbalance=%.2f\n", len(m.ThreadMACs), m.LoadImbalance())
+	switch m.Format {
+	case FormatDense:
+		fmt.Fprintf(b, "  for rt in tiles(rows, %d):\n", opt.Tile.RowTile)
+		fmt.Fprintf(b, "    for ct in tiles(cols, %d):\n", opt.Tile.ColTile)
+		fmt.Fprintf(b, "      load.x  stream ct           ; sequential\n")
+		fmt.Fprintf(b, "      fma.v%d  acc += w[rt,ct]*x[ct]\n", opt.Tile.Unroll)
+	case FormatCSR:
+		fmt.Fprintf(b, "  for r in rows:\n")
+		fmt.Fprintf(b, "    for k in rowptr[r]..rowptr[r+1]:\n")
+		fmt.Fprintf(b, "      gather.x colidx[k]          ; %d indexed loads\n", m.GatherLoads)
+		fmt.Fprintf(b, "      fma     acc += vals[k]*x\n")
+	case FormatBSPC:
+		fmt.Fprintf(b, "  for blk in blocks:\n")
+		if opt.EliminateRedundantLoads {
+			fmt.Fprintf(b, "    gather.x blk.cols -> xbuf     ; once per thread per block\n")
+			fmt.Fprintf(b, "                                  ; %d loads eliminated\n", m.EliminatedLoads)
+		} else {
+			fmt.Fprintf(b, "    ; per-row gathers (load elimination off)\n")
+		}
+		fmt.Fprintf(b, "    for r in blk.rows:\n")
+		if !opt.EliminateRedundantLoads {
+			fmt.Fprintf(b, "      gather.x blk.cols -> xbuf\n")
+		}
+		fmt.Fprintf(b, "      fma.v%d  y[r] += blk.vals[r,:]*xbuf\n", opt.Tile.Unroll)
+	}
+	fmt.Fprintf(b, "  store.y rows                  ; %d weight bytes + %d index bytes\n\n",
+		m.WeightBytes, m.IndexBytes)
+}

@@ -1,0 +1,58 @@
+package compiler
+
+import (
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+// Redundant load elimination (Section IV-B(b)). After BSP pruning, all
+// surviving rows of a block share the block's kept-column list, so a thread
+// processing several such rows needs the gathered input values only once.
+// The pass counts, per (block × thread), one gather of the kept columns
+// instead of one per row. Unstructured sparsity cannot do this — each row's
+// column set differs — which is why the paper ties the optimization to BSP.
+
+// bspcLoads computes (gatherLoads, regularInputLoads, eliminatedLoads) for
+// one application of a BSP-pruned matrix.
+//
+// Without elimination: every surviving row of every block gathers that
+// block's kept columns (rows × keptCols indexed loads per block).
+// With elimination: each thread that owns ≥1 row of a block gathers the
+// block's kept columns once; subsequent rows in the same thread reuse them.
+func bspcLoads(w *tensor.Matrix, scheme prune.BSP, eliminate bool, chunks [][]int) (gather, input, eliminated int) {
+	pats := scheme.Pattern(w)
+
+	// Thread ownership of each row.
+	threadOf := make([]int, w.Rows)
+	for i := range threadOf {
+		threadOf[i] = -1
+	}
+	for t, rows := range chunks {
+		for _, r := range rows {
+			threadOf[r] = t
+		}
+	}
+
+	for _, p := range pats {
+		kc := len(p.KeptCols)
+		if kc == 0 || len(p.KeptRows) == 0 {
+			continue
+		}
+		naive := len(p.KeptRows) * kc
+		if !eliminate {
+			gather += naive
+			continue
+		}
+		// One gather per thread owning rows of this block.
+		threadsSeen := map[int]bool{}
+		for _, r := range p.KeptRows {
+			if t := threadOf[r]; t >= 0 {
+				threadsSeen[t] = true
+			}
+		}
+		g := len(threadsSeen) * kc
+		gather += g
+		eliminated += naive - g
+	}
+	return gather, input, eliminated
+}

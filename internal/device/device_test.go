@@ -1,0 +1,207 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/compiler"
+)
+
+// planWith builds a one-matrix synthetic plan with controllable knobs.
+func planWith(threadMACs []int, weightBytes, indexBytes, gathers, inputs int, opt compiler.Options) *compiler.Plan {
+	return &compiler.Plan{
+		ModelName:         "synthetic",
+		TimestepsPerFrame: 15,
+		Matrices: []compiler.MatrixStats{{
+			Name: "w", ThreadMACs: threadMACs,
+			WeightBytes: weightBytes, IndexBytes: indexBytes,
+			GatherLoads: gathers, InputLoads: inputs,
+		}},
+		ElementwisePerTimestep: 1000,
+		Options:                opt,
+	}
+}
+
+func defaultOpt() compiler.Options {
+	return compiler.Options{Format: compiler.FormatBSPC, Tile: compiler.DefaultTile(), ValueBits: 16}
+}
+
+func balanced(total, threads int) []int {
+	out := make([]int, threads)
+	for i := range out {
+		out[i] = total / threads
+	}
+	return out
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for _, target := range []*Target{MobileGPU(), MobileCPU()} {
+		lat := target.Latency(planWith(balanced(1_000_000, target.Threads()), 2_000_000, 0, 0, 0, defaultOpt()))
+		if lat.TotalUS <= 0 || lat.ComputeUS <= 0 || lat.MemoryUS <= 0 || lat.OverheadUS <= 0 {
+			t.Fatalf("%s: non-positive latency components %+v", target.Name, lat)
+		}
+		if lat.TotalUS < lat.OverheadUS {
+			t.Fatalf("%s: total below overhead", target.Name)
+		}
+	}
+}
+
+func TestLatencyMonotoneInWork(t *testing.T) {
+	gpu := MobileGPU()
+	small := gpu.Latency(planWith(balanced(100_000, 64), 200_000, 0, 0, 0, defaultOpt()))
+	large := gpu.Latency(planWith(balanced(10_000_000, 64), 20_000_000, 0, 0, 0, defaultOpt()))
+	if large.TotalUS <= small.TotalUS {
+		t.Fatal("more work did not cost more time")
+	}
+}
+
+func TestLoadImbalancePenalized(t *testing.T) {
+	gpu := MobileGPU()
+	total := 6_400_000
+	even := gpu.Latency(planWith(balanced(total, 64), 100, 0, 0, 0, defaultOpt()))
+	skewed := make([]int, 64)
+	skewed[0] = total // all work on one thread
+	uneven := gpu.Latency(planWith(skewed, 100, 0, 0, 0, defaultOpt()))
+	if uneven.ComputeUS <= even.ComputeUS*10 {
+		t.Fatalf("imbalance barely penalized: %.1f vs %.1f", uneven.ComputeUS, even.ComputeUS)
+	}
+}
+
+func TestGatherPenalty(t *testing.T) {
+	gpu := MobileGPU()
+	without := gpu.Latency(planWith(balanced(64000, 64), 128000, 0, 0, 0, defaultOpt()))
+	with := gpu.Latency(planWith(balanced(64000, 64), 128000, 0, 500_000, 0, defaultOpt()))
+	if with.MemoryUS <= without.MemoryUS {
+		t.Fatal("gathers cost nothing")
+	}
+}
+
+func TestIndexBytesCost(t *testing.T) {
+	gpu := MobileGPU()
+	a := gpu.Latency(planWith(balanced(64000, 64), 128000, 0, 0, 0, defaultOpt()))
+	b := gpu.Latency(planWith(balanced(64000, 64), 128000, 128000, 0, 0, defaultOpt()))
+	if b.MemoryUS <= a.MemoryUS {
+		t.Fatal("index bytes cost nothing")
+	}
+}
+
+func TestSpillPenalty(t *testing.T) {
+	gpu := MobileGPU()
+	opt := defaultOpt()
+	opt.Tile = compiler.TileConfig{RowTile: 1024, ColTile: 1024, Unroll: 1} // 2 MB >> cache
+	spilled := gpu.Latency(planWith(balanced(64000, 64), 10_000_000, 0, 0, 0, opt))
+	fits := gpu.Latency(planWith(balanced(64000, 64), 10_000_000, 0, 0, 0, defaultOpt()))
+	if spilled.MemoryUS <= fits.MemoryUS {
+		t.Fatal("cache spill not penalized")
+	}
+}
+
+func TestUnrollReducesCompute(t *testing.T) {
+	gpu := MobileGPU()
+	opt1 := defaultOpt()
+	opt1.Tile.Unroll = 1
+	opt8 := defaultOpt()
+	opt8.Tile.Unroll = 8
+	l1 := gpu.Latency(planWith(balanced(6_400_000, 64), 100, 0, 0, 0, opt1))
+	l8 := gpu.Latency(planWith(balanced(6_400_000, 64), 100, 0, 0, 0, opt8))
+	if l8.ComputeUS >= l1.ComputeUS {
+		t.Fatal("unrolling did not reduce compute time")
+	}
+}
+
+func TestGOPsConsistent(t *testing.T) {
+	gpu := MobileGPU()
+	p := planWith(balanced(1_000_000, 64), 2_000_000, 0, 0, 0, defaultOpt())
+	gops := gpu.GOPs(p)
+	lat := gpu.Latency(p)
+	want := p.FrameOps() / 1e3 / lat.TotalUS
+	if math.Abs(gops-want) > 1e-9 {
+		t.Fatalf("GOPs %v, want %v", gops, want)
+	}
+	if gops <= 0 {
+		t.Fatal("non-positive GOP/s")
+	}
+}
+
+func TestEnergyPerFrame(t *testing.T) {
+	gpu := MobileGPU()
+	p := planWith(balanced(1_000_000, 64), 2_000_000, 0, 0, 0, defaultOpt())
+	e := gpu.EnergyPerFrameUJ(p)
+	if math.Abs(e-gpu.PowerWatts*gpu.Latency(p).TotalUS) > 1e-9 {
+		t.Fatal("energy != power × time")
+	}
+}
+
+func TestESEReference(t *testing.T) {
+	var ese ESE
+	if ese.InferenceTimeUS() != 82.7 || ese.PowerWatts() != 41 {
+		t.Fatal("ESE published figures wrong")
+	}
+	// ESE normalized against itself is exactly 1.
+	if math.Abs(ese.NormalizedEfficiency(41, 82.7)-1) > 1e-12 {
+		t.Fatal("ESE self-normalization != 1")
+	}
+	// Half the power at the same time = 2× the efficiency.
+	if math.Abs(ese.NormalizedEfficiency(20.5, 82.7)-2) > 1e-12 {
+		t.Fatal("efficiency scaling wrong")
+	}
+	if ese.NormalizedEfficiency(0, 10) != 0 || ese.NormalizedEfficiency(10, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestCostFuncMatchesLatency(t *testing.T) {
+	gpu := MobileGPU()
+	p := planWith(balanced(500_000, 64), 1_000_000, 0, 0, 0, defaultOpt())
+	if gpu.CostFunc()(p) != gpu.Latency(p).TotalUS {
+		t.Fatal("CostFunc inconsistent with Latency")
+	}
+}
+
+func TestTargetDescriptions(t *testing.T) {
+	if MobileGPU().String() == "" || MobileCPU().String() == "" {
+		t.Fatal("empty target description")
+	}
+	if MobileGPU().Threads() != 64 || MobileCPU().Threads() != 8 {
+		t.Fatal("thread counts wrong")
+	}
+}
+
+func TestGPUFasterThanCPUOnDense(t *testing.T) {
+	// The paper's dense row: GPU 3590 µs vs CPU 7130 µs. Same-shaped plan
+	// must preserve the ordering.
+	gpu, cpu := MobileGPU(), MobileCPU()
+	mk := func(threads, valueBits int) *compiler.Plan {
+		opt := defaultOpt()
+		opt.Format = compiler.FormatDense
+		opt.ValueBits = valueBits
+		return planWith(balanced(9_600_000, threads), 9_600_000*valueBits/8, 0, 0, 0, opt)
+	}
+	g := gpu.Latency(mk(64, 16)).TotalUS
+	c := cpu.Latency(mk(8, 32)).TotalUS
+	if g >= c {
+		t.Fatalf("GPU %v µs not faster than CPU %v µs on dense", g, c)
+	}
+}
+
+func TestMemoryPlacementGatherCosts(t *testing.T) {
+	gpu := MobileGPU()
+	mk := func(pl compiler.Placement, width int) *compiler.Plan {
+		opt := defaultOpt()
+		opt.Tile.Placement = pl
+		p := planWith(balanced(64000, 64), 1000, 0, 1_000_000, 0, opt)
+		p.Matrices[0].MaxGatherWidth = width
+		return p
+	}
+	shared := gpu.Latency(mk(compiler.PlaceShared, 16)).MemoryUS
+	regs := gpu.Latency(mk(compiler.PlaceRegisters, 16)).MemoryUS
+	global := gpu.Latency(mk(compiler.PlaceGlobal, 16)).MemoryUS
+	if !(regs < shared && shared < global) {
+		t.Fatalf("placement ordering wrong: regs %v, shared %v, global %v", regs, shared, global)
+	}
+	// Oversized gather buffers are demoted from registers to shared.
+	demoted := gpu.Latency(mk(compiler.PlaceRegisters, gpu.RegisterGatherMax+1)).MemoryUS
+	if demoted != shared {
+		t.Fatalf("oversized register buffer not demoted: %v vs shared %v", demoted, shared)
+	}
+}

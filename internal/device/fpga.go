@@ -1,0 +1,29 @@
+package device
+
+// The ESE FPGA reference point. Table II normalizes energy efficiency
+// against Han et al.'s ESE accelerator; the paper uses its published
+// figures directly rather than modeling the FPGA, and so do we.
+
+// ESE holds the published ESE FPGA operating point.
+type ESE struct{}
+
+// InferenceTimeUS is ESE's per-frame latency ("ESE's inference time is
+// 82.7 us").
+func (ESE) InferenceTimeUS() float64 { return 82.7 }
+
+// PowerWatts is the FPGA platform power ("a large FPGA platform of 41W
+// power").
+func (ESE) PowerWatts() float64 { return 41 }
+
+// EnergyPerFrameUJ is the reference energy per inference frame.
+func (e ESE) EnergyPerFrameUJ() float64 { return e.PowerWatts() * e.InferenceTimeUS() }
+
+// NormalizedEfficiency computes a target's energy efficiency relative to
+// ESE: frames per unit energy, normalized so ESE = 1. Equivalently
+// (P_ESE × t_ESE) / (P × t).
+func (e ESE) NormalizedEfficiency(powerWatts, timeUS float64) float64 {
+	if powerWatts <= 0 || timeUS <= 0 {
+		return 0
+	}
+	return e.EnergyPerFrameUJ() / (powerWatts * timeUS)
+}

@@ -1,0 +1,134 @@
+package dsp
+
+import "math"
+
+// Mel filterbank and DCT-II: the back half of the MFCC front end.
+
+// HzToMel converts Hertz to mel (HTK convention).
+func HzToMel(hz float64) float64 {
+	return 2595 * math.Log10(1+hz/700)
+}
+
+// MelToHz converts mel to Hertz (HTK convention).
+func MelToHz(mel float64) float64 {
+	return 700 * (math.Pow(10, mel/2595) - 1)
+}
+
+// MelFilterbank builds nFilters triangular filters spanning [lowHz, highHz]
+// over a one-sided spectrum of nFFT/2+1 bins at the given sample rate.
+// Each row of the returned matrix is one triangular filter.
+func MelFilterbank(nFilters, nFFT int, sampleRate, lowHz, highHz float64) [][]float64 {
+	if highHz <= 0 || highHz > sampleRate/2 {
+		highHz = sampleRate / 2
+	}
+	nBins := nFFT/2 + 1
+	lowMel := HzToMel(lowHz)
+	highMel := HzToMel(highHz)
+	// nFilters+2 equally spaced mel points -> filter edges.
+	points := make([]float64, nFilters+2)
+	for i := range points {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(nFilters+1)
+		points[i] = MelToHz(mel)
+	}
+	// Convert edge frequencies to (fractional) FFT bins.
+	bins := make([]float64, len(points))
+	for i, hz := range points {
+		bins[i] = hz * float64(nFFT) / sampleRate
+	}
+	fb := make([][]float64, nFilters)
+	for m := 0; m < nFilters; m++ {
+		fb[m] = make([]float64, nBins)
+		left, center, right := bins[m], bins[m+1], bins[m+2]
+		for k := 0; k < nBins; k++ {
+			fk := float64(k)
+			switch {
+			case fk >= left && fk <= center && center > left:
+				fb[m][k] = (fk - left) / (center - left)
+			case fk > center && fk <= right && right > center:
+				fb[m][k] = (right - fk) / (right - center)
+			}
+		}
+	}
+	return fb
+}
+
+// ApplyFilterbank multiplies the power spectrum through the filterbank and
+// returns the log filterbank energies (floored to avoid log of zero).
+func ApplyFilterbank(fb [][]float64, power []float64) []float64 {
+	out := make([]float64, len(fb))
+	const floor = 1e-10
+	for m, filt := range fb {
+		s := 0.0
+		for k, w := range filt {
+			if k >= len(power) {
+				break
+			}
+			s += w * power[k]
+		}
+		if s < floor {
+			s = floor
+		}
+		out[m] = math.Log(s)
+	}
+	return out
+}
+
+// DCT2 computes the orthonormal DCT-II of x, returning the first nCoeffs
+// coefficients. This maps log filterbank energies to cepstral coefficients.
+func DCT2(x []float64, nCoeffs int) []float64 {
+	n := len(x)
+	if nCoeffs > n {
+		nCoeffs = n
+	}
+	out := make([]float64, nCoeffs)
+	scale0 := math.Sqrt(1 / float64(n))
+	scale := math.Sqrt(2 / float64(n))
+	for k := 0; k < nCoeffs; k++ {
+		s := 0.0
+		for t := 0; t < n; t++ {
+			s += x[t] * math.Cos(math.Pi*float64(k)*(float64(t)+0.5)/float64(n))
+		}
+		if k == 0 {
+			out[k] = s * scale0
+		} else {
+			out[k] = s * scale
+		}
+	}
+	return out
+}
+
+// Deltas computes first-order regression deltas over a sequence of feature
+// vectors with window width w (standard HTK formula). The returned slice has
+// the same length and dimensionality as the input.
+func Deltas(feats [][]float64, w int) [][]float64 {
+	n := len(feats)
+	if n == 0 {
+		return nil
+	}
+	dim := len(feats[0])
+	denom := 0.0
+	for d := 1; d <= w; d++ {
+		denom += 2 * float64(d) * float64(d)
+	}
+	out := make([][]float64, n)
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	for t := 0; t < n; t++ {
+		out[t] = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			s := 0.0
+			for d := 1; d <= w; d++ {
+				s += float64(d) * (feats[clamp(t+d)][j] - feats[clamp(t-d)][j])
+			}
+			out[t][j] = s / denom
+		}
+	}
+	return out
+}

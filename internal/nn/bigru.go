@@ -1,0 +1,97 @@
+package nn
+
+import "rtmobile/internal/tensor"
+
+// BiGRU is a bidirectional GRU layer: a forward GRU over the sequence and
+// a backward GRU over its reversal, outputs concatenated per frame. The
+// PyTorch-Kaldi recipes the paper takes its baseline from train
+// bidirectional RNNs for offline scoring; the deployed (streaming) model
+// stays unidirectional, so BiGRU is an offline-accuracy substrate, not a
+// deployment path.
+type BiGRU struct {
+	Fwd, Bwd *GRU
+}
+
+// NewBiGRU builds a bidirectional layer whose concatenated output is
+// 2×hidden wide.
+func NewBiGRU(name string, inDim, hidden int, rng *tensor.RNG) *BiGRU {
+	return &BiGRU{
+		Fwd: NewGRU(name+".fwd", inDim, hidden, rng),
+		Bwd: NewGRU(name+".bwd", inDim, hidden, rng),
+	}
+}
+
+// OutDim implements Layer.
+func (b *BiGRU) OutDim() int { return 2 * b.Fwd.Hidden }
+
+// Params implements Layer.
+func (b *BiGRU) Params() []*Param {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}
+
+// reverseSeq returns seq in reverse frame order (sharing frame slices).
+func reverseSeq(seq [][]float32) [][]float32 {
+	out := make([][]float32, len(seq))
+	for i, f := range seq {
+		out[len(seq)-1-i] = f
+	}
+	return out
+}
+
+// Forward runs both directions and concatenates per frame.
+func (b *BiGRU) Forward(seq [][]float32) [][]float32 {
+	fw := b.Fwd.Forward(seq)
+	bwRev := b.Bwd.Forward(reverseSeq(seq))
+	H := b.Fwd.Hidden
+	out := make([][]float32, len(seq))
+	for t := range seq {
+		y := make([]float32, 2*H)
+		copy(y[:H], fw[t])
+		copy(y[H:], bwRev[len(seq)-1-t])
+		out[t] = y
+	}
+	return out
+}
+
+// Backward splits the concatenated gradient, backpropagates both
+// directions, and sums the input gradients.
+func (b *BiGRU) Backward(grad [][]float32) [][]float32 {
+	T := len(grad)
+	H := b.Fwd.Hidden
+	fwGrad := make([][]float32, T)
+	bwGradRev := make([][]float32, T)
+	for t := 0; t < T; t++ {
+		fwGrad[t] = grad[t][:H]
+		bwGradRev[T-1-t] = grad[t][H:]
+	}
+	dinFw := b.Fwd.Backward(fwGrad)
+	dinBwRev := b.Bwd.Backward(bwGradRev)
+	din := make([][]float32, T)
+	for t := 0; t < T; t++ {
+		dx := tensor.CloneVec(dinFw[t])
+		tensor.Axpy(1, dinBwRev[T-1-t], dx)
+		din[t] = dx
+	}
+	return din
+}
+
+// NewBiGRUModel stacks bidirectional GRU layers under a Dense classifier.
+// Layer l>0 consumes the 2×hidden concatenation of layer l−1.
+func NewBiGRUModel(spec ModelSpec) *Model {
+	if spec.NumLayers < 1 {
+		panic("nn: NumLayers must be >= 1")
+	}
+	rng := tensor.NewRNG(spec.Seed)
+	m := &Model{Spec: spec}
+	in := spec.InputDim
+	for l := 0; l < spec.NumLayers; l++ {
+		m.Layers = append(m.Layers, NewBiGRU(lname2("bigru", l), in, spec.Hidden, rng))
+		in = 2 * spec.Hidden
+	}
+	m.Layers = append(m.Layers, NewDense("out", in, spec.OutputDim, rng))
+	return m
+}
+
+func lname2(prefix string, l int) string {
+	return prefix + string(rune('0'+l))
+}

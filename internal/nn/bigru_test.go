@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/tensor"
+)
+
+func TestBiGRUShapes(t *testing.T) {
+	b := NewBiGRU("b", 5, 8, tensor.NewRNG(1))
+	out := b.Forward(toyData(1, 10, 5, 2).Frames)
+	if len(out) != 10 {
+		t.Fatalf("length %d", len(out))
+	}
+	for _, h := range out {
+		if len(h) != 16 {
+			t.Fatalf("width %d, want 16", len(h))
+		}
+	}
+	if b.OutDim() != 16 {
+		t.Fatal("OutDim wrong")
+	}
+	if len(b.Params()) != 8 {
+		t.Fatalf("param count %d, want 8", len(b.Params()))
+	}
+}
+
+func TestBiGRUSeesTheFuture(t *testing.T) {
+	// An impulse at the *last* frame must influence the output at the
+	// *first* frame through the backward direction — the defining property
+	// a unidirectional GRU lacks.
+	b := NewBiGRU("b", 2, 4, tensor.NewRNG(2))
+	T := 8
+	quiet := make([][]float32, T)
+	late := make([][]float32, T)
+	for i := range quiet {
+		quiet[i] = make([]float32, 2)
+		late[i] = make([]float32, 2)
+	}
+	late[T-1][0] = 3
+	a := b.Forward(quiet)
+	first := tensor.CloneVec(a[0])
+	c := b.Forward(late)
+	diff := 0.0
+	for j := range first {
+		diff += math.Abs(float64(c[0][j] - first[j]))
+	}
+	if diff < 1e-6 {
+		t.Fatal("late impulse invisible at t=0 — backward direction broken")
+	}
+	// And the forward half of frame 0 must be unaffected.
+	for j := 0; j < 4; j++ {
+		if c[0][j] != first[j] {
+			t.Fatal("forward direction leaked future information")
+		}
+	}
+}
+
+func TestGradCheckBiGRU(t *testing.T) {
+	m := NewBiGRUModel(ModelSpec{InputDim: 3, Hidden: 4, NumLayers: 1, OutputDim: 3, Seed: 5})
+	checkGrads(t, m, toyData(6, 7, 3, 3), 10, 0.03)
+}
+
+func TestGradCheckStackedBiGRU(t *testing.T) {
+	m := NewBiGRUModel(ModelSpec{InputDim: 3, Hidden: 3, NumLayers: 2, OutputDim: 3, Seed: 7})
+	checkGrads(t, m, toyData(8, 6, 3, 3), 8, 0.04)
+}
+
+func TestBiGRUModelTrains(t *testing.T) {
+	// Task needing future context: label at t = argmax of the *next*
+	// frame's first dims. A unidirectional model cannot express this; the
+	// bidirectional one learns it.
+	rng := tensor.NewRNG(10)
+	var data []Sequence
+	for u := 0; u < 6; u++ {
+		T := 12
+		frames := make([][]float32, T)
+		labels := make([]int, T)
+		for t2 := 0; t2 < T; t2++ {
+			row := make([]float32, 5)
+			for j := range row {
+				row[j] = float32(rng.NormFloat64())
+			}
+			frames[t2] = row
+		}
+		for t2 := 0; t2 < T-1; t2++ {
+			labels[t2] = tensor.ArgMax(frames[t2+1][:3])
+		}
+		labels[T-1] = 0
+		data = append(data, Sequence{Frames: frames, Labels: labels})
+	}
+	bi := NewBiGRUModel(ModelSpec{InputDim: 5, Hidden: 10, NumLayers: 1, OutputDim: 3, Seed: 11})
+	uni := NewGRUModel(ModelSpec{InputDim: 5, Hidden: 14, NumLayers: 1, OutputDim: 3, Seed: 11})
+	bi.Train(data, NewAdam(0.01), TrainConfig{Epochs: 20, Seed: 1})
+	uni.Train(data, NewAdam(0.01), TrainConfig{Epochs: 20, Seed: 1})
+	if bi.Loss(data) >= uni.Loss(data) {
+		t.Fatalf("BiGRU (%.4f) not better than GRU (%.4f) on a future-context task",
+			bi.Loss(data), uni.Loss(data))
+	}
+}

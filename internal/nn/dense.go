@@ -1,0 +1,56 @@
+package nn
+
+import "rtmobile/internal/tensor"
+
+// Dense is a per-frame affine layer y = W·x + b.
+type Dense struct {
+	InDim, OutDimN int
+	Weight, Bias   *Param
+	// cache
+	inputs [][]float32
+}
+
+// NewDense builds a Dense layer with Xavier-initialized weights.
+func NewDense(name string, inDim, outDim int, rng *tensor.RNG) *Dense {
+	d := &Dense{
+		InDim:   inDim,
+		OutDimN: outDim,
+		Weight:  NewParam(name+".W", outDim, inDim),
+		Bias:    NewParam(name+".b", 1, outDim),
+	}
+	d.Weight.W.XavierInit(rng, inDim, outDim)
+	return d
+}
+
+// OutDim implements Layer.
+func (d *Dense) OutDim() int { return d.OutDimN }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// Forward applies the affine map to each frame.
+func (d *Dense) Forward(seq [][]float32) [][]float32 {
+	d.inputs = seq
+	out := make([][]float32, len(seq))
+	for t, x := range seq {
+		y := make([]float32, d.OutDimN)
+		copy(y, d.Bias.W.Data)
+		tensor.MatVecAdd(y, d.Weight.W, x)
+		out[t] = y
+	}
+	return out
+}
+
+// Backward accumulates dW, db and returns dX per frame.
+func (d *Dense) Backward(grad [][]float32) [][]float32 {
+	din := make([][]float32, len(grad))
+	for t, g := range grad {
+		x := d.inputs[t]
+		tensor.OuterAdd(d.Weight.Grad, g, x)
+		tensor.Axpy(1, g, d.Bias.Grad.Data)
+		dx := make([]float32, d.InDim)
+		tensor.MatTVecAdd(dx, d.Weight.W, g)
+		din[t] = dx
+	}
+	return din
+}

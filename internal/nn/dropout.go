@@ -1,0 +1,90 @@
+package nn
+
+import "rtmobile/internal/tensor"
+
+// Dropout implements inverted dropout between layers: during training each
+// activation is zeroed with probability Rate and survivors are scaled by
+// 1/(1−Rate); during inference it is the identity. PyTorch-Kaldi's TIMIT
+// GRU recipes train with inter-layer dropout, and the small synthetic
+// corpus here overfits quickly without it.
+type Dropout struct {
+	Rate float64
+	Dim  int
+
+	rng      *tensor.RNG
+	training bool
+	masks    [][]float32
+}
+
+// NewDropout builds a dropout layer over dim-wide frames with its own
+// deterministic mask stream.
+func NewDropout(dim int, rate float64, seed uint64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0,1)")
+	}
+	return &Dropout{Rate: rate, Dim: dim, rng: tensor.NewRNG(seed)}
+}
+
+// OutDim implements Layer.
+func (d *Dropout) OutDim() int { return d.Dim }
+
+// Params implements Layer (dropout has none).
+func (d *Dropout) Params() []*Param { return nil }
+
+// SetTraining toggles mask sampling; Model.Train flips this automatically.
+func (d *Dropout) SetTraining(on bool) { d.training = on }
+
+// Forward applies the (inverted) dropout mask per frame during training
+// and passes through otherwise.
+func (d *Dropout) Forward(seq [][]float32) [][]float32 {
+	if !d.training || d.Rate == 0 {
+		d.masks = nil
+		return seq
+	}
+	keep := 1 - d.Rate
+	scale := float32(1 / keep)
+	out := make([][]float32, len(seq))
+	d.masks = make([][]float32, len(seq))
+	for t, x := range seq {
+		mask := make([]float32, len(x))
+		y := make([]float32, len(x))
+		for j := range x {
+			if d.rng.Float64() < keep {
+				mask[j] = scale
+				y[j] = x[j] * scale
+			}
+		}
+		d.masks[t] = mask
+		out[t] = y
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(grad [][]float32) [][]float32 {
+	if d.masks == nil {
+		return grad
+	}
+	out := make([][]float32, len(grad))
+	for t, g := range grad {
+		dg := make([]float32, len(g))
+		for j := range g {
+			dg[j] = g[j] * d.masks[t][j]
+		}
+		out[t] = dg
+	}
+	return out
+}
+
+// trainingModer is implemented by layers whose behaviour differs between
+// training and inference.
+type trainingModer interface{ SetTraining(bool) }
+
+// setTraining flips training mode on every layer that has one.
+func (m *Model) setTraining(on bool) {
+	for _, l := range m.Layers {
+		if tm, ok := l.(trainingModer); ok {
+			tm.SetTraining(on)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(4, 0.5, 1)
+	seq := toyData(1, 5, 4, 2).Frames
+	out := d.Forward(seq)
+	for t2 := range seq {
+		for j := range seq[t2] {
+			if out[t2][j] != seq[t2][j] {
+				t.Fatal("eval-mode dropout changed the input")
+			}
+		}
+	}
+	// Backward in eval mode is identity too.
+	g := d.Backward(seq)
+	if &g[0][0] != &seq[0][0] {
+		t.Fatal("eval-mode backward should pass through")
+	}
+}
+
+func TestDropoutTrainingDropsAndScales(t *testing.T) {
+	const dim, T = 200, 20
+	d := NewDropout(dim, 0.4, 2)
+	d.SetTraining(true)
+	seq := make([][]float32, T)
+	for i := range seq {
+		seq[i] = make([]float32, dim)
+		for j := range seq[i] {
+			seq[i][j] = 1
+		}
+	}
+	out := d.Forward(seq)
+	zeros, total := 0, 0
+	for t2 := range out {
+		for _, v := range out[t2] {
+			total++
+			switch {
+			case v == 0:
+				zeros++
+			case math.Abs(float64(v)-1/0.6) > 1e-5:
+				t.Fatalf("survivor scaled to %v, want %v", v, 1/0.6)
+			}
+		}
+	}
+	rate := float64(zeros) / float64(total)
+	if math.Abs(rate-0.4) > 0.03 {
+		t.Fatalf("drop rate %.3f, want ≈0.4", rate)
+	}
+}
+
+func TestDropoutBackwardMasksGradient(t *testing.T) {
+	d := NewDropout(6, 0.5, 3)
+	d.SetTraining(true)
+	seq := toyData(4, 8, 6, 2).Frames
+	out := d.Forward(seq)
+	grad := make([][]float32, len(seq))
+	for t2 := range grad {
+		grad[t2] = make([]float32, 6)
+		for j := range grad[t2] {
+			grad[t2][j] = 1
+		}
+	}
+	din := d.Backward(grad)
+	for t2 := range din {
+		for j := range din[t2] {
+			// Gradient flows iff the forward output was nonzero.
+			if (out[t2][j] == 0) != (din[t2][j] == 0) {
+				t.Fatal("gradient mask inconsistent with forward mask")
+			}
+		}
+	}
+}
+
+func TestModelTrainTogglesDropout(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := &Model{
+		Layers: []Layer{
+			NewDense("d1", 4, 8, rng),
+			NewDropout(8, 0.3, 7),
+			NewDense("d2", 8, 3, rng),
+		},
+		Spec: ModelSpec{InputDim: 4, OutputDim: 3},
+	}
+	data := []Sequence{toyData(6, 10, 4, 3)}
+	m.Train(data, NewAdam(0.01), TrainConfig{Epochs: 2, Seed: 1})
+	// After Train returns, the model must be back in eval mode:
+	// Forward twice gives identical results.
+	a := m.Forward(data[0].Frames)
+	b := m.Forward(data[0].Frames)
+	for t2 := range a {
+		for j := range a[t2] {
+			if a[t2][j] != b[t2][j] {
+				t.Fatal("model left in training mode after Train")
+			}
+		}
+	}
+}
+
+func TestDropoutGradCheck(t *testing.T) {
+	// With training off, dropout is transparent — the gradient check must
+	// hold through it.
+	rng := tensor.NewRNG(9)
+	m := &Model{
+		Layers: []Layer{
+			NewDense("d1", 4, 6, rng),
+			NewDropout(6, 0.5, 11),
+			NewDense("d2", 6, 3, rng),
+		},
+		Spec: ModelSpec{InputDim: 4, OutputDim: 3},
+	}
+	checkGrads(t, m, toyData(10, 6, 4, 3), 8, 0.02)
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 1.0 accepted")
+		}
+	}()
+	NewDropout(4, 1.0, 1)
+}

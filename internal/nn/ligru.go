@@ -1,0 +1,144 @@
+package nn
+
+import "rtmobile/internal/tensor"
+
+// LiGRU is the light GRU of Ravanelli et al. — the flagship recurrent cell
+// of the PyTorch-Kaldi toolkit the paper trains its baseline with. It
+// removes the reset gate entirely and replaces the candidate's tanh with
+// ReLU:
+//
+//	z  = σ(Wz·x + Uz·h + bz)
+//	h̃  = relu(Wh·x + Uh·h + bh)
+//	h' = z ⊙ h + (1−z) ⊙ h̃
+//
+// Two gates instead of three → 2/3 of a GRU's parameters and GEMV work at
+// equal hidden size, which is why the toolkit favours it for speech.
+// (The original also batch-normalizes Wx·x; at this reproduction's scale
+// plain ReLU trains stably without it.)
+type LiGRU struct {
+	InDim, Hidden  int
+	Wx, Wh, Bx, Bh *Param // fused [2H×D], [2H×H]; rows [z | candidate]
+
+	inputs  [][]float32
+	hPrev   [][]float32
+	zs, hcs [][]float32
+	outputs [][]float32
+}
+
+// NewLiGRU builds a light-GRU layer.
+func NewLiGRU(name string, inDim, hidden int, rng *tensor.RNG) *LiGRU {
+	l := &LiGRU{
+		InDim:  inDim,
+		Hidden: hidden,
+		Wx:     NewParam(name+".Wx", 2*hidden, inDim),
+		Wh:     NewParam(name+".Wh", 2*hidden, hidden),
+		Bx:     NewParam(name+".bx", 1, 2*hidden),
+		Bh:     NewParam(name+".bh", 1, 2*hidden),
+	}
+	l.Wx.W.XavierInit(rng, inDim, hidden)
+	l.Wh.W.XavierInit(rng, hidden, hidden)
+	return l
+}
+
+// OutDim implements Layer.
+func (l *LiGRU) OutDim() int { return l.Hidden }
+
+// Params implements Layer.
+func (l *LiGRU) Params() []*Param { return []*Param{l.Wx, l.Wh, l.Bx, l.Bh} }
+
+// Forward runs the recurrence from a zero state.
+func (l *LiGRU) Forward(seq [][]float32) [][]float32 {
+	T := len(seq)
+	H := l.Hidden
+	l.inputs = seq
+	l.hPrev = make([][]float32, T)
+	l.zs = make([][]float32, T)
+	l.hcs = make([][]float32, T)
+	l.outputs = make([][]float32, T)
+
+	h := make([]float32, H)
+	act := make([]float32, 2*H)
+	for t := 0; t < T; t++ {
+		l.hPrev[t] = tensor.CloneVec(h)
+		copy(act, l.Bx.W.Data)
+		tensor.Axpy(1, l.Bh.W.Data, act)
+		tensor.MatVecAdd(act, l.Wx.W, seq[t])
+		tensor.MatVecAdd(act, l.Wh.W, h)
+
+		z := make([]float32, H)
+		hc := make([]float32, H)
+		hNew := make([]float32, H)
+		for i := 0; i < H; i++ {
+			z[i] = sigmoid(act[i])
+			c := act[H+i]
+			if c < 0 {
+				c = 0
+			}
+			hc[i] = c
+			hNew[i] = z[i]*h[i] + (1-z[i])*c
+		}
+		l.zs[t], l.hcs[t] = z, hc
+		l.outputs[t] = hNew
+		copy(h, hNew)
+	}
+	return l.outputs
+}
+
+// Backward runs BPTT.
+func (l *LiGRU) Backward(grad [][]float32) [][]float32 {
+	T := len(grad)
+	H := l.Hidden
+	din := make([][]float32, T)
+	dh := make([]float32, H)
+	dact := make([]float32, 2*H)
+
+	for t := T - 1; t >= 0; t-- {
+		for i := 0; i < H; i++ {
+			dh[i] += grad[t][i]
+		}
+		z, hc := l.zs[t], l.hcs[t]
+		hPrev := l.hPrev[t]
+
+		dhNext := make([]float32, H)
+		for i := 0; i < H; i++ {
+			dz := dh[i] * (hPrev[i] - hc[i])
+			dc := dh[i] * (1 - z[i])
+			dhNext[i] = dh[i] * z[i]
+
+			dact[i] = dz * z[i] * (1 - z[i])
+			if hc[i] > 0 {
+				dact[H+i] = dc
+			} else {
+				dact[H+i] = 0
+			}
+		}
+		tensor.OuterAdd(l.Wx.Grad, dact, l.inputs[t])
+		tensor.OuterAdd(l.Wh.Grad, dact, hPrev)
+		tensor.Axpy(1, dact, l.Bx.Grad.Data)
+		tensor.Axpy(1, dact, l.Bh.Grad.Data)
+
+		dx := make([]float32, l.InDim)
+		tensor.MatTVecAdd(dx, l.Wx.W, dact)
+		din[t] = dx
+
+		tensor.MatTVecAdd(dhNext, l.Wh.W, dact)
+		copy(dh, dhNext)
+	}
+	return din
+}
+
+// NewLiGRUModel stacks LiGRU layers under a Dense classifier.
+func NewLiGRUModel(spec ModelSpec) *Model {
+	if spec.NumLayers < 1 {
+		panic("nn: NumLayers must be >= 1")
+	}
+	rng := tensor.NewRNG(spec.Seed)
+	m := &Model{Spec: spec}
+	in := spec.InputDim
+	for l := 0; l < spec.NumLayers; l++ {
+		m.Layers = append(m.Layers, NewLiGRU(lname2("ligru", l), in, spec.Hidden, rng))
+		in = spec.Hidden
+	}
+	m.Layers = append(m.Layers, NewDense("out", in, spec.OutputDim, rng))
+	return m
+}

@@ -1,0 +1,79 @@
+package nn
+
+import "math"
+
+func exp64(x float64) float64 { return math.Exp(x) }
+
+// SoftmaxCrossEntropy computes the mean framewise cross-entropy of logits
+// against integer labels, returning the loss and dLoss/dLogits
+// (softmax(x) − onehot(label), scaled by 1/T).
+func SoftmaxCrossEntropy(logits [][]float32, labels []int) (float64, [][]float32) {
+	if len(logits) != len(labels) {
+		panic("nn: logits/labels length mismatch")
+	}
+	T := len(logits)
+	if T == 0 {
+		return 0, nil
+	}
+	grad := make([][]float32, T)
+	total := 0.0
+	invT := float32(1.0 / float64(T))
+	for t, row := range logits {
+		label := labels[t]
+		if label < 0 || label >= len(row) {
+			panic("nn: label out of range")
+		}
+		// log-sum-exp with max subtraction
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(float64(v - mx))
+		}
+		logZ := math.Log(sum) + float64(mx)
+		total += logZ - float64(row[label])
+
+		g := make([]float32, len(row))
+		for j, v := range row {
+			p := float32(math.Exp(float64(v) - logZ))
+			g[j] = p * invT
+		}
+		g[label] -= invT
+		grad[t] = g
+	}
+	return total / float64(T), grad
+}
+
+// Posteriors converts logits to per-frame softmax probabilities.
+func Posteriors(logits [][]float32) [][]float32 {
+	out := make([][]float32, len(logits))
+	for t, row := range logits {
+		p := make([]float32, len(row))
+		softmaxInto(p, row)
+		out[t] = p
+	}
+	return out
+}
+
+func softmaxInto(dst, src []float32) {
+	mx := src[0]
+	for _, v := range src[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	for i, v := range src {
+		e := math.Exp(float64(v - mx))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

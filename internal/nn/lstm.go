@@ -1,0 +1,178 @@
+package nn
+
+import "rtmobile/internal/tensor"
+
+// LSTM implements the standard long short-term memory layer with fused
+// gate matrices and full BPTT. The paper's comparison systems — ESE,
+// C-LSTM, E-RNN — are all LSTM-based FPGA designs, so the harness can
+// instantiate their native architecture; the paper's own evaluation model
+// is the GRU (gru.go), which it calls "a more advanced version of RNN than
+// LSTM".
+//
+// Gate order in the fused [4H×D] / [4H×H] matrices: input i, forget f,
+// candidate g, output o:
+//
+//	i  = σ(Wx_i·x + Wh_i·h + b_i)
+//	f  = σ(Wx_f·x + Wh_f·h + b_f)
+//	g  = tanh(Wx_g·x + Wh_g·h + b_g)
+//	o  = σ(Wx_o·x + Wh_o·h + b_o)
+//	c' = f ⊙ c + i ⊙ g
+//	h' = o ⊙ tanh(c')
+type LSTM struct {
+	InDim, Hidden  int
+	Wx, Wh, Bx, Bh *Param
+
+	// Per-sequence caches for BPTT.
+	inputs         [][]float32
+	hPrev, cPrev   [][]float32
+	is, fs, gs, os [][]float32
+	tanhC          [][]float32
+	outputs        [][]float32
+}
+
+// NewLSTM builds an LSTM layer with Xavier-initialized projections and the
+// standard forget-gate bias of 1 (helps gradient flow early in training).
+func NewLSTM(name string, inDim, hidden int, rng *tensor.RNG) *LSTM {
+	l := &LSTM{
+		InDim:  inDim,
+		Hidden: hidden,
+		Wx:     NewParam(name+".Wx", 4*hidden, inDim),
+		Wh:     NewParam(name+".Wh", 4*hidden, hidden),
+		Bx:     NewParam(name+".bx", 1, 4*hidden),
+		Bh:     NewParam(name+".bh", 1, 4*hidden),
+	}
+	l.Wx.W.XavierInit(rng, inDim, hidden)
+	l.Wh.W.XavierInit(rng, hidden, hidden)
+	for i := hidden; i < 2*hidden; i++ {
+		l.Bx.W.Data[i] = 1 // forget gate bias
+	}
+	return l
+}
+
+// OutDim implements Layer.
+func (l *LSTM) OutDim() int { return l.Hidden }
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.Bx, l.Bh} }
+
+// Forward runs the recurrence from zero initial state and caches
+// activations for Backward.
+func (l *LSTM) Forward(seq [][]float32) [][]float32 {
+	T := len(seq)
+	H := l.Hidden
+	l.inputs = seq
+	l.hPrev = make([][]float32, T)
+	l.cPrev = make([][]float32, T)
+	l.is = make([][]float32, T)
+	l.fs = make([][]float32, T)
+	l.gs = make([][]float32, T)
+	l.os = make([][]float32, T)
+	l.tanhC = make([][]float32, T)
+	l.outputs = make([][]float32, T)
+
+	h := make([]float32, H)
+	c := make([]float32, H)
+	act := make([]float32, 4*H)
+	for t := 0; t < T; t++ {
+		l.hPrev[t] = tensor.CloneVec(h)
+		l.cPrev[t] = tensor.CloneVec(c)
+
+		copy(act, l.Bx.W.Data)
+		tensor.Axpy(1, l.Bh.W.Data, act)
+		tensor.MatVecAdd(act, l.Wx.W, seq[t])
+		tensor.MatVecAdd(act, l.Wh.W, h)
+
+		iG := make([]float32, H)
+		fG := make([]float32, H)
+		gG := make([]float32, H)
+		oG := make([]float32, H)
+		tc := make([]float32, H)
+		hNew := make([]float32, H)
+		for j := 0; j < H; j++ {
+			iG[j] = sigmoid(act[j])
+			fG[j] = sigmoid(act[H+j])
+			gG[j] = tanh32(act[2*H+j])
+			oG[j] = sigmoid(act[3*H+j])
+			c[j] = fG[j]*c[j] + iG[j]*gG[j]
+			tc[j] = tanh32(c[j])
+			hNew[j] = oG[j] * tc[j]
+		}
+		l.is[t], l.fs[t], l.gs[t], l.os[t], l.tanhC[t] = iG, fG, gG, oG, tc
+		l.outputs[t] = hNew
+		copy(h, hNew)
+	}
+	return l.outputs
+}
+
+// Backward runs BPTT, accumulating parameter gradients and returning
+// dLoss/dInput per frame.
+func (l *LSTM) Backward(grad [][]float32) [][]float32 {
+	T := len(grad)
+	H := l.Hidden
+	din := make([][]float32, T)
+	dh := make([]float32, H)
+	dc := make([]float32, H)
+	dact := make([]float32, 4*H)
+
+	for t := T - 1; t >= 0; t-- {
+		for j := 0; j < H; j++ {
+			dh[j] += grad[t][j]
+		}
+		iG, fG, gG, oG, tc := l.is[t], l.fs[t], l.gs[t], l.os[t], l.tanhC[t]
+		cPrev := l.cPrev[t]
+
+		dhNext := make([]float32, H)
+		dcNext := make([]float32, H)
+		for j := 0; j < H; j++ {
+			do := dh[j] * tc[j]
+			dtc := dh[j]*oG[j]*(1-tc[j]*tc[j]) + dc[j]
+
+			df := dtc * cPrev[j]
+			di := dtc * gG[j]
+			dg := dtc * iG[j]
+			dcNext[j] = dtc * fG[j]
+
+			dact[j] = di * iG[j] * (1 - iG[j])
+			dact[H+j] = df * fG[j] * (1 - fG[j])
+			dact[2*H+j] = dg * (1 - gG[j]*gG[j])
+			dact[3*H+j] = do * oG[j] * (1 - oG[j])
+		}
+
+		tensor.OuterAdd(l.Wx.Grad, dact, l.inputs[t])
+		tensor.OuterAdd(l.Wh.Grad, dact, l.hPrev[t])
+		tensor.Axpy(1, dact, l.Bx.Grad.Data)
+		tensor.Axpy(1, dact, l.Bh.Grad.Data)
+
+		dx := make([]float32, l.InDim)
+		tensor.MatTVecAdd(dx, l.Wx.W, dact)
+		din[t] = dx
+
+		tensor.MatTVecAdd(dhNext, l.Wh.W, dact)
+		copy(dh, dhNext)
+		copy(dc, dcNext)
+	}
+	return din
+}
+
+// NewLSTMModel constructs an LSTM classifier analogous to NewGRUModel
+// (stacked LSTM layers + Dense output). Used by the harness to instantiate
+// ESE/C-LSTM-style architectures.
+func NewLSTMModel(spec ModelSpec) *Model {
+	if spec.NumLayers < 1 {
+		panic("nn: NumLayers must be >= 1")
+	}
+	spec.Cell = CellLSTM
+	rng := tensor.NewRNG(spec.Seed)
+	m := &Model{Spec: spec}
+	in := spec.InputDim
+	for l := 0; l < spec.NumLayers; l++ {
+		m.Layers = append(m.Layers, NewLSTM(lname(l), in, spec.Hidden, rng))
+		in = spec.Hidden
+	}
+	m.Layers = append(m.Layers, NewDense("out", in, spec.OutputDim, rng))
+	return m
+}
+
+func lname(l int) string {
+	return "lstm" + string(rune('0'+l))
+}

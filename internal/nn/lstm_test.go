@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rtmobile/internal/tensor"
+)
+
+func TestLSTMForwardShapes(t *testing.T) {
+	l := NewLSTM("l", 5, 8, tensor.NewRNG(1))
+	out := l.Forward(toyData(1, 12, 5, 2).Frames)
+	if len(out) != 12 {
+		t.Fatalf("output length %d", len(out))
+	}
+	for _, h := range out {
+		if len(h) != 8 {
+			t.Fatalf("hidden dim %d", len(h))
+		}
+	}
+}
+
+func TestLSTMHiddenBounded(t *testing.T) {
+	// h = o ⊙ tanh(c): |h| <= 1 always.
+	l := NewLSTM("l", 4, 6, tensor.NewRNG(2))
+	rng := tensor.NewRNG(3)
+	seq := make([][]float32, 60)
+	for i := range seq {
+		row := make([]float32, 4)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64() * 10)
+		}
+		seq[i] = row
+	}
+	for t2, h := range l.Forward(seq) {
+		for i, v := range h {
+			if v < -1.0001 || v > 1.0001 {
+				t.Fatalf("hidden[%d][%d] = %v outside [-1,1]", t2, i, v)
+			}
+		}
+	}
+}
+
+func TestLSTMForgetGateBias(t *testing.T) {
+	l := NewLSTM("l", 3, 4, tensor.NewRNG(4))
+	for j := 4; j < 8; j++ {
+		if l.Bx.W.Data[j] != 1 {
+			t.Fatalf("forget bias at %d = %v, want 1", j, l.Bx.W.Data[j])
+		}
+	}
+	// Non-forget biases stay zero.
+	for j := 0; j < 4; j++ {
+		if l.Bx.W.Data[j] != 0 {
+			t.Fatal("input gate bias should init to 0")
+		}
+	}
+}
+
+func TestLSTMStatePersistsLongerThanGRUZeroInput(t *testing.T) {
+	// An impulse at t=0 must still influence the state at t=10 (the cell
+	// state carries it).
+	l := NewLSTM("l", 2, 6, tensor.NewRNG(5))
+	T := 11
+	quiet := make([][]float32, T)
+	impulse := make([][]float32, T)
+	for i := range quiet {
+		quiet[i] = make([]float32, 2)
+		impulse[i] = make([]float32, 2)
+	}
+	impulse[0][0] = 3
+	a := l.Forward(quiet)
+	last := tensor.CloneVec(a[T-1])
+	b := l.Forward(impulse)
+	diff := 0.0
+	for i := range last {
+		diff += math.Abs(float64(b[T-1][i] - last[i]))
+	}
+	if diff < 1e-6 {
+		t.Fatal("impulse did not persist through the cell state")
+	}
+}
+
+func TestGradCheckLSTM(t *testing.T) {
+	m := NewLSTMModel(ModelSpec{InputDim: 4, Hidden: 5, NumLayers: 1, OutputDim: 3, Seed: 6})
+	checkGrads(t, m, toyData(3, 9, 4, 3), 12, 0.03)
+}
+
+func TestGradCheckStackedLSTM(t *testing.T) {
+	m := NewLSTMModel(ModelSpec{InputDim: 3, Hidden: 4, NumLayers: 2, OutputDim: 3, Seed: 8})
+	checkGrads(t, m, toyData(4, 7, 3, 3), 8, 0.04)
+}
+
+func TestLSTMModelTrains(t *testing.T) {
+	m := NewLSTMModel(ModelSpec{InputDim: 6, Hidden: 12, NumLayers: 1, OutputDim: 4, Seed: 9})
+	rng := tensor.NewRNG(10)
+	var data []Sequence
+	for u := 0; u < 6; u++ {
+		T := 12
+		frames := make([][]float32, T)
+		labels := make([]int, T)
+		for t2 := 0; t2 < T; t2++ {
+			row := make([]float32, 6)
+			for j := range row {
+				row[j] = float32(rng.NormFloat64())
+			}
+			frames[t2] = row
+			labels[t2] = tensor.ArgMax(row[:4])
+		}
+		data = append(data, Sequence{Frames: frames, Labels: labels})
+	}
+	before := m.Loss(data)
+	m.Train(data, NewAdam(0.01), TrainConfig{Epochs: 12, Seed: 2})
+	after := m.Loss(data)
+	if after >= before*0.7 {
+		t.Fatalf("LSTM training did not reduce loss: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestLSTMSpecRoundTrip(t *testing.T) {
+	m := NewLSTMModel(ModelSpec{InputDim: 5, Hidden: 6, NumLayers: 2, OutputDim: 4, Seed: 13})
+	if m.Spec.Cell != CellLSTM {
+		t.Fatal("spec cell not set")
+	}
+	if m.Spec.String() != "lstm2x6-in5-out4" {
+		t.Fatalf("spec string %q", m.Spec.String())
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Spec.Cell != CellLSTM {
+		t.Fatal("loaded model lost its cell type")
+	}
+	if _, ok := m2.Layers[0].(*LSTM); !ok {
+		t.Fatal("loaded model layer 0 is not an LSTM")
+	}
+	a, b := m.Params(), m2.Params()
+	for i := range a {
+		if !a[i].W.Equal(b[i].W) {
+			t.Fatalf("round trip differs at %s", a[i].Name)
+		}
+	}
+}
+
+func TestLSTMCloneKeepsCell(t *testing.T) {
+	m := NewLSTMModel(ModelSpec{InputDim: 3, Hidden: 4, NumLayers: 1, OutputDim: 2, Seed: 1})
+	c := m.Clone()
+	if _, ok := c.Layers[0].(*LSTM); !ok {
+		t.Fatal("clone is not an LSTM model")
+	}
+}
+
+func TestNewModelDispatch(t *testing.T) {
+	g := NewModel(ModelSpec{InputDim: 3, Hidden: 4, NumLayers: 1, OutputDim: 2, Seed: 1, Cell: CellGRU})
+	if _, ok := g.Layers[0].(*GRU); !ok {
+		t.Fatal("CellGRU did not build a GRU")
+	}
+	l := NewModel(ModelSpec{InputDim: 3, Hidden: 4, NumLayers: 1, OutputDim: 2, Seed: 1, Cell: CellLSTM})
+	if _, ok := l.Layers[0].(*LSTM); !ok {
+		t.Fatal("CellLSTM did not build an LSTM")
+	}
+}
+
+func TestLSTMParamCountVsGRU(t *testing.T) {
+	// LSTM has 4 gates vs GRU's 3: at equal hidden size its recurrent
+	// parameter count is 4/3 of the GRU's.
+	spec := ModelSpec{InputDim: 10, Hidden: 12, NumLayers: 1, OutputDim: 4, Seed: 1}
+	g := NewGRUModel(spec).Layers[0].Params()
+	l := NewLSTMModel(spec).Layers[0].Params()
+	gruN, lstmN := CountParams(g), CountParams(l)
+	if lstmN*3 != gruN*4 {
+		t.Fatalf("param ratio wrong: gru %d, lstm %d", gruN, lstmN)
+	}
+}

@@ -1,0 +1,69 @@
+// Package nn is the training substrate: a GRU RNN with full backpropagation
+// through time, dense layers, softmax cross-entropy, and SGD/Adam
+// optimizers — the pieces PyTorch-Kaldi supplies in the original paper.
+// Everything is pure Go on the tensor package; gradients are verified
+// against finite differences in the test suite.
+package nn
+
+import (
+	"fmt"
+
+	"rtmobile/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient accumulator. Biases are
+// represented as 1×n matrices so pruning and optimizers handle all
+// parameters uniformly.
+type Param struct {
+	Name string
+	W    *tensor.Matrix
+	Grad *tensor.Matrix
+}
+
+// NewParam allocates a parameter and its gradient of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		W:    tensor.NewMatrix(rows, cols),
+		Grad: tensor.NewMatrix(rows, cols),
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumEl returns the number of elements.
+func (p *Param) NumEl() int { return len(p.W.Data) }
+
+// String describes the parameter.
+func (p *Param) String() string {
+	return fmt.Sprintf("%s(%dx%d)", p.Name, p.W.Rows, p.W.Cols)
+}
+
+// Layer is a differentiable sequence transformation. Forward consumes a
+// sequence of frames and must cache whatever Backward needs; Backward
+// consumes dLoss/dOutput per frame and returns dLoss/dInput, accumulating
+// parameter gradients into Params().
+type Layer interface {
+	Forward(seq [][]float32) [][]float32
+	Backward(grad [][]float32) [][]float32
+	Params() []*Param
+	// OutDim reports the per-frame output dimensionality.
+	OutDim() int
+}
+
+// ZeroGrads clears all gradients in a parameter list.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// CountParams totals the elements across parameters.
+func CountParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.NumEl()
+	}
+	return n
+}

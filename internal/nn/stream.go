@@ -1,0 +1,160 @@
+package nn
+
+import "rtmobile/internal/tensor"
+
+// Streaming inference. The batch Forward path resets recurrent state per
+// utterance — fine for offline scoring, but the paper's use case is live
+// speech, where frames arrive one at a time and state must persist across
+// calls. Stepper is the per-frame interface; Model.NewStream composes the
+// whole stack into a stateful frame-in/logits-out pipeline without
+// touching the training caches.
+
+// Stepper is a layer that can advance one frame at a time.
+type Stepper interface {
+	// Step consumes one input frame and returns the layer's output frame.
+	Step(x []float32) []float32
+	// Reset clears the recurrent state (start of a new utterance).
+	Reset()
+}
+
+// gruStream is a GRU cell's streaming state.
+type gruStream struct {
+	g      *GRU
+	h      []float32
+	ax, ah []float32
+}
+
+// Stream returns a stateful stepper over this GRU's weights. The stepper
+// shares weights with the layer (training would be visible) but owns its
+// state.
+func (g *GRU) Stream() Stepper {
+	return &gruStream{
+		g:  g,
+		h:  make([]float32, g.Hidden),
+		ax: make([]float32, 3*g.Hidden),
+		ah: make([]float32, 3*g.Hidden),
+	}
+}
+
+// Step implements Stepper.
+func (s *gruStream) Step(x []float32) []float32 {
+	g := s.g
+	H := g.Hidden
+	copy(s.ax, g.Bx.W.Data)
+	tensor.MatVecAdd(s.ax, g.Wx.W, x)
+	copy(s.ah, g.Bh.W.Data)
+	tensor.MatVecAdd(s.ah, g.Wh.W, s.h)
+	out := make([]float32, H)
+	for i := 0; i < H; i++ {
+		z := sigmoid(s.ax[i] + s.ah[i])
+		r := sigmoid(s.ax[H+i] + s.ah[H+i])
+		c := tanh32(s.ax[2*H+i] + r*s.ah[2*H+i])
+		out[i] = (1-z)*s.h[i] + z*c
+	}
+	copy(s.h, out)
+	return out
+}
+
+// Reset implements Stepper.
+func (s *gruStream) Reset() { tensor.ZeroVec(s.h) }
+
+// lstmStream is an LSTM cell's streaming state.
+type lstmStream struct {
+	l    *LSTM
+	h, c []float32
+	act  []float32
+}
+
+// Stream returns a stateful stepper over this LSTM's weights.
+func (l *LSTM) Stream() Stepper {
+	return &lstmStream{
+		l:   l,
+		h:   make([]float32, l.Hidden),
+		c:   make([]float32, l.Hidden),
+		act: make([]float32, 4*l.Hidden),
+	}
+}
+
+// Step implements Stepper.
+func (s *lstmStream) Step(x []float32) []float32 {
+	l := s.l
+	H := l.Hidden
+	copy(s.act, l.Bx.W.Data)
+	tensor.Axpy(1, l.Bh.W.Data, s.act)
+	tensor.MatVecAdd(s.act, l.Wx.W, x)
+	tensor.MatVecAdd(s.act, l.Wh.W, s.h)
+	out := make([]float32, H)
+	for j := 0; j < H; j++ {
+		i := sigmoid(s.act[j])
+		f := sigmoid(s.act[H+j])
+		g := tanh32(s.act[2*H+j])
+		o := sigmoid(s.act[3*H+j])
+		s.c[j] = f*s.c[j] + i*g
+		out[j] = o * tanh32(s.c[j])
+	}
+	copy(s.h, out)
+	return out
+}
+
+// Reset implements Stepper.
+func (s *lstmStream) Reset() {
+	tensor.ZeroVec(s.h)
+	tensor.ZeroVec(s.c)
+}
+
+// denseStream steps a Dense layer (stateless).
+type denseStream struct{ d *Dense }
+
+// Stream returns a stepper over the Dense layer.
+func (d *Dense) Stream() Stepper { return &denseStream{d} }
+
+// Step implements Stepper.
+func (s *denseStream) Step(x []float32) []float32 {
+	y := make([]float32, s.d.OutDimN)
+	copy(y, s.d.Bias.W.Data)
+	tensor.MatVecAdd(y, s.d.Weight.W, x)
+	return y
+}
+
+// Reset implements Stepper.
+func (s *denseStream) Reset() {}
+
+// Stream is a stateful frame-by-frame pipeline over a whole model.
+type Stream struct {
+	steppers []Stepper
+}
+
+// NewStream builds a streaming pipeline sharing the model's weights.
+// Panics if a layer type has no streaming form.
+func (m *Model) NewStream() *Stream {
+	s := &Stream{}
+	for _, l := range m.Layers {
+		switch v := l.(type) {
+		case *GRU:
+			s.steppers = append(s.steppers, v.Stream())
+		case *LSTM:
+			s.steppers = append(s.steppers, v.Stream())
+		case *Dense:
+			s.steppers = append(s.steppers, v.Stream())
+		default:
+			panic("nn: layer has no streaming form")
+		}
+	}
+	return s
+}
+
+// Step pushes one frame through the stack and returns the logits.
+func (s *Stream) Step(x []float32) []float32 {
+	out := x
+	for _, st := range s.steppers {
+		out = st.Step(out)
+	}
+	return out
+}
+
+// Reset clears all recurrent state (utterance boundary).
+func (s *Stream) Reset() {
+	for _, st := range s.steppers {
+		st.Reset()
+	}
+}

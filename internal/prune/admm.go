@@ -1,0 +1,196 @@
+package prune
+
+import (
+	"rtmobile/internal/nn"
+	"rtmobile/internal/tensor"
+)
+
+// ADMM pruning (Section III-C, Algorithm 1). The constrained problem
+//
+//	minimize f({Wi,bi}) + g({Wi}),  Wi ∈ Si
+//
+// is relaxed to the augmented Lagrangian Lp = f + Σ ρi/2‖Wi − Zi + Ui‖²
+// and solved by alternating:
+//
+//	W-update (Eq. 3): SGD/Adam epochs on Lp with Z,U fixed — implemented
+//	  as a GradHook that adds ρ(W − Z + U) to each weight gradient;
+//	Z-update (Eq. 4): Zi ← Project_Si(Wi + Ui), the scheme's projection;
+//	U-update (Eq. 5): Ui ← Ui + Wi − Zi.
+//
+// After the ADMM iterations, weights are hard-projected and fine-tuned
+// under the scheme's Enforce (mask retraining).
+
+// ADMMConfig controls an ADMM pruning run.
+type ADMMConfig struct {
+	Rho            float64 // penalty ρ (same for every tensor)
+	Iterations     int     // outer ADMM iterations
+	EpochsPerIter  int     // training epochs per W-update
+	LR             float64 // learning rate for the W-updates
+	FinetuneEpochs int     // masked retraining epochs after ADMM
+	FinetuneLR     float64
+	ClipNorm       float64
+	Seed           uint64
+}
+
+// DefaultADMMConfig returns a small-but-functional schedule for
+// experiment-scale models.
+func DefaultADMMConfig() ADMMConfig {
+	return ADMMConfig{
+		Rho: 1e-3, Iterations: 3, EpochsPerIter: 2,
+		LR: 2e-3, FinetuneEpochs: 4, FinetuneLR: 1e-3,
+		ClipNorm: 5, Seed: 1,
+	}
+}
+
+// Assignment maps prunable parameters to their schemes. Parameters not in
+// the map are left dense (biases are never in the map).
+type Assignment map[*nn.Param]Scheme
+
+// UniformAssignment applies the same scheme to every prunable weight
+// matrix of the model.
+func UniformAssignment(m *nn.Model, s Scheme) Assignment {
+	a := make(Assignment)
+	for _, p := range m.WeightMatrices() {
+		a[p] = s
+	}
+	return a
+}
+
+// Result reports what a pruning run produced.
+type Result struct {
+	SchemeName  string
+	TotalParams int
+	KeptParams  int
+	FinalLoss   float64
+	ADMMLoss    float64
+}
+
+// CompressionRate is total/kept.
+func (r Result) CompressionRate() float64 {
+	if r.KeptParams == 0 {
+		return 0
+	}
+	return float64(r.TotalParams) / float64(r.KeptParams)
+}
+
+// Run executes ADMM pruning followed by masked fine-tuning, mutating the
+// model in place.
+func Run(model *nn.Model, data []nn.Sequence, assign Assignment, cfg ADMMConfig) Result {
+	type state struct {
+		scheme Scheme
+		z, u   *tensor.Matrix
+	}
+	states := make(map[*nn.Param]*state, len(assign))
+	for p, s := range assign {
+		states[p] = &state{
+			scheme: s,
+			z:      s.Project(p.W),
+			u:      tensor.NewMatrix(p.W.Rows, p.W.Cols),
+		}
+	}
+
+	rho := float32(cfg.Rho)
+	hook := func(params []*nn.Param) {
+		for p, st := range states {
+			// grad += ρ (W − Z + U)
+			for i := range p.W.Data {
+				p.Grad.Data[i] += rho * (p.W.Data[i] - st.z.Data[i] + st.u.Data[i])
+			}
+		}
+	}
+
+	admmLoss := 0.0
+	opt := nn.NewAdam(cfg.LR)
+	for it := 0; it < cfg.Iterations; it++ {
+		// W-update: train under the proximal term.
+		admmLoss = model.Train(data, opt, nn.TrainConfig{
+			Epochs: cfg.EpochsPerIter, ClipNorm: cfg.ClipNorm,
+			Seed: cfg.Seed + uint64(it), GradHook: hook,
+		})
+		// Z- and U-updates.
+		for p, st := range states {
+			wu := p.W.Clone()
+			wu.Add(st.u)
+			st.z = st.scheme.Project(wu)
+			// U += W − Z
+			for i := range st.u.Data {
+				st.u.Data[i] += p.W.Data[i] - st.z.Data[i]
+			}
+		}
+	}
+
+	// Hard projection: adopt each scheme's structure exactly.
+	refs := make(map[*nn.Param]*tensor.Matrix, len(states))
+	for p, st := range states {
+		projected := st.scheme.Project(p.W)
+		p.W.CopyFrom(projected)
+		refs[p] = projected
+	}
+
+	// Masked fine-tuning: every step re-imposes the structure.
+	enforce := func(params []*nn.Param) {
+		for p, st := range states {
+			st.scheme.Enforce(p.W, refs[p])
+		}
+	}
+	finalLoss := admmLoss
+	if cfg.FinetuneEpochs > 0 {
+		ft := nn.NewAdam(cfg.FinetuneLR)
+		finalLoss = model.Train(data, ft, nn.TrainConfig{
+			Epochs: cfg.FinetuneEpochs, ClipNorm: cfg.ClipNorm,
+			Seed: cfg.Seed + 1000, PostStep: enforce,
+		})
+		enforce(nil)
+	}
+
+	res := Result{
+		TotalParams: model.NumParams(),
+		KeptParams:  keptParams(model, assign),
+		FinalLoss:   finalLoss,
+		ADMMLoss:    admmLoss,
+	}
+	for _, s := range assign {
+		res.SchemeName = s.Name()
+		break
+	}
+	return res
+}
+
+// keptParams counts the stored parameters of the pruned model: nonzeros of
+// masked matrices, k-per-block for circulant matrices, all biases, and any
+// unassigned matrices dense.
+func keptParams(model *nn.Model, assign Assignment) int {
+	n := 0
+	for _, p := range model.Params() {
+		s, pruned := assign[p]
+		if !pruned {
+			n += p.NumEl()
+			continue
+		}
+		if bc, ok := s.(BlockCirculant); ok {
+			n += bc.StoredParams(p.W.Rows, p.W.Cols)
+			continue
+		}
+		n += p.W.NNZ()
+	}
+	return n
+}
+
+// ProjectOnly applies each scheme's hard projection without any training —
+// the "one-shot" pruning baseline used by ablation benchmarks and for
+// building performance-experiment models where trained weights are not
+// needed.
+func ProjectOnly(model *nn.Model, assign Assignment) Result {
+	for p, s := range assign {
+		p.W.CopyFrom(s.Project(p.W))
+	}
+	res := Result{
+		TotalParams: model.NumParams(),
+		KeptParams:  keptParams(model, assign),
+	}
+	for _, s := range assign {
+		res.SchemeName = s.Name()
+		break
+	}
+	return res
+}

@@ -1,0 +1,63 @@
+package prune
+
+import (
+	"fmt"
+
+	"rtmobile/internal/tensor"
+)
+
+// BankBalanced is BBS (Cao et al., FPGA'19): each row is divided into
+// equal-width banks and the same number of largest-magnitude weights is
+// kept in every bank. Fine-grained like magnitude pruning, but the
+// per-bank balance guarantees equal work per processing lane.
+type BankBalanced struct {
+	Rate  float64 // keep 1/Rate of each bank
+	Banks int     // banks per row
+}
+
+// Name implements Scheme.
+func (s BankBalanced) Name() string {
+	return fmt.Sprintf("bbs-%gx-b%d", s.Rate, s.Banks)
+}
+
+// Project keeps the top 1/Rate weights within each bank of each row.
+func (s BankBalanced) Project(src *tensor.Matrix) *tensor.Matrix {
+	out := src.Clone()
+	banks := s.Banks
+	if banks < 1 {
+		banks = 1
+	}
+	if banks > out.Cols {
+		banks = out.Cols
+	}
+	if out.Cols == 0 {
+		return out
+	}
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for b := 0; b < banks; b++ {
+			lo := b * out.Cols / banks
+			hi := (b + 1) * out.Cols / banks
+			seg := row[lo:hi]
+			k := keepCount(len(seg), s.Rate)
+			norms := make([]float64, len(seg))
+			for j, v := range seg {
+				if v < 0 {
+					norms[j] = float64(-v)
+				} else {
+					norms[j] = float64(v)
+				}
+			}
+			keep := keepTopK(norms, k)
+			for j := range seg {
+				if !keep[j] {
+					seg[j] = 0
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Enforce implements Scheme by mask multiplication.
+func (s BankBalanced) Enforce(w, ref *tensor.Matrix) { maskEnforce(w, ref) }

@@ -1,0 +1,179 @@
+package prune
+
+import (
+	"fmt"
+	"math"
+
+	"rtmobile/internal/tensor"
+)
+
+// BSP is the paper's Block-based Structured Pruning (Section IV-A).
+//
+// The weight matrix is divided into a NumRowGroups × NumColBlocks grid.
+// Training a BSP-compressed model has two steps:
+//
+//	Step 1 — row-based column block pruning: within every block, whole
+//	column segments are pruned, keeping the top 1/ColRate of the block's
+//	columns by L2 norm. Because different blocks may keep different
+//	columns, the granularity is much finer than whole-matrix column
+//	pruning — that is the accuracy advantage over Wang/C-LSTM.
+//
+//	Step 2 — column-based row pruning: whole rows of the full matrix are
+//	pruned, keeping the top 1/RowRate rows by L2 norm of the surviving
+//	weights.
+//
+// The kept pattern is regular *within each block* (shared column index
+// list), which is what the compiler's redundant-load elimination and the
+// BSPC storage format exploit.
+type BSP struct {
+	ColRate float64 // column compression rate within blocks (≥ 1)
+	RowRate float64 // row compression rate over the matrix (≥ 1)
+	// NumRowGroups × NumColBlocks is the block grid. Zero values default
+	// to 16 row groups and 8 column blocks (the auto-tuner searches these;
+	// see internal/compiler).
+	NumRowGroups, NumColBlocks int
+}
+
+// Name implements Scheme.
+func (s BSP) Name() string {
+	return fmt.Sprintf("bsp-c%gr%g", s.ColRate, s.RowRate)
+}
+
+// gridFor clamps the configured grid to the matrix dimensions.
+func (s BSP) gridFor(rows, cols int) (nr, nc int) {
+	nr = s.NumRowGroups
+	if nr <= 0 {
+		nr = 16
+	}
+	nc = s.NumColBlocks
+	if nc <= 0 {
+		nc = 8
+	}
+	if nr > rows {
+		nr = rows
+	}
+	if nc > cols {
+		nc = cols
+	}
+	if nr < 1 {
+		nr = 1
+	}
+	if nc < 1 {
+		nc = 1
+	}
+	return nr, nc
+}
+
+// Project applies Step 1 then Step 2 and returns the projected matrix.
+func (s BSP) Project(src *tensor.Matrix) *tensor.Matrix {
+	out := src.Clone()
+	if out.Rows == 0 || out.Cols == 0 {
+		return out
+	}
+	nr, nc := s.gridFor(out.Rows, out.Cols)
+
+	// Step 1: row-based column block pruning.
+	for g := 0; g < nr; g++ {
+		rLo := g * out.Rows / nr
+		rHi := (g + 1) * out.Rows / nr
+		for b := 0; b < nc; b++ {
+			cLo := b * out.Cols / nc
+			cHi := (b + 1) * out.Cols / nc
+			width := cHi - cLo
+			if width == 0 {
+				continue
+			}
+			// Column L2 norms within the block.
+			norms := make([]float64, width)
+			for i := rLo; i < rHi; i++ {
+				row := out.Row(i)
+				for j := 0; j < width; j++ {
+					v := float64(row[cLo+j])
+					norms[j] += v * v
+				}
+			}
+			for j := range norms {
+				norms[j] = math.Sqrt(norms[j])
+			}
+			keep := keepTopK(norms, keepCount(width, s.ColRate))
+			for i := rLo; i < rHi; i++ {
+				row := out.Row(i)
+				for j := 0; j < width; j++ {
+					if !keep[j] {
+						row[cLo+j] = 0
+					}
+				}
+			}
+		}
+	}
+
+	// Step 2: column-based row pruning over the whole matrix.
+	if s.RowRate > 1 {
+		keepRows := keepTopK(rowNorms(out), keepCount(out.Rows, s.RowRate))
+		for i := 0; i < out.Rows; i++ {
+			if !keepRows[i] {
+				tensor.ZeroVec(out.Row(i))
+			}
+		}
+	}
+	return out
+}
+
+// Enforce implements Scheme by mask multiplication.
+func (s BSP) Enforce(w, ref *tensor.Matrix) { maskEnforce(w, ref) }
+
+// BlockPattern describes the kept structure of one block after BSP: the
+// column indices preserved in the block and the surviving rows of the
+// block's row group. The compiler and the BSPC format consume this.
+type BlockPattern struct {
+	RowLo, RowHi int   // row-group extent
+	ColLo, ColHi int   // column-block extent
+	KeptCols     []int // absolute column indices kept in this block
+	KeptRows     []int // absolute row indices kept (rows surviving step 2)
+}
+
+// Pattern extracts the BSP block structure of a pruned matrix: for every
+// grid cell, which columns hold any nonzero and which rows survive.
+// For a matrix produced by Project, each block's nonzero columns are
+// exactly the kept set.
+func (s BSP) Pattern(w *tensor.Matrix) []BlockPattern {
+	nr, nc := s.gridFor(w.Rows, w.Cols)
+	aliveRow := make([]bool, w.Rows)
+	for i := 0; i < w.Rows; i++ {
+		for _, v := range w.Row(i) {
+			if v != 0 {
+				aliveRow[i] = true
+				break
+			}
+		}
+	}
+	var pats []BlockPattern
+	for g := 0; g < nr; g++ {
+		rLo := g * w.Rows / nr
+		rHi := (g + 1) * w.Rows / nr
+		for b := 0; b < nc; b++ {
+			cLo := b * w.Cols / nc
+			cHi := (b + 1) * w.Cols / nc
+			p := BlockPattern{RowLo: rLo, RowHi: rHi, ColLo: cLo, ColHi: cHi}
+			for j := cLo; j < cHi; j++ {
+				nonzero := false
+				for i := rLo; i < rHi; i++ {
+					if w.At(i, j) != 0 {
+						nonzero = true
+						break
+					}
+				}
+				if nonzero {
+					p.KeptCols = append(p.KeptCols, j)
+				}
+			}
+			for i := rLo; i < rHi; i++ {
+				if aliveRow[i] {
+					p.KeptRows = append(p.KeptRows, i)
+				}
+			}
+			pats = append(pats, p)
+		}
+	}
+	return pats
+}

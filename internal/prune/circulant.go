@@ -1,0 +1,77 @@
+package prune
+
+import (
+	"fmt"
+
+	"rtmobile/internal/tensor"
+)
+
+// BlockCirculant is the C-LSTM / E-RNN compression: the matrix is tiled
+// into BlockSize×BlockSize blocks and each block is constrained to be a
+// circulant matrix, so a block stores BlockSize values instead of
+// BlockSize² (compression rate = BlockSize) and multiplies via FFT. The
+// Euclidean projection onto the circulant subspace averages each wrapped
+// diagonal. Partial edge blocks (when the matrix dimensions are not
+// multiples of BlockSize) are left dense, matching the FPGA designs which
+// pad to full blocks.
+type BlockCirculant struct {
+	BlockSize int
+}
+
+// Name implements Scheme.
+func (s BlockCirculant) Name() string { return fmt.Sprintf("circulant-b%d", s.BlockSize) }
+
+// Project replaces every full k×k block with its nearest circulant matrix:
+// block[i][j] ← mean over the wrapped diagonal d = (i−j) mod k.
+func (s BlockCirculant) Project(src *tensor.Matrix) *tensor.Matrix {
+	out := src.Clone()
+	k := s.BlockSize
+	if k <= 1 {
+		return out
+	}
+	diag := make([]float64, k)
+	for bi := 0; bi+k <= out.Rows; bi += k {
+		for bj := 0; bj+k <= out.Cols; bj += k {
+			for d := range diag {
+				diag[d] = 0
+			}
+			for i := 0; i < k; i++ {
+				row := out.Row(bi + i)
+				for j := 0; j < k; j++ {
+					d := ((i-j)%k + k) % k
+					diag[d] += float64(row[bj+j])
+				}
+			}
+			for i := 0; i < k; i++ {
+				row := out.Row(bi + i)
+				for j := 0; j < k; j++ {
+					d := ((i-j)%k + k) % k
+					row[bj+j] = float32(diag[d] / float64(k))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Enforce re-projects w onto the circulant subspace (mask multiplication
+// would not preserve the equality constraints within each diagonal).
+func (s BlockCirculant) Enforce(w, ref *tensor.Matrix) {
+	projected := s.Project(w)
+	w.CopyFrom(projected)
+}
+
+// StoredParams returns how many scalars a circulant-compressed matrix of
+// the given shape stores: k per full block, all elements of edge remainder.
+func (s BlockCirculant) StoredParams(rows, cols int) int {
+	k := s.BlockSize
+	if k <= 1 {
+		return rows * cols
+	}
+	fullR, fullC := rows/k, cols/k
+	stored := fullR * fullC * k
+	// Edge strips stay dense.
+	stored += (rows - fullR*k) * cols
+	stored += (cols - fullC*k) * fullR * k
+	return stored
+}

@@ -1,0 +1,71 @@
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"rtmobile/internal/tensor"
+)
+
+// Magnitude is ESE-style non-structured pruning: keep the largest-magnitude
+// fraction of weights anywhere in the matrix. Maximum flexibility, maximum
+// irregularity — the resulting matrix needs per-element indices (CSC) on
+// hardware, which is exactly the overhead RTMobile's BSPC format removes.
+type Magnitude struct {
+	// Rate is the target compression rate (keep 1/Rate of the weights).
+	Rate float64
+}
+
+// Name implements Scheme.
+func (m Magnitude) Name() string { return fmt.Sprintf("magnitude-%gx", m.Rate) }
+
+// Project keeps the top 1/Rate fraction of weights by |value|.
+func (m Magnitude) Project(src *tensor.Matrix) *tensor.Matrix {
+	out := src.Clone()
+	n := len(out.Data)
+	if n == 0 {
+		return out
+	}
+	k := keepCount(n, m.Rate)
+	if k >= n {
+		return out
+	}
+	// Threshold = k-th largest |value|.
+	mags := make([]float64, n)
+	for i, v := range out.Data {
+		if v < 0 {
+			mags[i] = float64(-v)
+		} else {
+			mags[i] = float64(v)
+		}
+	}
+	sorted := append([]float64(nil), mags...)
+	sort.Float64s(sorted)
+	thresh := sorted[n-k]
+	kept := 0
+	// First pass: keep strictly-above-threshold values.
+	for i := range out.Data {
+		if mags[i] > thresh {
+			kept++
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	// Second pass: fill remaining quota with at-threshold values (ties),
+	// in index order for determinism.
+	if kept < k {
+		for i := range src.Data {
+			if kept == k {
+				break
+			}
+			if mags[i] == thresh && out.Data[i] == 0 {
+				out.Data[i] = src.Data[i]
+				kept++
+			}
+		}
+	}
+	return out
+}
+
+// Enforce implements Scheme by mask multiplication.
+func (m Magnitude) Enforce(w, ref *tensor.Matrix) { maskEnforce(w, ref) }

@@ -1,0 +1,85 @@
+// Package prune implements the paper's Block-based Structured Pruning (BSP)
+// algorithm and every baseline scheme Table I compares against: ESE-style
+// non-structured magnitude pruning, Wang-style row/column structured
+// pruning, bank-balanced sparsity (BBS), and block-circulant compression
+// (C-LSTM / E-RNN). All schemes plug into the same ADMM training loop
+// (Section III-C / Algorithm 1): the scheme supplies the Euclidean
+// projection onto its constraint set S, ADMM alternates the W/Z/U updates,
+// and a masked fine-tune finishes the schedule.
+package prune
+
+import "rtmobile/internal/tensor"
+
+// Scheme is a weight-compression constraint set. Project returns the
+// Euclidean projection of src onto the set (the ADMM Z-update); Enforce
+// re-imposes the structure chosen by ref onto w in place after an optimizer
+// step (for sparsity schemes this is a mask multiply; for circulant schemes
+// it is re-projection).
+type Scheme interface {
+	Name() string
+	Project(src *tensor.Matrix) *tensor.Matrix
+	Enforce(w, ref *tensor.Matrix)
+}
+
+// maskEnforce zeroes every element of w where ref is zero — the shared
+// Enforce implementation for all sparsity-mask schemes.
+func maskEnforce(w, ref *tensor.Matrix) {
+	if w.Rows != ref.Rows || w.Cols != ref.Cols {
+		panic("prune: Enforce shape mismatch")
+	}
+	for i, v := range ref.Data {
+		if v == 0 {
+			w.Data[i] = 0
+		}
+	}
+}
+
+// keepTopK zeroes all but the k largest values of scores' indices in data.
+// It operates on an index set: idx maps score positions to data positions.
+// Used by every structured scheme to keep the top-normed rows/columns.
+func keepTopK(norms []float64, k int) []bool {
+	keep := make([]bool, len(norms))
+	if k >= len(norms) {
+		for i := range keep {
+			keep[i] = true
+		}
+		return keep
+	}
+	if k <= 0 {
+		return keep
+	}
+	// Selection by repeated max is O(k·n); n here is rows/cols of one
+	// matrix (≤ a few thousand), so simplicity wins over a heap.
+	used := make([]bool, len(norms))
+	for c := 0; c < k; c++ {
+		best := -1
+		var bestV float64
+		for i, v := range norms {
+			if used[i] {
+				continue
+			}
+			if best == -1 || v > bestV {
+				best, bestV = i, v
+			}
+		}
+		used[best] = true
+		keep[best] = true
+	}
+	return keep
+}
+
+// keepCount converts a compression rate into the number of units to keep
+// out of n (at least 1, at most n).
+func keepCount(n int, rate float64) int {
+	if rate <= 1 {
+		return n
+	}
+	k := int(float64(n)/rate + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

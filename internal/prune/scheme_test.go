@@ -1,0 +1,420 @@
+package prune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rtmobile/internal/tensor"
+)
+
+func randMat(seed uint64, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	m.RandNormal(tensor.NewRNG(seed), 1)
+	return m
+}
+
+func TestKeepTopK(t *testing.T) {
+	norms := []float64{5, 1, 9, 3}
+	keep := keepTopK(norms, 2)
+	if !keep[0] || keep[1] || !keep[2] || keep[3] {
+		t.Fatalf("keepTopK got %v", keep)
+	}
+	// k >= n keeps everything.
+	keep = keepTopK(norms, 10)
+	for _, k := range keep {
+		if !k {
+			t.Fatal("k>=n should keep all")
+		}
+	}
+	// k <= 0 keeps nothing.
+	keep = keepTopK(norms, 0)
+	for _, k := range keep {
+		if k {
+			t.Fatal("k=0 should keep none")
+		}
+	}
+}
+
+func TestKeepCount(t *testing.T) {
+	if keepCount(100, 10) != 10 {
+		t.Fatal("keepCount(100,10)")
+	}
+	if keepCount(100, 1) != 100 {
+		t.Fatal("rate 1 keeps all")
+	}
+	if keepCount(4, 100) != 1 {
+		t.Fatal("extreme rate keeps at least 1")
+	}
+	if keepCount(100, 0) != 100 {
+		t.Fatal("rate 0 treated as no pruning")
+	}
+}
+
+func TestMagnitudeProjectRate(t *testing.T) {
+	m := randMat(1, 40, 50)
+	for _, rate := range []float64{2, 4, 10, 20} {
+		p := Magnitude{Rate: rate}.Project(m)
+		want := keepCount(2000, rate)
+		if p.NNZ() != want {
+			t.Fatalf("rate %v: nnz %d, want %d", rate, p.NNZ(), want)
+		}
+	}
+}
+
+func TestMagnitudeKeepsLargest(t *testing.T) {
+	m := tensor.FromRows([][]float32{{1, -9, 2}, {8, 0.5, -3}})
+	p := Magnitude{Rate: 3}.Project(m) // keep 2 of 6
+	if p.At(0, 1) != -9 || p.At(1, 0) != 8 {
+		t.Fatalf("largest magnitudes not kept: %v", p.Data)
+	}
+	if p.NNZ() != 2 {
+		t.Fatalf("nnz %d", p.NNZ())
+	}
+}
+
+func TestMagnitudeTieBreaking(t *testing.T) {
+	m := tensor.FromRows([][]float32{{1, 1, 1, 1}})
+	p := Magnitude{Rate: 2}.Project(m)
+	if p.NNZ() != 2 {
+		t.Fatalf("ties broke quota: nnz %d", p.NNZ())
+	}
+	// Deterministic: lowest indices win.
+	if p.At(0, 0) != 1 || p.At(0, 1) != 1 || p.At(0, 2) != 0 {
+		t.Fatalf("tie-break order wrong: %v", p.Data)
+	}
+}
+
+func TestRowColumnProject(t *testing.T) {
+	m := randMat(2, 8, 8)
+	p := RowColumn{RowRate: 2, ColRate: 2}.Project(m)
+	// 4 rows and 4 columns survive -> nnz = 16.
+	if p.NNZ() != 16 {
+		t.Fatalf("nnz %d, want 16", p.NNZ())
+	}
+	// Surviving rows must be entirely zero or match the column mask.
+	zeroRows := 0
+	for i := 0; i < 8; i++ {
+		nz := 0
+		for _, v := range p.Row(i) {
+			if v != 0 {
+				nz++
+			}
+		}
+		if nz == 0 {
+			zeroRows++
+		} else if nz != 4 {
+			t.Fatalf("row %d has %d nonzeros, want 0 or 4", i, nz)
+		}
+	}
+	if zeroRows != 4 {
+		t.Fatalf("%d zero rows, want 4", zeroRows)
+	}
+}
+
+func TestRowColumnKeepsHighNormRows(t *testing.T) {
+	m := tensor.NewMatrix(4, 4)
+	for j := 0; j < 4; j++ {
+		m.Set(1, j, 10) // row 1 dominates
+		m.Set(3, j, 5)  // row 3 second
+		m.Set(0, j, 0.1)
+		m.Set(2, j, 0.1)
+	}
+	p := RowColumn{RowRate: 2, ColRate: 1}.Project(m)
+	if p.At(1, 0) == 0 || p.At(3, 0) == 0 {
+		t.Fatal("high-norm rows pruned")
+	}
+	if p.At(0, 0) != 0 || p.At(2, 0) != 0 {
+		t.Fatal("low-norm rows kept")
+	}
+}
+
+func TestBankBalancedPerBankCount(t *testing.T) {
+	m := randMat(3, 6, 32)
+	p := BankBalanced{Rate: 4, Banks: 4}.Project(m)
+	for i := 0; i < 6; i++ {
+		row := p.Row(i)
+		for b := 0; b < 4; b++ {
+			nz := 0
+			for j := b * 8; j < (b+1)*8; j++ {
+				if row[j] != 0 {
+					nz++
+				}
+			}
+			if nz != 2 { // 8/4 = 2 per bank
+				t.Fatalf("row %d bank %d has %d nonzeros, want 2", i, b, nz)
+			}
+		}
+	}
+}
+
+func TestBankBalancedIsBalanced(t *testing.T) {
+	// Even when the magnitude distribution is skewed into one bank, every
+	// bank keeps the same count — the defining property of BBS.
+	m := tensor.NewMatrix(1, 16)
+	for j := 0; j < 8; j++ {
+		m.Set(0, j, 100) // all big weights in bank 0
+	}
+	for j := 8; j < 16; j++ {
+		m.Set(0, j, 0.001)
+	}
+	p := BankBalanced{Rate: 2, Banks: 2}.Project(m)
+	nzLeft, nzRight := 0, 0
+	for j := 0; j < 8; j++ {
+		if p.At(0, j) != 0 {
+			nzLeft++
+		}
+		if p.At(0, j+8) != 0 {
+			nzRight++
+		}
+	}
+	if nzLeft != 4 || nzRight != 4 {
+		t.Fatalf("banks unbalanced: %d vs %d", nzLeft, nzRight)
+	}
+}
+
+func TestCirculantProjectStructure(t *testing.T) {
+	m := randMat(4, 8, 8)
+	s := BlockCirculant{BlockSize: 4}
+	p := s.Project(m)
+	// Each 4x4 block must satisfy p[i][j] == p[(i+1)%4][(j+1)%4] within
+	// the block (constant along wrapped diagonals).
+	for bi := 0; bi < 8; bi += 4 {
+		for bj := 0; bj < 8; bj += 4 {
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					a := p.At(bi+i, bj+j)
+					b := p.At(bi+(i+1)%4, bj+(j+1)%4)
+					if math.Abs(float64(a-b)) > 1e-6 {
+						t.Fatalf("block (%d,%d) not circulant at (%d,%d)", bi, bj, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCirculantProjectionIsNearest(t *testing.T) {
+	// Projection must not move the matrix further than any other circulant
+	// candidate; spot check: projecting an already-circulant block is a
+	// no-op.
+	k := 4
+	m := tensor.NewMatrix(k, k)
+	c := []float32{1, 2, 3, 4}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j, c[((i-j)%k+k)%k])
+		}
+	}
+	p := BlockCirculant{BlockSize: k}.Project(m)
+	if !p.AllClose(m, 1e-6) {
+		t.Fatal("projecting a circulant matrix changed it")
+	}
+}
+
+func TestCirculantStoredParams(t *testing.T) {
+	s := BlockCirculant{BlockSize: 8}
+	// 16x16: 4 full blocks of 8 stored values each = 32.
+	if got := s.StoredParams(16, 16); got != 32 {
+		t.Fatalf("StoredParams(16,16) = %d, want 32", got)
+	}
+	// 17x16: one dense edge row strip of 16 extra.
+	if got := s.StoredParams(17, 16); got != 48 {
+		t.Fatalf("StoredParams(17,16) = %d, want 48", got)
+	}
+}
+
+func TestBSPProjectStep1Structure(t *testing.T) {
+	m := randMat(5, 32, 64)
+	s := BSP{ColRate: 4, RowRate: 1, NumRowGroups: 4, NumColBlocks: 4}
+	p := s.Project(m)
+	// Within each (group, block), the nonzero columns must be shared by
+	// all rows of the group: column either fully kept or fully zero.
+	for g := 0; g < 4; g++ {
+		rLo, rHi := g*8, (g+1)*8
+		for b := 0; b < 4; b++ {
+			cLo, cHi := b*16, (b+1)*16
+			keptCols := 0
+			for j := cLo; j < cHi; j++ {
+				nz := 0
+				for i := rLo; i < rHi; i++ {
+					if p.At(i, j) != 0 {
+						nz++
+					}
+				}
+				if nz != 0 && nz != rHi-rLo {
+					// A column partially zero inside a block would only
+					// happen if the source had exact zeros; our random
+					// source does not.
+					t.Fatalf("block (%d,%d) column %d partially kept (%d/%d)", g, b, j, nz, rHi-rLo)
+				}
+				if nz > 0 {
+					keptCols++
+				}
+			}
+			if keptCols != 4 { // 16 cols / rate 4
+				t.Fatalf("block (%d,%d) kept %d columns, want 4", g, b, keptCols)
+			}
+		}
+	}
+}
+
+func TestBSPProjectStep2RowPruning(t *testing.T) {
+	m := randMat(6, 32, 32)
+	s := BSP{ColRate: 2, RowRate: 4, NumRowGroups: 4, NumColBlocks: 4}
+	p := s.Project(m)
+	zeroRows := 0
+	for i := 0; i < 32; i++ {
+		allZero := true
+		for _, v := range p.Row(i) {
+			if v != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			zeroRows++
+		}
+	}
+	if zeroRows != 24 { // keep 32/4 = 8 rows
+		t.Fatalf("%d zero rows, want 24", zeroRows)
+	}
+}
+
+func TestBSPCompressionApproximatesProduct(t *testing.T) {
+	m := randMat(7, 128, 128)
+	s := BSP{ColRate: 8, RowRate: 2, NumRowGroups: 8, NumColBlocks: 8}
+	p := s.Project(m)
+	rate := float64(len(p.Data)) / float64(p.NNZ())
+	if rate < 12 || rate > 20 { // ~16 expected
+		t.Fatalf("overall rate %v, want ≈16", rate)
+	}
+}
+
+func TestBSPFinerThanWholeMatrixColumnPruning(t *testing.T) {
+	// Construct a matrix where the important columns differ per row group.
+	// BSP (per-block column choice) must retain more energy than
+	// whole-matrix column pruning at the same rate.
+	m := tensor.NewMatrix(16, 16)
+	rng := tensor.NewRNG(8)
+	for g := 0; g < 4; g++ {
+		for i := g * 4; i < (g+1)*4; i++ {
+			for j := 0; j < 16; j++ {
+				m.Set(i, j, float32(0.01*rng.NormFloat64()))
+			}
+			// The "important" columns for group g are 4g..4g+3.
+			for j := g * 4; j < g*4+4; j++ {
+				m.Set(i, j, float32(2+rng.NormFloat64()*0.1))
+			}
+		}
+	}
+	bsp := BSP{ColRate: 4, RowRate: 1, NumRowGroups: 4, NumColBlocks: 1}.Project(m)
+	wholeCol := RowColumn{RowRate: 1, ColRate: 4}.Project(m)
+	if bsp.FrobNorm() <= wholeCol.FrobNorm() {
+		t.Fatalf("BSP retained %v energy, whole-column %v — BSP should win",
+			bsp.FrobNorm(), wholeCol.FrobNorm())
+	}
+}
+
+func TestBSPPattern(t *testing.T) {
+	m := randMat(9, 16, 16)
+	s := BSP{ColRate: 4, RowRate: 2, NumRowGroups: 2, NumColBlocks: 2}
+	p := s.Project(m)
+	pats := s.Pattern(p)
+	if len(pats) != 4 {
+		t.Fatalf("pattern count %d, want 4", len(pats))
+	}
+	for _, pat := range pats {
+		if len(pat.KeptCols) != 2 { // 8 cols per block / 4
+			t.Fatalf("block kept %d cols, want 2", len(pat.KeptCols))
+		}
+		for _, j := range pat.KeptCols {
+			if j < pat.ColLo || j >= pat.ColHi {
+				t.Fatal("kept column outside block extent")
+			}
+		}
+		if len(pat.KeptRows) != 4 { // 8 rows per group / rowRate 2
+			t.Fatalf("block kept %d rows, want 4", len(pat.KeptRows))
+		}
+	}
+}
+
+// Property: every projection is idempotent — Project(Project(x)) == Project(x).
+func TestQuickProjectionIdempotent(t *testing.T) {
+	schemes := []Scheme{
+		Magnitude{Rate: 4},
+		RowColumn{RowRate: 2, ColRate: 2},
+		BankBalanced{Rate: 4, Banks: 2},
+		BlockCirculant{BlockSize: 4},
+		BSP{ColRate: 4, RowRate: 2, NumRowGroups: 2, NumColBlocks: 2},
+	}
+	for _, s := range schemes {
+		s := s
+		f := func(seed uint64) bool {
+			m := randMat(seed, 8, 8)
+			once := s.Project(m)
+			twice := s.Project(once)
+			return twice.AllClose(once, 1e-5)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatalf("%s not idempotent: %v", s.Name(), err)
+		}
+	}
+}
+
+// Property: projections never increase the Frobenius norm for mask schemes.
+func TestQuickMaskProjectionContracts(t *testing.T) {
+	schemes := []Scheme{
+		Magnitude{Rate: 4},
+		RowColumn{RowRate: 2, ColRate: 2},
+		BankBalanced{Rate: 2, Banks: 2},
+		BSP{ColRate: 2, RowRate: 2, NumRowGroups: 2, NumColBlocks: 2},
+	}
+	for _, s := range schemes {
+		s := s
+		f := func(seed uint64) bool {
+			m := randMat(seed, 10, 12)
+			return s.Project(m).FrobNorm() <= m.FrobNorm()+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatalf("%s expands norm: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestEnforceMask(t *testing.T) {
+	ref := tensor.FromRows([][]float32{{1, 0}, {0, 2}})
+	w := tensor.FromRows([][]float32{{5, 6}, {7, 8}})
+	Magnitude{Rate: 2}.Enforce(w, ref)
+	if w.At(0, 0) != 5 || w.At(0, 1) != 0 || w.At(1, 0) != 0 || w.At(1, 1) != 8 {
+		t.Fatalf("Enforce mask wrong: %v", w.Data)
+	}
+}
+
+func TestEnforceCirculantReprojects(t *testing.T) {
+	w := randMat(11, 4, 4)
+	s := BlockCirculant{BlockSize: 4}
+	s.Enforce(w, nil)
+	// After Enforce, w must be circulant.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a := w.At(i, j)
+			b := w.At((i+1)%4, (j+1)%4)
+			if math.Abs(float64(a-b)) > 1e-6 {
+				t.Fatal("Enforce did not restore circulant structure")
+			}
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	for _, s := range []Scheme{
+		Magnitude{Rate: 8}, RowColumn{RowRate: 2, ColRate: 4},
+		BankBalanced{Rate: 8, Banks: 4}, BlockCirculant{BlockSize: 8},
+		BSP{ColRate: 16, RowRate: 2},
+	} {
+		if s.Name() == "" {
+			t.Fatal("empty scheme name")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package prune
+
+import (
+	"math"
+	"sort"
+
+	"rtmobile/internal/nn"
+)
+
+// Per-matrix sensitivity analysis and rate allocation. The paper applies
+// one (ColRate, RowRate) pair to every weight tensor; its auto-tuner then
+// searches for "an optimal combination of accuracy and performance". This
+// file provides the accuracy half of that search at a finer granularity:
+// measure how much each matrix's pruning hurts the loss, then spend the
+// global parameter budget unevenly — sensitive matrices keep more weights,
+// insensitive ones are pruned harder — while meeting the same overall
+// compression target.
+
+// SensitivityResult is one matrix's measured sensitivity.
+type SensitivityResult struct {
+	Param *nn.Param
+	// LossDelta is the loss increase when only this matrix is projected
+	// at the probe rate.
+	LossDelta float64
+}
+
+// MeasureSensitivity probes each prunable matrix in isolation: project it
+// at probeRate (as BSP column pruning), measure the loss increase on data,
+// restore the weights. The model is unchanged on return.
+func MeasureSensitivity(model *nn.Model, data []nn.Sequence, probeRate float64, grid BSP) []SensitivityResult {
+	scheme := BSP{
+		ColRate: probeRate, RowRate: 1,
+		NumRowGroups: grid.NumRowGroups, NumColBlocks: grid.NumColBlocks,
+	}
+	baseLoss := model.Loss(data)
+	var results []SensitivityResult
+	for _, p := range model.WeightMatrices() {
+		saved := p.W.Clone()
+		p.W.CopyFrom(scheme.Project(p.W))
+		delta := model.Loss(data) - baseLoss
+		p.W.CopyFrom(saved)
+		if delta < 0 {
+			delta = 0
+		}
+		results = append(results, SensitivityResult{Param: p, LossDelta: delta})
+	}
+	sort.SliceStable(results, func(a, b int) bool {
+		return results[a].LossDelta > results[b].LossDelta
+	})
+	return results
+}
+
+// AllocateRates converts sensitivities into per-matrix column rates that
+// meet the overall target compression of the prunable weights. Budget
+// shares follow a softened inverse-sensitivity rule: matrix i keeps
+//
+//	kept_i ∝ n_i · (s_i + ε)^temper
+//
+// normalized so Σ kept_i = Σ n_i / targetRate, with each rate clamped to
+// [1, maxRate]. temper=0 reduces to the uniform assignment; temper=1 is
+// fully sensitivity-proportional.
+func AllocateRates(results []SensitivityResult, targetRate, temper, maxRate float64) map[*nn.Param]float64 {
+	if maxRate < targetRate {
+		maxRate = targetRate * 4
+	}
+	totalParams := 0.0
+	for _, r := range results {
+		totalParams += float64(r.Param.NumEl())
+	}
+	budget := totalParams / targetRate
+
+	// Weighted shares.
+	const eps = 1e-6
+	weights := make([]float64, len(results))
+	var weightSum float64
+	for i, r := range results {
+		weights[i] = float64(r.Param.NumEl()) * math.Pow(r.LossDelta+eps, temper)
+		weightSum += weights[i]
+	}
+	rates := make(map[*nn.Param]float64, len(results))
+	if weightSum == 0 {
+		for _, r := range results {
+			rates[r.Param] = targetRate
+		}
+		return rates
+	}
+
+	// Initial proportional allocation with clamping, then redistribute any
+	// clamped surplus/deficit across unclamped matrices (one pass of water
+	// filling is enough at these sizes; iterate a few times for safety).
+	kept := make([]float64, len(results))
+	for i := range results {
+		kept[i] = budget * weights[i] / weightSum
+	}
+	for pass := 0; pass < 4; pass++ {
+		surplus := 0.0
+		freeWeight := 0.0
+		for i, r := range results {
+			n := float64(r.Param.NumEl())
+			lo, hi := n/maxRate, n // keep at least n/maxRate, at most all
+			if kept[i] > hi {
+				surplus += kept[i] - hi
+				kept[i] = hi
+			} else if kept[i] < lo {
+				surplus -= lo - kept[i]
+				kept[i] = lo
+			} else {
+				freeWeight += weights[i]
+			}
+		}
+		if math.Abs(surplus) < 1e-9 || freeWeight == 0 {
+			break
+		}
+		for i, r := range results {
+			n := float64(r.Param.NumEl())
+			if kept[i] < n && kept[i] > n/maxRate {
+				kept[i] += surplus * weights[i] / freeWeight
+			}
+		}
+	}
+	for i, r := range results {
+		n := float64(r.Param.NumEl())
+		rate := n / math.Max(kept[i], 1)
+		if rate < 1 {
+			rate = 1
+		}
+		if rate > maxRate {
+			rate = maxRate
+		}
+		rates[r.Param] = rate
+	}
+	return rates
+}
+
+// SensitivityAssignment builds a per-matrix BSP assignment meeting the
+// overall target rate, probing with probeRate and tempering the allocation
+// (temper in [0,1]).
+func SensitivityAssignment(model *nn.Model, data []nn.Sequence, targetRate, probeRate, temper float64, grid BSP) Assignment {
+	results := MeasureSensitivity(model, data, probeRate, grid)
+	rates := AllocateRates(results, targetRate, temper, targetRate*8)
+	assign := make(Assignment, len(rates))
+	for p, rate := range rates {
+		assign[p] = BSP{
+			ColRate: rate, RowRate: 1,
+			NumRowGroups: grid.NumRowGroups, NumColBlocks: grid.NumColBlocks,
+		}
+	}
+	return assign
+}

@@ -1,0 +1,135 @@
+package prune
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/nn"
+	"rtmobile/internal/tensor"
+)
+
+// frameTask builds a task where the label depends only on the current
+// frame (argmax of the first outDim inputs) — so input projections matter
+// and recurrent projections barely do.
+func frameTask(seed uint64, utts, T, inDim, outDim int) []nn.Sequence {
+	rng := tensor.NewRNG(seed)
+	data := make([]nn.Sequence, utts)
+	for u := range data {
+		frames := make([][]float32, T)
+		labels := make([]int, T)
+		for t := 0; t < T; t++ {
+			row := make([]float32, inDim)
+			for j := range row {
+				row[j] = float32(rng.NormFloat64())
+			}
+			frames[t] = row
+			labels[t] = tensor.ArgMax(row[:outDim])
+		}
+		data[u] = nn.Sequence{Frames: frames, Labels: labels}
+	}
+	return data
+}
+
+func TestMeasureSensitivityRestoresWeights(t *testing.T) {
+	m := smallModel(60)
+	data := frameTask(61, 2, 8, 6, 4)
+	before := make([]*tensor.Matrix, 0)
+	for _, p := range m.Params() {
+		before = append(before, p.W.Clone())
+	}
+	MeasureSensitivity(m, data, 8, BSP{NumRowGroups: 2, NumColBlocks: 2})
+	for i, p := range m.Params() {
+		if !p.W.Equal(before[i]) {
+			t.Fatalf("%s modified by sensitivity probe", p.Name)
+		}
+	}
+}
+
+func TestMeasureSensitivityOrdering(t *testing.T) {
+	// Train on a frame-local task; the input projection (gru0.Wx) must be
+	// more sensitive than the recurrent one (gru0.Wh).
+	m := smallModel(62)
+	data := frameTask(63, 6, 12, 6, 4)
+	m.Train(data, nn.NewAdam(0.01), nn.TrainConfig{Epochs: 15, Seed: 3})
+	results := MeasureSensitivity(m, data, 8, BSP{NumRowGroups: 2, NumColBlocks: 2})
+	var wx, wh float64
+	for _, r := range results {
+		switch r.Param.Name {
+		case "gru0.Wx":
+			wx = r.LossDelta
+		case "gru0.Wh":
+			wh = r.LossDelta
+		}
+	}
+	if wx <= wh {
+		t.Fatalf("input projection (%v) not more sensitive than recurrent (%v) on a frame-local task", wx, wh)
+	}
+	// Results are sorted most-sensitive-first.
+	for i := 1; i < len(results); i++ {
+		if results[i].LossDelta > results[i-1].LossDelta {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestAllocateRatesMeetsBudget(t *testing.T) {
+	m := smallModel(64)
+	data := frameTask(65, 2, 8, 6, 4)
+	results := MeasureSensitivity(m, data, 8, BSP{NumRowGroups: 2, NumColBlocks: 2})
+	for _, target := range []float64{2, 4, 8} {
+		rates := AllocateRates(results, target, 1, target*8)
+		totalParams, kept := 0.0, 0.0
+		for p, rate := range rates {
+			n := float64(p.NumEl())
+			totalParams += n
+			kept += n / rate
+			if rate < 1 {
+				t.Fatalf("rate %v below 1", rate)
+			}
+		}
+		achieved := totalParams / kept
+		if math.Abs(achieved-target) > 0.25*target {
+			t.Fatalf("target %vx, achieved %.2fx", target, achieved)
+		}
+	}
+}
+
+func TestAllocateRatesTemperZeroIsUniformish(t *testing.T) {
+	m := smallModel(66)
+	data := frameTask(67, 2, 8, 6, 4)
+	results := MeasureSensitivity(m, data, 8, BSP{NumRowGroups: 2, NumColBlocks: 2})
+	rates := AllocateRates(results, 4, 0, 32)
+	for _, rate := range rates {
+		if math.Abs(rate-4) > 0.3 {
+			t.Fatalf("temper 0 should be ~uniform, got %v", rate)
+		}
+	}
+}
+
+func TestSensitivityAssignmentBeatsUniform(t *testing.T) {
+	// On the frame-local task, spending the budget on Wx at Wh's expense
+	// must hurt less than pruning uniformly (one-shot, no finetune — the
+	// allocation's own effect).
+	data := frameTask(68, 8, 12, 6, 4)
+	pre := smallModel(69)
+	pre.Train(data, nn.NewAdam(0.01), nn.TrainConfig{Epochs: 15, Seed: 5})
+	grid := BSP{NumRowGroups: 2, NumColBlocks: 2}
+	const target = 6.0
+
+	uniform := pre.Clone()
+	ProjectOnly(uniform, UniformAssignment(uniform, BSP{
+		ColRate: target, RowRate: 1,
+		NumRowGroups: grid.NumRowGroups, NumColBlocks: grid.NumColBlocks,
+	}))
+	uniformLoss := uniform.Loss(data)
+
+	sensitive := pre.Clone()
+	assign := SensitivityAssignment(sensitive, data, target, 8, 1, grid)
+	ProjectOnly(sensitive, assign)
+	sensitiveLoss := sensitive.Loss(data)
+
+	if sensitiveLoss >= uniformLoss {
+		t.Fatalf("sensitivity allocation (%.4f) not better than uniform (%.4f)",
+			sensitiveLoss, uniformLoss)
+	}
+}

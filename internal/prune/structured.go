@@ -1,0 +1,68 @@
+package prune
+
+import (
+	"fmt"
+	"math"
+
+	"rtmobile/internal/tensor"
+)
+
+// RowColumn is coarse structured pruning in the style of Wang et al.:
+// remove entire rows and/or entire columns of the weight matrix by L2 norm.
+// Hardware-friendly (the pruned matrix is a smaller dense matrix) but the
+// coarse granularity costs accuracy — the weakness BSP's finer blocks fix.
+type RowColumn struct {
+	RowRate, ColRate float64 // 1 = no pruning on that axis
+}
+
+// Name implements Scheme.
+func (s RowColumn) Name() string {
+	return fmt.Sprintf("structured-r%gc%g", s.RowRate, s.ColRate)
+}
+
+// rowNorms returns per-row L2 norms.
+func rowNorms(m *tensor.Matrix) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += float64(v) * float64(v)
+		}
+		out[i] = math.Sqrt(s)
+	}
+	return out
+}
+
+// colNorms returns per-column L2 norms.
+func colNorms(m *tensor.Matrix) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += float64(v) * float64(v)
+		}
+	}
+	for j := range out {
+		out[j] = math.Sqrt(out[j])
+	}
+	return out
+}
+
+// Project keeps the top rows and columns by norm and zeroes the rest.
+func (s RowColumn) Project(src *tensor.Matrix) *tensor.Matrix {
+	out := src.Clone()
+	keepRows := keepTopK(rowNorms(out), keepCount(out.Rows, s.RowRate))
+	keepCols := keepTopK(colNorms(out), keepCount(out.Cols, s.ColRate))
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			if !keepRows[i] || !keepCols[j] {
+				row[j] = 0
+			}
+		}
+	}
+	return out
+}
+
+// Enforce implements Scheme by mask multiplication.
+func (s RowColumn) Enforce(w, ref *tensor.Matrix) { maskEnforce(w, ref) }

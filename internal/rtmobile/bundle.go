@@ -1,0 +1,234 @@
+package rtmobile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/device"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/sparse"
+)
+
+// Deployment bundles. A compiled engine serializes to a single artifact
+// holding the model architecture, the BSP scheme, the compiler options,
+// biases, and every weight matrix stored in its deployed format — BSPC
+// payloads for BSPC deployments (so the on-disk size benefits from the
+// compact format exactly as the device memory does), raw floats otherwise.
+// Loading a bundle reconstructs the model and recompiles the plan for a
+// target, which is deterministic, so the artifact is complete.
+//
+// Layout (little-endian): magic "RTMB" | version u32 | spec 6×u64 |
+// scheme 4×f64 | format u32 | valueBits u32 | tile 3×u32 |
+// reorder u8 | loadelim u8 | fused u8 | paramCount u32 | per param:
+// nameLen u32, name, kind u8 (0 raw, 1 bspc), payload.
+//
+// A fused engine's weight matrices are the model's (fusion happens at
+// compile time); the fused flag makes the reload recompile identically.
+
+const (
+	bundleMagic   = "RTMB"
+	bundleVersion = 1
+)
+
+// SaveBundle writes the engine's deployment artifact.
+func (e *Engine) SaveBundle(w io.Writer, scheme prune.BSP) error {
+	le := binary.LittleEndian
+	if _, err := io.WriteString(w, bundleMagic); err != nil {
+		return err
+	}
+	spec := e.model.Spec
+	header := []any{
+		uint32(bundleVersion),
+		uint64(spec.InputDim), uint64(spec.Hidden), uint64(spec.NumLayers),
+		uint64(spec.OutputDim), spec.Seed, uint64(spec.Cell),
+		scheme.ColRate, scheme.RowRate,
+		float64(scheme.NumRowGroups), float64(scheme.NumColBlocks),
+		uint32(e.plan.Options.Format), uint32(e.plan.Options.ValueBits),
+		uint32(e.plan.Options.Tile.RowTile), uint32(e.plan.Options.Tile.ColTile),
+		uint32(e.plan.Options.Tile.Unroll),
+		boolByte(e.plan.Options.Reorder), boolByte(e.plan.Options.EliminateRedundantLoads),
+		boolByte(e.fused),
+	}
+	for _, v := range header {
+		if err := binary.Write(w, le, v); err != nil {
+			return err
+		}
+	}
+	params := e.model.Params()
+	if err := binary.Write(w, le, uint32(len(params))); err != nil {
+		return err
+	}
+	useBSPC := e.plan.Options.Format == compiler.FormatBSPC
+	for _, p := range params {
+		if err := binary.Write(w, le, uint32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, p.Name); err != nil {
+			return err
+		}
+		// Weight matrices of a BSPC deployment ship in BSPC form.
+		if useBSPC && p.W.Rows > 1 && p.W.Cols > 1 {
+			if err := binary.Write(w, le, uint8(1)); err != nil {
+				return err
+			}
+			b := sparse.NewBSPC(p.W, scheme)
+			if err := b.Encode(w, e.plan.Options.ValueBits); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := binary.Write(w, le, uint8(0)); err != nil {
+			return err
+		}
+		dims := []uint32{uint32(p.W.Rows), uint32(p.W.Cols)}
+		for _, d := range dims {
+			if err := binary.Write(w, le, d); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 4*len(p.W.Data))
+		for i, v := range p.W.Data {
+			le.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LoadBundle reads a deployment artifact and recompiles it for the target.
+// It returns the engine and the scheme stored in the bundle.
+func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) {
+	le := binary.LittleEndian
+	var zero prune.BSP
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, zero, fmt.Errorf("rtmobile: reading bundle magic: %w", err)
+	}
+	if string(head) != bundleMagic {
+		return nil, zero, fmt.Errorf("rtmobile: bad bundle magic %q", head)
+	}
+	var version uint32
+	if err := binary.Read(r, le, &version); err != nil {
+		return nil, zero, err
+	}
+	if version != bundleVersion {
+		return nil, zero, fmt.Errorf("rtmobile: unsupported bundle version %d", version)
+	}
+	var specRaw [6]uint64
+	for i := range specRaw {
+		if err := binary.Read(r, le, &specRaw[i]); err != nil {
+			return nil, zero, err
+		}
+	}
+	var schemeRaw [4]float64
+	for i := range schemeRaw {
+		if err := binary.Read(r, le, &schemeRaw[i]); err != nil {
+			return nil, zero, err
+		}
+	}
+	var format, valueBits, rowTile, colTile, unroll uint32
+	for _, p := range []*uint32{&format, &valueBits, &rowTile, &colTile, &unroll} {
+		if err := binary.Read(r, le, p); err != nil {
+			return nil, zero, err
+		}
+	}
+	var reorder, loadelim, fused uint8
+	for _, p := range []*uint8{&reorder, &loadelim, &fused} {
+		if err := binary.Read(r, le, p); err != nil {
+			return nil, zero, err
+		}
+	}
+
+	model := nn.NewModel(nn.ModelSpec{
+		InputDim: int(specRaw[0]), Hidden: int(specRaw[1]),
+		NumLayers: int(specRaw[2]), OutputDim: int(specRaw[3]),
+		Seed: specRaw[4], Cell: nn.CellType(specRaw[5]),
+	})
+	scheme := prune.BSP{
+		ColRate: schemeRaw[0], RowRate: schemeRaw[1],
+		NumRowGroups: int(schemeRaw[2]), NumColBlocks: int(schemeRaw[3]),
+	}
+
+	var count uint32
+	if err := binary.Read(r, le, &count); err != nil {
+		return nil, zero, err
+	}
+	params := model.Params()
+	if int(count) != len(params) {
+		return nil, zero, fmt.Errorf("rtmobile: bundle has %d params, model expects %d", count, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(r, le, &nameLen); err != nil {
+			return nil, zero, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, zero, err
+		}
+		if string(name) != p.Name {
+			return nil, zero, fmt.Errorf("rtmobile: param order mismatch: %q vs %q", name, p.Name)
+		}
+		var kind uint8
+		if err := binary.Read(r, le, &kind); err != nil {
+			return nil, zero, err
+		}
+		switch kind {
+		case 1:
+			b, err := sparse.DecodeBSPC(r)
+			if err != nil {
+				return nil, zero, fmt.Errorf("rtmobile: %s: %w", p.Name, err)
+			}
+			dense := b.Dense()
+			if dense.Rows != p.W.Rows || dense.Cols != p.W.Cols {
+				return nil, zero, fmt.Errorf("rtmobile: %s shape %dx%d, want %dx%d",
+					p.Name, dense.Rows, dense.Cols, p.W.Rows, p.W.Cols)
+			}
+			p.W.CopyFrom(dense)
+		case 0:
+			var rows, cols uint32
+			if err := binary.Read(r, le, &rows); err != nil {
+				return nil, zero, err
+			}
+			if err := binary.Read(r, le, &cols); err != nil {
+				return nil, zero, err
+			}
+			if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
+				return nil, zero, fmt.Errorf("rtmobile: %s shape mismatch", p.Name)
+			}
+			buf := make([]byte, 4*rows*cols)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, zero, err
+			}
+			for i := range p.W.Data {
+				p.W.Data[i] = math.Float32frombits(le.Uint32(buf[4*i:]))
+			}
+		default:
+			return nil, zero, fmt.Errorf("rtmobile: unknown payload kind %d", kind)
+		}
+	}
+
+	eng, err := Compile(model, scheme, DeployConfig{
+		Target: target, Format: compiler.Format(format),
+		DisableReorder: reorder == 0, DisableLoadElim: loadelim == 0,
+		FuseKernels: fused == 1,
+		Tile:        compiler.TileConfig{RowTile: int(rowTile), ColTile: int(colTile), Unroll: int(unroll)},
+	})
+	if err != nil {
+		return nil, zero, err
+	}
+	return eng, scheme, nil
+}

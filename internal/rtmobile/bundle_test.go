@@ -1,0 +1,151 @@
+package rtmobile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/device"
+	"rtmobile/internal/nn"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	m := testModel(40)
+	res := Prune(m, nil, PruneConfig{ColRate: 4, RowRate: 2, RowGroups: 4, ColBlocks: 4})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveBundle(&buf, res.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	loaded, scheme, err := LoadBundle(bytes.NewReader(buf.Bytes()), device.MobileGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme.ColRate != 4 || scheme.RowRate != 2 {
+		t.Fatalf("scheme lost: %+v", scheme)
+	}
+	// The loaded engine computes identical posteriors (GPU path weights are
+	// already fp16, so BSPC-16 storage is lossless here).
+	frames := testFrames(41, 12, 8)
+	a := eng.Infer(frames)
+	b := loaded.Infer(frames)
+	for t2 := range a {
+		for j := range a[t2] {
+			if math.Abs(float64(a[t2][j]-b[t2][j])) > 1e-6 {
+				t.Fatalf("posterior (%d,%d) differs: %v vs %v", t2, j, a[t2][j], b[t2][j])
+			}
+		}
+	}
+	// Plans agree too.
+	if loaded.Latency().TotalUS != eng.Latency().TotalUS {
+		t.Fatalf("latency differs after reload: %v vs %v",
+			loaded.Latency().TotalUS, eng.Latency().TotalUS)
+	}
+}
+
+func TestBundleSmallerThanDenseCheckpoint(t *testing.T) {
+	// The BSPC bundle of a heavily pruned model must be much smaller than
+	// the dense fp32 checkpoint.
+	m := nn.NewGRUModel(nn.ModelSpec{InputDim: 39, Hidden: 256, NumLayers: 2, OutputDim: 39, Seed: 42})
+	res := Prune(m, nil, PruneConfig{ColRate: 16, RowRate: 2, RowGroups: 8, ColBlocks: 8})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dense bytes.Buffer
+	if err := m.Save(&dense); err != nil {
+		t.Fatal(err)
+	}
+	var bundle bytes.Buffer
+	if err := eng.SaveBundle(&bundle, res.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dense.Len()) / float64(bundle.Len())
+	if ratio < 10 {
+		t.Fatalf("bundle only %.1fx smaller than dense checkpoint (%d vs %d bytes)",
+			ratio, bundle.Len(), dense.Len())
+	}
+}
+
+func TestBundleCPUPathRawWeights(t *testing.T) {
+	// CPU deployments at fp32 must round-trip bit-exactly even via BSPC
+	// (value width 32).
+	m := testModel(43)
+	res := Prune(m, nil, PruneConfig{ColRate: 2, RowRate: 1, RowGroups: 2, ColBlocks: 2})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveBundle(&buf, res.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadBundle(bytes.NewReader(buf.Bytes()), device.MobileCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := eng.model.Params(), loaded.model.Params()
+	for i := range a {
+		if !a[i].W.Equal(b[i].W) {
+			t.Fatalf("%s not bit-exact after fp32 bundle round trip", a[i].Name)
+		}
+	}
+}
+
+func TestBundleDenseFormat(t *testing.T) {
+	m := testModel(44)
+	eng, err := Compile(m, PruneConfig{}.Scheme(), DeployConfig{
+		Target: device.MobileGPU(), Format: compiler.FormatDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveBundle(&buf, PruneConfig{}.Scheme()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadBundle(bytes.NewReader(buf.Bytes()), device.MobileGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Plan().Options.Format != compiler.FormatDense {
+		t.Fatal("format not preserved")
+	}
+}
+
+func TestLoadBundleRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadBundle(bytes.NewReader([]byte("XXXXgarbage")), device.MobileGPU()); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, err := LoadBundle(bytes.NewReader(nil), device.MobileGPU()); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestBundlePreservesFusion(t *testing.T) {
+	m := bigModel(45)
+	res := Prune(m, nil, PruneConfig{ColRate: 20, RowRate: 10, RowGroups: 8, ColBlocks: 4})
+	eng, err := Compile(m, res.Scheme, DeployConfig{
+		Target: device.MobileGPU(), FuseKernels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveBundle(&buf, res.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadBundle(bytes.NewReader(buf.Bytes()), device.MobileGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Plan().Matrices) != len(eng.Plan().Matrices) {
+		t.Fatalf("fusion lost on reload: %d vs %d kernels",
+			len(loaded.Plan().Matrices), len(eng.Plan().Matrices))
+	}
+	if loaded.Latency().TotalUS != eng.Latency().TotalUS {
+		t.Fatal("fused bundle reload changed latency")
+	}
+}

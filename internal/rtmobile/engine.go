@@ -1,0 +1,115 @@
+package rtmobile
+
+import (
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/device"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/tensor"
+)
+
+// Engine is a deployed model: functional inference plus the target's
+// performance model. Infer produces real posteriors (so accuracy after
+// pruning and fp16 quantization is measurable); Latency/GOPs/Efficiency
+// report the cost model's per-frame predictions for the compiled plan.
+type Engine struct {
+	model  *nn.Model
+	plan   *compiler.Plan
+	target *device.Target
+	fp16   bool
+	fused  bool
+}
+
+// quantizeWeights rounds all parameters through fp16, reproducing the
+// paper's 16-bit GPU deployment.
+func (e *Engine) quantizeWeights() {
+	for _, p := range e.model.Params() {
+		tensor.QuantizeHalf(p.W)
+	}
+}
+
+// Infer runs one utterance through the deployed model and returns per-frame
+// phone posteriors. On the fp16 path activations are also rounded through
+// half precision at the model boundary.
+func (e *Engine) Infer(frames [][]float32) [][]float32 {
+	in := frames
+	if e.fp16 {
+		in = make([][]float32, len(frames))
+		for t, f := range frames {
+			q := tensor.CloneVec(f)
+			tensor.QuantizeHalfVec(q)
+			in[t] = q
+		}
+	}
+	logits := e.model.Forward(in)
+	return nn.Posteriors(logits)
+}
+
+// Stream is a stateful frame-by-frame inference session over a deployed
+// engine — the live-microphone path the paper's real-time claim is about.
+type Stream struct {
+	inner *nn.Stream
+	fp16  bool
+	dim   int
+}
+
+// NewStream opens a streaming session. State persists across Step calls
+// until Reset.
+func (e *Engine) NewStream() *Stream {
+	return &Stream{inner: e.model.NewStream(), fp16: e.fp16}
+}
+
+// Step consumes one feature frame and returns the phone posterior for it.
+func (s *Stream) Step(frame []float32) []float32 {
+	in := frame
+	if s.fp16 {
+		in = tensor.CloneVec(frame)
+		tensor.QuantizeHalfVec(in)
+	}
+	logits := s.inner.Step(in)
+	post := make([]float32, len(logits))
+	tensor.Softmax(post, logits)
+	return post
+}
+
+// Reset clears recurrent state at an utterance boundary.
+func (s *Stream) Reset() { s.inner.Reset() }
+
+// Plan exposes the compiled execution plan.
+func (e *Engine) Plan() *compiler.Plan { return e.plan }
+
+// Target exposes the deployment target.
+func (e *Engine) Target() *device.Target { return e.target }
+
+// Latency returns the per-frame latency breakdown on the target.
+func (e *Engine) Latency() device.Latency { return e.target.Latency(e.plan) }
+
+// GOP returns Giga-operations per inference frame (Table II's GOP column).
+func (e *Engine) GOP() float64 { return e.plan.GOP() }
+
+// GOPs returns achieved Giga-operations per second (Table II's GOP/s).
+func (e *Engine) GOPs() float64 { return e.target.GOPs(e.plan) }
+
+// EfficiencyVsESE returns energy efficiency normalized to the ESE FPGA
+// reference (Table II's energy-efficiency columns).
+func (e *Engine) EfficiencyVsESE() float64 {
+	var ese device.ESE
+	return ese.NormalizedEfficiency(e.target.PowerWatts, e.Latency().TotalUS)
+}
+
+// Report returns the target's energy/duty-cycle report for this
+// deployment (absolute energy per frame, continuous-recognition average
+// power, and the dominant latency term).
+func (e *Engine) Report() device.EnergyReport { return e.target.Report(e.plan) }
+
+// RealTimeFactor returns audio-seconds processed per wall-clock second
+// under the cost model: one frame covers TimestepsPerFrame × 10 ms of
+// audio. Values above 1 mean faster than real time — the paper's headline
+// claim.
+func (e *Engine) RealTimeFactor() float64 {
+	lat := e.Latency().TotalUS
+	if lat <= 0 {
+		return 0
+	}
+	frameAudioUS := float64(TimestepsPerFrame) * 10_000
+	return frameAudioUS / lat
+}

@@ -1,0 +1,39 @@
+package rtmobile
+
+import (
+	"rtmobile/internal/nn"
+	"rtmobile/internal/speech"
+)
+
+// Evaluation helpers shared by the CLI, the benchmark harness, and the
+// examples: PER scoring of a model or a deployed engine over a test set,
+// using the duration-smoothed decoder (window 5, minimum run 3) that all
+// reported numbers in EXPERIMENTS.md use.
+
+// DecodeWindow and DecodeMinRun are the smoothed-decoder settings used for
+// every reported PER.
+const (
+	DecodeWindow = 5
+	DecodeMinRun = 3
+)
+
+// EvaluatePER scores a model on test utterances.
+func EvaluatePER(m *nn.Model, test []speech.Utterance) float64 {
+	var r speech.PERResult
+	for _, u := range test {
+		hyp := speech.SmoothDecode(nn.Posteriors(m.Forward(u.Frames)), DecodeWindow, DecodeMinRun)
+		r.ScoreUtterance(hyp, u.Phones)
+	}
+	return r.PER()
+}
+
+// EvaluateEnginePER scores a deployed engine (its fp16 path included) on
+// test utterances.
+func EvaluateEnginePER(e *Engine, test []speech.Utterance) float64 {
+	var r speech.PERResult
+	for _, u := range test {
+		hyp := speech.SmoothDecode(e.Infer(u.Frames), DecodeWindow, DecodeMinRun)
+		r.ScoreUtterance(hyp, u.Phones)
+	}
+	return r.PER()
+}

@@ -1,0 +1,63 @@
+package rtmobile
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/device"
+)
+
+func TestEngineStreamMatchesInfer(t *testing.T) {
+	m := testModel(20)
+	res := Prune(m, nil, PruneConfig{ColRate: 4, RowRate: 1, RowGroups: 4, ColBlocks: 4})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := testFrames(21, 15, 8)
+	batch := eng.Infer(frames)
+	stream := eng.NewStream()
+	for i, f := range frames {
+		post := stream.Step(f)
+		for j := range post {
+			if math.Abs(float64(post[j]-batch[i][j])) > 1e-5 {
+				t.Fatalf("frame %d dim %d: stream %v vs batch %v", i, j, post[j], batch[i][j])
+			}
+		}
+	}
+	// Posterior rows are distributions.
+	stream.Reset()
+	p := stream.Step(frames[0])
+	sum := 0.0
+	for _, v := range p {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("stream posterior sums to %v", sum)
+	}
+}
+
+func TestEngineStreamResetBoundary(t *testing.T) {
+	m := testModel(22)
+	res := Prune(m, nil, PruneConfig{ColRate: 2, RowRate: 1, RowGroups: 2, ColBlocks: 2})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := testFrames(23, 5, 8)
+	stream := eng.NewStream()
+	var first []float32
+	for _, f := range frames {
+		first = stream.Step(f)
+	}
+	stream.Reset()
+	var second []float32
+	for _, f := range frames {
+		second = stream.Step(f)
+	}
+	for j := range first {
+		if first[j] != second[j] {
+			t.Fatal("Reset did not restore initial state")
+		}
+	}
+}

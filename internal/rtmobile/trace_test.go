@@ -1,0 +1,65 @@
+package rtmobile
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/device"
+	"rtmobile/internal/tensor"
+)
+
+// TestPlanPricesExecutedEvents is the whole-model version of the
+// compiler's stats-vs-execution check: for every matrix of a deployed
+// engine, lower it to an executable program, run it on real activations,
+// and confirm the event counts the device model priced are the event
+// counts the program actually produced.
+func TestPlanPricesExecutedEvents(t *testing.T) {
+	m := bigModel(95)
+	res := Prune(m, nil, PruneConfig{ColRate: 16, RowRate: 2, RowGroups: 8, ColBlocks: 4})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := eng.Plan()
+	srcs := ModelSources(m, res.Scheme, compiler.FormatBSPC)
+	if len(srcs) != len(plan.Matrices) {
+		t.Fatalf("%d sources vs %d plan matrices", len(srcs), len(plan.Matrices))
+	}
+	rng := tensor.NewRNG(96)
+	for i, src := range srcs {
+		stats := &plan.Matrices[i]
+		prog, err := compiler.CompileProgram(src, plan.Options, device.MobileGPU().Threads())
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		x := make([]float32, src.W.Cols)
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+		}
+		y := make([]float32, src.W.Rows)
+		exec, err := prog.Execute(y, x)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		if exec.GatherLoads != stats.GatherLoads {
+			t.Fatalf("%s: executed %d gathers, plan priced %d",
+				src.Name, exec.GatherLoads, stats.GatherLoads)
+		}
+		if exec.TotalMACs() != stats.MACs() {
+			t.Fatalf("%s: executed %d MACs, plan priced %d",
+				src.Name, exec.TotalMACs(), stats.MACs())
+		}
+		if got, want := exec.WeightBytesStreamed(plan.Options.ValueBits), stats.WeightBytes; got != want {
+			t.Fatalf("%s: streamed %dB, plan priced %dB", src.Name, got, want)
+		}
+		// And the program computes the true product.
+		want := make([]float32, src.W.Rows)
+		tensor.MatVec(want, src.W, x)
+		for r := range y {
+			if math.Abs(float64(y[r]-want[r])) > 1e-2 {
+				t.Fatalf("%s row %d: exec %v vs dense %v", src.Name, r, y[r], want[r])
+			}
+		}
+	}
+}

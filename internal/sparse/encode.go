@@ -1,0 +1,182 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"rtmobile/internal/tensor"
+)
+
+// Binary serialization of BSPC matrices — the deployment artifact the
+// compiler ships to the device. Layout (little-endian):
+//
+//	magic "BSPC" | version u16 | valueBits u16 | rows u32 | cols u32 |
+//	permLen u32 | perm u16[] | blockCount u32 |
+//	per block: rowLo,rowHi,colLo,colHi u16 | nRows u16 | nCols u16 |
+//	           rowIdx u16[] | colIdx u16[] | vals (f32 or f16)[]
+//
+// valueBits 16 stores IEEE binary16 payloads (the GPU path), 32 stores
+// binary32 (the CPU path). Dimensions are bounded by u16 — ample for RNN
+// layers (the paper's largest matrix is 3072×1024).
+
+const (
+	bspcMagic   = "BSPC"
+	bspcVersion = 1
+)
+
+// Encode writes the BSPC matrix to w at the given value width (16 or 32).
+// At 16 bits the payload is quantized to binary16 — matching what the
+// mobile GPU deployment actually ships.
+func (b *BSPC) Encode(w io.Writer, valueBits int) error {
+	if valueBits != 16 && valueBits != 32 {
+		return fmt.Errorf("sparse: valueBits must be 16 or 32, got %d", valueBits)
+	}
+	if b.Rows > math.MaxUint16 || b.Cols > math.MaxUint16 {
+		return fmt.Errorf("sparse: matrix %dx%d exceeds u16 index space", b.Rows, b.Cols)
+	}
+	le := binary.LittleEndian
+	if _, err := io.WriteString(w, bspcMagic); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint16(bspcVersion), uint16(valueBits),
+		uint32(b.Rows), uint32(b.Cols), uint32(len(b.RowPerm)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, le, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range b.RowPerm {
+		if err := binary.Write(w, le, uint16(p)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, le, uint32(len(b.Blocks))); err != nil {
+		return err
+	}
+	for _, blk := range b.Blocks {
+		fixed := []uint16{
+			uint16(blk.RowLo), uint16(blk.RowHi), uint16(blk.ColLo), uint16(blk.ColHi),
+			uint16(len(blk.RowIdx)), uint16(len(blk.ColIdx)),
+		}
+		for _, v := range fixed {
+			if err := binary.Write(w, le, v); err != nil {
+				return err
+			}
+		}
+		for _, r := range blk.RowIdx {
+			if err := binary.Write(w, le, uint16(r)); err != nil {
+				return err
+			}
+		}
+		for _, c := range blk.ColIdx {
+			if err := binary.Write(w, le, uint16(c)); err != nil {
+				return err
+			}
+		}
+		if valueBits == 16 {
+			for _, v := range blk.Vals {
+				if err := binary.Write(w, le, tensor.Float32ToHalf(v)); err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, v := range blk.Vals {
+				if err := binary.Write(w, le, math.Float32bits(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeBSPC reads a matrix written by Encode.
+func DecodeBSPC(r io.Reader) (*BSPC, error) {
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("sparse: reading magic: %w", err)
+	}
+	if string(head) != bspcMagic {
+		return nil, fmt.Errorf("sparse: bad magic %q", head)
+	}
+	le := binary.LittleEndian
+	var version, valueBits uint16
+	var rows, cols, permLen uint32
+	for _, p := range []any{&version, &valueBits, &rows, &cols, &permLen} {
+		if err := binary.Read(r, le, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != bspcVersion {
+		return nil, fmt.Errorf("sparse: unsupported BSPC version %d", version)
+	}
+	if valueBits != 16 && valueBits != 32 {
+		return nil, fmt.Errorf("sparse: invalid value width %d", valueBits)
+	}
+	b := &BSPC{Rows: int(rows), Cols: int(cols)}
+	b.RowPerm = make([]int32, permLen)
+	for i := range b.RowPerm {
+		var v uint16
+		if err := binary.Read(r, le, &v); err != nil {
+			return nil, err
+		}
+		b.RowPerm[i] = int32(v)
+	}
+	var blockCount uint32
+	if err := binary.Read(r, le, &blockCount); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < blockCount; i++ {
+		var fixed [6]uint16
+		for j := range fixed {
+			if err := binary.Read(r, le, &fixed[j]); err != nil {
+				return nil, err
+			}
+		}
+		blk := Block{
+			RowLo: int32(fixed[0]), RowHi: int32(fixed[1]),
+			ColLo: int32(fixed[2]), ColHi: int32(fixed[3]),
+		}
+		nRows, nCols := int(fixed[4]), int(fixed[5])
+		blk.RowIdx = make([]int32, nRows)
+		for j := range blk.RowIdx {
+			var v uint16
+			if err := binary.Read(r, le, &v); err != nil {
+				return nil, err
+			}
+			blk.RowIdx[j] = int32(v)
+		}
+		blk.ColIdx = make([]int32, nCols)
+		for j := range blk.ColIdx {
+			var v uint16
+			if err := binary.Read(r, le, &v); err != nil {
+				return nil, err
+			}
+			blk.ColIdx[j] = int32(v)
+		}
+		blk.Vals = make([]float32, nRows*nCols)
+		if valueBits == 16 {
+			for j := range blk.Vals {
+				var v uint16
+				if err := binary.Read(r, le, &v); err != nil {
+					return nil, err
+				}
+				blk.Vals[j] = tensor.HalfToFloat32(v)
+			}
+		} else {
+			for j := range blk.Vals {
+				var v uint32
+				if err := binary.Read(r, le, &v); err != nil {
+					return nil, err
+				}
+				blk.Vals[j] = math.Float32frombits(v)
+			}
+		}
+		b.Blocks = append(b.Blocks, blk)
+	}
+	return b, nil
+}

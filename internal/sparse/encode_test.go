@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+func TestBSPCEncodeDecodeFP32(t *testing.T) {
+	scheme := bspScheme()
+	m := scheme.Project(randSparse(41, 32, 48, 1.1))
+	b := NewBSPC(m, scheme)
+	var buf bytes.Buffer
+	if err := b.Encode(&buf, 32); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBSPC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Dense().Equal(m) {
+		t.Fatal("fp32 encode/decode not bit-exact")
+	}
+	// Reorder permutation preserved.
+	if len(got.RowPerm) != len(b.RowPerm) {
+		t.Fatal("perm length lost")
+	}
+	for i := range b.RowPerm {
+		if got.RowPerm[i] != b.RowPerm[i] {
+			t.Fatal("perm corrupted")
+		}
+	}
+}
+
+func TestBSPCEncodeDecodeFP16(t *testing.T) {
+	scheme := bspScheme()
+	m := scheme.Project(randSparse(42, 32, 32, 1.1))
+	b := NewBSPC(m, scheme)
+	var buf bytes.Buffer
+	if err := b.Encode(&buf, 16); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBSPC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fp16 round trip: every value equals RoundHalf of the original.
+	dense := got.Dense()
+	for i, v := range m.Data {
+		if dense.Data[i] != tensor.RoundHalf(v) {
+			t.Fatalf("element %d: %v, want RoundHalf(%v)=%v",
+				i, dense.Data[i], v, tensor.RoundHalf(v))
+		}
+	}
+}
+
+func TestBSPCEncodeValidation(t *testing.T) {
+	scheme := bspScheme()
+	m := scheme.Project(randSparse(43, 16, 16, 1.1))
+	b := NewBSPC(m, scheme)
+	var buf bytes.Buffer
+	if err := b.Encode(&buf, 8); err == nil {
+		t.Fatal("valueBits 8 accepted")
+	}
+	huge := &BSPC{Rows: 70000, Cols: 4}
+	if err := huge.Encode(&buf, 32); err == nil {
+		t.Fatal("u16 overflow accepted")
+	}
+}
+
+func TestDecodeBSPCRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBSPC(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecodeBSPC(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated stream.
+	scheme := bspScheme()
+	m := scheme.Project(randSparse(44, 16, 16, 1.1))
+	var buf bytes.Buffer
+	if err := NewBSPC(m, scheme).Encode(&buf, 32); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := DecodeBSPC(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestBSPCEncodedSizeMatchesAccounting(t *testing.T) {
+	// The byte-exact footprint accounting (Bytes) should approximate the
+	// real serialized size (the file adds a fixed header and u32 counters).
+	scheme := prune.BSP{ColRate: 8, RowRate: 2, NumRowGroups: 8, NumColBlocks: 8}
+	m := scheme.Project(randSparse(45, 128, 128, 1.1))
+	b := NewBSPC(m, scheme)
+	var buf bytes.Buffer
+	if err := b.Encode(&buf, 16); err != nil {
+		t.Fatal(err)
+	}
+	accounted := b.Bytes(16)
+	actual := buf.Len()
+	// Within 15% + 64 bytes of header slack.
+	diff := actual - accounted
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.15*float64(accounted)+64 {
+		t.Fatalf("accounted %dB vs serialized %dB", accounted, actual)
+	}
+}

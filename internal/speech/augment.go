@@ -1,0 +1,134 @@
+package speech
+
+import (
+	"math"
+
+	"rtmobile/internal/tensor"
+)
+
+// Data augmentation — the standard tricks Kaldi-style training applies to
+// speech corpora, usable both on raw waveforms (noise, speed perturbation)
+// and on feature matrices (SpecAugment-style time/frequency masking).
+// All augmentations are seeded and deterministic.
+
+// AddNoise mixes white Gaussian noise into the waveform at the given
+// signal-to-noise ratio in dB, returning a new slice.
+func AddNoise(wave []float64, snrDB float64, rng *tensor.RNG) []float64 {
+	if len(wave) == 0 {
+		return nil
+	}
+	signalPower := 0.0
+	for _, s := range wave {
+		signalPower += s * s
+	}
+	signalPower /= float64(len(wave))
+	if signalPower == 0 {
+		signalPower = 1e-12
+	}
+	noisePower := signalPower / math.Pow(10, snrDB/10)
+	sigma := math.Sqrt(noisePower)
+	out := make([]float64, len(wave))
+	for i, s := range wave {
+		out[i] = s + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+// SpeedPerturb resamples the waveform by the given tempo factor (>1 =
+// faster/shorter) using linear interpolation — Kaldi's 0.9/1.0/1.1
+// three-way speed perturbation.
+func SpeedPerturb(wave []float64, factor float64) []float64 {
+	if factor <= 0 {
+		panic("speech: speed factor must be positive")
+	}
+	if len(wave) == 0 {
+		return nil
+	}
+	outLen := int(float64(len(wave)) / factor)
+	if outLen < 1 {
+		outLen = 1
+	}
+	out := make([]float64, outLen)
+	for i := range out {
+		pos := float64(i) * factor
+		lo := int(pos)
+		if lo >= len(wave)-1 {
+			out[i] = wave[len(wave)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = wave[lo]*(1-frac) + wave[lo+1]*frac
+	}
+	return out
+}
+
+// SpecAugmentConfig controls feature-domain masking.
+type SpecAugmentConfig struct {
+	TimeMasks    int // number of time masks
+	MaxTimeWidth int // max frames per time mask
+	FreqMasks    int // number of frequency masks
+	MaxFreqWidth int // max feature dims per frequency mask
+}
+
+// DefaultSpecAugment is a mild masking policy for the synthetic corpus.
+func DefaultSpecAugment() SpecAugmentConfig {
+	return SpecAugmentConfig{TimeMasks: 1, MaxTimeWidth: 8, FreqMasks: 1, MaxFreqWidth: 6}
+}
+
+// SpecAugment returns a masked copy of the feature matrix: each time mask
+// zeroes a random span of frames; each frequency mask zeroes a random band
+// of feature dimensions across all frames. The input is not modified.
+func SpecAugment(frames [][]float32, cfg SpecAugmentConfig, rng *tensor.RNG) [][]float32 {
+	T := len(frames)
+	if T == 0 {
+		return nil
+	}
+	dim := len(frames[0])
+	out := make([][]float32, T)
+	for t := range frames {
+		out[t] = tensor.CloneVec(frames[t])
+	}
+	for m := 0; m < cfg.TimeMasks && cfg.MaxTimeWidth > 0; m++ {
+		w := 1 + rng.Intn(cfg.MaxTimeWidth)
+		if w > T {
+			w = T
+		}
+		start := rng.Intn(T - w + 1)
+		for t := start; t < start+w; t++ {
+			for j := range out[t] {
+				out[t][j] = 0
+			}
+		}
+	}
+	for m := 0; m < cfg.FreqMasks && cfg.MaxFreqWidth > 0; m++ {
+		w := 1 + rng.Intn(cfg.MaxFreqWidth)
+		if w > dim {
+			w = dim
+		}
+		start := rng.Intn(dim - w + 1)
+		for t := range out {
+			for j := start; j < start+w; j++ {
+				out[t][j] = 0
+			}
+		}
+	}
+	return out
+}
+
+// SNR estimates the signal-to-noise ratio in dB between a clean and a
+// noisy waveform of equal length (testing/diagnostic helper).
+func SNR(clean, noisy []float64) float64 {
+	if len(clean) != len(noisy) || len(clean) == 0 {
+		return 0
+	}
+	sig, noise := 0.0, 0.0
+	for i := range clean {
+		sig += clean[i] * clean[i]
+		d := noisy[i] - clean[i]
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/noise)
+}

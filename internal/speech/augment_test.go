@@ -1,0 +1,187 @@
+package speech
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/tensor"
+)
+
+func testWave(seed uint64, n int) []float64 {
+	rng := tensor.NewRNG(seed)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.3 * math.Sin(2*math.Pi*440*float64(i)/SampleRate) * (1 + 0.1*rng.NormFloat64())
+	}
+	return w
+}
+
+func TestAddNoiseHitsTargetSNR(t *testing.T) {
+	wave := testWave(1, 16000)
+	for _, snr := range []float64{20, 10, 0} {
+		noisy := AddNoise(wave, snr, tensor.NewRNG(2))
+		got := SNR(wave, noisy)
+		if math.Abs(got-snr) > 1.5 {
+			t.Fatalf("target %v dB, measured %.2f dB", snr, got)
+		}
+	}
+}
+
+func TestAddNoisePreservesInput(t *testing.T) {
+	wave := testWave(3, 100)
+	orig := append([]float64(nil), wave...)
+	AddNoise(wave, 10, tensor.NewRNG(4))
+	for i := range wave {
+		if wave[i] != orig[i] {
+			t.Fatal("AddNoise modified its input")
+		}
+	}
+	if AddNoise(nil, 10, tensor.NewRNG(5)) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestSpeedPerturbLength(t *testing.T) {
+	wave := testWave(6, 1000)
+	fast := SpeedPerturb(wave, 1.1)
+	slow := SpeedPerturb(wave, 0.9)
+	if len(fast) >= len(wave) || len(slow) <= len(wave) {
+		t.Fatalf("speed perturb lengths wrong: fast %d, slow %d, orig %d",
+			len(fast), len(slow), len(wave))
+	}
+	// Unity factor is (near) identity.
+	same := SpeedPerturb(wave, 1.0)
+	for i := range same {
+		if math.Abs(same[i]-wave[i]) > 1e-12 {
+			t.Fatal("factor 1.0 changed the signal")
+		}
+	}
+}
+
+func TestSpeedPerturbPreservesPitchEnergy(t *testing.T) {
+	// Linear-interp resampling keeps amplitude scale.
+	wave := testWave(7, 4000)
+	out := SpeedPerturb(wave, 1.1)
+	var pin, pout float64
+	for _, s := range wave {
+		pin += s * s
+	}
+	for _, s := range out {
+		pout += s * s
+	}
+	pin /= float64(len(wave))
+	pout /= float64(len(out))
+	if math.Abs(pin-pout)/pin > 0.1 {
+		t.Fatalf("power changed: %v -> %v", pin, pout)
+	}
+}
+
+func TestSpeedPerturbValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive factor accepted")
+		}
+	}()
+	SpeedPerturb([]float64{1}, 0)
+}
+
+func TestSpecAugmentMasks(t *testing.T) {
+	T, dim := 40, 13
+	frames := make([][]float32, T)
+	for t2 := range frames {
+		frames[t2] = make([]float32, dim)
+		for j := range frames[t2] {
+			frames[t2][j] = 1
+		}
+	}
+	cfg := SpecAugmentConfig{TimeMasks: 1, MaxTimeWidth: 5, FreqMasks: 1, MaxFreqWidth: 3}
+	out := SpecAugment(frames, cfg, tensor.NewRNG(8))
+	// Input untouched.
+	for t2 := range frames {
+		for j := range frames[t2] {
+			if frames[t2][j] != 1 {
+				t.Fatal("SpecAugment modified its input")
+			}
+		}
+	}
+	// Some but not all values masked.
+	zeros := 0
+	for t2 := range out {
+		for _, v := range out[t2] {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("no masking applied")
+	}
+	if zeros > T*dim/2 {
+		t.Fatalf("masked %d of %d values — too aggressive for this config", zeros, T*dim)
+	}
+	// Frequency mask is a full-height band: find a column that is zero at
+	// an unmasked-time frame; it must be zero at every frame outside the
+	// time mask... simpler invariant: deterministic under the same seed.
+	out2 := SpecAugment(frames, cfg, tensor.NewRNG(8))
+	for t2 := range out {
+		for j := range out[t2] {
+			if out[t2][j] != out2[t2][j] {
+				t.Fatal("SpecAugment not deterministic")
+			}
+		}
+	}
+}
+
+func TestSpecAugmentEmpty(t *testing.T) {
+	if SpecAugment(nil, DefaultSpecAugment(), tensor.NewRNG(1)) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestSNRHelper(t *testing.T) {
+	clean := testWave(9, 1000)
+	if !math.IsInf(SNR(clean, clean), 1) {
+		t.Fatal("identical signals should have infinite SNR")
+	}
+	if SNR(clean, clean[:10]) != 0 {
+		t.Fatal("length mismatch should return 0")
+	}
+}
+
+func TestAugmentedFeaturesStillClassifiable(t *testing.T) {
+	// Augmented audio of a vowel still yields features closer to that
+	// vowel's clean features than to a fricative's — augmentation must not
+	// destroy phone identity.
+	spk := Speaker{ID: 0, FormantScale: 1, Pitch: 120, Dialect: 0, NoiseLevel: 0.001}
+	ext := NewExtractor(DefaultFeatureConfig())
+	rng := tensor.NewRNG(10)
+	cleanAA := SynthPhone(Inventory[PhoneID("aa")], spk, 3200, rng)
+	cleanSS := SynthPhone(Inventory[PhoneID("s")], spk, 3200, rng)
+	noisyAA := AddNoise(SpeedPerturb(cleanAA, 1.1), 15, tensor.NewRNG(11))
+
+	mean := func(w []float64) []float64 {
+		fr := ext.MFCC(w)
+		m := make([]float64, 13)
+		for _, f := range fr {
+			for j := range m {
+				m[j] += f[j]
+			}
+		}
+		for j := range m {
+			m[j] /= float64(len(fr))
+		}
+		return m
+	}
+	dist := func(a, b []float64) float64 {
+		s := 0.0
+		for j := 1; j < 13; j++ { // skip c0 (energy)
+			d := a[j] - b[j]
+			s += d * d
+		}
+		return s
+	}
+	aug, aa, ss := mean(noisyAA), mean(cleanAA), mean(cleanSS)
+	if dist(aug, aa) >= dist(aug, ss) {
+		t.Fatal("augmentation destroyed phone identity")
+	}
+}

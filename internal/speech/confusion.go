@@ -1,0 +1,111 @@
+package speech
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Frame-level confusion analysis: which phones the acoustic model mixes
+// up. Useful for debugging the synthetic corpus (are the confusions
+// phonetically sensible — s/z, iy/ih — or arbitrary?) and for judging
+// what a pruning step actually broke.
+
+// Confusion accumulates a frame-level confusion matrix.
+type Confusion struct {
+	// Counts[ref][hyp] counts frames with reference ref decoded as hyp.
+	Counts [][]int
+}
+
+// NewConfusion allocates a matrix over the phone inventory.
+func NewConfusion() *Confusion {
+	c := &Confusion{Counts: make([][]int, NumPhones)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, NumPhones)
+	}
+	return c
+}
+
+// Add accumulates one utterance's frame labels vs per-frame hypotheses.
+func (c *Confusion) Add(refs, hyps []int) {
+	n := len(refs)
+	if len(hyps) < n {
+		n = len(hyps)
+	}
+	for t := 0; t < n; t++ {
+		c.Counts[refs[t]][hyps[t]]++
+	}
+}
+
+// Accuracy returns overall frame accuracy.
+func (c *Confusion) Accuracy() float64 {
+	correct, total := 0, 0
+	for i, row := range c.Counts {
+		for j, n := range row {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassAccuracy returns per-phone recall (correct / reference frames);
+// phones with no reference frames report -1.
+func (c *Confusion) ClassAccuracy(phone int) float64 {
+	total := 0
+	for _, n := range c.Counts[phone] {
+		total += n
+	}
+	if total == 0 {
+		return -1
+	}
+	return float64(c.Counts[phone][phone]) / float64(total)
+}
+
+// Pair is one confusion with its count.
+type Pair struct {
+	Ref, Hyp int
+	Count    int
+}
+
+// TopConfusions returns the k most frequent off-diagonal confusions,
+// most-frequent first (ties broken by phone indices for determinism).
+func (c *Confusion) TopConfusions(k int) []Pair {
+	var pairs []Pair
+	for i, row := range c.Counts {
+		for j, n := range row {
+			if i != j && n > 0 {
+				pairs = append(pairs, Pair{Ref: i, Hyp: j, Count: n})
+			}
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		if pairs[a].Count != pairs[b].Count {
+			return pairs[a].Count > pairs[b].Count
+		}
+		if pairs[a].Ref != pairs[b].Ref {
+			return pairs[a].Ref < pairs[b].Ref
+		}
+		return pairs[a].Hyp < pairs[b].Hyp
+	})
+	if k < len(pairs) {
+		pairs = pairs[:k]
+	}
+	return pairs
+}
+
+// Summary renders overall accuracy and the top confusions.
+func (c *Confusion) Summary(topK int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frame accuracy %.1f%%\n", 100*c.Accuracy())
+	for _, p := range c.TopConfusions(topK) {
+		fmt.Fprintf(&b, "  %s -> %s: %d frames\n",
+			PhoneSymbol(p.Ref), PhoneSymbol(p.Hyp), p.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package speech
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := NewConfusion()
+	c.Add([]int{1, 2, 3, 1}, []int{1, 2, 5, 1})
+	if acc := c.Accuracy(); acc != 0.75 {
+		t.Fatalf("accuracy %v, want 0.75", acc)
+	}
+	if c.ClassAccuracy(1) != 1 {
+		t.Fatal("phone 1 recall wrong")
+	}
+	if c.ClassAccuracy(3) != 0 {
+		t.Fatal("phone 3 recall wrong")
+	}
+	if c.ClassAccuracy(7) != -1 {
+		t.Fatal("unseen phone should report -1")
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	c := NewConfusion()
+	if c.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	if len(c.TopConfusions(5)) != 0 {
+		t.Fatal("empty matrix has no confusions")
+	}
+}
+
+func TestConfusionLengthMismatch(t *testing.T) {
+	c := NewConfusion()
+	c.Add([]int{1, 2, 3}, []int{1}) // only the overlap counts
+	if c.Accuracy() != 1 {
+		t.Fatal("partial overlap miscounted")
+	}
+}
+
+func TestTopConfusionsOrdering(t *testing.T) {
+	c := NewConfusion()
+	// 3 frames of 1->2, 1 frame of 4->5.
+	c.Add([]int{1, 1, 1, 4}, []int{2, 2, 2, 5})
+	top := c.TopConfusions(10)
+	if len(top) != 2 {
+		t.Fatalf("confusion count %d", len(top))
+	}
+	if top[0].Ref != 1 || top[0].Hyp != 2 || top[0].Count != 3 {
+		t.Fatalf("top confusion wrong: %+v", top[0])
+	}
+	// k truncates.
+	if len(c.TopConfusions(1)) != 1 {
+		t.Fatal("k did not truncate")
+	}
+}
+
+func TestConfusionSummary(t *testing.T) {
+	c := NewConfusion()
+	c.Add([]int{PhoneID("s"), PhoneID("s")}, []int{PhoneID("z"), PhoneID("s")})
+	out := c.Summary(3)
+	if !strings.Contains(out, "frame accuracy 50.0%") {
+		t.Fatalf("summary accuracy missing: %q", out)
+	}
+	if !strings.Contains(out, "s -> z") {
+		t.Fatalf("summary confusion missing: %q", out)
+	}
+}

@@ -1,0 +1,164 @@
+package speech
+
+import (
+	"fmt"
+
+	"rtmobile/internal/tensor"
+)
+
+// Corpus generation. TIMIT's structure: 630 speakers across 8 dialect
+// regions, each reading ~10 phonetically rich sentences. We mirror that
+// structure at configurable scale: NumSpeakers speakers, each contributing
+// SentencesPerSpeaker utterances whose phone strings are sampled from a
+// bigram phonotactic model (vowel/consonant alternation with realistic
+// cluster probabilities), then formant-synthesized and featurized.
+
+// CorpusConfig sizes and seeds a synthetic corpus.
+type CorpusConfig struct {
+	Seed                uint64
+	NumSpeakers         int
+	SentencesPerSpeaker int
+	// PhonesPerSentence is the mean phone count of a sentence.
+	PhonesPerSentence int
+	// TestFraction of speakers is held out for evaluation (speaker-disjoint
+	// split, like TIMIT's train/test division).
+	TestFraction float64
+	Features     FeatureConfig
+}
+
+// DefaultCorpusConfig returns a laptop-scale corpus: big enough that PER
+// responds to pruning, small enough to synthesize in seconds.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Seed:                2020,
+		NumSpeakers:         24,
+		SentencesPerSpeaker: 4,
+		PhonesPerSentence:   14,
+		TestFraction:        0.25,
+		Features:            DefaultFeatureConfig(),
+	}
+}
+
+// Utterance is one featurized sentence.
+type Utterance struct {
+	Speaker int
+	// Phones is the reference phone string (label indices, no leading or
+	// trailing silence removed).
+	Phones []int
+	// Frames is the feature matrix, one 39-dim row per 10 ms frame.
+	Frames [][]float32
+	// Labels is the frame-level phone alignment (len == len(Frames)).
+	Labels []int
+}
+
+// Corpus is a speaker-disjoint train/test split of synthesized utterances.
+type Corpus struct {
+	Config CorpusConfig
+	Train  []Utterance
+	Test   []Utterance
+	CMVN   NormalizeStats
+}
+
+// SampleSentence draws a phone string from the phonotactic model: silence,
+// then alternating consonant-cluster/vowel syllables, then silence.
+func SampleSentence(rng *tensor.RNG, meanLen int) []int {
+	vowels := []int{}
+	consonants := []int{}
+	for i, p := range Inventory {
+		switch p.Class {
+		case ClassVowel:
+			vowels = append(vowels, i)
+		case ClassSilence:
+		default:
+			consonants = append(consonants, i)
+		}
+	}
+	n := meanLen/2 + rng.Intn(meanLen) // in [meanLen/2, 3·meanLen/2)
+	phones := []int{SilenceID}
+	expectVowel := rng.Float64() < 0.4
+	for len(phones) < n+1 {
+		if expectVowel {
+			phones = append(phones, vowels[rng.Intn(len(vowels))])
+		} else {
+			phones = append(phones, consonants[rng.Intn(len(consonants))])
+			// 20% chance of a consonant cluster.
+			if rng.Float64() < 0.2 {
+				phones = append(phones, consonants[rng.Intn(len(consonants))])
+			}
+		}
+		expectVowel = !expectVowel
+		// Occasional word-boundary pause.
+		if rng.Float64() < 0.08 {
+			phones = append(phones, SilenceID)
+		}
+	}
+	phones = append(phones, SilenceID)
+	return phones
+}
+
+// GenerateCorpus synthesizes the full corpus deterministically from
+// cfg.Seed: waveforms, features, frame alignments, CMVN (computed on train,
+// applied to both sides).
+func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) {
+	if cfg.NumSpeakers < 2 {
+		return nil, fmt.Errorf("speech: need at least 2 speakers, got %d", cfg.NumSpeakers)
+	}
+	if cfg.TestFraction <= 0 || cfg.TestFraction >= 1 {
+		return nil, fmt.Errorf("speech: TestFraction must be in (0,1), got %v", cfg.TestFraction)
+	}
+	root := tensor.NewRNG(cfg.Seed)
+	spkRNG := root.Split()
+	extractor := NewExtractor(cfg.Features)
+
+	numTest := int(float64(cfg.NumSpeakers) * cfg.TestFraction)
+	if numTest < 1 {
+		numTest = 1
+	}
+
+	corpus := &Corpus{Config: cfg}
+	for s := 0; s < cfg.NumSpeakers; s++ {
+		spk := NewSpeaker(spkRNG, s)
+		uttRNG := root.Split()
+		for u := 0; u < cfg.SentencesPerSpeaker; u++ {
+			phones := SampleSentence(uttRNG, cfg.PhonesPerSentence)
+			wave, bounds := SynthUtterance(phones, spk, uttRNG)
+			frames := extractor.Features(wave)
+			if len(frames) == 0 {
+				continue
+			}
+			labels := extractor.FrameLabels(phones, bounds, len(frames))
+			utt := Utterance{Speaker: s, Phones: phones, Frames: frames, Labels: labels}
+			if s < cfg.NumSpeakers-numTest {
+				corpus.Train = append(corpus.Train, utt)
+			} else {
+				corpus.Test = append(corpus.Test, utt)
+			}
+		}
+	}
+	if len(corpus.Train) == 0 || len(corpus.Test) == 0 {
+		return nil, fmt.Errorf("speech: degenerate split (train=%d test=%d)", len(corpus.Train), len(corpus.Test))
+	}
+
+	// CMVN on training features only, applied everywhere.
+	trainFeats := make([][][]float32, len(corpus.Train))
+	for i := range corpus.Train {
+		trainFeats[i] = corpus.Train[i].Frames
+	}
+	corpus.CMVN = ComputeCMVN(trainFeats)
+	for i := range corpus.Train {
+		corpus.CMVN.Apply(corpus.Train[i].Frames)
+	}
+	for i := range corpus.Test {
+		corpus.CMVN.Apply(corpus.Test[i].Frames)
+	}
+	return corpus, nil
+}
+
+// TotalFrames counts feature frames across a set of utterances.
+func TotalFrames(utts []Utterance) int {
+	n := 0
+	for _, u := range utts {
+		n += len(u.Frames)
+	}
+	return n
+}

@@ -1,0 +1,311 @@
+package speech
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/tensor"
+)
+
+func TestInventoryConsistent(t *testing.T) {
+	if NumPhones != 39 {
+		t.Fatalf("inventory size %d, want 39 (folded TIMIT set)", NumPhones)
+	}
+	seen := map[string]bool{}
+	for i, p := range Inventory {
+		if p.Symbol == "" {
+			t.Fatalf("phone %d has empty symbol", i)
+		}
+		if seen[p.Symbol] {
+			t.Fatalf("duplicate phone symbol %q", p.Symbol)
+		}
+		seen[p.Symbol] = true
+		if PhoneID(p.Symbol) != i {
+			t.Fatalf("PhoneID(%q) != %d", p.Symbol, i)
+		}
+		if PhoneSymbol(i) != p.Symbol {
+			t.Fatalf("PhoneSymbol(%d) != %q", i, p.Symbol)
+		}
+		if p.MeanDur <= 0 {
+			t.Fatalf("phone %q has non-positive duration", p.Symbol)
+		}
+		if p.Class == ClassVowel && (p.F1 <= 0 || p.F2 <= p.F1 || p.F3 <= p.F2) {
+			t.Fatalf("vowel %q has non-increasing formants", p.Symbol)
+		}
+	}
+	if PhoneID("zz") != -1 {
+		t.Fatal("unknown phone should return -1")
+	}
+}
+
+func TestPhoneClassString(t *testing.T) {
+	if ClassVowel.String() != "vowel" || ClassSilence.String() != "silence" {
+		t.Fatal("PhoneClass String wrong")
+	}
+	if PhoneClass(99).String() != "unknown" {
+		t.Fatal("unknown class should stringify to unknown")
+	}
+}
+
+func TestSynthPhoneDeterministic(t *testing.T) {
+	spk := NewSpeaker(tensor.NewRNG(1), 0)
+	a := SynthPhone(Inventory[0], spk, 800, tensor.NewRNG(7))
+	b := SynthPhone(Inventory[0], spk, 800, tensor.NewRNG(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("synthesis not deterministic for identical rng state")
+		}
+	}
+}
+
+func TestSynthPhoneEnergyByClass(t *testing.T) {
+	spk := NewSpeaker(tensor.NewRNG(1), 0)
+	energy := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v * v
+		}
+		return s / float64(len(x))
+	}
+	rng := tensor.NewRNG(3)
+	vowel := SynthPhone(Inventory[PhoneID("aa")], spk, 1600, rng)
+	sil := SynthPhone(Inventory[SilenceID], spk, 1600, rng)
+	if energy(vowel) < 10*energy(sil) {
+		t.Fatalf("vowel energy %v not well above silence %v", energy(vowel), energy(sil))
+	}
+}
+
+func TestSynthPhonesSpectrallyDistinct(t *testing.T) {
+	// iy (high front vowel, F2≈2290) and aa (low back, F2≈1090) must have
+	// distinguishable spectra — otherwise the classification task collapses.
+	spk := Speaker{ID: 0, FormantScale: 1, Pitch: 120, Dialect: 0, NoiseLevel: 0.001}
+	ext := NewExtractor(DefaultFeatureConfig())
+	rng := tensor.NewRNG(5)
+	iy := ext.MFCC(SynthPhone(Inventory[PhoneID("iy")], spk, 3200, rng))
+	aa := ext.MFCC(SynthPhone(Inventory[PhoneID("aa")], spk, 3200, rng))
+	// Compare average cepstra (skip c0, which tracks energy).
+	dist := 0.0
+	for j := 1; j < 13; j++ {
+		mi, ma := 0.0, 0.0
+		for t2 := range iy {
+			mi += iy[t2][j]
+		}
+		for t2 := range aa {
+			ma += aa[t2][j]
+		}
+		mi /= float64(len(iy))
+		ma /= float64(len(aa))
+		dist += (mi - ma) * (mi - ma)
+	}
+	if math.Sqrt(dist) < 0.5 {
+		t.Fatalf("iy and aa cepstral distance %v too small — phones not separable", math.Sqrt(dist))
+	}
+}
+
+func TestSynthUtteranceBounds(t *testing.T) {
+	spk := NewSpeaker(tensor.NewRNG(2), 1)
+	phones := []int{SilenceID, PhoneID("k"), PhoneID("ae"), PhoneID("t"), SilenceID}
+	wave, bounds := SynthUtterance(phones, spk, tensor.NewRNG(9))
+	if len(bounds) != len(phones)+1 {
+		t.Fatalf("bounds length %d", len(bounds))
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != len(wave) {
+		t.Fatal("bounds endpoints wrong")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatal("bounds not strictly increasing")
+		}
+	}
+}
+
+func TestExtractorDims(t *testing.T) {
+	cfg := DefaultFeatureConfig()
+	if cfg.Dim() != 39 {
+		t.Fatalf("feature dim %d, want 39", cfg.Dim())
+	}
+	ext := NewExtractor(cfg)
+	wave := make([]float64, SampleRate/2) // 0.5 s
+	rng := tensor.NewRNG(1)
+	for i := range wave {
+		wave[i] = rng.NormFloat64() * 0.1
+	}
+	feats := ext.Features(wave)
+	// 0.5s at 10ms hop -> 50 frames.
+	if len(feats) != 50 {
+		t.Fatalf("frame count %d, want 50", len(feats))
+	}
+	for _, f := range feats {
+		if len(f) != 39 {
+			t.Fatalf("feature row dim %d", len(f))
+		}
+	}
+}
+
+func TestFrameLabelsAlignment(t *testing.T) {
+	ext := NewExtractor(DefaultFeatureConfig())
+	// Two phones: phone 3 for 3200 samples (200 ms), phone 7 for 3200.
+	phones := []int{3, 7}
+	bounds := []int{0, 3200, 6400}
+	labels := ext.FrameLabels(phones, bounds, 40)
+	if labels[0] != 3 {
+		t.Fatalf("first frame label %d", labels[0])
+	}
+	if labels[39] != 7 {
+		t.Fatalf("last frame label %d", labels[39])
+	}
+	// The transition should occur near frame 20 (center crosses 3200
+	// samples at t*160+200 >= 3200 -> t ~ 18.75).
+	trans := -1
+	for t2 := 1; t2 < 40; t2++ {
+		if labels[t2] != labels[t2-1] {
+			trans = t2
+			break
+		}
+	}
+	if trans < 17 || trans > 21 {
+		t.Fatalf("label transition at frame %d, want ~19", trans)
+	}
+}
+
+func TestCMVNNormalizes(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	utts := make([][][]float32, 3)
+	for i := range utts {
+		utts[i] = make([][]float32, 50)
+		for t2 := range utts[i] {
+			row := make([]float32, 4)
+			for j := range row {
+				row[j] = float32(5 + 3*rng.NormFloat64())
+			}
+			utts[i][t2] = row
+		}
+	}
+	stats := ComputeCMVN(utts)
+	for i := range utts {
+		stats.Apply(utts[i])
+	}
+	// Post-normalization global mean ~0, std ~1.
+	var sum, sumSq float64
+	n := 0
+	for _, u := range utts {
+		for _, f := range u {
+			for _, v := range f {
+				sum += float64(v)
+				sumSq += float64(v) * float64(v)
+				n++
+			}
+		}
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.01 || math.Abs(std-1) > 0.05 {
+		t.Fatalf("CMVN mean=%v std=%v", mean, std)
+	}
+}
+
+func TestGenerateCorpusStructure(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed: 42, NumSpeakers: 6, SentencesPerSpeaker: 2,
+		PhonesPerSentence: 8, TestFraction: 0.34,
+		Features: DefaultFeatureConfig(),
+	}
+	c, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Train) != 8 || len(c.Test) != 4 {
+		t.Fatalf("split sizes train=%d test=%d, want 8/4", len(c.Train), len(c.Test))
+	}
+	// Speaker-disjoint split.
+	trainSpk := map[int]bool{}
+	for _, u := range c.Train {
+		trainSpk[u.Speaker] = true
+	}
+	for _, u := range c.Test {
+		if trainSpk[u.Speaker] {
+			t.Fatalf("speaker %d appears in both splits", u.Speaker)
+		}
+	}
+	for _, u := range append(append([]Utterance{}, c.Train...), c.Test...) {
+		if len(u.Frames) != len(u.Labels) {
+			t.Fatal("frames/labels length mismatch")
+		}
+		if len(u.Phones) < 3 {
+			t.Fatalf("utterance too short: %d phones", len(u.Phones))
+		}
+		if u.Phones[0] != SilenceID || u.Phones[len(u.Phones)-1] != SilenceID {
+			t.Fatal("utterances must start and end with silence")
+		}
+		for _, l := range u.Labels {
+			if l < 0 || l >= NumPhones {
+				t.Fatalf("label %d out of range", l)
+			}
+		}
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed: 7, NumSpeakers: 4, SentencesPerSpeaker: 1,
+		PhonesPerSentence: 6, TestFraction: 0.25,
+		Features: DefaultFeatureConfig(),
+	}
+	a, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("nondeterministic corpus size")
+	}
+	for i := range a.Train {
+		ua, ub := a.Train[i], b.Train[i]
+		if len(ua.Frames) != len(ub.Frames) {
+			t.Fatal("nondeterministic utterance length")
+		}
+		for t2 := range ua.Frames {
+			for j := range ua.Frames[t2] {
+				if ua.Frames[t2][j] != ub.Frames[t2][j] {
+					t.Fatal("nondeterministic features")
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateCorpusValidation(t *testing.T) {
+	if _, err := GenerateCorpus(CorpusConfig{NumSpeakers: 1, TestFraction: 0.5, Features: DefaultFeatureConfig()}); err == nil {
+		t.Fatal("1 speaker should be rejected")
+	}
+	if _, err := GenerateCorpus(CorpusConfig{NumSpeakers: 4, TestFraction: 0, Features: DefaultFeatureConfig()}); err == nil {
+		t.Fatal("TestFraction 0 should be rejected")
+	}
+}
+
+func TestTotalFrames(t *testing.T) {
+	utts := []Utterance{
+		{Frames: make([][]float32, 10)},
+		{Frames: make([][]float32, 5)},
+	}
+	if TotalFrames(utts) != 15 {
+		t.Fatal("TotalFrames wrong")
+	}
+}
+
+func TestDialectShiftsDistinct(t *testing.T) {
+	seen := map[[2]float64]bool{}
+	for d := 0; d < NumDialects; d++ {
+		f1, f2 := dialectVowelShift(d)
+		if f1 <= 0 || f2 <= 0 {
+			t.Fatalf("dialect %d shift non-positive", d)
+		}
+		seen[[2]float64{f1, f2}] = true
+	}
+	if len(seen) != NumDialects {
+		t.Fatalf("only %d distinct dialect shifts", len(seen))
+	}
+}

@@ -1,0 +1,172 @@
+package speech
+
+import (
+	"math"
+
+	"rtmobile/internal/dsp"
+)
+
+// MFCC front end: pre-emphasis → 25 ms Hamming frames at 10 ms hop → power
+// spectrum → 26 mel filters → log → DCT-II → 13 cepstra → append Δ and ΔΔ.
+// 13×3 = 39 features per frame, the standard Kaldi/TIMIT configuration and
+// the input dimension of the paper's GRU.
+
+// FeatureConfig parameterizes the front end.
+type FeatureConfig struct {
+	FrameLenMs  float64 // analysis window length, ms
+	FrameHopMs  float64 // hop, ms
+	NumFilters  int     // mel filters
+	NumCepstra  int     // cepstral coefficients kept
+	PreEmphasis float64
+	DeltaWindow int
+}
+
+// DefaultFeatureConfig is the 39-dimensional MFCC+Δ+ΔΔ configuration.
+func DefaultFeatureConfig() FeatureConfig {
+	return FeatureConfig{
+		FrameLenMs:  25,
+		FrameHopMs:  10,
+		NumFilters:  26,
+		NumCepstra:  13,
+		PreEmphasis: 0.97,
+		DeltaWindow: 2,
+	}
+}
+
+// Dim returns the final feature dimensionality (cepstra × 3).
+func (c FeatureConfig) Dim() int { return c.NumCepstra * 3 }
+
+// FrameLen returns the window length in samples.
+func (c FeatureConfig) FrameLen() int { return int(c.FrameLenMs * SampleRate / 1000) }
+
+// FrameHop returns the hop in samples.
+func (c FeatureConfig) FrameHop() int { return int(c.FrameHopMs * SampleRate / 1000) }
+
+// Extractor computes MFCC features; it precomputes the window and
+// filterbank so per-utterance extraction allocates minimally.
+type Extractor struct {
+	cfg    FeatureConfig
+	window []float64
+	fb     [][]float64
+	nFFT   int
+}
+
+// NewExtractor builds an extractor for the given configuration.
+func NewExtractor(cfg FeatureConfig) *Extractor {
+	frameLen := cfg.FrameLen()
+	nFFT := dsp.NextPow2(frameLen)
+	return &Extractor{
+		cfg:    cfg,
+		window: dsp.HammingWindow(frameLen),
+		fb:     dsp.MelFilterbank(cfg.NumFilters, nFFT, SampleRate, 20, SampleRate/2),
+		nFFT:   nFFT,
+	}
+}
+
+// MFCC computes the static cepstra for each frame of the waveform.
+func (e *Extractor) MFCC(wave []float64) [][]float64 {
+	emphasized := dsp.PreEmphasis(wave, e.cfg.PreEmphasis)
+	frames := dsp.Frames(emphasized, e.cfg.FrameLen(), e.cfg.FrameHop())
+	out := make([][]float64, len(frames))
+	for i, frame := range frames {
+		windowed := dsp.ApplyWindow(frame, e.window)
+		// Zero-pad to the FFT size.
+		padded := make([]float64, e.nFFT)
+		copy(padded, windowed)
+		power := dsp.PowerSpectrum(padded)
+		logMel := dsp.ApplyFilterbank(e.fb, power)
+		out[i] = dsp.DCT2(logMel, e.cfg.NumCepstra)
+	}
+	return out
+}
+
+// Features computes the full MFCC+Δ+ΔΔ feature matrix as float32 rows
+// (one row per 10 ms frame).
+func (e *Extractor) Features(wave []float64) [][]float32 {
+	static := e.MFCC(wave)
+	if len(static) == 0 {
+		return nil
+	}
+	d1 := dsp.Deltas(static, e.cfg.DeltaWindow)
+	d2 := dsp.Deltas(d1, e.cfg.DeltaWindow)
+	nc := e.cfg.NumCepstra
+	out := make([][]float32, len(static))
+	for t := range static {
+		row := make([]float32, 3*nc)
+		for j := 0; j < nc; j++ {
+			row[j] = float32(static[t][j])
+			row[nc+j] = float32(d1[t][j])
+			row[2*nc+j] = float32(d2[t][j])
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// FrameLabels converts phone boundaries (sample indices, len = len(phones)+1)
+// to one phone label per feature frame. Frames whose center falls inside
+// phone k get label phones[k]; frames past the last boundary keep the final
+// phone's label.
+func (e *Extractor) FrameLabels(phones []int, bounds []int, nFrames int) []int {
+	labels := make([]int, nFrames)
+	hop := e.cfg.FrameHop()
+	half := e.cfg.FrameLen() / 2
+	k := 0
+	for t := 0; t < nFrames; t++ {
+		center := t*hop + half
+		for k+1 < len(phones) && center >= bounds[k+1] {
+			k++
+		}
+		labels[t] = phones[k]
+	}
+	return labels
+}
+
+// NormalizeStats holds per-dimension mean/std for cepstral mean-variance
+// normalization (CMVN), computed over a training set.
+type NormalizeStats struct {
+	Mean, Std []float32
+}
+
+// ComputeCMVN estimates per-dimension statistics over a set of utterances.
+func ComputeCMVN(utts [][][]float32) NormalizeStats {
+	if len(utts) == 0 || len(utts[0]) == 0 {
+		return NormalizeStats{}
+	}
+	dim := len(utts[0][0])
+	sum := make([]float64, dim)
+	sumSq := make([]float64, dim)
+	n := 0
+	for _, u := range utts {
+		for _, f := range u {
+			for j, v := range f {
+				sum[j] += float64(v)
+				sumSq[j] += float64(v) * float64(v)
+			}
+			n++
+		}
+	}
+	stats := NormalizeStats{Mean: make([]float32, dim), Std: make([]float32, dim)}
+	for j := 0; j < dim; j++ {
+		mean := sum[j] / float64(n)
+		variance := sumSq[j]/float64(n) - mean*mean
+		if variance < 1e-8 {
+			variance = 1e-8
+		}
+		stats.Mean[j] = float32(mean)
+		stats.Std[j] = float32(math.Sqrt(variance))
+	}
+	return stats
+}
+
+// Apply normalizes a feature sequence in place.
+func (s NormalizeStats) Apply(utt [][]float32) {
+	if len(s.Mean) == 0 {
+		return
+	}
+	for _, f := range utt {
+		for j := range f {
+			f[j] = (f[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package speech
+
+// Phone-error-rate scoring: decode frame posteriors to a phone string, then
+// align against the reference with Levenshtein edit distance. PER =
+// (substitutions + insertions + deletions) / reference length — the metric
+// of Table I.
+
+// Levenshtein returns the minimum edit distance between integer sequences a
+// and b with unit substitution/insertion/deletion costs.
+func Levenshtein(a, b []int) int {
+	n, m := len(a), len(b)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			sub := prev[j-1] + cost
+			best := del
+			if ins < best {
+				best = ins
+			}
+			if sub < best {
+				best = sub
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// CollapseFrames converts a frame-level label sequence into a phone string:
+// consecutive repeats merge, and silence is removed (standard TIMIT scoring
+// practice — h#/pau do not count as phones).
+func CollapseFrames(frames []int) []int {
+	var out []int
+	prev := -1
+	for _, l := range frames {
+		if l == prev {
+			continue
+		}
+		prev = l
+		if l == SilenceID {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// PERResult aggregates error counts over a test set.
+type PERResult struct {
+	Errors    int // total edit operations
+	RefPhones int // total reference phones
+	Utts      int
+}
+
+// PER returns the phone error rate in percent.
+func (r PERResult) PER() float64 {
+	if r.RefPhones == 0 {
+		return 0
+	}
+	return 100 * float64(r.Errors) / float64(r.RefPhones)
+}
+
+// ScoreUtterance accumulates one utterance's decoded-vs-reference error.
+// hyp and ref are phone strings (already collapsed, silence-free for hyp;
+// ref silence is removed here).
+func (r *PERResult) ScoreUtterance(hyp, refWithSil []int) {
+	ref := make([]int, 0, len(refWithSil))
+	for _, p := range refWithSil {
+		if p != SilenceID {
+			ref = append(ref, p)
+		}
+	}
+	r.Errors += Levenshtein(hyp, ref)
+	r.RefPhones += len(ref)
+	r.Utts++
+}

@@ -1,0 +1,146 @@
+// Package speech is the TIMIT substitute. The original paper trains and
+// scores on the TIMIT acoustic-phonetic corpus (630 speakers × 8 American
+// English dialect regions, phone error rate scoring). That corpus is
+// licensed and unavailable here, so this package synthesizes a corpus with
+// the same *structure*: the folded 39-phone inventory TIMIT systems are
+// scored on, formant-synthesized waveforms with per-speaker vocal-tract
+// scaling and per-dialect vowel shifts, an MFCC(+Δ+ΔΔ) front end, and PER
+// computed by Levenshtein alignment of decoded vs. reference phone strings.
+package speech
+
+// PhoneClass categorizes phones by their synthesis recipe.
+type PhoneClass int
+
+const (
+	ClassVowel PhoneClass = iota
+	ClassStop
+	ClassFricative
+	ClassAffricate
+	ClassNasal
+	ClassGlide
+	ClassSilence
+)
+
+// String returns the class name.
+func (c PhoneClass) String() string {
+	switch c {
+	case ClassVowel:
+		return "vowel"
+	case ClassStop:
+		return "stop"
+	case ClassFricative:
+		return "fricative"
+	case ClassAffricate:
+		return "affricate"
+	case ClassNasal:
+		return "nasal"
+	case ClassGlide:
+		return "glide"
+	case ClassSilence:
+		return "silence"
+	default:
+		return "unknown"
+	}
+}
+
+// Phone is one entry of the folded inventory with its synthesis parameters.
+// Formant values follow Peterson & Barney style averages for a male talker;
+// the synthesizer scales them per speaker.
+type Phone struct {
+	Symbol string
+	Class  PhoneClass
+	// F1..F3 formant centers in Hz (vowels, nasals, glides).
+	F1, F2, F3 float64
+	// NoiseCenter/NoiseWidth shape fricative/burst noise in Hz.
+	NoiseCenter, NoiseWidth float64
+	// Voiced marks glottal excitation (voiced fricatives mix both sources).
+	Voiced bool
+	// MeanDur is the typical duration in milliseconds.
+	MeanDur float64
+}
+
+// Inventory is the folded 39-phone TIMIT set (the standard scoring set after
+// Lee & Hon folding), in a fixed order so that label indices are stable.
+var Inventory = []Phone{
+	// Vowels and diphthong nuclei.
+	{Symbol: "iy", Class: ClassVowel, F1: 270, F2: 2290, F3: 3010, Voiced: true, MeanDur: 100},
+	{Symbol: "ih", Class: ClassVowel, F1: 390, F2: 1990, F3: 2550, Voiced: true, MeanDur: 80},
+	{Symbol: "eh", Class: ClassVowel, F1: 530, F2: 1840, F3: 2480, Voiced: true, MeanDur: 90},
+	{Symbol: "ae", Class: ClassVowel, F1: 660, F2: 1720, F3: 2410, Voiced: true, MeanDur: 120},
+	{Symbol: "ah", Class: ClassVowel, F1: 640, F2: 1190, F3: 2390, Voiced: true, MeanDur: 80},
+	{Symbol: "uw", Class: ClassVowel, F1: 300, F2: 870, F3: 2240, Voiced: true, MeanDur: 110},
+	{Symbol: "uh", Class: ClassVowel, F1: 440, F2: 1020, F3: 2240, Voiced: true, MeanDur: 70},
+	{Symbol: "aa", Class: ClassVowel, F1: 730, F2: 1090, F3: 2440, Voiced: true, MeanDur: 120},
+	{Symbol: "ey", Class: ClassVowel, F1: 480, F2: 2000, F3: 2600, Voiced: true, MeanDur: 130},
+	{Symbol: "ay", Class: ClassVowel, F1: 660, F2: 1500, F3: 2500, Voiced: true, MeanDur: 150},
+	{Symbol: "oy", Class: ClassVowel, F1: 550, F2: 1100, F3: 2500, Voiced: true, MeanDur: 160},
+	{Symbol: "aw", Class: ClassVowel, F1: 680, F2: 1300, F3: 2500, Voiced: true, MeanDur: 150},
+	{Symbol: "ow", Class: ClassVowel, F1: 500, F2: 1000, F3: 2400, Voiced: true, MeanDur: 130},
+	{Symbol: "er", Class: ClassVowel, F1: 490, F2: 1350, F3: 1690, Voiced: true, MeanDur: 110},
+	// Glides and liquids.
+	{Symbol: "l", Class: ClassGlide, F1: 360, F2: 1050, F3: 2700, Voiced: true, MeanDur: 60},
+	{Symbol: "r", Class: ClassGlide, F1: 420, F2: 1300, F3: 1600, Voiced: true, MeanDur: 60},
+	{Symbol: "w", Class: ClassGlide, F1: 300, F2: 700, F3: 2200, Voiced: true, MeanDur: 55},
+	{Symbol: "y", Class: ClassGlide, F1: 280, F2: 2200, F3: 2900, Voiced: true, MeanDur: 50},
+	// Nasals.
+	{Symbol: "m", Class: ClassNasal, F1: 280, F2: 1050, F3: 2200, Voiced: true, MeanDur: 65},
+	{Symbol: "n", Class: ClassNasal, F1: 280, F2: 1450, F3: 2400, Voiced: true, MeanDur: 60},
+	{Symbol: "ng", Class: ClassNasal, F1: 280, F2: 1700, F3: 2300, Voiced: true, MeanDur: 70},
+	// Stops.
+	{Symbol: "b", Class: ClassStop, NoiseCenter: 700, NoiseWidth: 800, Voiced: true, MeanDur: 50},
+	{Symbol: "d", Class: ClassStop, NoiseCenter: 1800, NoiseWidth: 1200, Voiced: true, MeanDur: 50},
+	{Symbol: "g", Class: ClassStop, NoiseCenter: 2200, NoiseWidth: 1000, Voiced: true, MeanDur: 55},
+	{Symbol: "p", Class: ClassStop, NoiseCenter: 900, NoiseWidth: 1000, Voiced: false, MeanDur: 60},
+	{Symbol: "t", Class: ClassStop, NoiseCenter: 3200, NoiseWidth: 1800, Voiced: false, MeanDur: 60},
+	{Symbol: "k", Class: ClassStop, NoiseCenter: 2500, NoiseWidth: 1200, Voiced: false, MeanDur: 65},
+	{Symbol: "dx", Class: ClassStop, NoiseCenter: 1800, NoiseWidth: 900, Voiced: true, MeanDur: 30},
+	// Fricatives.
+	{Symbol: "s", Class: ClassFricative, NoiseCenter: 5500, NoiseWidth: 2500, Voiced: false, MeanDur: 110},
+	{Symbol: "sh", Class: ClassFricative, NoiseCenter: 3200, NoiseWidth: 1800, Voiced: false, MeanDur: 110},
+	{Symbol: "z", Class: ClassFricative, NoiseCenter: 5200, NoiseWidth: 2400, Voiced: true, MeanDur: 90},
+	{Symbol: "f", Class: ClassFricative, NoiseCenter: 4500, NoiseWidth: 3500, Voiced: false, MeanDur: 100},
+	{Symbol: "th", Class: ClassFricative, NoiseCenter: 4800, NoiseWidth: 3800, Voiced: false, MeanDur: 90},
+	{Symbol: "v", Class: ClassFricative, NoiseCenter: 3500, NoiseWidth: 3000, Voiced: true, MeanDur: 70},
+	{Symbol: "dh", Class: ClassFricative, NoiseCenter: 3800, NoiseWidth: 3200, Voiced: true, MeanDur: 55},
+	{Symbol: "hh", Class: ClassFricative, NoiseCenter: 1500, NoiseWidth: 1400, Voiced: false, MeanDur: 60},
+	// Affricates.
+	{Symbol: "ch", Class: ClassAffricate, NoiseCenter: 3300, NoiseWidth: 1700, Voiced: false, MeanDur: 110},
+	{Symbol: "jh", Class: ClassAffricate, NoiseCenter: 3000, NoiseWidth: 1600, Voiced: true, MeanDur: 100},
+	// Silence / closure (folded h#, pau, epi, closures).
+	{Symbol: "sil", Class: ClassSilence, MeanDur: 120},
+}
+
+// NumPhones is the inventory size (the classifier's output dimension).
+var NumPhones = len(Inventory)
+
+// SilenceID is the label index of the silence phone.
+var SilenceID = func() int {
+	for i, p := range Inventory {
+		if p.Symbol == "sil" {
+			return i
+		}
+	}
+	panic("speech: inventory has no sil phone")
+}()
+
+// symbolIndex maps phone symbols to label indices.
+var symbolIndex = func() map[string]int {
+	m := make(map[string]int, len(Inventory))
+	for i, p := range Inventory {
+		m[p.Symbol] = i
+	}
+	return m
+}()
+
+// PhoneID returns the label index for a phone symbol, or -1 if unknown.
+func PhoneID(symbol string) int {
+	if id, ok := symbolIndex[symbol]; ok {
+		return id
+	}
+	return -1
+}
+
+// PhoneSymbol returns the symbol for a label index.
+func PhoneSymbol(id int) string {
+	return Inventory[id].Symbol
+}

@@ -1,0 +1,242 @@
+package speech
+
+import (
+	"math"
+
+	"rtmobile/internal/tensor"
+)
+
+// Formant synthesis. Each phone is rendered as a source-filter pair: voiced
+// phones excite a cascade of second-order resonators at the phone's formant
+// frequencies with a glottal pulse train; noise phones (fricatives, bursts)
+// pass white noise through a single resonator at the frication center. This
+// is a deliberately simple Klatt-style synthesizer — enough acoustic
+// structure that phones are separable but confusable in realistic ways
+// (e.g. s/z, ih/iy share spectra), which is what the PER-vs-compression
+// curves of Table I need.
+
+// SampleRate is the corpus sampling rate in Hz (TIMIT's native rate).
+const SampleRate = 16000
+
+// Speaker holds the per-speaker synthesis traits.
+type Speaker struct {
+	ID int
+	// FormantScale multiplies all formant frequencies (vocal-tract length).
+	FormantScale float64
+	// Pitch is the fundamental frequency in Hz.
+	Pitch float64
+	// Dialect indexes the dialect region (0..NumDialects-1).
+	Dialect int
+	// NoiseLevel is additive background noise standard deviation.
+	NoiseLevel float64
+}
+
+// NumDialects mirrors TIMIT's eight dialect regions.
+const NumDialects = 8
+
+// dialectVowelShift returns the multiplicative F1/F2 shift applied to vowels
+// in the given dialect region, modeling regional vowel-space differences.
+func dialectVowelShift(dialect int) (f1Shift, f2Shift float64) {
+	// Deterministic small shifts spread around 1.0; region 0 is the
+	// reference accent.
+	shifts := [NumDialects][2]float64{
+		{1.000, 1.000}, {1.015, 0.990}, {0.985, 1.010}, {1.010, 1.015},
+		{0.990, 0.985}, {1.020, 1.005}, {0.980, 0.995}, {1.005, 0.980},
+	}
+	d := dialect % NumDialects
+	return shifts[d][0], shifts[d][1]
+}
+
+// NewSpeaker derives a speaker's traits deterministically from the corpus
+// seed and speaker index.
+func NewSpeaker(rng *tensor.RNG, id int) Speaker {
+	return Speaker{
+		ID:           id,
+		FormantScale: 0.95 + 0.1*rng.Float64(), // vocal-tract length spread
+		Pitch:        105 + 50*rng.Float64(),   // 105..155 Hz
+		Dialect:      id % NumDialects,
+		NoiseLevel:   0.002 + 0.006*rng.Float64(),
+	}
+}
+
+// resonator is a 2nd-order IIR bandpass section (digital resonator).
+type resonator struct {
+	b0, a1, a2 float64
+	y1, y2     float64
+}
+
+// newResonator builds a resonator at center frequency f with bandwidth bw.
+// Klatt digital resonator: y[n] = A·x[n] + B·y[n-1] + C·y[n-2] with
+// C = -r², B = 2r·cos(2πf/fs), A = 1 − B − C. A gives unity gain at DC and
+// a resonant boost at f, so a cascade of resonators produces a spectral
+// peak at every formant — the property vowel identity depends on.
+func newResonator(f, bw float64) *resonator {
+	r := math.Exp(-math.Pi * bw / SampleRate)
+	a2 := -r * r
+	a1 := 2 * r * math.Cos(2*math.Pi*f/SampleRate)
+	b0 := 1 - a1 - a2
+	return &resonator{b0: b0, a1: a1, a2: a2}
+}
+
+// process filters one input sample.
+func (rz *resonator) process(x float64) float64 {
+	y := rz.b0*x + rz.a1*rz.y1 + rz.a2*rz.y2
+	rz.y2 = rz.y1
+	rz.y1 = y
+	return y
+}
+
+// gainAt evaluates |H(e^{jω})| at frequency f, used to equalize the peak
+// levels of the parallel formant bank.
+func (rz *resonator) gainAt(f float64) float64 {
+	w := 2 * math.Pi * f / SampleRate
+	// H = b0 / (1 − a1 e^{−jω} − a2 e^{−j2ω})
+	reD := 1 - rz.a1*math.Cos(w) - rz.a2*math.Cos(2*w)
+	imD := rz.a1*math.Sin(w) + rz.a2*math.Sin(2*w)
+	den := math.Hypot(reD, imD)
+	if den < 1e-12 {
+		den = 1e-12
+	}
+	return rz.b0 / den
+}
+
+// SynthPhone renders one phone as nSamples of audio for the given speaker.
+// rng supplies the noise source and jitter; passing the same rng state
+// reproduces the same waveform.
+func SynthPhone(p Phone, spk Speaker, nSamples int, rng *tensor.RNG) []float64 {
+	out := make([]float64, nSamples)
+	if p.Class == ClassSilence {
+		for i := range out {
+			out[i] = spk.NoiseLevel * 0.3 * rng.NormFloat64()
+		}
+		return out
+	}
+
+	f1s, f2s := 1.0, 1.0
+	if p.Class == ClassVowel {
+		f1s, f2s = dialectVowelShift(spk.Dialect)
+	}
+
+	// Parallel formant bank: each resonator filters the source directly and
+	// the outputs are mixed with fixed amplitudes, so every formant
+	// produces a spectral peak of controlled relative level (a cascade
+	// would let the narrow F1 resonator mask F2/F3 — and vowel identity
+	// lives in F2/F3).
+	var bank []*resonator
+	bankAmp := []float64{1.0, 0.6, 0.35}
+	if p.F1 > 0 {
+		centers := []float64{
+			p.F1 * spk.FormantScale * f1s,
+			p.F2 * spk.FormantScale * f2s,
+			p.F3 * spk.FormantScale,
+		}
+		bws := []float64{60 + 0.04*p.F1, 90 + 0.05*p.F2, 120 + 0.06*p.F3}
+		for fi := range centers {
+			rz := newResonator(centers[fi], bws[fi])
+			// Equalize: scale so each formant peaks at bankAmp level.
+			bankAmp[fi] /= rz.gainAt(centers[fi])
+			bank = append(bank, rz)
+		}
+	}
+	var noiseRes *resonator
+	if p.NoiseCenter > 0 {
+		noiseRes = newResonator(p.NoiseCenter*spk.FormantScale, p.NoiseWidth)
+	}
+
+	// Voiced source: impulse-ish glottal pulse train with slight jitter.
+	period := float64(SampleRate) / spk.Pitch
+	nextPulse := 0.0
+	// Stops: closure silence for the first 60% then a burst.
+	burstStart := 0
+	if p.Class == ClassStop || p.Class == ClassAffricate {
+		burstStart = int(float64(nSamples) * 0.55)
+	}
+
+	for i := 0; i < nSamples; i++ {
+		src := 0.0
+		if p.Voiced && bank != nil {
+			if float64(i) >= nextPulse {
+				src = 1.0
+				nextPulse += period * (0.98 + 0.04*rng.Float64())
+			}
+		}
+		sample := 0.0
+		if bank != nil {
+			for fi, rz := range bank {
+				sample += bankAmp[fi] * rz.process(src)
+			}
+		}
+		if noiseRes != nil {
+			gate := 1.0
+			if burstStart > 0 {
+				if i < burstStart {
+					gate = 0.05 // closure murmur
+				} else {
+					gate = 1.2 // release burst
+				}
+			}
+			n := noiseRes.process(rng.NormFloat64())
+			amp := 0.25
+			if p.Voiced {
+				amp = 0.15 // voiced frication is weaker
+				// mix in voicing bar for voiced stops/fricatives
+				if float64(i) >= nextPulse {
+					sample += 0.3
+					nextPulse += period
+				}
+			}
+			sample += amp * gate * n
+		}
+		// Amplitude envelope: quick attack/decay avoids hard edges.
+		env := 1.0
+		edge := nSamples / 8
+		if edge > 0 {
+			if i < edge {
+				env = float64(i) / float64(edge)
+			} else if i > nSamples-edge {
+				env = float64(nSamples-i) / float64(edge)
+			}
+		}
+		out[i] = env*sample + spk.NoiseLevel*rng.NormFloat64()
+	}
+	normalize(out, 0.3)
+	return out
+}
+
+// normalize scales the waveform so its peak magnitude equals target
+// (no-op for silent signals).
+func normalize(x []float64, target float64) {
+	peak := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak < 1e-9 {
+		return
+	}
+	s := target / peak
+	for i := range x {
+		x[i] *= s
+	}
+}
+
+// SynthUtterance renders a phone sequence with per-phone random durations
+// around each phone's mean. It returns the waveform and the sample index at
+// which each phone starts (len == len(phones)+1; the final entry is the
+// total length).
+func SynthUtterance(phones []int, spk Speaker, rng *tensor.RNG) (wave []float64, bounds []int) {
+	bounds = make([]int, 0, len(phones)+1)
+	for _, id := range phones {
+		p := Inventory[id]
+		durMs := p.MeanDur * (0.7 + 0.6*rng.Float64())
+		n := int(durMs * SampleRate / 1000)
+		if n < 160 {
+			n = 160 // at least one 10ms hop
+		}
+		bounds = append(bounds, len(wave))
+		wave = append(wave, SynthPhone(p, spk, n, rng)...)
+	}
+	bounds = append(bounds, len(wave))
+	return wave, bounds
+}

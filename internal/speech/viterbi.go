@@ -1,0 +1,127 @@
+package speech
+
+import "math"
+
+// Viterbi decoding with a bigram phone transition model — the standard
+// upgrade over frame-independent greedy decoding. The transition model is
+// estimated from the training corpus's frame alignments (self-loop
+// probabilities encode duration; cross-phone probabilities encode
+// phonotactics), and decoding maximizes
+//
+//	Σ_t [ log P(label_t | frame_t) + λ·log P(label_t | label_{t−1}) ]
+//
+// which suppresses the single-frame flicker that inflates insertion
+// errors, exactly as the HMM topology does in a Kaldi system.
+
+// Bigram is a phone transition model in log space.
+type Bigram struct {
+	// LogP[i][j] = log P(next=j | cur=i).
+	LogP [][]float64
+	// LogInit[j] = log P(first=j).
+	LogInit []float64
+}
+
+// EstimateBigram counts transitions over frame-label sequences with
+// add-one smoothing.
+func EstimateBigram(labelSeqs [][]int, numPhones int) *Bigram {
+	counts := make([][]float64, numPhones)
+	for i := range counts {
+		counts[i] = make([]float64, numPhones)
+		for j := range counts[i] {
+			counts[i][j] = 1 // Laplace smoothing
+		}
+	}
+	initCounts := make([]float64, numPhones)
+	for i := range initCounts {
+		initCounts[i] = 1
+	}
+	for _, seq := range labelSeqs {
+		if len(seq) == 0 {
+			continue
+		}
+		initCounts[seq[0]]++
+		for t := 1; t < len(seq); t++ {
+			counts[seq[t-1]][seq[t]]++
+		}
+	}
+	b := &Bigram{
+		LogP:    make([][]float64, numPhones),
+		LogInit: make([]float64, numPhones),
+	}
+	initTotal := 0.0
+	for _, c := range initCounts {
+		initTotal += c
+	}
+	for j := range initCounts {
+		b.LogInit[j] = math.Log(initCounts[j] / initTotal)
+	}
+	for i := range counts {
+		total := 0.0
+		for _, c := range counts[i] {
+			total += c
+		}
+		b.LogP[i] = make([]float64, numPhones)
+		for j := range counts[i] {
+			b.LogP[i][j] = math.Log(counts[i][j] / total)
+		}
+	}
+	return b
+}
+
+// Decode runs Viterbi over per-frame posteriors with transition weight
+// lambda, returning the collapsed phone string (repeats merged, silence
+// removed — same convention as GreedyDecode).
+func (b *Bigram) Decode(posteriors [][]float32, lambda float64) []int {
+	T := len(posteriors)
+	if T == 0 {
+		return nil
+	}
+	n := len(b.LogInit)
+	const floor = 1e-10
+
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	back := make([][]int32, T)
+
+	for j := 0; j < n; j++ {
+		p := float64(posteriors[0][j])
+		if p < floor {
+			p = floor
+		}
+		prev[j] = math.Log(p) + lambda*b.LogInit[j]
+	}
+	for t := 1; t < T; t++ {
+		back[t] = make([]int32, n)
+		for j := 0; j < n; j++ {
+			bestI := 0
+			bestV := prev[0] + lambda*b.LogP[0][j]
+			for i := 1; i < n; i++ {
+				v := prev[i] + lambda*b.LogP[i][j]
+				if v > bestV {
+					bestV, bestI = v, i
+				}
+			}
+			p := float64(posteriors[t][j])
+			if p < floor {
+				p = floor
+			}
+			cur[j] = bestV + math.Log(p)
+			back[t][j] = int32(bestI)
+		}
+		prev, cur = cur, prev
+	}
+
+	// Backtrace.
+	best := 0
+	for j := 1; j < n; j++ {
+		if prev[j] > prev[best] {
+			best = j
+		}
+	}
+	frames := make([]int, T)
+	frames[T-1] = best
+	for t := T - 1; t > 0; t-- {
+		frames[t-1] = int(back[t][frames[t]])
+	}
+	return CollapseFrames(frames)
+}

@@ -1,0 +1,180 @@
+package speech
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/tensor"
+)
+
+func TestEstimateBigramNormalized(t *testing.T) {
+	seqs := [][]int{{0, 0, 1, 1, 2}, {2, 2, 0}}
+	b := EstimateBigram(seqs, 3)
+	// Rows are log-distributions.
+	for i := range b.LogP {
+		sum := 0.0
+		for _, lp := range b.LogP[i] {
+			sum += math.Exp(lp)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	sum := 0.0
+	for _, lp := range b.LogInit {
+		sum += math.Exp(lp)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("init sums to %v", sum)
+	}
+	// Observed transitions outrank unobserved: P(0->0) > P(0->2).
+	if b.LogP[0][0] <= b.LogP[0][2] {
+		t.Fatal("observed transition not favored")
+	}
+}
+
+func TestEstimateBigramSmoothing(t *testing.T) {
+	// Even with no data, every transition has finite log-probability.
+	b := EstimateBigram(nil, 4)
+	for i := range b.LogP {
+		for j := range b.LogP[i] {
+			if math.IsInf(b.LogP[i][j], -1) {
+				t.Fatal("unsmoothed zero probability")
+			}
+		}
+	}
+}
+
+func TestViterbiLambdaZeroEqualsGreedy(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	post := make([][]float32, 30)
+	for t2 := range post {
+		row := make([]float32, NumPhones)
+		for j := range row {
+			row[j] = rng.Float32() + 0.01
+		}
+		post[t2] = row
+	}
+	b := EstimateBigram([][]int{{0, 1, 2}}, NumPhones)
+	got := b.Decode(post, 0)
+	want := GreedyDecode(post)
+	if len(got) != len(want) {
+		t.Fatalf("λ=0 decode %v != greedy %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("λ=0 decode %v != greedy %v", got, want)
+		}
+	}
+}
+
+func TestViterbiSuppressesFlicker(t *testing.T) {
+	// Self-loop-heavy bigram; posteriors favor phone 1 with brief noisy
+	// excursions to phone 5. Viterbi must iron them out.
+	train := [][]int{}
+	run := make([]int, 40)
+	for i := range run {
+		run[i] = 1
+	}
+	train = append(train, run)
+	b := EstimateBigram(train, NumPhones)
+
+	post := make([][]float32, 20)
+	for t2 := range post {
+		row := make([]float32, NumPhones)
+		for j := range row {
+			row[j] = 0.01
+		}
+		if t2 == 7 || t2 == 13 {
+			row[5] = 0.45
+			row[1] = 0.40
+		} else {
+			row[1] = 0.9
+		}
+		post[t2] = row
+	}
+	got := b.Decode(post, 3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Viterbi kept the flicker: %v", got)
+	}
+	// Greedy (no transitions) keeps it.
+	greedy := GreedyDecode(post)
+	if len(greedy) == 1 {
+		t.Fatal("test premise broken: greedy should flicker")
+	}
+}
+
+func TestViterbiEmpty(t *testing.T) {
+	b := EstimateBigram(nil, NumPhones)
+	if b.Decode(nil, 1) != nil {
+		t.Fatal("empty posteriors should decode to nil")
+	}
+}
+
+func TestViterbiDeterministic(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	post := make([][]float32, 25)
+	for t2 := range post {
+		row := make([]float32, NumPhones)
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+		post[t2] = row
+	}
+	b := EstimateBigram([][]int{{1, 1, 2, 2, 3}}, NumPhones)
+	a1 := b.Decode(post, 2)
+	a2 := b.Decode(post, 2)
+	if len(a1) != len(a2) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestViterbiImprovesOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus synthesis")
+	}
+	// On noisy posteriors derived from real alignments, Viterbi with the
+	// corpus bigram should not be worse than raw greedy decoding.
+	cfg := CorpusConfig{
+		Seed: 5, NumSpeakers: 4, SentencesPerSpeaker: 2,
+		PhonesPerSentence: 8, TestFraction: 0.3,
+		Features: DefaultFeatureConfig(),
+	}
+	c, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs [][]int
+	for _, u := range c.Train {
+		seqs = append(seqs, u.Labels)
+	}
+	b := EstimateBigram(seqs, NumPhones)
+
+	rng := tensor.NewRNG(6)
+	var greedyR, viterbiR PERResult
+	for _, u := range c.Test {
+		// Noisy oracle posteriors: the correct label gets a boost small
+		// enough that per-frame argmax errs regularly.
+		post := make([][]float32, len(u.Labels))
+		for t2, l := range u.Labels {
+			row := make([]float32, NumPhones)
+			for j := range row {
+				row[j] = rng.Float32() * 0.4
+			}
+			row[l] += 0.25
+			post[t2] = row
+		}
+		greedyR.ScoreUtterance(GreedyDecode(post), u.Phones)
+		// λ must stay small relative to the emission log-odds or the
+		// self-loop-heavy bigram freezes the decode on one phone.
+		viterbiR.ScoreUtterance(b.Decode(post, 0.3), u.Phones)
+	}
+	if viterbiR.PER() > greedyR.PER() {
+		t.Fatalf("Viterbi PER %.1f%% worse than greedy %.1f%%", viterbiR.PER(), greedyR.PER())
+	}
+}

@@ -1,0 +1,125 @@
+package speech
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV export: the synthetic corpus can be written out as standard RIFF/WAV
+// files (16-bit PCM mono at the corpus sample rate) so the substitute
+// audio is audible and inspectable with ordinary tools.
+
+// WriteWAV writes samples (float64 in [-1, 1], clipped otherwise) as a
+// 16-bit PCM mono WAV stream.
+func WriteWAV(w io.Writer, samples []float64, sampleRate int) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("speech: invalid sample rate %d", sampleRate)
+	}
+	le := binary.LittleEndian
+	dataLen := 2 * len(samples)
+
+	// RIFF header.
+	if _, err := io.WriteString(w, "RIFF"); err != nil {
+		return err
+	}
+	if err := binary.Write(w, le, uint32(36+dataLen)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "WAVE"); err != nil {
+		return err
+	}
+	// fmt chunk: PCM, mono, 16-bit.
+	if _, err := io.WriteString(w, "fmt "); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint32(16),             // chunk size
+		uint16(1),              // PCM
+		uint16(1),              // channels
+		uint32(sampleRate),     // sample rate
+		uint32(sampleRate * 2), // byte rate
+		uint16(2),              // block align
+		uint16(16),             // bits per sample
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, le, v); err != nil {
+			return err
+		}
+	}
+	// data chunk.
+	if _, err := io.WriteString(w, "data"); err != nil {
+		return err
+	}
+	if err := binary.Write(w, le, uint32(dataLen)); err != nil {
+		return err
+	}
+	buf := make([]byte, dataLen)
+	for i, s := range samples {
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		le.PutUint16(buf[2*i:], uint16(int16(math.Round(s*32767))))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadWAV parses a WAV stream written by WriteWAV (16-bit PCM mono) back
+// into float64 samples, returning the samples and sample rate.
+func ReadWAV(r io.Reader) ([]float64, int, error) {
+	le := binary.LittleEndian
+	head := make([]byte, 12)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, 0, fmt.Errorf("speech: reading RIFF header: %w", err)
+	}
+	if string(head[:4]) != "RIFF" || string(head[8:12]) != "WAVE" {
+		return nil, 0, fmt.Errorf("speech: not a RIFF/WAVE stream")
+	}
+	var sampleRate int
+	var bitsPerSample, channels uint16
+	for {
+		chunk := make([]byte, 8)
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, 0, fmt.Errorf("speech: reading chunk header: %w", err)
+		}
+		id := string(chunk[:4])
+		size := le.Uint32(chunk[4:])
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, err
+			}
+			format := le.Uint16(body[0:])
+			channels = le.Uint16(body[2:])
+			sampleRate = int(le.Uint32(body[4:]))
+			bitsPerSample = le.Uint16(body[14:])
+			if format != 1 {
+				return nil, 0, fmt.Errorf("speech: unsupported WAV format %d", format)
+			}
+		case "data":
+			if channels != 1 || bitsPerSample != 16 {
+				return nil, 0, fmt.Errorf("speech: only 16-bit mono supported (got %d ch, %d bit)", channels, bitsPerSample)
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, err
+			}
+			n := int(size) / 2
+			samples := make([]float64, n)
+			for i := 0; i < n; i++ {
+				samples[i] = float64(int16(le.Uint16(body[2*i:]))) / 32767
+			}
+			return samples, sampleRate, nil
+		default:
+			// Skip unknown chunks.
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+}

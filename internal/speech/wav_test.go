@@ -1,0 +1,108 @@
+package speech
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rtmobile/internal/tensor"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	samples := make([]float64, 1600)
+	for i := range samples {
+		samples[i] = 0.8 * math.Sin(2*math.Pi*440*float64(i)/SampleRate) * rng.Float64()
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, samples, SampleRate); err != nil {
+		t.Fatal(err)
+	}
+	got, rate, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != SampleRate {
+		t.Fatalf("sample rate %d", rate)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("length %d, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		// 16-bit quantization: within 1/32767.
+		if math.Abs(got[i]-samples[i]) > 1.0/32767+1e-9 {
+			t.Fatalf("sample %d: %v vs %v", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestWAVHeaderLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{0, 0.5, -0.5}, 16000); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if string(b[:4]) != "RIFF" || string(b[8:12]) != "WAVE" {
+		t.Fatal("RIFF/WAVE magic wrong")
+	}
+	// Total size = 44 header bytes + 2 per sample.
+	if len(b) != 44+6 {
+		t.Fatalf("file size %d, want 50", len(b))
+	}
+}
+
+func TestWAVClipping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{2.0, -3.0}, 16000); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || math.Abs(got[1]-(-1)) > 1e-4 {
+		t.Fatalf("clipping wrong: %v", got)
+	}
+}
+
+func TestWAVInvalidInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{0}, 0); err == nil {
+		t.Fatal("zero sample rate accepted")
+	}
+	if _, _, err := ReadWAV(bytes.NewReader([]byte("not a wav file at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := ReadWAV(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestWAVSynthesizedUtterance(t *testing.T) {
+	// A synthesized utterance survives the audio round trip with features
+	// nearly unchanged (16-bit quantization noise only).
+	spk := NewSpeaker(tensor.NewRNG(2), 0)
+	phones := []int{SilenceID, PhoneID("s"), PhoneID("iy"), SilenceID}
+	wave, _ := SynthUtterance(phones, spk, tensor.NewRNG(3))
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, wave, SampleRate); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := NewExtractor(DefaultFeatureConfig())
+	a := ext.Features(wave)
+	b := ext.Features(back)
+	if len(a) != len(b) {
+		t.Fatal("frame count changed")
+	}
+	for t2 := range a {
+		for j := range a[t2] {
+			if math.Abs(float64(a[t2][j]-b[t2][j])) > 0.2 {
+				t.Fatalf("feature (%d,%d) drifted: %v vs %v", t2, j, a[t2][j], b[t2][j])
+			}
+		}
+	}
+}

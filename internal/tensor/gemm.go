@@ -1,0 +1,105 @@
+package tensor
+
+// Dense multiply kernels. The training stack runs on these; the deployed
+// inference path instead executes compiler-generated sparse plans (see
+// internal/compiler and internal/device), with these kernels serving as the
+// correctness reference.
+
+// MatVec computes y = W·x for W (m×n) and x (n). y must have length m.
+func MatVec(y []float32, w *Matrix, x []float32) {
+	if len(x) != w.Cols || len(y) != w.Rows {
+		panic("tensor: MatVec shape mismatch")
+	}
+	for i := 0; i < w.Rows; i++ {
+		row := w.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += float64(v) * float64(x[j])
+		}
+		y[i] = float32(s)
+	}
+}
+
+// MatVecAdd computes y += W·x.
+func MatVecAdd(y []float32, w *Matrix, x []float32) {
+	if len(x) != w.Cols || len(y) != w.Rows {
+		panic("tensor: MatVecAdd shape mismatch")
+	}
+	for i := 0; i < w.Rows; i++ {
+		row := w.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += float64(v) * float64(x[j])
+		}
+		y[i] += float32(s)
+	}
+}
+
+// MatTVecAdd computes y += Wᵀ·x for W (m×n), x (m), y (n). Used by
+// backpropagation, which needs the transpose product without materializing
+// the transpose.
+func MatTVecAdd(y []float32, w *Matrix, x []float32) {
+	if len(x) != w.Rows || len(y) != w.Cols {
+		panic("tensor: MatTVecAdd shape mismatch")
+	}
+	for i := 0; i < w.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := w.Row(i)
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+}
+
+// OuterAdd accumulates the outer product a·bᵀ into w: w[i][j] += a[i]*b[j].
+// This is the weight-gradient update shape in BPTT.
+func OuterAdd(w *Matrix, a, b []float32) {
+	if len(a) != w.Rows || len(b) != w.Cols {
+		panic("tensor: OuterAdd shape mismatch")
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := w.Row(i)
+		for j, bj := range b {
+			row[j] += ai * bj
+		}
+	}
+}
+
+// MatMul returns C = A·B.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic("tensor: MatMul shape mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	GemmInto(c, a, b)
+	return c
+}
+
+// GemmInto computes C = A·B into an existing C (shapes must agree). The inner
+// kernel is the i-k-j ordering, which keeps all three access patterns
+// sequential in row-major layout.
+func GemmInto(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: GemmInto shape mismatch")
+	}
+	c.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
+}

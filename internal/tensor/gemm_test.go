@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatVecKnown(t *testing.T) {
+	w := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	x := []float32{1, 0, -1}
+	y := NewVector(2)
+	MatVec(y, w, x)
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("MatVec got %v", y)
+	}
+}
+
+func TestMatVecAddAccumulates(t *testing.T) {
+	w := FromRows([][]float32{{1, 1}, {2, 2}})
+	x := []float32{1, 1}
+	y := []float32{10, 20}
+	MatVecAdd(y, w, x)
+	if y[0] != 12 || y[1] != 24 {
+		t.Fatalf("MatVecAdd got %v", y)
+	}
+}
+
+func TestMatTVecAddMatchesExplicitTranspose(t *testing.T) {
+	w := randMatrix(4, 5, 7)
+	x := make([]float32, 5)
+	for i := range x {
+		x[i] = float32(i) - 2
+	}
+	y1 := NewVector(7)
+	MatTVecAdd(y1, w, x)
+	y2 := NewVector(7)
+	MatVec(y2, w.T(), x)
+	for i := range y1 {
+		if math.Abs(float64(y1[i]-y2[i])) > 1e-4 {
+			t.Fatalf("MatTVecAdd[%d] = %v, explicit transpose = %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestOuterAdd(t *testing.T) {
+	w := NewMatrix(2, 3)
+	OuterAdd(w, []float32{1, 2}, []float32{3, 4, 5})
+	want := FromRows([][]float32{{3, 4, 5}, {6, 8, 10}})
+	if !w.Equal(want) {
+		t.Fatalf("OuterAdd got %v", w.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := randMatrix(9, 5, 5)
+	id := NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(a, id).AllClose(a, 1e-6) {
+		t.Fatal("A·I != A")
+	}
+	if !MatMul(id, a).AllClose(a, 1e-6) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if !c.AllClose(want, 1e-6) {
+		t.Fatalf("MatMul got %v", c.Data)
+	}
+}
+
+// Property: (A·B)·x == A·(B·x) — GEMM is consistent with GEMV composition.
+func TestQuickGemmGemvConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m, k, n := 3+int(rng.Intn(5)), 3+int(rng.Intn(5)), 3+int(rng.Intn(5))
+		a := NewMatrix(m, k)
+		a.RandNormal(rng, 1)
+		b := NewMatrix(k, n)
+		b.RandNormal(rng, 1)
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		// Path 1: (A·B)·x
+		y1 := NewVector(m)
+		MatVec(y1, MatMul(a, b), x)
+		// Path 2: A·(B·x)
+		bx := NewVector(k)
+		MatVec(bx, b, x)
+		y2 := NewVector(m)
+		MatVec(y2, a, bx)
+		for i := range y1 {
+			if math.Abs(float64(y1[i]-y2[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatVec is linear — W·(ax + by) == a·Wx + b·Wy.
+func TestQuickMatVecLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		w := NewMatrix(6, 4)
+		w.RandNormal(rng, 1)
+		x := make([]float32, 4)
+		y := make([]float32, 4)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+			y[i] = float32(rng.NormFloat64())
+		}
+		const a, b = 2.5, -1.25
+		combined := make([]float32, 4)
+		for i := range combined {
+			combined[i] = a*x[i] + b*y[i]
+		}
+		lhs := NewVector(6)
+		MatVec(lhs, w, combined)
+		wx := NewVector(6)
+		wy := NewVector(6)
+		MatVec(wx, w, x)
+		MatVec(wy, w, y)
+		for i := range lhs {
+			rhs := a*wx[i] + b*wy[i]
+			if math.Abs(float64(lhs[i]-rhs)) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul shape mismatch did not panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(4, 2))
+}

@@ -1,0 +1,148 @@
+// Package tensor provides the dense linear-algebra substrate used by every
+// other package in the RTMobile reproduction: row-major float32 matrices,
+// GEMM/GEMV kernels, element-wise operations, IEEE-754 half-precision
+// emulation (the paper's mobile GPU path runs in fp16), and a deterministic
+// random number generator so that every experiment is bit-reproducible from
+// its seed.
+package tensor
+
+import "math"
+
+// RNG is a deterministic pseudo-random generator (xoshiro256** seeded via
+// SplitMix64). It is intentionally independent of math/rand so that the
+// sequence is stable across Go releases; reproducibility of the pruning and
+// training experiments depends on it.
+type RNG struct {
+	s [4]uint64
+	// cached spare normal deviate for NormFloat64 (Box-Muller produces two).
+	hasSpare bool
+	spare    float64
+}
+
+// splitMix64 advances the SplitMix64 state and returns the next output.
+// It is used only to expand the user seed into the xoshiro state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator whose entire future output is determined by seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) * (1.0 / (1 << 24))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded integers.
+	bound := uint64(n)
+	for {
+		x := r.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// NormFloat64 returns a standard normal deviate using Box-Muller.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	factor := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * factor
+	r.hasSpare = true
+	return u * factor
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders n elements using the provided swap func.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives an independent generator from this one. Deriving rather than
+// sharing keeps parallel components (corpus synthesis, weight init, dropout)
+// decoupled: adding draws to one does not perturb the others.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
