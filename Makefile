@@ -1,0 +1,31 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race fuzz-smoke vet bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: everything must pass.
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; the concurrency stress tests in
+# internal/rtmobile and internal/compiler are written for this target.
+race:
+	$(GO) test -race ./...
+
+# Short run of every fuzz target (decoder hardening + compiler shapes).
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeBSPC -fuzztime=$(FUZZTIME) ./internal/sparse
+	$(GO) test -run=^$$ -fuzz=FuzzBSPCRoundTrip -fuzztime=$(FUZZTIME) ./internal/sparse
+	$(GO) test -run=^$$ -fuzz=FuzzCompileProgram -fuzztime=$(FUZZTIME) ./internal/compiler
+
+vet:
+	$(GO) vet ./...
+
+# Regenerates the paper tables plus the worker-scaling study.
+bench:
+	$(GO) test -bench=. -benchmem

@@ -9,11 +9,25 @@ import (
 	"rtmobile/internal/compiler"
 	"rtmobile/internal/device"
 	"rtmobile/internal/nn"
+	"rtmobile/internal/parallel"
 	"rtmobile/internal/prune"
 	"rtmobile/internal/rtmobile"
 	"rtmobile/internal/speech"
 	"rtmobile/internal/tensor"
 )
+
+// workersFlag adds the shared -workers knob: 0 keeps the process default
+// (RTMOBILE_WORKERS env, else NumCPU). applyWorkers also points the dense
+// training kernels at a matching pool so train/prune scale too.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker pool size (0 = RTMOBILE_WORKERS env or NumCPU)")
+}
+
+func applyWorkers(n int) {
+	if n > 0 {
+		tensor.SetPool(parallel.NewPool(n))
+	}
+}
 
 // corpusFlags adds the shared corpus-shaping flags to a flag set.
 func corpusFlags(fs *flag.FlagSet) *speech.CorpusConfig {
@@ -68,9 +82,11 @@ func cmdTrain(args []string) error {
 	epochs := fs.Int("epochs", 20, "training epochs")
 	lr := fs.Float64("lr", 3e-3, "Adam learning rate")
 	out := fs.String("out", "model.bin", "output model path")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyWorkers(*workers)
 	c, err := speech.GenerateCorpus(*cfg)
 	if err != nil {
 		return err
@@ -161,9 +177,11 @@ func cmdCompile(args []string) error {
 	noLoadElim := fs.Bool("no-loadelim", false, "disable redundant load elimination")
 	tune := fs.Bool("autotune", false, "run the tiling auto-tuner")
 	listing := fs.Bool("listing", false, "emit the generated kernel pseudo-code")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyWorkers(*workers)
 	model, err := loadModel(*in)
 	if err != nil {
 		return err
@@ -180,7 +198,7 @@ func cmdCompile(args []string) error {
 	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{
 		Target: target, Format: format,
 		DisableReorder: *noReorder, DisableLoadElim: *noLoadElim,
-		AutoTuneTiling: *tune,
+		AutoTuneTiling: *tune, Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -240,7 +258,7 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
 	if err := fs.Parse(args); err != nil {
@@ -290,6 +308,14 @@ func cmdBench(args []string) error {
 			return err
 		}
 		fmt.Println(bench.RenderScaling(rows, cfg.ProbeColRate))
+	case "workers":
+		cfg := bench.DefaultWorkerSweepConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rows, err := bench.RunWorkerSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderWorkerSweep(rows, cfg))
 	case "blocksize":
 		results, best, err := bench.RunBlockSizeStudy(bench.DefaultBlockSizeStudy())
 		if err != nil {
@@ -380,9 +406,11 @@ func cmdRun(args []string) error {
 	cfg := corpusFlags(fs)
 	bundle := fs.String("bundle", "model.rtmb", "deployment bundle path")
 	targetName := fs.String("target", "gpu", "target: gpu or cpu")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyWorkers(*workers)
 	target, err := parseTarget(*targetName)
 	if err != nil {
 		return err
@@ -396,6 +424,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	eng.SetWorkers(*workers)
 	fmt.Printf("loaded %s: scheme %s, %s\n", *bundle, scheme.Name(), eng.Plan())
 	c, err := speech.GenerateCorpus(*cfg)
 	if err != nil {

@@ -5,6 +5,7 @@
 // The implementation lives under internal/:
 //
 //	internal/tensor    dense linear algebra, fp16 emulation, deterministic RNG
+//	internal/parallel  worker pool shared by kernels, programs, and serving
 //	internal/dsp       FFT, DCT, mel filterbanks, circulant products
 //	internal/speech    synthetic TIMIT substitute, MFCC front end, PER scoring
 //	internal/nn        GRU with BPTT, losses, SGD/Adam
@@ -14,6 +15,26 @@
 //	internal/device    mobile GPU/CPU and ESE FPGA cost models
 //	internal/rtmobile  the end-to-end Prune → Compile → Infer framework
 //	internal/bench     Table I / Table II / Figure 4 / ablation harness
+//
+// # Concurrency and the ownership rule
+//
+// The runtime is parallel but deterministic. Compiled programs execute
+// their thread lanes on a worker pool (internal/parallel), dense training
+// kernels chunk large loops over the same pool, and Engine.InferBatch
+// scores independent utterances concurrently. Every parallel path is
+// bit-identical to its serial counterpart: work is partitioned so each
+// output element is produced by exactly one worker in the serial float op
+// order, so results never depend on worker count or scheduling. Pool size
+// comes from DeployConfig.Workers / the -workers CLI flag, falling back to
+// the RTMOBILE_WORKERS environment variable, then runtime.NumCPU().
+//
+// The ownership rule that makes shared use safe: an Engine's weights and
+// compiled plan are immutable after Compile (fp16 rounding included), and
+// every inference entry point — Infer, InferBatch, NewStream — allocates
+// its own mutable state. One Engine may therefore serve any number of
+// goroutines concurrently. The exception is training: Model.Forward and
+// Model.Train write BPTT caches onto the layer structs and must own the
+// model exclusively.
 //
 // See README.md for a user guide, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-vs-measured results. The

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/parallel"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+// Worker-scaling study — measures the real parallel runtime, not the
+// analytic cost model: one Table-I-sized GRU projection is compiled to a
+// thread-chunked program and executed wall-clock at several worker-pool
+// sizes. Because ExecuteParallel is bit-identical to Execute, the sweep
+// also cross-checks every worker count's output against the serial
+// baseline and fails on any divergence.
+
+// WorkerSweepRow is one worker count's measurement.
+type WorkerSweepRow struct {
+	Workers int
+	WallUS  float64 // mean wall-clock per program execution
+	Speedup float64 // vs the 1-worker row
+}
+
+// WorkerSweepConfig sizes the study.
+type WorkerSweepConfig struct {
+	// Hidden sizes the GRU projection: the program multiplies the
+	// [3*Hidden × Hidden] recurrent matrix (the paper's 1024 → 3072×1024).
+	Hidden int
+	// ColRate/RowRate prune the matrix before compilation (Table I's axes).
+	ColRate, RowRate float64
+	// Format of the compiled kernel (default BSPC).
+	Format compiler.Format
+	// Lanes is the program's thread-chunk count (must be >= the largest
+	// worker count for the sweep to mean anything).
+	Lanes int
+	// Workers are the pool sizes to measure.
+	Workers []int
+	// Reps is the number of timed executions per row (after one warmup).
+	Reps int
+	Logf func(string, ...any)
+}
+
+// DefaultWorkerSweepConfig measures the paper-scale layer (3072×1024 at
+// 16× column / 2× row compression) at 1/2/4/8 workers.
+func DefaultWorkerSweepConfig() WorkerSweepConfig {
+	return WorkerSweepConfig{
+		Hidden: 1024, ColRate: 16, RowRate: 2,
+		Format: compiler.FormatBSPC, Lanes: 8,
+		Workers: []int{1, 2, 4, 8}, Reps: 30,
+	}
+}
+
+// BuildSweepProgram compiles the study's kernel program: a BSP-pruned
+// [3H × H] projection lowered at the configured format and lane count.
+// Exposed for the top-level Go benchmarks, which time it under b.N.
+func BuildSweepProgram(cfg WorkerSweepConfig) (*compiler.Program, []float32, error) {
+	if cfg.Hidden <= 0 {
+		return nil, nil, fmt.Errorf("bench: worker sweep needs Hidden > 0")
+	}
+	rows, cols := 3*cfg.Hidden, cfg.Hidden
+	w := tensor.NewMatrix(rows, cols)
+	w.XavierInit(tensor.NewRNG(17), cols, rows)
+	scheme := prune.BSP{
+		ColRate: cfg.ColRate, RowRate: cfg.RowRate,
+		NumRowGroups: 8, NumColBlocks: 4,
+	}
+	if cfg.Format != compiler.FormatDense && cfg.ColRate >= 1 {
+		w = scheme.Project(w)
+	}
+	src := compiler.MatrixSource{Name: "gru.Wh", W: w}
+	if cfg.Format == compiler.FormatBSPC {
+		src.Scheme = &scheme
+	}
+	prog, err := compiler.CompileProgram(src, compiler.DefaultOptions(cfg.Format, 32), cfg.Lanes)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := make([]float32, cols)
+	rng := tensor.NewRNG(23)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	return prog, x, nil
+}
+
+// RunWorkerSweep executes the study.
+func RunWorkerSweep(cfg WorkerSweepConfig) ([]WorkerSweepRow, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	prog, x, err := BuildSweepProgram(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ref := make([]float32, prog.Rows)
+	if _, err := prog.Execute(ref, x); err != nil {
+		return nil, err
+	}
+
+	var rows []WorkerSweepRow
+	var baseUS float64
+	for _, workers := range cfg.Workers {
+		pool := parallel.NewPool(workers)
+		y := make([]float32, prog.Rows)
+		// Warmup (pool spin-up, cache priming).
+		if _, err := prog.ExecuteParallel(y, x, pool); err != nil {
+			pool.Close()
+			return nil, err
+		}
+		start := time.Now()
+		for r := 0; r < cfg.Reps; r++ {
+			if _, err := prog.ExecuteParallel(y, x, pool); err != nil {
+				pool.Close()
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		pool.Close()
+		for i := range y {
+			if y[i] != ref[i] {
+				return nil, fmt.Errorf("bench: %d-worker output diverged from serial at row %d", workers, i)
+			}
+		}
+		row := WorkerSweepRow{
+			Workers: workers,
+			WallUS:  float64(elapsed.Microseconds()) / float64(cfg.Reps),
+		}
+		if baseUS == 0 {
+			baseUS = row.WallUS
+		}
+		if row.WallUS > 0 {
+			row.Speedup = baseUS / row.WallUS
+		}
+		rows = append(rows, row)
+		if cfg.Logf != nil {
+			cfg.Logf("workers %d: %.1f us/exec (%.2fx)", workers, row.WallUS, row.Speedup)
+		}
+	}
+	return rows, nil
+}
+
+// RenderWorkerSweep formats the study.
+func RenderWorkerSweep(rows []WorkerSweepRow, cfg WorkerSweepConfig) string {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Extension: parallel runtime scaling (%dx%d %s, %d lanes, outputs bit-identical to serial)",
+			3*cfg.Hidden, cfg.Hidden, cfg.Format, cfg.Lanes),
+		Headers: []string{"Workers", "Wall us/exec", "Speedup"},
+	}
+	for _, r := range rows {
+		t.AddRow(f(float64(r.Workers), 0), f(r.WallUS, 1), f(r.Speedup, 2)+"x")
+	}
+	return t.Render()
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"rtmobile/internal/compiler"
+)
+
+// smallSweepConfig keeps the study fast for the unit-test tier while still
+// exercising program build, timing, and the serial cross-check.
+func smallSweepConfig() WorkerSweepConfig {
+	return WorkerSweepConfig{
+		Hidden: 96, ColRate: 4, RowRate: 1,
+		Format: compiler.FormatBSPC, Lanes: 4,
+		Workers: []int{1, 2}, Reps: 3,
+	}
+}
+
+func TestRunWorkerSweepSmall(t *testing.T) {
+	cfg := smallSweepConfig()
+	rows, err := RunWorkerSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Workers) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(cfg.Workers))
+	}
+	for i, r := range rows {
+		if r.Workers != cfg.Workers[i] {
+			t.Fatalf("row %d workers %d, want %d", i, r.Workers, cfg.Workers[i])
+		}
+		if r.WallUS < 0 {
+			t.Fatalf("row %d negative wall time", i)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatalf("baseline speedup %v, want 1", rows[0].Speedup)
+	}
+	out := RenderWorkerSweep(rows, cfg)
+	if !strings.Contains(out, "Workers") || !strings.Contains(out, "Speedup") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+}
+
+func TestRunWorkerSweepDenseFormat(t *testing.T) {
+	cfg := smallSweepConfig()
+	cfg.Format = compiler.FormatDense
+	if _, err := RunWorkerSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerSweepRejectsBadConfig(t *testing.T) {
+	cfg := smallSweepConfig()
+	cfg.Hidden = 0
+	if _, err := RunWorkerSweep(cfg); err == nil {
+		t.Fatal("Hidden=0 accepted")
+	}
+}

@@ -199,10 +199,62 @@ func lowerBSPC(w *tensor.Matrix, scheme prune.BSP, chunks [][]int, eliminate boo
 	return out
 }
 
+// laneCounts are one thread-lane's event counts; the executors merge them
+// into ExecStats in lane index order.
+type laneCounts struct {
+	gathers  int
+	streamed int
+	macs     int
+}
+
+// runLane executes one thread-lane's instruction sequence, accumulating
+// row results into y (indexed by absolute row) and gathering through xbuf
+// (cleared at each OpGather; pass a buffer with capacity len(x) to avoid
+// growth). Both the serial and the parallel executor run lanes through
+// this one function, so their per-lane float operation sequences are
+// identical by construction.
+func runLane(prog []Instr, y, x, xbuf []float32) (laneCounts, error) {
+	var c laneCounts
+	for _, ins := range prog {
+		switch ins.Op {
+		case OpGather:
+			xbuf = xbuf[:0]
+			for _, col := range ins.Cols {
+				xbuf = append(xbuf, x[col])
+			}
+			c.gathers += len(ins.Cols)
+		case OpDotGathered:
+			if len(ins.Vals) != len(xbuf) {
+				return c, fmt.Errorf("compiler: row %d dot width %d vs gather %d",
+					ins.Row, len(ins.Vals), len(xbuf))
+			}
+			s := 0.0
+			for i, v := range ins.Vals {
+				s += float64(v) * float64(xbuf[i])
+			}
+			y[ins.Row] += float32(s)
+			c.macs += len(ins.Vals)
+			c.streamed += len(ins.Vals)
+		case OpDotStream:
+			s := 0.0
+			for i, v := range ins.Vals {
+				s += float64(v) * float64(x[ins.ColLo+i])
+			}
+			y[ins.Row] += float32(s)
+			c.macs += len(ins.Vals)
+			c.streamed += len(ins.Vals)
+		default:
+			return c, fmt.Errorf("compiler: unknown opcode %d", ins.Op)
+		}
+	}
+	return c, nil
+}
+
 // Execute runs the program on x, writing y (len Rows) and returning the
 // event counts. Threads execute deterministically in index order; each
 // thread's partial results accumulate into y (BSPC rows may be touched by
-// several blocks).
+// several blocks, but every row belongs to exactly one thread — the
+// invariant ExecuteParallel relies on).
 func (p *Program) Execute(y, x []float32) (ExecStats, error) {
 	if len(x) != p.Cols || len(y) != p.Rows {
 		return ExecStats{}, fmt.Errorf("compiler: Execute shape mismatch")
@@ -211,38 +263,13 @@ func (p *Program) Execute(y, x []float32) (ExecStats, error) {
 	stats := ExecStats{ThreadMACs: make([]int, len(p.Threads))}
 	xbuf := make([]float32, 0, p.Cols)
 	for t, prog := range p.Threads {
-		for _, ins := range prog {
-			switch ins.Op {
-			case OpGather:
-				xbuf = xbuf[:0]
-				for _, c := range ins.Cols {
-					xbuf = append(xbuf, x[c])
-				}
-				stats.GatherLoads += len(ins.Cols)
-			case OpDotGathered:
-				if len(ins.Vals) != len(xbuf) {
-					return ExecStats{}, fmt.Errorf("compiler: row %d dot width %d vs gather %d",
-						ins.Row, len(ins.Vals), len(xbuf))
-				}
-				s := 0.0
-				for i, v := range ins.Vals {
-					s += float64(v) * float64(xbuf[i])
-				}
-				y[ins.Row] += float32(s)
-				stats.ThreadMACs[t] += len(ins.Vals)
-				stats.StreamedVals += len(ins.Vals)
-			case OpDotStream:
-				s := 0.0
-				for i, v := range ins.Vals {
-					s += float64(v) * float64(x[ins.ColLo+i])
-				}
-				y[ins.Row] += float32(s)
-				stats.ThreadMACs[t] += len(ins.Vals)
-				stats.StreamedVals += len(ins.Vals)
-			default:
-				return ExecStats{}, fmt.Errorf("compiler: unknown opcode %d", ins.Op)
-			}
+		c, err := runLane(prog, y, x, xbuf)
+		if err != nil {
+			return ExecStats{}, err
 		}
+		stats.GatherLoads += c.gathers
+		stats.StreamedVals += c.streamed
+		stats.ThreadMACs[t] = c.macs
 	}
 	return stats, nil
 }

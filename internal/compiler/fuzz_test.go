@@ -1,0 +1,79 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"rtmobile/internal/parallel"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+// FuzzCompileProgram lowers adversarially-shaped matrices (0 rows, 1
+// column, all-zero contents, ragged block grids, hostile thread counts)
+// through every format and checks three properties: compilation never
+// panics, the executed program matches the dense reference product, and
+// the parallel executor is bit-identical to the serial one.
+func FuzzCompileProgram(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint16(8), uint8(0), int16(4), uint8(3), uint8(3), false)   // 0 rows
+	f.Add(uint64(2), uint16(8), uint16(0), uint8(1), int16(4), uint8(2), uint8(2), false)   // 0 cols
+	f.Add(uint64(3), uint16(16), uint16(1), uint8(2), int16(1), uint8(4), uint8(4), false)  // 1 col
+	f.Add(uint64(4), uint16(1), uint16(16), uint8(2), int16(8), uint8(4), uint8(4), true)   // 1 row
+	f.Add(uint64(5), uint16(24), uint16(24), uint8(1), int16(-3), uint8(2), uint8(2), true) // bad threads
+	f.Add(uint64(6), uint16(13), uint16(17), uint8(2), int16(5), uint8(5), uint8(7), false) // ragged blocks
+	f.Add(uint64(7), uint16(12), uint16(12), uint8(0), int16(64), uint8(1), uint8(1), true) // threads >> rows
+	f.Fuzz(func(t *testing.T, seed uint64, rows, cols uint16, formatSel uint8,
+		threads int16, rowGroups, colBlocks uint8, allZero bool) {
+		r := int(rows % 64)
+		c := int(cols % 64)
+		w := tensor.NewMatrix(r, c)
+		if !allZero {
+			w.RandNormal(tensor.NewRNG(seed), 1)
+		}
+		scheme := prune.BSP{
+			ColRate: 1 + float64(seed%7), RowRate: 1 + float64(seed%3),
+			NumRowGroups: int(rowGroups%12) + 1, NumColBlocks: int(colBlocks%12) + 1,
+		}
+		format := []Format{FormatDense, FormatCSR, FormatBSPC}[formatSel%3]
+		src := MatrixSource{Name: "fuzz", W: w}
+		if format == FormatBSPC {
+			if r > 0 && c > 0 && !allZero {
+				w = scheme.Project(w)
+				src.W = w
+			}
+			s := scheme
+			src.Scheme = &s
+		}
+
+		prog, err := CompileProgram(src, DefaultOptions(format, 32), int(threads))
+		if err != nil {
+			// Rejection is fine; panics and wrong numbers are not.
+			return
+		}
+		x := randVec(seed+99, c)
+		y := make([]float32, r)
+		if _, err := prog.Execute(y, x); err != nil {
+			t.Fatalf("serial execute: %v", err)
+		}
+		want := make([]float32, r)
+		tensor.MatVec(want, w, x)
+		for i := range y {
+			if math.Abs(float64(y[i]-want[i])) > 1e-3 {
+				t.Fatalf("row %d: program %v vs dense %v (fmt=%s, %dx%d)",
+					i, y[i], want[i], format, r, c)
+			}
+		}
+
+		pool := parallel.NewPool(int(seed%7) + 2)
+		defer pool.Close()
+		yp := make([]float32, r)
+		if _, err := prog.ExecuteParallel(yp, x, pool); err != nil {
+			t.Fatalf("parallel execute: %v", err)
+		}
+		for i := range yp {
+			if yp[i] != y[i] {
+				t.Fatalf("row %d: parallel %v != serial %v", i, yp[i], y[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package compiler
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rtmobile/internal/parallel"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+// equalStats asserts two executions counted exactly the same events.
+func equalStats(t *testing.T, serial, par ExecStats, label string) {
+	t.Helper()
+	if serial.GatherLoads != par.GatherLoads {
+		t.Fatalf("%s: gathers %d vs %d", label, serial.GatherLoads, par.GatherLoads)
+	}
+	if serial.StreamedVals != par.StreamedVals {
+		t.Fatalf("%s: streamed %d vs %d", label, serial.StreamedVals, par.StreamedVals)
+	}
+	if len(serial.ThreadMACs) != len(par.ThreadMACs) {
+		t.Fatalf("%s: lane count %d vs %d", label, len(serial.ThreadMACs), len(par.ThreadMACs))
+	}
+	for i := range serial.ThreadMACs {
+		if serial.ThreadMACs[i] != par.ThreadMACs[i] {
+			t.Fatalf("%s: lane %d MACs %d vs %d", label, i, serial.ThreadMACs[i], par.ThreadMACs[i])
+		}
+	}
+}
+
+// TestExecuteParallelBitIdentical is the equivalence property suite: for
+// random matrices across all three formats, fp16 on/off, several program
+// thread counts and several pool worker counts, the parallel executor must
+// produce exactly the serial executor's bytes and event counts.
+func TestExecuteParallelBitIdentical(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	workerCounts := []int{1, 2, 7, runtime.NumCPU()}
+	threadCounts := []int{1, 3, 8}
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, fp16 := range []bool{false, true} {
+			w := bspMat(seed, 32+int(seed)*7, 32, scheme)
+			valueBits := 32
+			if fp16 {
+				tensor.QuantizeHalf(w)
+				valueBits = 16
+			}
+			for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+				src := MatrixSource{Name: "m", W: w}
+				if format == FormatBSPC {
+					s := scheme
+					src.Scheme = &s
+				}
+				for _, threads := range threadCounts {
+					prog, err := CompileProgram(src, DefaultOptions(format, valueBits), threads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					x := randVec(seed*101+uint64(threads), w.Cols)
+					if fp16 {
+						tensor.QuantizeHalfVec(x)
+					}
+					want := make([]float32, w.Rows)
+					wantStats, err := prog.Execute(want, x)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range workerCounts {
+						label := fmt.Sprintf("seed=%d fp16=%v fmt=%s threads=%d workers=%d",
+							seed, fp16, format, threads, workers)
+						pool := parallel.NewPool(workers)
+						got := make([]float32, w.Rows)
+						gotStats, err := prog.ExecuteParallel(got, x, pool)
+						pool.Close()
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						for r := range got {
+							if got[r] != want[r] {
+								t.Fatalf("%s: row %d: parallel %v vs serial %v",
+									label, r, got[r], want[r])
+							}
+						}
+						equalStats(t, wantStats, gotStats, label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteParallelNilPool exercises the default-pool path.
+func TestExecuteParallelNilPool(t *testing.T) {
+	w := tensor.NewMatrix(9, 11)
+	w.RandNormal(tensor.NewRNG(3), 1)
+	prog, err := CompileProgram(MatrixSource{Name: "d", W: w}, DefaultOptions(FormatDense, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(5, 11)
+	want := make([]float32, 9)
+	if _, err := prog.Execute(want, x); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 9)
+	if _, err := prog.ExecuteParallel(got, x, nil); err != nil {
+		t.Fatal(err)
+	}
+	for r := range got {
+		if got[r] != want[r] {
+			t.Fatalf("row %d differs with nil pool", r)
+		}
+	}
+}
+
+// TestExecuteParallelShapeMismatch keeps parity with Execute's validation.
+func TestExecuteParallelShapeMismatch(t *testing.T) {
+	w := tensor.NewMatrix(4, 4)
+	prog, err := CompileProgram(MatrixSource{Name: "d", W: w}, DefaultOptions(FormatDense, 32), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	if _, err := prog.ExecuteParallel(make([]float32, 3), make([]float32, 4), pool); err == nil {
+		t.Fatal("short y accepted")
+	}
+	if _, err := prog.ExecuteParallel(make([]float32, 4), make([]float32, 5), pool); err == nil {
+		t.Fatal("long x accepted")
+	}
+}
+
+// TestExecuteParallelSharedProgram hammers one compiled Program from many
+// goroutines — the Program must be safely shareable (it is read-only
+// during execution).
+func TestExecuteParallelSharedProgram(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(9, 48, 40, scheme)
+	src := MatrixSource{Name: "s", W: w, Scheme: &scheme}
+	prog, err := CompileProgram(src, DefaultOptions(FormatBSPC, 32), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(10, 40)
+	want := make([]float32, 48)
+	if _, err := prog.Execute(want, x); err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	outer := parallel.NewPool(8)
+	defer outer.Close()
+	outer.For(16, func(i int) {
+		y := make([]float32, 48)
+		if _, err := prog.ExecuteParallel(y, x, pool); err != nil {
+			t.Error(err)
+			return
+		}
+		for r := range y {
+			if y[r] != want[r] {
+				t.Errorf("goroutine %d row %d differs", i, r)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package parallel provides the reusable worker pool behind every
+// concurrent hot path in the reproduction: the compiler's parallel program
+// executor, the dense training kernels in internal/tensor, and
+// batch/utterance-level serving in internal/rtmobile. The pool maps the
+// paper's per-thread kernel programs (Dong et al., DAC 2020 §IV) onto real
+// goroutines while keeping results bit-identical to serial execution —
+// callers partition work so that every output element is produced by
+// exactly one worker with the same operation order the serial code uses.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable overriding the default pool's
+// worker count (the CLI flag -workers takes precedence where offered).
+const EnvWorkers = "RTMOBILE_WORKERS"
+
+// Pool is a reusable fixed-size worker pool. The zero value is not usable;
+// construct with NewPool or use Default. A Pool is safe for concurrent use
+// and for nested For calls (the submitting goroutine always participates
+// in the work, so progress never depends on a free worker).
+type Pool struct {
+	workers int
+	jobs    chan func()
+	closed  atomic.Bool
+}
+
+// NewPool returns a pool that runs work on up to `workers` goroutines
+// (including the caller's). Counts below 1 are clamped to 1, which yields
+// a pool that runs everything inline on the caller.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		// workers-1 persistent helpers; the goroutine calling For is the
+		// remaining worker.
+		p.jobs = make(chan func())
+		for i := 0; i < workers-1; i++ {
+			go func() {
+				for f := range p.jobs {
+					f()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers reports the pool's worker count (>= 1).
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the persistent helper goroutines. Work in flight completes;
+// For remains usable afterwards (it falls back to spawning goroutines).
+// Closing twice is a no-op. The Default pool is never closed.
+func (p *Pool) Close() {
+	if p.jobs != nil && p.closed.CompareAndSwap(false, true) {
+		close(p.jobs)
+	}
+}
+
+// submit hands f to a persistent helper, or spawns a goroutine when none
+// is immediately free (or the pool is closed). The non-blocking fallback
+// is what makes nested and concurrent For calls deadlock-free.
+func (p *Pool) submit(f func()) {
+	if p.jobs != nil && !p.closed.Load() {
+		select {
+		case p.jobs <- f:
+			return
+		default:
+		}
+	}
+	go f()
+}
+
+// For runs fn(i) for every i in [0, n), distributing indices across the
+// pool. The call blocks until all n invocations return. Indices are
+// claimed dynamically, so fn must not assume any worker↔index affinity;
+// determinism comes from each index being executed exactly once. With a
+// 1-worker pool (or n <= 1) everything runs inline on the caller in index
+// order. If fn panics, the panic propagates to the For caller.
+func (p *Pool) For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	k := p.workers
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicked atomic.Pointer[panicValue]
+	runner := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &panicValue{r})
+				// Drain remaining indices so peers finish promptly.
+				next.Store(int64(n))
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < k; w++ {
+		wg.Add(1)
+		p.submit(func() {
+			defer wg.Done()
+			runner()
+		})
+	}
+	runner()
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(pv.v)
+	}
+}
+
+// panicValue boxes a recovered panic for cross-goroutine rethrow.
+type panicValue struct{ v any }
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool. Its size is
+// RTMOBILE_WORKERS when set to a positive integer, else runtime.NumCPU().
+func Default() *Pool {
+	defaultOnce.Do(func() {
+		defaultPool = NewPool(DefaultWorkers())
+	})
+	return defaultPool
+}
+
+// DefaultWorkers resolves the default worker count: the RTMOBILE_WORKERS
+// environment variable when set to a positive integer, else NumCPU.
+func DefaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// Chunk describes a contiguous index range [Lo, Hi).
+type Chunk struct{ Lo, Hi int }
+
+// Chunks splits [0, n) into at most `parts` contiguous ranges of
+// near-equal size (the first n%parts ranges are one longer). Fewer than
+// `parts` ranges are returned when n < parts; n <= 0 returns nil. The
+// split depends only on (n, parts) — never on scheduling — which is what
+// lets chunked kernels stay bit-identical across worker counts.
+func Chunks(n, parts int) []Chunk {
+	if n <= 0 || parts < 1 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Chunk, 0, parts)
+	lo := 0
+	for p := 0; p < parts; p++ {
+		hi := lo + n/parts
+		if p < n%parts {
+			hi++
+		}
+		out = append(out, Chunk{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 100, 1000} {
+			var hits atomic.Int64
+			seen := make([]atomic.Bool, n)
+			p.For(n, func(i int) {
+				if seen[i].Swap(true) {
+					t.Errorf("workers=%d n=%d: index %d executed twice", workers, n, i)
+				}
+				hits.Add(1)
+			})
+			if int(hits.Load()) != n {
+				t.Fatalf("workers=%d: ran %d of %d indices", workers, hits.Load(), n)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestForNested(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	p.For(8, func(i int) {
+		p.For(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested For ran %d of 64", total.Load())
+	}
+}
+
+func TestForConcurrentCallers(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var total atomic.Int64
+	outer := NewPool(8)
+	defer outer.Close()
+	outer.For(8, func(i int) {
+		p.For(50, func(j int) { total.Add(1) })
+	})
+	if total.Load() != 400 {
+		t.Fatalf("concurrent For ran %d of 400", total.Load())
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.For(100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForAfterClose(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close() // double close is a no-op
+	var total atomic.Int64
+	p.For(10, func(i int) { total.Add(1) })
+	if total.Load() != 10 {
+		t.Fatalf("For after Close ran %d of 10", total.Load())
+	}
+}
+
+func TestNewPoolClampsWorkers(t *testing.T) {
+	for _, w := range []int{-3, 0, 1} {
+		p := NewPool(w)
+		if p.Workers() != 1 {
+			t.Fatalf("NewPool(%d).Workers() = %d, want 1", w, p.Workers())
+		}
+	}
+	if NewPool(5).Workers() != 5 {
+		t.Fatal("NewPool(5) did not keep 5 workers")
+	}
+}
+
+func TestDefaultWorkersEnv(t *testing.T) {
+	t.Setenv(EnvWorkers, "3")
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers with env=3: got %d", got)
+	}
+	t.Setenv(EnvWorkers, "bogus")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers with bad env: got %d", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers with negative env: got %d", got)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     []Chunk
+	}{
+		{0, 4, nil},
+		{-1, 4, nil},
+		{5, 0, nil},
+		{3, 5, []Chunk{{0, 1}, {1, 2}, {2, 3}}},
+		{10, 3, []Chunk{{0, 4}, {4, 7}, {7, 10}}},
+		{8, 4, []Chunk{{0, 2}, {2, 4}, {4, 6}, {6, 8}}},
+	}
+	for _, c := range cases {
+		got := Chunks(c.n, c.parts)
+		if len(got) != len(c.want) {
+			t.Fatalf("Chunks(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Chunks(%d,%d)[%d] = %v, want %v", c.n, c.parts, i, got[i], c.want[i])
+			}
+		}
+	}
+	// Every split must cover [0, n) exactly.
+	for n := 1; n < 40; n++ {
+		for parts := 1; parts < 10; parts++ {
+			lo := 0
+			for _, ch := range Chunks(n, parts) {
+				if ch.Lo != lo || ch.Hi <= ch.Lo {
+					t.Fatalf("Chunks(%d,%d): bad chunk %v at lo=%d", n, parts, ch, lo)
+				}
+				lo = ch.Hi
+			}
+			if lo != n {
+				t.Fatalf("Chunks(%d,%d) covered %d", n, parts, lo)
+			}
+		}
+	}
+}

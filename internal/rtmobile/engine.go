@@ -4,6 +4,7 @@ import (
 	"rtmobile/internal/compiler"
 	"rtmobile/internal/device"
 	"rtmobile/internal/nn"
+	"rtmobile/internal/parallel"
 	"rtmobile/internal/tensor"
 )
 
@@ -11,37 +12,85 @@ import (
 // performance model. Infer produces real posteriors (so accuracy after
 // pruning and fp16 quantization is measurable); Latency/GOPs/Efficiency
 // report the cost model's per-frame predictions for the compiled plan.
+//
+// Ownership rule: after Compile returns, the engine's weights are
+// read-only — every inference entry point (Infer, InferBatch, NewStream)
+// allocates its own recurrent state and only reads the model, so one
+// Engine may serve any number of goroutines concurrently. The one-time
+// fp16 weight rounding happens inside Compile, before the engine is
+// published. Training a deployed engine's model while serving from it is
+// the only unsupported combination.
 type Engine struct {
 	model  *nn.Model
 	plan   *compiler.Plan
 	target *device.Target
+	pool   *parallel.Pool
 	fp16   bool
 	fused  bool
 }
 
 // quantizeWeights rounds all parameters through fp16, reproducing the
-// paper's 16-bit GPU deployment.
+// paper's 16-bit GPU deployment. Called once from Compile, never after
+// the engine is shared.
 func (e *Engine) quantizeWeights() {
 	for _, p := range e.model.Params() {
 		tensor.QuantizeHalf(p.W)
 	}
 }
 
+// Pool returns the worker pool serving requests use (the process default
+// unless DeployConfig.Workers chose a dedicated size).
+func (e *Engine) Pool() *parallel.Pool { return e.pool }
+
+// SetWorkers resizes the engine's serving pool after construction —
+// needed when the pool size is only known after LoadBundle (the CLI's
+// run -workers flag). n <= 0 restores the process default. Not safe to
+// call concurrently with in-flight InferBatch requests.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		e.pool = parallel.Default()
+		return
+	}
+	e.pool = parallel.NewPool(n)
+}
+
 // Infer runs one utterance through the deployed model and returns per-frame
 // phone posteriors. On the fp16 path activations are also rounded through
 // half precision at the model boundary.
+//
+// The call owns all mutable state (it steps a private stream over the
+// shared weights), so concurrent Infer calls on one Engine are safe and
+// each produces exactly the bytes a solo call would. The layer steppers
+// replay the batch Forward pass's float operation order, so results are
+// also bit-identical to the training-side Forward.
 func (e *Engine) Infer(frames [][]float32) [][]float32 {
-	in := frames
-	if e.fp16 {
-		in = make([][]float32, len(frames))
-		for t, f := range frames {
-			q := tensor.CloneVec(f)
-			tensor.QuantizeHalfVec(q)
-			in[t] = q
+	s := e.model.NewStream()
+	logits := make([][]float32, len(frames))
+	for t, f := range frames {
+		in := f
+		if e.fp16 {
+			in = tensor.CloneVec(f)
+			tensor.QuantizeHalfVec(in)
 		}
+		logits[t] = s.Step(in)
 	}
-	logits := e.model.Forward(in)
 	return nn.Posteriors(logits)
+}
+
+// InferBatch scores independent utterances concurrently on the engine's
+// worker pool and returns their posteriors in input order. Output is
+// bit-identical to calling Infer on each utterance serially (utterances
+// share no state). Nil or empty batches return a same-length slice.
+func (e *Engine) InferBatch(batch [][][]float32) [][][]float32 {
+	out := make([][][]float32, len(batch))
+	pool := e.pool
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	pool.For(len(batch), func(i int) {
+		out[i] = e.Infer(batch[i])
+	})
+	return out
 }
 
 // Stream is a stateful frame-by-frame inference session over a deployed

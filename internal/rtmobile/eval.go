@@ -28,11 +28,18 @@ func EvaluatePER(m *nn.Model, test []speech.Utterance) float64 {
 }
 
 // EvaluateEnginePER scores a deployed engine (its fp16 path included) on
-// test utterances.
+// test utterances. Utterances are scored through InferBatch, so the
+// engine's worker pool parallelizes the sweep; scoring stays in utterance
+// order, so the PER is identical at any pool size.
 func EvaluateEnginePER(e *Engine, test []speech.Utterance) float64 {
+	batch := make([][][]float32, len(test))
+	for i, u := range test {
+		batch[i] = u.Frames
+	}
+	posts := e.InferBatch(batch)
 	var r speech.PERResult
-	for _, u := range test {
-		hyp := speech.SmoothDecode(e.Infer(u.Frames), DecodeWindow, DecodeMinRun)
+	for i, u := range test {
+		hyp := speech.SmoothDecode(posts[i], DecodeWindow, DecodeMinRun)
 		r.ScoreUtterance(hyp, u.Phones)
 	}
 	return r.PER()

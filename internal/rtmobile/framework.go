@@ -23,6 +23,7 @@ import (
 	"rtmobile/internal/compiler"
 	"rtmobile/internal/device"
 	"rtmobile/internal/nn"
+	"rtmobile/internal/parallel"
 	"rtmobile/internal/prune"
 )
 
@@ -96,6 +97,10 @@ type DeployConfig struct {
 	FuseKernels bool
 	// Tile overrides the tile configuration when AutoTuneTiling is off.
 	Tile compiler.TileConfig
+	// Workers sizes the engine's worker pool for batch serving
+	// (InferBatch). 0 uses the process default: RTMOBILE_WORKERS when
+	// set, else runtime.NumCPU().
+	Workers int
 }
 
 // valueBits selects numeric width per target: the paper's GPU path runs
@@ -149,7 +154,11 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 	if err != nil {
 		return nil, err
 	}
-	eng := &Engine{model: model, plan: plan, target: cfg.Target,
+	pool := parallel.Default()
+	if cfg.Workers > 0 {
+		pool = parallel.NewPool(cfg.Workers)
+	}
+	eng := &Engine{model: model, plan: plan, target: cfg.Target, pool: pool,
 		fp16: opt.ValueBits == 16, fused: cfg.FuseKernels}
 	if eng.fp16 {
 		eng.quantizeWeights()

@@ -117,6 +117,16 @@ func DecodeBSPC(r io.Reader) (*BSPC, error) {
 	if valueBits != 16 && valueBits != 32 {
 		return nil, fmt.Errorf("sparse: invalid value width %d", valueBits)
 	}
+	// Header sanity: dimensions are u16-bounded by the encoder, and a row
+	// permutation is either absent or covers every row. Checking here keeps
+	// the allocations below proportional to a well-formed payload instead
+	// of trusting attacker-controlled counts (see FuzzDecodeBSPC).
+	if rows > math.MaxUint16 || cols > math.MaxUint16 {
+		return nil, fmt.Errorf("sparse: matrix %dx%d exceeds u16 index space", rows, cols)
+	}
+	if permLen != 0 && permLen != rows {
+		return nil, fmt.Errorf("sparse: row permutation length %d for %d rows", permLen, rows)
+	}
 	b := &BSPC{Rows: int(rows), Cols: int(cols)}
 	b.RowPerm = make([]int32, permLen)
 	for i := range b.RowPerm {
@@ -142,6 +152,11 @@ func DecodeBSPC(r io.Reader) (*BSPC, error) {
 			ColLo: int32(fixed[2]), ColHi: int32(fixed[3]),
 		}
 		nRows, nCols := int(fixed[4]), int(fixed[5])
+		// A block cannot keep more rows/columns than the matrix has.
+		if nRows > int(rows) || nCols > int(cols) {
+			return nil, fmt.Errorf("sparse: block %d keeps %dx%d of a %dx%d matrix",
+				i, nRows, nCols, rows, cols)
+		}
 		blk.RowIdx = make([]int32, nRows)
 		for j := range blk.RowIdx {
 			var v uint16
@@ -158,22 +173,30 @@ func DecodeBSPC(r io.Reader) (*BSPC, error) {
 			}
 			blk.ColIdx[j] = int32(v)
 		}
-		blk.Vals = make([]float32, nRows*nCols)
+		// Grow Vals as payload bytes actually arrive rather than trusting
+		// nRows*nCols up front — a truncated or hostile stream then fails
+		// with EOF after a small allocation instead of exhausting memory.
+		nVals := nRows * nCols
+		capHint := nVals
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		blk.Vals = make([]float32, 0, capHint)
 		if valueBits == 16 {
-			for j := range blk.Vals {
+			for j := 0; j < nVals; j++ {
 				var v uint16
 				if err := binary.Read(r, le, &v); err != nil {
 					return nil, err
 				}
-				blk.Vals[j] = tensor.HalfToFloat32(v)
+				blk.Vals = append(blk.Vals, tensor.HalfToFloat32(v))
 			}
 		} else {
-			for j := range blk.Vals {
+			for j := 0; j < nVals; j++ {
 				var v uint32
 				if err := binary.Read(r, le, &v); err != nil {
 					return nil, err
 				}
-				blk.Vals[j] = math.Float32frombits(v)
+				blk.Vals = append(blk.Vals, math.Float32frombits(v))
 			}
 		}
 		b.Blocks = append(b.Blocks, blk)

@@ -1,0 +1,120 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+// Fuzz targets for the BSPC codec (go test -fuzz compatible; `make
+// fuzz-smoke` runs each for a few seconds, and the deterministic seed
+// corpus below runs on every plain `go test`).
+
+// fuzzScheme derives a (possibly degenerate) BSP scheme from raw fuzz
+// bytes: rates below 1 and grids larger than the matrix are legal inputs
+// the pruning code must clamp, and ragged grids (dims not divisible by the
+// grid) are exactly the adversarial shapes the issue calls out.
+func fuzzScheme(colRate, rowRate float64, rowGroups, colBlocks uint8) prune.BSP {
+	return prune.BSP{
+		ColRate: colRate, RowRate: rowRate,
+		NumRowGroups: int(rowGroups % 16), NumColBlocks: int(colBlocks % 16),
+	}
+}
+
+// FuzzBSPCRoundTrip builds a random matrix, prunes it under a fuzzed BSP
+// scheme, and asserts Encode→Decode reproduces the exact dense contents at
+// 32-bit width (and the exact fp16-rounded contents at 16-bit width).
+func FuzzBSPCRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(8), uint16(8), 4.0, 2.0, uint8(2), uint8(2), false)
+	f.Add(uint64(2), uint16(1), uint16(64), 8.0, 1.0, uint8(4), uint8(8), true)
+	f.Add(uint64(3), uint16(64), uint16(1), 1.0, 1.0, uint8(0), uint8(0), false)
+	f.Add(uint64(4), uint16(0), uint16(16), 4.0, 2.0, uint8(3), uint8(5), true)  // 0 rows
+	f.Add(uint64(5), uint16(16), uint16(0), 4.0, 2.0, uint8(3), uint8(5), false) // 0 cols
+	f.Add(uint64(6), uint16(13), uint16(17), 3.0, 2.0, uint8(5), uint8(7), true) // ragged grid
+	f.Fuzz(func(t *testing.T, seed uint64, rows, cols uint16, colRate, rowRate float64,
+		rowGroups, colBlocks uint8, fp16 bool) {
+		r := int(rows % 96)
+		c := int(cols % 96)
+		m := tensor.NewMatrix(r, c)
+		m.RandNormal(tensor.NewRNG(seed), 1)
+		scheme := fuzzScheme(colRate, rowRate, rowGroups, colBlocks)
+		if scheme.ColRate >= 1 && scheme.RowRate >= 1 && r > 0 && c > 0 {
+			m = scheme.Project(m)
+		}
+		b := NewBSPC(m, scheme)
+
+		valueBits := 32
+		if fp16 {
+			valueBits = 16
+		}
+		var buf bytes.Buffer
+		if err := b.Encode(&buf, valueBits); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeBSPC(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		want := b.Dense()
+		if fp16 {
+			tensor.QuantizeHalf(want)
+		}
+		if !got.Dense().Equal(want) {
+			t.Fatalf("round-trip changed contents (rows=%d cols=%d scheme=%s fp16=%v)",
+				r, c, scheme.Name(), fp16)
+		}
+		// A second encode of the decoded form must be byte-stable.
+		var buf2 bytes.Buffer
+		if err := got.Encode(&buf2, valueBits); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("encode(decode(encode(x))) is not byte-stable")
+		}
+	})
+}
+
+// FuzzDecodeBSPC throws arbitrary bytes at the decoder: it must either
+// return an error or a structurally sound matrix — never panic and never
+// allocate unboundedly from hostile headers.
+func FuzzDecodeBSPC(f *testing.F) {
+	// Seed with a valid encoding and a few corruptions of it.
+	m := tensor.NewMatrix(6, 10)
+	m.RandNormal(tensor.NewRNG(11), 1)
+	scheme := prune.BSP{ColRate: 2, RowRate: 1, NumRowGroups: 2, NumColBlocks: 2}
+	b := NewBSPC(scheme.Project(m), scheme)
+	var buf bytes.Buffer
+	if err := b.Encode(&buf, 32); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("BSPC"))
+	f.Add([]byte{})
+	truncHeader := append([]byte(nil), valid...)
+	truncHeader[5] = 0xff // version byte
+	f.Add(truncHeader)
+	hugeCount := append([]byte(nil), valid...)
+	for i := 0; i < 4 && 20+i < len(hugeCount); i++ {
+		hugeCount[20+i] = 0xff
+	}
+	f.Add(hugeCount)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeBSPC(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode cleanly at the same width.
+		if got.Rows < 0 || got.Cols < 0 {
+			t.Fatal("decoded negative dimensions")
+		}
+		for _, blk := range got.Blocks {
+			if len(blk.Vals) != len(blk.RowIdx)*len(blk.ColIdx) {
+				t.Fatal("decoded block with inconsistent payload size")
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package tensor
+
+import (
+	"sync/atomic"
+
+	"rtmobile/internal/parallel"
+)
+
+// Worker-pool hookup for the dense kernels in gemm.go. The kernels stay
+// pool-agnostic in their signatures (they are called from deep inside the
+// training loops); the pool is package state, defaulting to the shared
+// parallel.Default() pool and overridable for tests and the CLI.
+
+// ParallelCutoff is the minimum kernel work (output elements × inner
+// length, i.e. multiply-accumulates) before a kernel fans out to the
+// worker pool. Below it, goroutine handoff costs more than the loop.
+const ParallelCutoff = 1 << 16
+
+var kernelPool atomic.Pointer[parallel.Pool]
+
+// SetPool selects the worker pool the dense kernels use. Passing nil
+// restores the process default (parallel.Default()). Safe to call
+// concurrently with running kernels; in-flight calls keep the pool they
+// started with.
+func SetPool(p *parallel.Pool) { kernelPool.Store(p) }
+
+// currentPool returns the active kernel pool.
+func currentPool() *parallel.Pool {
+	if p := kernelPool.Load(); p != nil {
+		return p
+	}
+	return parallel.Default()
+}
+
+// kernelChunks decides whether a kernel with n partitionable output units
+// and `work` total MACs should run parallel, and if so returns the pool
+// and the deterministic partition. A nil chunk slice means "run serial".
+func kernelChunks(n, work int) (*parallel.Pool, []parallel.Chunk) {
+	if n < 2 || work < ParallelCutoff {
+		return nil, nil
+	}
+	p := currentPool()
+	if p.Workers() < 2 {
+		return nil, nil
+	}
+	return p, parallel.Chunks(n, p.Workers())
+}
