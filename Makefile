@@ -17,15 +17,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short run of every fuzz target (decoder hardening + compiler shapes).
+# Short run of every fuzz target (decoder hardening + compiler shapes +
+# pack lowering).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBSPC -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run=^$$ -fuzz=FuzzBSPCRoundTrip -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run=^$$ -fuzz=FuzzCompileProgram -fuzztime=$(FUZZTIME) ./internal/compiler
+	$(GO) test -run=^$$ -fuzz=FuzzPackProgram -fuzztime=$(FUZZTIME) ./internal/compiler
 
+# Static checks: vet under both build configurations (default and the
+# purego fallback used on targets without unsafe), plus a gofmt gate.
 vet:
 	$(GO) vet ./...
+	GOFLAGS=-tags=purego $(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
-# Regenerates the paper tables plus the worker-scaling study.
+# Regenerates the paper tables plus the worker-scaling study, then the
+# packed-vs-interpreter study as a machine-readable artifact.
 bench:
 	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/rtmobile bench -exp packed -json BENCH_2.json

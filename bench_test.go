@@ -315,6 +315,86 @@ func BenchmarkProgramExecWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkProgramExec is the packed-backend acceptance benchmark: the
+// interpreter vs the packed executor on the Table-I-sized GRU recurrent
+// projection (3072×1024, BSP 16×/2×), serial and at equal worker counts.
+// The packed rows should clear ≥1.5× over the matching interpreter rows;
+// `rtmobile bench -exp packed -json BENCH_2.json` records the same
+// measurement machine-readably.
+func BenchmarkProgramExec(b *testing.B) {
+	cfg := bench.DefaultWorkerSweepConfig()
+	prog, x, err := bench.BuildSweepProgram(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp, err := compiler.Pack(prog, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := make([]float32, prog.Rows)
+	scratch := pp.NewScratch()
+	b.Run("interp/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.Execute(y, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("packed/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := pp.Run(y, x, scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range cfg.Workers {
+		pool := parallel.NewPool(workers)
+		b.Run(fmt.Sprintf("interp/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.ExecuteParallel(y, x, pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("packed/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := pp.RunParallel(y, x, pool, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pool.Close()
+	}
+}
+
+// BenchmarkStreamStep measures the zero-allocation streaming path: one
+// frame through a deployed engine's Stream.StepInto (steady state).
+func BenchmarkStreamStep(b *testing.B) {
+	model := nn.NewGRUModel(nn.ModelSpec{InputDim: 39, Hidden: 128, NumLayers: 2, OutputDim: 39, Seed: 11})
+	res := rtmobile.Prune(model, nil, rtmobile.PruneConfig{ColRate: 16, RowRate: 2})
+	eng, err := rtmobile.Compile(model, res.Scheme, rtmobile.DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := eng.NewStream()
+	rng := tensor.NewRNG(12)
+	frame := make([]float32, 39)
+	for j := range frame {
+		frame[j] = float32(rng.NormFloat64())
+	}
+	dst := make([]float32, 39)
+	s.StepInto(dst, frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StepInto(dst, frame)
+	}
+}
+
 // BenchmarkInferBatchWorkers measures utterance-level serving throughput:
 // a fixed batch of utterances scored by Engine.InferBatch at several pool
 // sizes.

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"rtmobile/internal/bench"
 	"rtmobile/internal/compiler"
@@ -176,6 +177,7 @@ func cmdCompile(args []string) error {
 	noReorder := fs.Bool("no-reorder", false, "disable the matrix reorder pass")
 	noLoadElim := fs.Bool("no-loadelim", false, "disable redundant load elimination")
 	tune := fs.Bool("autotune", false, "run the tiling auto-tuner")
+	measured := fs.Bool("measured", false, "with -autotune: tune on measured packed-backend wall time instead of the analytic cost model")
 	listing := fs.Bool("listing", false, "emit the generated kernel pseudo-code")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -198,7 +200,7 @@ func cmdCompile(args []string) error {
 	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{
 		Target: target, Format: format,
 		DisableReorder: *noReorder, DisableLoadElim: *noLoadElim,
-		AutoTuneTiling: *tune, Workers: *workers,
+		AutoTuneTiling: *tune, MeasuredTuning: *measured, Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -206,6 +208,7 @@ func cmdCompile(args []string) error {
 	lat := eng.Latency()
 	fmt.Printf("target %s, format %s\n", target, format)
 	fmt.Printf("plan: %s\n", eng.Plan())
+	printTuneRecord(eng)
 	fmt.Printf("per-frame latency: %.2f us (compute %.2f, memory %.2f, overhead %.2f)\n",
 		lat.TotalUS, lat.ComputeUS, lat.MemoryUS, lat.OverheadUS)
 	fmt.Printf("GOP/frame %.4f, GOP/s %.2f\n", eng.GOP(), eng.GOPs())
@@ -258,9 +261,10 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
+	jsonOut := fs.String("json", "", "with -exp packed: also write the rows as JSON to this path (e.g. BENCH_2.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -316,6 +320,36 @@ func cmdBench(args []string) error {
 			return err
 		}
 		fmt.Println(bench.RenderWorkerSweep(rows, cfg))
+	case "packed":
+		cfg := bench.DefaultWorkerSweepConfig()
+		rows, err := bench.RunPackedBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderPackedBench(rows, cfg))
+		gains := bench.PackedSpeedup(rows)
+		ops := make([]string, 0, len(gains))
+		for op := range gains {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Printf("  packed vs interp @ %s: %.2fx\n", op, gains[op])
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WritePackedJSON(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 	case "blocksize":
 		results, best, err := bench.RunBlockSizeStudy(bench.DefaultBlockSizeStudy())
 		if err != nil {
@@ -366,6 +400,8 @@ func cmdDeploy(args []string) error {
 	row := fs.Float64("row", 2, "BSP row rate the model was pruned with")
 	rowGroups := fs.Int("row-groups", 8, "BSP row groups")
 	colBlocks := fs.Int("col-blocks", 4, "BSP column blocks")
+	tune := fs.Bool("autotune", false, "run the tiling auto-tuner before bundling (the verdict is cached in the bundle)")
+	measured := fs.Bool("measured", false, "with -autotune: tune on measured packed-backend wall time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -378,7 +414,9 @@ func cmdDeploy(args []string) error {
 		return err
 	}
 	scheme := prune.BSP{ColRate: *col, RowRate: *row, NumRowGroups: *rowGroups, NumColBlocks: *colBlocks}
-	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{Target: target})
+	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{
+		Target: target, AutoTuneTiling: *tune, MeasuredTuning: *measured,
+	})
 	if err != nil {
 		return err
 	}
@@ -396,9 +434,20 @@ func cmdDeploy(args []string) error {
 	}
 	fmt.Printf("wrote %s (%d KiB, %s, %s storage)\n",
 		*out, info.Size()>>10, target.Name, eng.Plan().Options.Format)
+	printTuneRecord(eng)
 	fmt.Printf("predicted %.2f us/frame, %.2fx energy efficiency vs ESE\n",
 		eng.Latency().TotalUS, eng.EfficiencyVsESE())
 	return nil
+}
+
+// printTuneRecord reports the engine's plan-cache entry, if any.
+func printTuneRecord(eng *rtmobile.Engine) {
+	switch rec := eng.Tuned(); rec.Mode {
+	case rtmobile.TuneAnalytic:
+		fmt.Printf("plan cache: analytic tuning, cost %.3f\n", rec.Cost)
+	case rtmobile.TuneMeasured:
+		fmt.Printf("plan cache: measured tuning, %.0f ns/pass\n", rec.Cost)
+	}
 }
 
 func cmdRun(args []string) error {
@@ -426,6 +475,7 @@ func cmdRun(args []string) error {
 	}
 	eng.SetWorkers(*workers)
 	fmt.Printf("loaded %s: scheme %s, %s\n", *bundle, scheme.Name(), eng.Plan())
+	printTuneRecord(eng)
 	c, err := speech.GenerateCorpus(*cfg)
 	if err != nil {
 		return err

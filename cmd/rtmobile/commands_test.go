@@ -90,7 +90,8 @@ func TestCLIWorkflow(t *testing.T) {
 	if err := cmdCompile([]string{"-in", pruned, "-col", "2", "-row", "1", "-listing"}); err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	if err := cmdDeploy([]string{"-in", pruned, "-col", "2", "-row", "1", "-out", bundle}); err != nil {
+	if err := cmdDeploy([]string{"-in", pruned, "-col", "2", "-row", "1", "-out", bundle,
+		"-autotune", "-measured"}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
 	if err := cmdRun(append([]string{"-bundle", bundle}, corpus...)); err != nil {

@@ -16,6 +16,19 @@
 //	internal/rtmobile  the end-to-end Prune → Compile → Infer framework
 //	internal/bench     Table I / Table II / Figure 4 / ablation harness
 //
+// # Execution backends
+//
+// Compiled programs run two ways. The instruction interpreter
+// (Program.Execute) walks the per-op IR and doubles as the event counter
+// feeding the device models. The packed backend (compiler.Pack) flattens
+// a program into flat value/column-index arrays with per-lane segment
+// descriptors and executes them through unrolled dot kernels
+// (internal/tensor) — same bytes out, roughly 1.6x faster serially, and
+// zero allocations per pass when the caller reuses a PackedScratch. The
+// auto-tuner can score candidate plans either with the analytic device
+// model or by measured wall time of the packed executor, and deployment
+// bundles persist the winning plan.
+//
 // # Concurrency and the ownership rule
 //
 // The runtime is parallel but deterministic. Compiled programs execute

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/parallel"
+)
+
+// Packed-vs-interpreter study: the machine-readable perf trajectory of the
+// execution backends. Each row times one (executor, worker-count) pair on
+// the Table-I-sized GRU projection via testing.Benchmark, so ns/op and
+// allocs/op come from the standard benchmark machinery rather than ad-hoc
+// timing, and MACs/s is derived from the program's exact MAC count.
+
+// PackedBenchRow is one executor measurement.
+type PackedBenchRow struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MACsPerSec  float64 `json:"macs_per_sec"`
+}
+
+// benchRowReps repeats each testing.Benchmark and keeps the fastest run,
+// the same min-of-reps noise reduction MeasurePackedNs uses; allocs/op is
+// scheduling-independent, so any run's value serves.
+const benchRowReps = 3
+
+func benchRow(op string, macs int, fn func(b *testing.B)) PackedBenchRow {
+	res := testing.Benchmark(fn)
+	for i := 1; i < benchRowReps; i++ {
+		if r := testing.Benchmark(fn); r.NsPerOp() < res.NsPerOp() {
+			res = r
+		}
+	}
+	row := PackedBenchRow{
+		Op:          op,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+	}
+	if row.NsPerOp > 0 {
+		row.MACsPerSec = float64(macs) / (row.NsPerOp * 1e-9)
+	}
+	return row
+}
+
+// RunPackedBench measures interpreter vs packed execution, serial and at
+// every configured worker count, on the sweep config's program. Packed
+// output is cross-checked against the interpreter before timing.
+func RunPackedBench(cfg WorkerSweepConfig) ([]PackedBenchRow, error) {
+	prog, x, err := BuildSweepProgram(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := compiler.Pack(prog, 0)
+	if err != nil {
+		return nil, err
+	}
+	ref := make([]float32, prog.Rows)
+	stats, err := prog.Execute(ref, x)
+	if err != nil {
+		return nil, err
+	}
+	macs := stats.TotalMACs()
+	y := make([]float32, prog.Rows)
+	scratch := pp.NewScratch()
+	if err := pp.Run(y, x, scratch); err != nil {
+		return nil, err
+	}
+	for i := range y {
+		if y[i] != ref[i] {
+			return nil, fmt.Errorf("bench: packed output diverged from interpreter at row %d", i)
+		}
+	}
+
+	rows := []PackedBenchRow{
+		benchRow("interp/serial", macs, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prog.Execute(y, x)
+			}
+		}),
+		benchRow("packed/serial", macs, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pp.Run(y, x, scratch)
+			}
+		}),
+	}
+	for _, workers := range cfg.Workers {
+		pool := parallel.NewPool(workers)
+		rows = append(rows,
+			benchRow(fmt.Sprintf("interp/parallel@%d", workers), macs, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					prog.ExecuteParallel(y, x, pool)
+				}
+			}),
+			benchRow(fmt.Sprintf("packed/parallel@%d", workers), macs, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					pp.RunParallel(y, x, pool, scratch)
+				}
+			}),
+		)
+		pool.Close()
+	}
+	return rows, nil
+}
+
+// PackedSpeedup returns the interpreter/packed ns-per-op ratio at matching
+// worker counts ("serial" included as workers 0), keyed by the suffix
+// after the executor name.
+func PackedSpeedup(rows []PackedBenchRow) map[string]float64 {
+	interp := map[string]float64{}
+	out := map[string]float64{}
+	for _, r := range rows {
+		if len(r.Op) > 7 && r.Op[:7] == "interp/" {
+			interp[r.Op[7:]] = r.NsPerOp
+		}
+	}
+	for _, r := range rows {
+		if len(r.Op) > 7 && r.Op[:7] == "packed/" && r.NsPerOp > 0 {
+			if base, ok := interp[r.Op[7:]]; ok {
+				out[r.Op[7:]] = base / r.NsPerOp
+			}
+		}
+	}
+	return out
+}
+
+// RenderPackedBench formats the study.
+func RenderPackedBench(rows []PackedBenchRow, cfg WorkerSweepConfig) string {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Packed execution backend vs interpreter (%dx%d %s, %d lanes, bit-identical outputs)",
+			3*cfg.Hidden, cfg.Hidden, cfg.Format, cfg.Lanes),
+		Headers: []string{"Op", "ns/op", "allocs/op", "GMACs/s"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Op, f(r.NsPerOp, 0), f(r.AllocsPerOp, 0), f(r.MACsPerSec/1e9, 2))
+	}
+	return t.Render()
+}
+
+// WritePackedJSON writes the rows as indented JSON — the BENCH_<n>.json
+// artifact recording the repo's perf trajectory.
+func WritePackedJSON(w io.Writer, rows []PackedBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunPackedBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark study")
+	}
+	cfg := smallSweepConfig()
+	rows, err := RunPackedBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two serial rows plus an interp/packed pair per worker count.
+	if want := 2 + 2*len(cfg.Workers); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Op] = true
+		if r.NsPerOp <= 0 || r.MACsPerSec <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	for _, op := range []string{"interp/serial", "packed/serial", "interp/parallel@2", "packed/parallel@2"} {
+		if !seen[op] {
+			t.Fatalf("missing op %q", op)
+		}
+	}
+	// The zero-allocation property must show up in the measured rows too.
+	for _, r := range rows {
+		if r.Op == "packed/serial" && r.AllocsPerOp != 0 {
+			t.Fatalf("packed/serial allocates %v per op, want 0", r.AllocsPerOp)
+		}
+	}
+	if sp := PackedSpeedup(rows); sp["serial"] <= 0 {
+		t.Fatalf("speedup map missing serial: %v", sp)
+	}
+
+	out := RenderPackedBench(rows, cfg)
+	if !strings.Contains(out, "ns/op") || !strings.Contains(out, "allocs/op") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WritePackedJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []PackedBenchRow
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0].Op != rows[0].Op {
+		t.Fatal("JSON round trip lost rows")
+	}
+}

@@ -17,11 +17,13 @@ import (
 // also cross-checks every worker count's output against the serial
 // baseline and fails on any divergence.
 
-// WorkerSweepRow is one worker count's measurement.
+// WorkerSweepRow is one worker count's measurement, for both executors.
 type WorkerSweepRow struct {
-	Workers int
-	WallUS  float64 // mean wall-clock per program execution
-	Speedup float64 // vs the 1-worker row
+	Workers      int
+	WallUS       float64 // mean wall-clock per interpreter execution
+	Speedup      float64 // vs the 1-worker row
+	PackedWallUS float64 // mean wall-clock per packed execution
+	PackedGain   float64 // interpreter / packed at this worker count
 }
 
 // WorkerSweepConfig sizes the study.
@@ -95,6 +97,10 @@ func RunWorkerSweep(cfg WorkerSweepConfig) ([]WorkerSweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	pp, err := compiler.Pack(prog, 0)
+	if err != nil {
+		return nil, err
+	}
 	ref := make([]float32, prog.Rows)
 	if _, err := prog.Execute(ref, x); err != nil {
 		return nil, err
@@ -118,15 +124,36 @@ func RunWorkerSweep(cfg WorkerSweepConfig) ([]WorkerSweepRow, error) {
 			}
 		}
 		elapsed := time.Since(start)
-		pool.Close()
 		for i := range y {
 			if y[i] != ref[i] {
+				pool.Close()
 				return nil, fmt.Errorf("bench: %d-worker output diverged from serial at row %d", workers, i)
 			}
 		}
+		// Same measurement over the packed backend at the same pool.
+		scratch := pp.NewScratch()
+		if err := pp.RunParallel(y, x, pool, scratch); err != nil {
+			pool.Close()
+			return nil, err
+		}
+		pstart := time.Now()
+		for r := 0; r < cfg.Reps; r++ {
+			if err := pp.RunParallel(y, x, pool, scratch); err != nil {
+				pool.Close()
+				return nil, err
+			}
+		}
+		pelapsed := time.Since(pstart)
+		pool.Close()
+		for i := range y {
+			if y[i] != ref[i] {
+				return nil, fmt.Errorf("bench: %d-worker packed output diverged from serial at row %d", workers, i)
+			}
+		}
 		row := WorkerSweepRow{
-			Workers: workers,
-			WallUS:  float64(elapsed.Microseconds()) / float64(cfg.Reps),
+			Workers:      workers,
+			WallUS:       float64(elapsed.Microseconds()) / float64(cfg.Reps),
+			PackedWallUS: float64(pelapsed.Microseconds()) / float64(cfg.Reps),
 		}
 		if baseUS == 0 {
 			baseUS = row.WallUS
@@ -134,9 +161,13 @@ func RunWorkerSweep(cfg WorkerSweepConfig) ([]WorkerSweepRow, error) {
 		if row.WallUS > 0 {
 			row.Speedup = baseUS / row.WallUS
 		}
+		if row.PackedWallUS > 0 {
+			row.PackedGain = row.WallUS / row.PackedWallUS
+		}
 		rows = append(rows, row)
 		if cfg.Logf != nil {
-			cfg.Logf("workers %d: %.1f us/exec (%.2fx)", workers, row.WallUS, row.Speedup)
+			cfg.Logf("workers %d: interp %.1f us/exec (%.2fx), packed %.1f us/exec (%.2fx vs interp)",
+				workers, row.WallUS, row.Speedup, row.PackedWallUS, row.PackedGain)
 		}
 	}
 	return rows, nil
@@ -148,10 +179,11 @@ func RenderWorkerSweep(rows []WorkerSweepRow, cfg WorkerSweepConfig) string {
 		Title: fmt.Sprintf(
 			"Extension: parallel runtime scaling (%dx%d %s, %d lanes, outputs bit-identical to serial)",
 			3*cfg.Hidden, cfg.Hidden, cfg.Format, cfg.Lanes),
-		Headers: []string{"Workers", "Wall us/exec", "Speedup"},
+		Headers: []string{"Workers", "Wall us/exec", "Speedup", "Packed us/exec", "Packed gain"},
 	}
 	for _, r := range rows {
-		t.AddRow(f(float64(r.Workers), 0), f(r.WallUS, 1), f(r.Speedup, 2)+"x")
+		t.AddRow(f(float64(r.Workers), 0), f(r.WallUS, 1), f(r.Speedup, 2)+"x",
+			f(r.PackedWallUS, 1), f(r.PackedGain, 2)+"x")
 	}
 	return t.Render()
 }

@@ -41,11 +41,14 @@ func DefaultTuneSpace() TuneSpace {
 	}
 }
 
-// TuneResult reports the chosen configuration and its predicted cost.
+// TuneResult reports the chosen configuration and its cost. Cost is in
+// the analytic cost model's units, or wall nanoseconds when Measured
+// (see TuneTilingMeasured).
 type TuneResult struct {
 	Tile      TileConfig
 	Cost      float64
 	Evaluated int
+	Measured  bool
 }
 
 // TuneTiling searches tile/unroll configurations for a fixed set of
@@ -125,6 +128,14 @@ func TuneBlockSize(w *tensor.Matrix, colRate, rowRate float64, threads int, spac
 			})
 		}
 	}
+	scoreBlockSizeResults(results, accuracyWeight)
+	return results, results[0], nil
+}
+
+// scoreBlockSizeResults computes each candidate's combined objective and
+// sorts best-first — shared by the analytic and measured block-size
+// tuners so both rank with identical semantics.
+func scoreBlockSizeResults(results []BlockSizeResult, accuracyWeight float64) {
 	minCost := results[0].Cost
 	maxEnergy := results[0].RetainedEnergy
 	for _, r := range results[1:] {
@@ -147,5 +158,4 @@ func TuneBlockSize(w *tensor.Matrix, colRate, rowRate float64, threads int, spac
 		results[i].Score = perf + accuracyWeight*acc
 	}
 	sort.SliceStable(results, func(a, b int) bool { return results[a].Score < results[b].Score })
-	return results, results[0], nil
 }

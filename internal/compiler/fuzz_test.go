@@ -77,3 +77,80 @@ func FuzzCompileProgram(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPackProgram drives the pack lowering over adversarially-shaped
+// compiled programs and checks that packing never panics, that every
+// successfully packed program executes byte-for-byte like the interpreter
+// (serial and parallel, at arbitrary unroll factors), and that the static
+// stats match the interpreter's dynamic count.
+func FuzzPackProgram(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint16(8), uint8(0), int16(4), uint8(3), uint8(3), uint8(4), false)
+	f.Add(uint64(2), uint16(8), uint16(0), uint8(1), int16(4), uint8(2), uint8(2), uint8(1), false)
+	f.Add(uint64(3), uint16(16), uint16(1), uint8(2), int16(1), uint8(4), uint8(4), uint8(8), false)
+	f.Add(uint64(4), uint16(1), uint16(16), uint8(2), int16(8), uint8(4), uint8(4), uint8(0), true)
+	f.Add(uint64(5), uint16(13), uint16(17), uint8(2), int16(5), uint8(5), uint8(7), uint8(2), false)
+	f.Add(uint64(6), uint16(12), uint16(12), uint8(0), int16(64), uint8(1), uint8(1), uint8(255), true)
+	f.Fuzz(func(t *testing.T, seed uint64, rows, cols uint16, formatSel uint8,
+		threads int16, rowGroups, colBlocks, unroll uint8, allZero bool) {
+		r := int(rows % 64)
+		c := int(cols % 64)
+		w := tensor.NewMatrix(r, c)
+		if !allZero {
+			w.RandNormal(tensor.NewRNG(seed), 1)
+		}
+		scheme := prune.BSP{
+			ColRate: 1 + float64(seed%7), RowRate: 1 + float64(seed%3),
+			NumRowGroups: int(rowGroups%12) + 1, NumColBlocks: int(colBlocks%12) + 1,
+		}
+		format := []Format{FormatDense, FormatCSR, FormatBSPC}[formatSel%3]
+		src := MatrixSource{Name: "fuzz", W: w}
+		if format == FormatBSPC {
+			if r > 0 && c > 0 && !allZero {
+				w = scheme.Project(w)
+				src.W = w
+			}
+			s := scheme
+			src.Scheme = &s
+		}
+
+		prog, err := CompileProgram(src, DefaultOptions(format, 32), int(threads))
+		if err != nil {
+			return
+		}
+		pp, err := Pack(prog, int(unroll))
+		if err != nil {
+			// A compiled program must always pack.
+			t.Fatalf("pack rejected a compiled program: %v", err)
+		}
+		x := randVec(seed+7, c)
+		want := make([]float32, r)
+		wantStats, err := prog.Execute(want, x)
+		if err != nil {
+			t.Fatalf("interpreter: %v", err)
+		}
+		got := make([]float32, r)
+		gotStats, err := pp.Execute(got, x)
+		if err != nil {
+			t.Fatalf("packed: %v", err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row %d: packed %v != interpreter %v (fmt=%s unroll=%d)",
+					i, got[i], want[i], format, unroll)
+			}
+		}
+		equalStats(t, wantStats, gotStats, "fuzz")
+
+		pool := parallel.NewPool(int(seed%5) + 2)
+		defer pool.Close()
+		gp := make([]float32, r)
+		if _, err := pp.ExecuteParallel(gp, x, pool); err != nil {
+			t.Fatalf("packed parallel: %v", err)
+		}
+		for i := range gp {
+			if gp[i] != want[i] {
+				t.Fatalf("row %d: packed parallel %v != interpreter %v", i, gp[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,311 @@
+package compiler
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rtmobile/internal/parallel"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+// TestPackedBitIdentical is the packed-backend equivalence suite: across all
+// three formats, load-elimination on/off, several program lane counts, pool
+// worker counts, and every dot-kernel unroll factor, packed execution must
+// produce exactly the interpreter's bytes and event counts.
+func TestPackedBitIdentical(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	workerCounts := []int{1, 2, 7, runtime.NumCPU()}
+	threadCounts := []int{1, 3, 8}
+	unrolls := []int{1, 2, 4, 8}
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		w := bspMat(seed, 32+int(seed)*9, 40, scheme)
+		for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+			src := MatrixSource{Name: "m", W: w}
+			if format == FormatBSPC {
+				s := scheme
+				src.Scheme = &s
+			}
+			for _, elim := range []bool{true, false} {
+				for _, threads := range threadCounts {
+					opt := DefaultOptions(format, 32)
+					opt.EliminateRedundantLoads = elim
+					prog, err := CompileProgram(src, opt, threads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					x := randVec(seed*77+uint64(threads), w.Cols)
+					want := make([]float32, w.Rows)
+					wantStats, err := prog.Execute(want, x)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, unroll := range unrolls {
+						pp, err := Pack(prog, unroll)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := fmt.Sprintf("seed=%d fmt=%s elim=%v threads=%d unroll=%d",
+							seed, format, elim, threads, unroll)
+
+						// Serial packed run: bytes and stats.
+						got := make([]float32, w.Rows)
+						gotStats, err := pp.Execute(got, x)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						for r := range got {
+							if got[r] != want[r] {
+								t.Fatalf("%s: row %d: packed %v vs interpreter %v",
+									label, r, got[r], want[r])
+							}
+						}
+						equalStats(t, wantStats, gotStats, label)
+
+						// Parallel packed run at every worker count.
+						scratch := pp.NewScratch()
+						for _, workers := range workerCounts {
+							pool := parallel.NewPool(workers)
+							gp := make([]float32, w.Rows)
+							pstats, err := pp.ExecuteParallel(gp, x, pool)
+							if err == nil {
+								err = pp.RunParallel(gp, x, pool, scratch)
+							}
+							pool.Close()
+							if err != nil {
+								t.Fatalf("%s workers=%d: %v", label, workers, err)
+							}
+							for r := range gp {
+								if gp[r] != want[r] {
+									t.Fatalf("%s workers=%d: row %d: packed parallel %v vs interpreter %v",
+										label, workers, r, gp[r], want[r])
+								}
+							}
+							equalStats(t, wantStats, pstats, label)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedStatsMatchInterpreter pins the static-stats claim: Pack's
+// precomputed counts equal what the interpreter counts while executing.
+func TestPackedStatsMatchInterpreter(t *testing.T) {
+	scheme := prune.BSP{ColRate: 8, RowRate: 2, NumRowGroups: 8, NumColBlocks: 4}
+	w := bspMat(6, 96, 64, scheme)
+	for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+		src := MatrixSource{Name: "s", W: w}
+		if format == FormatBSPC {
+			s := scheme
+			src.Scheme = &s
+		}
+		prog, err := CompileProgram(src, DefaultOptions(format, 16), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randVec(8, w.Cols)
+		y := make([]float32, w.Rows)
+		want, err := prog.Execute(y, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := Pack(prog, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalStats(t, want, pp.Stats(), format.String())
+	}
+}
+
+// TestPackedRunZeroAlloc is the allocation-regression gate: steady-state
+// packed execution with a reused scratch must not touch the heap.
+func TestPackedRunZeroAlloc(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(7, 64, 48, scheme)
+	for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+		src := MatrixSource{Name: "a", W: w}
+		if format == FormatBSPC {
+			s := scheme
+			src.Scheme = &s
+		}
+		prog, err := CompileProgram(src, DefaultOptions(format, 32), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := Pack(prog, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randVec(9, w.Cols)
+		y := make([]float32, w.Rows)
+		scratch := pp.NewScratch()
+		if err := pp.Run(y, x, scratch); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			if err := pp.Run(y, x, scratch); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("%s: packed Run allocates %v times per execution, want 0", format, allocs)
+		}
+	}
+}
+
+// TestPackedRejectsMalformed: pack-time validation must catch the shapes the
+// interpreter only detects (or misses) at run time.
+func TestPackedRejectsMalformed(t *testing.T) {
+	base := func() *Program { return &Program{Name: "m", Rows: 4, Cols: 4} }
+
+	p := base()
+	p.Threads = [][]Instr{{{Op: OpGather, Cols: []int32{9}}}}
+	if _, err := Pack(p, 0); err == nil {
+		t.Fatal("out-of-range gather column accepted")
+	}
+
+	p = base()
+	p.Threads = [][]Instr{{
+		{Op: OpGather, Cols: []int32{0, 1}},
+		{Op: OpDotGathered, Row: 1, Vals: []float32{1}},
+	}}
+	if _, err := Pack(p, 0); err == nil {
+		t.Fatal("dot width mismatch accepted")
+	}
+
+	p = base()
+	p.Threads = [][]Instr{{{Op: OpDotGathered, Row: 0, Vals: []float32{1, 2}}}}
+	if _, err := Pack(p, 0); err == nil {
+		t.Fatal("gathered dot before gather accepted")
+	}
+
+	p = base()
+	p.Threads = [][]Instr{{{Op: OpDotStream, Row: 0, ColLo: 2, Vals: []float32{1, 2, 3}}}}
+	if _, err := Pack(p, 0); err == nil {
+		t.Fatal("out-of-range stream window accepted")
+	}
+
+	p = base()
+	p.Threads = [][]Instr{{{Op: OpDotStream, Row: 5, Vals: []float32{1}}}}
+	if _, err := Pack(p, 0); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+// TestPackedShapeValidation keeps parity with the interpreter's checks.
+func TestPackedShapeValidation(t *testing.T) {
+	w := tensor.NewMatrix(4, 4)
+	prog, err := CompileProgram(MatrixSource{Name: "d", W: w}, DefaultOptions(FormatDense, 32), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.Run(make([]float32, 3), make([]float32, 4), nil); err == nil {
+		t.Fatal("short y accepted")
+	}
+	if err := pp.RunParallel(make([]float32, 4), make([]float32, 5), nil, nil); err == nil {
+		t.Fatal("long x accepted")
+	}
+}
+
+// TestPackedSharedProgram hammers one PackedProgram from many goroutines with
+// per-goroutine scratches — the read-only-program / private-scratch ownership
+// rule the race target verifies.
+func TestPackedSharedProgram(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(13, 48, 40, scheme)
+	src := MatrixSource{Name: "s", W: w, Scheme: &scheme}
+	prog, err := CompileProgram(src, DefaultOptions(FormatBSPC, 32), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(14, 40)
+	want := make([]float32, 48)
+	if _, err := prog.Execute(want, x); err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	outer := parallel.NewPool(8)
+	defer outer.Close()
+	outer.For(16, func(i int) {
+		scratch := pp.NewScratch()
+		y := make([]float32, 48)
+		if i%2 == 0 {
+			if err := pp.Run(y, x, scratch); err != nil {
+				t.Error(err)
+				return
+			}
+		} else {
+			if err := pp.RunParallel(y, x, pool, scratch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for r := range y {
+			if y[r] != want[r] {
+				t.Errorf("goroutine %d row %d differs", i, r)
+				return
+			}
+		}
+	})
+}
+
+// TestPackedSegmentMerging pins the flattening layout: a dense lowering
+// collapses each lane into one stream segment, and a BSPC lowering with load
+// elimination shares one gather across a block's rows.
+func TestPackedSegmentMerging(t *testing.T) {
+	w := tensor.NewMatrix(16, 8)
+	w.RandNormal(tensor.NewRNG(21), 1)
+	prog, err := CompileProgram(MatrixSource{Name: "d", W: w}, DefaultOptions(FormatDense, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pp.NumSegs(), len(pp.Lanes); got != want {
+		t.Fatalf("dense packing has %d segments, want one per lane (%d)", got, want)
+	}
+
+	scheme := prune.BSP{ColRate: 2, RowRate: 1, NumRowGroups: 2, NumColBlocks: 2}
+	wb := bspMat(22, 32, 32, scheme)
+	src := MatrixSource{Name: "b", W: wb, Scheme: &scheme}
+	on, err := CompileProgram(src, DefaultOptions(FormatBSPC, 32), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppOn, err := Pack(on, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optOff := DefaultOptions(FormatBSPC, 32)
+	optOff.EliminateRedundantLoads = false
+	off, err := CompileProgram(src, optOff, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppOff, err := Pack(off, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppOn.NumSegs() >= ppOff.NumSegs() {
+		t.Fatalf("load elimination should shrink segment count: on=%d off=%d",
+			ppOn.NumSegs(), ppOff.NumSegs())
+	}
+	if ppOn.Stats().GatherLoads >= ppOff.Stats().GatherLoads {
+		t.Fatalf("load elimination should shrink gathers: on=%d off=%d",
+			ppOn.Stats().GatherLoads, ppOff.Stats().GatherLoads)
+	}
+}

@@ -48,13 +48,22 @@ func SoftmaxCrossEntropy(logits [][]float32, labels []int) (float64, [][]float32
 	return total / float64(T), grad
 }
 
-// Posteriors converts logits to per-frame softmax probabilities.
+// Posteriors converts logits to per-frame softmax probabilities. All rows
+// are carved from one flat backing array, so the call costs two
+// allocations per utterance regardless of length.
 func Posteriors(logits [][]float32) [][]float32 {
+	total := 0
+	for _, row := range logits {
+		total += len(row)
+	}
+	flat := make([]float32, total)
 	out := make([][]float32, len(logits))
+	off := 0
 	for t, row := range logits {
-		p := make([]float32, len(row))
+		p := flat[off : off+len(row)]
 		softmaxInto(p, row)
 		out[t] = p
+		off += len(row)
 	}
 	return out
 }

@@ -12,6 +12,9 @@ import "rtmobile/internal/tensor"
 // Stepper is a layer that can advance one frame at a time.
 type Stepper interface {
 	// Step consumes one input frame and returns the layer's output frame.
+	// The returned slice is owned by the stepper and is overwritten by the
+	// next Step call — copy it to retain it. This buffer reuse is what
+	// makes steady-state streaming allocation-free.
 	Step(x []float32) []float32
 	// Reset clears the recurrent state (start of a new utterance).
 	Reset()
@@ -22,6 +25,7 @@ type gruStream struct {
 	g      *GRU
 	h      []float32
 	ax, ah []float32
+	out    []float32
 }
 
 // Stream returns a stateful stepper over this GRU's weights. The stepper
@@ -29,10 +33,11 @@ type gruStream struct {
 // state.
 func (g *GRU) Stream() Stepper {
 	return &gruStream{
-		g:  g,
-		h:  make([]float32, g.Hidden),
-		ax: make([]float32, 3*g.Hidden),
-		ah: make([]float32, 3*g.Hidden),
+		g:   g,
+		h:   make([]float32, g.Hidden),
+		ax:  make([]float32, 3*g.Hidden),
+		ah:  make([]float32, 3*g.Hidden),
+		out: make([]float32, g.Hidden),
 	}
 }
 
@@ -44,7 +49,7 @@ func (s *gruStream) Step(x []float32) []float32 {
 	tensor.MatVecAdd(s.ax, g.Wx.W, x)
 	copy(s.ah, g.Bh.W.Data)
 	tensor.MatVecAdd(s.ah, g.Wh.W, s.h)
-	out := make([]float32, H)
+	out := s.out
 	for i := 0; i < H; i++ {
 		z := sigmoid(s.ax[i] + s.ah[i])
 		r := sigmoid(s.ax[H+i] + s.ah[H+i])
@@ -63,6 +68,7 @@ type lstmStream struct {
 	l    *LSTM
 	h, c []float32
 	act  []float32
+	out  []float32
 }
 
 // Stream returns a stateful stepper over this LSTM's weights.
@@ -72,6 +78,7 @@ func (l *LSTM) Stream() Stepper {
 		h:   make([]float32, l.Hidden),
 		c:   make([]float32, l.Hidden),
 		act: make([]float32, 4*l.Hidden),
+		out: make([]float32, l.Hidden),
 	}
 }
 
@@ -83,7 +90,7 @@ func (s *lstmStream) Step(x []float32) []float32 {
 	tensor.Axpy(1, l.Bh.W.Data, s.act)
 	tensor.MatVecAdd(s.act, l.Wx.W, x)
 	tensor.MatVecAdd(s.act, l.Wh.W, s.h)
-	out := make([]float32, H)
+	out := s.out
 	for j := 0; j < H; j++ {
 		i := sigmoid(s.act[j])
 		f := sigmoid(s.act[H+j])
@@ -102,15 +109,21 @@ func (s *lstmStream) Reset() {
 	tensor.ZeroVec(s.c)
 }
 
-// denseStream steps a Dense layer (stateless).
-type denseStream struct{ d *Dense }
+// denseStream steps a Dense layer (stateless, but it still owns a
+// persistent output buffer so streaming stays allocation-free).
+type denseStream struct {
+	d   *Dense
+	out []float32
+}
 
 // Stream returns a stepper over the Dense layer.
-func (d *Dense) Stream() Stepper { return &denseStream{d} }
+func (d *Dense) Stream() Stepper {
+	return &denseStream{d: d, out: make([]float32, d.OutDimN)}
+}
 
 // Step implements Stepper.
 func (s *denseStream) Step(x []float32) []float32 {
-	y := make([]float32, s.d.OutDimN)
+	y := s.out
 	copy(y, s.d.Bias.W.Data)
 	tensor.MatVecAdd(y, s.d.Weight.W, x)
 	return y
@@ -143,7 +156,10 @@ func (m *Model) NewStream() *Stream {
 	return s
 }
 
-// Step pushes one frame through the stack and returns the logits.
+// Step pushes one frame through the stack and returns the logits. The
+// returned slice is the last stepper's persistent buffer: it is valid
+// until the next Step call, after which it is overwritten. Copy it to
+// retain it across frames.
 func (s *Stream) Step(x []float32) []float32 {
 	out := x
 	for _, st := range s.steppers {

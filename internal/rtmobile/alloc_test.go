@@ -1,0 +1,54 @@
+package rtmobile
+
+import (
+	"testing"
+
+	"rtmobile/internal/device"
+)
+
+// allocEngine builds a small deployed engine (small enough that the dense
+// kernels stay on the serial path; the parallel cutover allocates pool
+// closures by design and is exercised elsewhere).
+func allocEngine(t *testing.T, target *device.Target) *Engine {
+	t.Helper()
+	m := testModel(31)
+	res := Prune(m, nil, PruneConfig{ColRate: 4, RowRate: 1, RowGroups: 4, ColBlocks: 4})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestStreamStepIntoZeroAlloc locks in the real-time property: once a
+// streaming session is warm, advancing a frame costs zero heap allocations.
+func TestStreamStepIntoZeroAlloc(t *testing.T) {
+	for _, target := range []*device.Target{device.MobileCPU(), device.MobileGPU()} {
+		eng := allocEngine(t, target)
+		s := eng.NewStream()
+		frame := testFrames(32, 1, 8)[0]
+		dst := make([]float32, 6)
+		s.StepInto(dst, frame) // warm up (fp16 staging buffer growth)
+		if allocs := testing.AllocsPerRun(100, func() {
+			s.StepInto(dst, frame)
+		}); allocs != 0 {
+			t.Fatalf("%s: StepInto allocates %v times per frame, want 0", target.Name, allocs)
+		}
+	}
+}
+
+// TestInferAllocsConstantPerUtterance: Infer may allocate a fixed handful
+// of arenas per call, but nothing per timestep — a 10× longer utterance
+// must not allocate more often than a short one.
+func TestInferAllocsConstantPerUtterance(t *testing.T) {
+	eng := allocEngine(t, device.MobileGPU())
+	short := testFrames(33, 10, 8)
+	long := testFrames(34, 110, 8)
+	eng.Infer(long) // warm up
+	shortAllocs := testing.AllocsPerRun(20, func() { eng.Infer(short) })
+	longAllocs := testing.AllocsPerRun(20, func() { eng.Infer(long) })
+	if longAllocs > shortAllocs {
+		t.Fatalf("Infer allocates per timestep: %v allocs for 110 frames vs %v for 10",
+			longAllocs, shortAllocs)
+	}
+}

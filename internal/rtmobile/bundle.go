@@ -23,15 +23,22 @@ import (
 //
 // Layout (little-endian): magic "RTMB" | version u32 | spec 6×u64 |
 // scheme 4×f64 | format u32 | valueBits u32 | tile 3×u32 |
-// reorder u8 | loadelim u8 | fused u8 | paramCount u32 | per param:
+// reorder u8 | loadelim u8 | fused u8 | [v2+: tuneMode u8 |
+// placement u32 | tuneCost f64] | paramCount u32 | per param:
 // nameLen u32, name, kind u8 (0 raw, 1 bspc), payload.
+//
+// Version 2 adds the plan cache: the auto-tuner's verdict (mode +
+// cost) and the tile's memory placement (dropped by v1), so loading a
+// tuned bundle reproduces the tuned plan exactly without re-running the
+// search — in particular without re-measuring on the measured-tuning
+// path. Version 1 bundles still load (plan cache empty).
 //
 // A fused engine's weight matrices are the model's (fusion happens at
 // compile time); the fused flag makes the reload recompile identically.
 
 const (
 	bundleMagic   = "RTMB"
-	bundleVersion = 1
+	bundleVersion = 2
 )
 
 // SaveBundle writes the engine's deployment artifact.
@@ -52,6 +59,7 @@ func (e *Engine) SaveBundle(w io.Writer, scheme prune.BSP) error {
 		uint32(e.plan.Options.Tile.Unroll),
 		boolByte(e.plan.Options.Reorder), boolByte(e.plan.Options.EliminateRedundantLoads),
 		boolByte(e.fused),
+		uint8(e.tuned.Mode), uint32(e.plan.Options.Tile.Placement), e.tuned.Cost,
 	}
 	for _, v := range header {
 		if err := binary.Write(w, le, v); err != nil {
@@ -124,7 +132,7 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	if err := binary.Read(r, le, &version); err != nil {
 		return nil, zero, err
 	}
-	if version != bundleVersion {
+	if version != 1 && version != bundleVersion {
 		return nil, zero, fmt.Errorf("rtmobile: unsupported bundle version %d", version)
 	}
 	var specRaw [6]uint64
@@ -149,6 +157,23 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	for _, p := range []*uint8{&reorder, &loadelim, &fused} {
 		if err := binary.Read(r, le, p); err != nil {
 			return nil, zero, err
+		}
+	}
+	var tuneMode uint8
+	var placement uint32
+	var tuneCost float64
+	if version >= 2 {
+		if err := binary.Read(r, le, &tuneMode); err != nil {
+			return nil, zero, err
+		}
+		if err := binary.Read(r, le, &placement); err != nil {
+			return nil, zero, err
+		}
+		if err := binary.Read(r, le, &tuneCost); err != nil {
+			return nil, zero, err
+		}
+		if tuneMode > uint8(TuneMeasured) {
+			return nil, zero, fmt.Errorf("rtmobile: unknown tune mode %d", tuneMode)
 		}
 	}
 
@@ -225,10 +250,17 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 		Target: target, Format: compiler.Format(format),
 		DisableReorder: reorder == 0, DisableLoadElim: loadelim == 0,
 		FuseKernels: fused == 1,
-		Tile:        compiler.TileConfig{RowTile: int(rowTile), ColTile: int(colTile), Unroll: int(unroll)},
+		Tile: compiler.TileConfig{
+			RowTile: int(rowTile), ColTile: int(colTile), Unroll: int(unroll),
+			Placement: compiler.Placement(placement),
+		},
 	})
 	if err != nil {
 		return nil, zero, err
 	}
+	// Restore the plan cache: the bundle's tile config is already the tuned
+	// one, so the loaded engine reports the original search verdict without
+	// ever re-running (or re-measuring) the search.
+	eng.tuned = TuneRecord{Mode: TuneMode(tuneMode), Cost: tuneCost}
 	return eng, scheme, nil
 }

@@ -116,6 +116,57 @@ func TestBundleDenseFormat(t *testing.T) {
 	}
 }
 
+func TestBundlePlanCacheRoundTrip(t *testing.T) {
+	m := testModel(46)
+	res := Prune(m, nil, PruneConfig{ColRate: 4, RowRate: 2, RowGroups: 4, ColBlocks: 4})
+	eng, err := Compile(m, res.Scheme, DeployConfig{
+		Target: device.MobileGPU(), AutoTuneTiling: true, MeasuredTuning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Tuned().Mode != TuneMeasured || eng.Tuned().Cost <= 0 {
+		t.Fatalf("measured tuning left no plan-cache entry: %+v", eng.Tuned())
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveBundle(&buf, res.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadBundle(bytes.NewReader(buf.Bytes()), device.MobileGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Tuned() != eng.Tuned() {
+		t.Fatalf("plan cache lost on reload: %+v vs %+v", loaded.Tuned(), eng.Tuned())
+	}
+	if loaded.Plan().Options.Tile != eng.Plan().Options.Tile {
+		t.Fatalf("tuned tile lost on reload: %+v vs %+v",
+			loaded.Plan().Options.Tile, eng.Plan().Options.Tile)
+	}
+}
+
+func TestBundlePreservesPlacement(t *testing.T) {
+	// v1 dropped Tile.Placement on serialization; v2 must keep it.
+	m := testModel(47)
+	res := Prune(m, nil, PruneConfig{ColRate: 2, RowRate: 1, RowGroups: 2, ColBlocks: 2})
+	tile := compiler.DefaultTile()
+	tile.Placement = compiler.PlaceRegisters
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileGPU(), Tile: tile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveBundle(&buf, res.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadBundle(bytes.NewReader(buf.Bytes()), device.MobileGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Plan().Options.Tile.Placement; got != compiler.PlaceRegisters {
+		t.Fatalf("placement lost on reload: %v", got)
+	}
+}
+
 func TestLoadBundleRejectsGarbage(t *testing.T) {
 	if _, _, err := LoadBundle(bytes.NewReader([]byte("XXXXgarbage")), device.MobileGPU()); err == nil {
 		t.Fatal("bad magic accepted")

@@ -27,7 +27,33 @@ type Engine struct {
 	pool   *parallel.Pool
 	fp16   bool
 	fused  bool
+	tuned  TuneRecord
 }
+
+// TuneMode records how an engine's tile configuration was chosen.
+type TuneMode uint8
+
+const (
+	// TuneNone: defaults or an explicit DeployConfig.Tile; no search ran.
+	TuneNone TuneMode = iota
+	// TuneAnalytic: TuneTiling over the target's analytic cost model.
+	TuneAnalytic
+	// TuneMeasured: TuneTilingMeasured over packed-backend wall time.
+	TuneMeasured
+)
+
+// TuneRecord is the engine's plan-cache entry: how the tile configuration
+// was chosen and at what cost (cost-model units for TuneAnalytic, wall
+// nanoseconds for TuneMeasured). Persisted in bundles so a loaded
+// deployment never re-tunes.
+type TuneRecord struct {
+	Mode TuneMode
+	Cost float64
+}
+
+// Tuned reports the engine's plan-cache entry (Mode is TuneNone when no
+// auto-tuning search produced the current tile configuration).
+func (e *Engine) Tuned() TuneRecord { return e.tuned }
 
 // quantizeWeights rounds all parameters through fp16, reproducing the
 // paper's 16-bit GPU deployment. Called once from Compile, never after
@@ -63,16 +89,23 @@ func (e *Engine) SetWorkers(n int) {
 // each produces exactly the bytes a solo call would. The layer steppers
 // replay the batch Forward pass's float operation order, so results are
 // also bit-identical to the training-side Forward.
+//
+// Per-frame state lives in flat arenas carved up front (the stream's
+// persistent buffers, one logits arena, one posteriors arena), so the
+// heap cost of a call is a fixed handful of allocations per utterance —
+// zero per timestep, however long the audio runs.
 func (e *Engine) Infer(frames [][]float32) [][]float32 {
-	s := e.model.NewStream()
+	s := e.NewStream()
 	logits := make([][]float32, len(frames))
+	var flat []float32
 	for t, f := range frames {
-		in := f
-		if e.fp16 {
-			in = tensor.CloneVec(f)
-			tensor.QuantizeHalfVec(in)
+		out := s.step(f)
+		if flat == nil {
+			flat = make([]float32, len(frames)*len(out))
 		}
-		logits[t] = s.Step(in)
+		row := flat[t*len(out) : (t+1)*len(out)]
+		copy(row, out)
+		logits[t] = row
 	}
 	return nn.Posteriors(logits)
 }
@@ -95,10 +128,13 @@ func (e *Engine) InferBatch(batch [][][]float32) [][][]float32 {
 
 // Stream is a stateful frame-by-frame inference session over a deployed
 // engine — the live-microphone path the paper's real-time claim is about.
+// A Stream owns its scratch (recurrent state, the fp16 staging buffer),
+// so one goroutine per Stream; the engine weights underneath stay shared
+// and read-only.
 type Stream struct {
 	inner *nn.Stream
 	fp16  bool
-	dim   int
+	qbuf  []float32
 }
 
 // NewStream opens a streaming session. State persists across Step calls
@@ -107,17 +143,38 @@ func (e *Engine) NewStream() *Stream {
 	return &Stream{inner: e.model.NewStream(), fp16: e.fp16}
 }
 
-// Step consumes one feature frame and returns the phone posterior for it.
-func (s *Stream) Step(frame []float32) []float32 {
+// step advances one frame and returns the raw logits, borrowed from the
+// stream's persistent buffers (valid until the next step). Allocation-free
+// once qbuf has grown to the frame width.
+func (s *Stream) step(frame []float32) []float32 {
 	in := frame
 	if s.fp16 {
-		in = tensor.CloneVec(frame)
+		if cap(s.qbuf) < len(frame) {
+			s.qbuf = make([]float32, len(frame))
+		}
+		in = s.qbuf[:len(frame)]
+		copy(in, frame)
 		tensor.QuantizeHalfVec(in)
 	}
-	logits := s.inner.Step(in)
+	return s.inner.Step(in)
+}
+
+// Step consumes one feature frame and returns the phone posterior for it.
+// The returned slice is freshly allocated and owned by the caller; use
+// StepInto for the allocation-free variant.
+func (s *Stream) Step(frame []float32) []float32 {
+	logits := s.step(frame)
 	post := make([]float32, len(logits))
 	tensor.Softmax(post, logits)
 	return post
+}
+
+// StepInto consumes one feature frame and writes the phone posterior into
+// dst, which must have the model's output width. Steady-state StepInto
+// performs zero heap allocations — the real-time inner loop the packed
+// backend exists for.
+func (s *Stream) StepInto(dst []float32, frame []float32) {
+	tensor.Softmax(dst, s.step(frame))
 }
 
 // Reset clears recurrent state at an utterance boundary.

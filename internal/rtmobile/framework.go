@@ -91,6 +91,11 @@ type DeployConfig struct {
 	DisableLoadElim bool
 	// AutoTuneTiling runs the offline tiling search before deployment.
 	AutoTuneTiling bool
+	// MeasuredTuning makes AutoTuneTiling optimize wall-clock nanoseconds
+	// measured on the packed execution backend instead of the target's
+	// analytic cost model. The chosen plan is recorded on the engine and
+	// persisted in bundles, so a deployment tunes once, ever.
+	MeasuredTuning bool
 	// FuseKernels merges each layer's input and recurrent projections
 	// into one kernel (extension pass; lowers the dispatch-overhead floor
 	// at high compression).
@@ -139,14 +144,26 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 		srcs = compiler.FuseSources(srcs)
 	}
 
+	var tuned TuneRecord
 	if cfg.AutoTuneTiling {
-		res, err := compiler.TuneTiling(model.Spec.String(), srcs, opt,
-			cfg.Target.Threads(), TimestepsPerFrame, elementwiseOps(model),
-			compiler.DefaultTuneSpace(), cfg.Target.CostFunc())
+		var res compiler.TuneResult
+		var err error
+		if cfg.MeasuredTuning {
+			res, err = compiler.TuneTilingMeasured(srcs, opt,
+				cfg.Target.Threads(), compiler.DefaultTuneSpace(), 0)
+		} else {
+			res, err = compiler.TuneTiling(model.Spec.String(), srcs, opt,
+				cfg.Target.Threads(), TimestepsPerFrame, elementwiseOps(model),
+				compiler.DefaultTuneSpace(), cfg.Target.CostFunc())
+		}
 		if err != nil {
 			return nil, err
 		}
 		opt.Tile = res.Tile
+		tuned = TuneRecord{Mode: TuneAnalytic, Cost: res.Cost}
+		if res.Measured {
+			tuned.Mode = TuneMeasured
+		}
 	}
 
 	plan, err := compiler.CompilePlan(model.Spec.String(), srcs, opt,
@@ -159,7 +176,7 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 		pool = parallel.NewPool(cfg.Workers)
 	}
 	eng := &Engine{model: model, plan: plan, target: cfg.Target, pool: pool,
-		fp16: opt.ValueBits == 16, fused: cfg.FuseKernels}
+		fp16: opt.ValueBits == 16, fused: cfg.FuseKernels, tuned: tuned}
 	if eng.fp16 {
 		eng.quantizeWeights()
 	}
@@ -214,6 +231,28 @@ func AutoTuneBlockSize(model *nn.Model, colRate, rowRate float64, target *device
 	}
 	_, best, err := compiler.TuneBlockSize(largest.W, colRate, rowRate,
 		target.Threads(), compiler.DefaultTuneSpace(), accuracyWeight, target.CostFunc())
+	if err != nil {
+		return 0, 0, err
+	}
+	return best.RowGroups, best.ColBlocks, nil
+}
+
+// AutoTuneBlockSizeMeasured is AutoTuneBlockSize with the measured
+// objective: candidate grids are compiled, packed, and timed on the host
+// rather than priced by the target's analytic model.
+func AutoTuneBlockSizeMeasured(model *nn.Model, colRate, rowRate float64, target *device.Target, accuracyWeight float64) (rowGroups, colBlocks int, err error) {
+	mats := model.WeightMatrices()
+	if len(mats) == 0 {
+		return 0, 0, fmt.Errorf("rtmobile: model has no prunable matrices")
+	}
+	largest := mats[0]
+	for _, p := range mats[1:] {
+		if p.NumEl() > largest.NumEl() {
+			largest = p
+		}
+	}
+	_, best, err := compiler.TuneBlockSizeMeasured(largest.W, colRate, rowRate,
+		target.Threads(), compiler.DefaultTuneSpace(), accuracyWeight, 0)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,59 @@
+package tensor
+
+import "testing"
+
+// TestDotKernelsBitIdentical: every unrolled variant must return exactly the
+// rolled reference's bits — the property the packed execution backend's
+// determinism argument rests on.
+func TestDotKernelsBitIdentical(t *testing.T) {
+	rng := NewRNG(11)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 100, 1023} {
+		a0 := make([]float32, n)
+		a1 := make([]float32, n)
+		b := make([]float32, n)
+		for i := range b {
+			a0[i] = float32(rng.NormFloat64())
+			a1[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		want := DotF64(a0, b)
+		for _, k := range []struct {
+			name string
+			fn   func(a, b []float32) float64
+		}{
+			{"x2", DotF64x2}, {"x4", DotF64x4}, {"x8", DotF64x8},
+		} {
+			if got := k.fn(a0, b); got != want {
+				t.Fatalf("n=%d Dot%s = %v, rolled = %v", n, k.name, got, want)
+			}
+		}
+		want1 := DotF64(a1, b)
+		for _, k := range []struct {
+			name string
+			fn   func(a0, a1, b []float32) (float64, float64)
+		}{
+			{"pair", DotPairF64}, {"pairx2", DotPairF64x2},
+			{"pairx4", DotPairF64x4}, {"pairx8", DotPairF64x8},
+		} {
+			g0, g1 := k.fn(a0, a1, b)
+			if g0 != want || g1 != want1 {
+				t.Fatalf("n=%d %s = (%v,%v), rolled = (%v,%v)", n, k.name, g0, g1, want, want1)
+			}
+		}
+	}
+}
+
+// TestDotF64MatchesDot keeps the float32 wrapper and the float64 kernels
+// consistent.
+func TestDotF64MatchesDot(t *testing.T) {
+	rng := NewRNG(12)
+	a := make([]float32, 37)
+	b := make([]float32, 37)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		b[i] = float32(rng.NormFloat64())
+	}
+	if got, want := float32(DotF64(a, b)), Dot(a, b); got != want {
+		t.Fatalf("DotF64 %v vs Dot %v", got, want)
+	}
+}
