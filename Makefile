@@ -13,9 +13,13 @@ test:
 	$(GO) test ./...
 
 # Full suite under the race detector; the concurrency stress tests in
-# internal/rtmobile and internal/compiler are written for this target.
+# internal/rtmobile and internal/compiler are written for this target. The
+# second invocation re-runs the batched equivalence suites with forced pool
+# sizes so the lane-sharded merge paths race-test at several widths.
 race:
 	$(GO) test -race ./...
+	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Batch' ./internal/compiler ./internal/rtmobile
+	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Batch' ./internal/compiler ./internal/rtmobile
 
 # Short run of every fuzz target (decoder hardening + compiler shapes +
 # pack lowering).
@@ -24,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzBSPCRoundTrip -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run=^$$ -fuzz=FuzzCompileProgram -fuzztime=$(FUZZTIME) ./internal/compiler
 	$(GO) test -run=^$$ -fuzz=FuzzPackProgram -fuzztime=$(FUZZTIME) ./internal/compiler
+	$(GO) test -run=^$$ -fuzz=FuzzRunBatch -fuzztime=$(FUZZTIME) ./internal/compiler
 
 # Static checks: vet under both build configurations (default and the
 # purego fallback used on targets without unsafe), plus a gofmt gate.
@@ -34,7 +39,9 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 # Regenerates the paper tables plus the worker-scaling study, then the
-# packed-vs-interpreter study as a machine-readable artifact.
+# packed-vs-interpreter and batched-execution studies as machine-readable
+# artifacts.
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./cmd/rtmobile bench -exp packed -json BENCH_2.json
+	$(GO) run ./cmd/rtmobile bench -exp batch -json BENCH_3.json

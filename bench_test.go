@@ -395,6 +395,78 @@ func BenchmarkStreamStep(b *testing.B) {
 	}
 }
 
+// BenchmarkRunBatch measures the batched packed executor on the
+// Table-I-sized GRU recurrent projection at several lockstep panel widths.
+// ns/op grows with B, but MACs/s (each lane's work is real) should grow
+// past packed/serial as the weight stream amortizes over the panel;
+// `rtmobile bench -exp batch -json BENCH_3.json` records the same
+// measurement machine-readably, with the arithmetic-intensity column.
+func BenchmarkRunBatch(b *testing.B) {
+	cfg := bench.DefaultWorkerSweepConfig()
+	prog, x, err := bench.BuildSweepProgram(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp, err := compiler.Pack(prog, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := pp.NewScratch()
+	for _, bw := range []int{1, 2, 4, 8, 16, 32} {
+		xp := make([]float32, prog.Cols*bw)
+		for l := 0; l < bw; l++ {
+			for i, v := range x {
+				xp[i*bw+l] = v
+			}
+		}
+		yp := make([]float32, prog.Rows*bw)
+		b.Run(fmt.Sprintf("B=%d", bw), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := pp.RunBatch(yp, xp, bw, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInferBatch measures end-to-end batched serving through the
+// lockstep engine path (InferBatchInto, steady state: arenas and output
+// buffers reused, zero allocations per call at one worker).
+func BenchmarkInferBatch(b *testing.B) {
+	model := nn.NewGRUModel(nn.ModelSpec{InputDim: 39, Hidden: 128, NumLayers: 2, OutputDim: 39, Seed: 15})
+	res := rtmobile.Prune(model, nil, rtmobile.PruneConfig{ColRate: 16, RowRate: 2})
+	rng := tensor.NewRNG(16)
+	for _, n := range []int{1, 4, 8} {
+		batch := make([][][]float32, n)
+		for i := range batch {
+			utt := make([][]float32, 20)
+			for t := range utt {
+				f := make([]float32, 39)
+				for j := range f {
+					f[j] = float32(rng.NormFloat64())
+				}
+				utt[t] = f
+			}
+			batch[i] = utt
+		}
+		b.Run(fmt.Sprintf("utts=%d", n), func(b *testing.B) {
+			eng, err := rtmobile.Compile(model.Clone(), res.Scheme,
+				rtmobile.DeployConfig{Target: device.MobileGPU(), Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst := eng.InferBatch(batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.InferBatchInto(dst, batch)
+			}
+		})
+	}
+}
+
 // BenchmarkInferBatchWorkers measures utterance-level serving throughput:
 // a fixed batch of utterances scored by Engine.InferBatch at several pool
 // sizes.

@@ -261,10 +261,10 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, batch, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
-	jsonOut := fs.String("json", "", "with -exp packed: also write the rows as JSON to this path (e.g. BENCH_2.json)")
+	jsonOut := fs.String("json", "", "with -exp packed or batch: also write the rows as JSON to this path (e.g. BENCH_2.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -342,6 +342,37 @@ func cmdBench(args []string) error {
 				return err
 			}
 			if err := bench.WritePackedJSON(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+	case "batch":
+		cfg := bench.DefaultBatchSweepConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rows, err := bench.RunBatchBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderBatchBench(rows, cfg))
+		gains := bench.BatchSpeedup(rows)
+		ops := make([]string, 0, len(gains))
+		for op := range gains {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Printf("  MACs/s vs packed/serial @ %s: %.2fx\n", op, gains[op])
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteBatchJSON(f, rows); err != nil {
 				f.Close()
 				return err
 			}

@@ -29,6 +29,21 @@
 // model or by measured wall time of the packed executor, and deployment
 // bundles persist the winning plan.
 //
+// The packed backend also executes batched: PackedProgram.RunBatch steps B
+// input vectors through one weight stream as a column-major SpMM panel, so
+// each weight value is loaded once per step for the whole batch — the
+// arithmetic-intensity win batched serving rides on. nn.BatchStream and
+// Engine.InferBatch lift this through the model stack: utterances are
+// grouped into lockstep panels with per-lane retirement for ragged
+// lengths, and every lane's output stays bit-identical to a solo serial
+// run (lanes never mix, so batch width changes layout, not summation
+// order). On amd64 with AVX2 the panel kernels run in assembly, vectorized
+// across lanes with separate multiply and add (never FMA) so the bytes
+// match the portable path; -tags=purego restores pure Go. Parallel entry
+// points fall back to serial below a fork-join break-even
+// (compiler.ParallelBreakEvenMACs), so small programs never pay for
+// workers they cannot feed.
+//
 // # Concurrency and the ownership rule
 //
 // The runtime is parallel but deterministic. Compiled programs execute

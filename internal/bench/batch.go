@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/parallel"
+	"rtmobile/internal/tensor"
+)
+
+// Batched-execution study: the SpMM weight-reuse trajectory. Each row times
+// one (executor, batch width, worker count) triple on the Table-I-sized GRU
+// projection. The single-stream packed rows are repeated here so the
+// artifact carries its own baseline: the acceptance criteria compare
+// batch/B*/... MACs/s against packed/serial, and packed/parallel@N against
+// packed/serial (the fork-join break-even fix).
+
+// BatchSweepConfig sizes the batched study.
+type BatchSweepConfig struct {
+	WorkerSweepConfig
+	// Batches are the lockstep panel widths to measure.
+	Batches []int
+}
+
+// DefaultBatchSweepConfig measures the paper-scale layer at B 1..32.
+func DefaultBatchSweepConfig() BatchSweepConfig {
+	return BatchSweepConfig{
+		WorkerSweepConfig: DefaultWorkerSweepConfig(),
+		Batches:           []int{1, 2, 4, 8, 16, 32},
+	}
+}
+
+// BatchBenchRow is one executor measurement. MACs/s counts useful work
+// (each lane's MACs are real), so weight reuse shows up directly:
+// MACsPerLoadedValue is MACs per value loaded from the weight stream and
+// the gather traffic — B·macs / (streamedVals + B·gatherLoads) — the
+// arithmetic-intensity axis the batched backend exists to move.
+type BatchBenchRow struct {
+	Op                 string  `json:"op"`
+	Batch              int     `json:"batch"`
+	NsPerOp            float64 `json:"ns_per_op"`
+	AllocsPerOp        float64 `json:"allocs_per_op"`
+	MACsPerSec         float64 `json:"macs_per_sec"`
+	MACsPerLoadedValue float64 `json:"macs_per_loaded_value"`
+}
+
+// batchLaneVec builds lane l's input vector for the study.
+func batchLaneVec(cols, l int) []float32 {
+	rng := tensor.NewRNG(101 + uint64(l)*13)
+	x := make([]float32, cols)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+// RunBatchBench measures packed single-stream execution against the batched
+// executor across every configured panel width and worker count. Before any
+// timing, every (B, workers) combination is cross-checked lane-by-lane
+// against serial single-stream execution; divergence aborts the study.
+func RunBatchBench(cfg BatchSweepConfig) ([]BatchBenchRow, error) {
+	prog, _, err := BuildSweepProgram(cfg.WorkerSweepConfig)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := compiler.Pack(prog, 0)
+	if err != nil {
+		return nil, err
+	}
+	stats := pp.Stats()
+	macs := stats.TotalMACs()
+
+	maxB := 1
+	for _, b := range cfg.Batches {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	scratch := pp.NewScratch()
+	lanes := make([][]float32, maxB)
+	refs := make([][]float32, maxB)
+	for l := range lanes {
+		lanes[l] = batchLaneVec(prog.Cols, l)
+		refs[l] = make([]float32, prog.Rows)
+		if err := pp.Run(refs[l], lanes[l], scratch); err != nil {
+			return nil, err
+		}
+	}
+	check := func(bw int, y []float32, label string) error {
+		for l := 0; l < bw; l++ {
+			for r := 0; r < prog.Rows; r++ {
+				if y[r*bw+l] != refs[l][r] {
+					return fmt.Errorf("bench: %s diverged from serial at lane %d row %d", label, l, r)
+				}
+			}
+		}
+		return nil
+	}
+
+	toRow := func(op string, bw int, r PackedBenchRow) BatchBenchRow {
+		row := BatchBenchRow{
+			Op: op, Batch: bw,
+			NsPerOp: r.NsPerOp, AllocsPerOp: r.AllocsPerOp,
+			MACsPerSec: r.MACsPerSec,
+		}
+		denom := float64(stats.StreamedVals) + float64(bw)*float64(stats.GatherLoads)
+		if denom > 0 {
+			row.MACsPerLoadedValue = float64(bw) * float64(macs) / denom
+		}
+		return row
+	}
+
+	// Single-stream baseline rows (the regression criterion's anchors).
+	x1 := lanes[0]
+	y1 := make([]float32, prog.Rows)
+	rows := []BatchBenchRow{
+		toRow("packed/serial", 1, benchRow("packed/serial", macs, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pp.Run(y1, x1, scratch)
+			}
+		})),
+	}
+	for _, workers := range cfg.Workers {
+		pool := parallel.NewPool(workers)
+		op := fmt.Sprintf("packed/parallel@%d", workers)
+		rows = append(rows, toRow(op, 1, benchRow(op, macs, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pp.RunParallel(y1, x1, pool, scratch)
+			}
+		})))
+		pool.Close()
+	}
+
+	for _, bw := range cfg.Batches {
+		xp := make([]float32, prog.Cols*bw)
+		for l := 0; l < bw; l++ {
+			for i, v := range lanes[l] {
+				xp[i*bw+l] = v
+			}
+		}
+		yp := make([]float32, prog.Rows*bw)
+		if err := pp.RunBatch(yp, xp, bw, scratch); err != nil {
+			return nil, err
+		}
+		if err := check(bw, yp, fmt.Sprintf("RunBatch B=%d", bw)); err != nil {
+			return nil, err
+		}
+		op := fmt.Sprintf("batch/B%d/serial", bw)
+		rows = append(rows, toRow(op, bw, benchRow(op, macs*bw, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pp.RunBatch(yp, xp, bw, scratch)
+			}
+		})))
+		for _, workers := range cfg.Workers {
+			pool := parallel.NewPool(workers)
+			if err := pp.RunBatchParallel(yp, xp, bw, pool, scratch); err != nil {
+				pool.Close()
+				return nil, err
+			}
+			if err := check(bw, yp, fmt.Sprintf("RunBatchParallel B=%d workers=%d", bw, workers)); err != nil {
+				pool.Close()
+				return nil, err
+			}
+			op := fmt.Sprintf("batch/B%d/parallel@%d", bw, workers)
+			rows = append(rows, toRow(op, bw, benchRow(op, macs*bw, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					pp.RunBatchParallel(yp, xp, bw, pool, scratch)
+				}
+			})))
+			pool.Close()
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("B=%d measured", bw)
+		}
+	}
+	return rows, nil
+}
+
+// BatchSpeedup returns each row's MACs/s normalized to the packed/serial
+// baseline — the weight-reuse payoff per (B, workers) point.
+func BatchSpeedup(rows []BatchBenchRow) map[string]float64 {
+	var base float64
+	for _, r := range rows {
+		if r.Op == "packed/serial" {
+			base = r.MACsPerSec
+		}
+	}
+	out := map[string]float64{}
+	if base <= 0 {
+		return out
+	}
+	for _, r := range rows {
+		if r.Op != "packed/serial" && r.MACsPerSec > 0 {
+			out[r.Op] = r.MACsPerSec / base
+		}
+	}
+	return out
+}
+
+// RenderBatchBench formats the study.
+func RenderBatchBench(rows []BatchBenchRow, cfg BatchSweepConfig) string {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Batched multi-stream execution (%dx%d %s, %d lanes, lane outputs bit-identical to serial)",
+			3*cfg.Hidden, cfg.Hidden, cfg.Format, cfg.Lanes),
+		Headers: []string{"Op", "B", "ns/op", "allocs/op", "GMACs/s", "MACs/loaded value"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Op, f(float64(r.Batch), 0), f(r.NsPerOp, 0), f(r.AllocsPerOp, 0),
+			f(r.MACsPerSec/1e9, 2), f(r.MACsPerLoadedValue, 2))
+	}
+	return t.Render()
+}
+
+// WriteBatchJSON writes the rows as indented JSON — the BENCH_<n>.json
+// artifact recording the batched backend's perf trajectory.
+func WriteBatchJSON(w io.Writer, rows []BatchBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func smallBatchConfig() BatchSweepConfig {
+	return BatchSweepConfig{
+		WorkerSweepConfig: smallSweepConfig(),
+		Batches:           []int{1, 4},
+	}
+}
+
+func TestRunBatchBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark study")
+	}
+	cfg := smallBatchConfig()
+	rows, err := RunBatchBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// packed/serial + packed/parallel per worker, then a serial row and a
+	// parallel row per worker for every batch width.
+	if want := 1 + len(cfg.Workers) + len(cfg.Batches)*(1+len(cfg.Workers)); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	seen := map[string]BatchBenchRow{}
+	for _, r := range rows {
+		seen[r.Op] = r
+		if r.NsPerOp <= 0 || r.MACsPerSec <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.MACsPerLoadedValue <= 0 {
+			t.Fatalf("row %q missing arithmetic intensity", r.Op)
+		}
+	}
+	for _, op := range []string{"packed/serial", "packed/parallel@2", "batch/B4/serial", "batch/B4/parallel@2"} {
+		if _, ok := seen[op]; !ok {
+			t.Fatalf("missing op %q", op)
+		}
+	}
+	// Weight reuse is structural: B=4 must report 4x the panel's MACs over
+	// a weight stream loaded once, so intensity must strictly grow with B.
+	if seen["batch/B4/serial"].MACsPerLoadedValue <= seen["batch/B1/serial"].MACsPerLoadedValue {
+		t.Fatalf("arithmetic intensity did not grow with B: B1=%v B4=%v",
+			seen["batch/B1/serial"].MACsPerLoadedValue, seen["batch/B4/serial"].MACsPerLoadedValue)
+	}
+	// Steady-state batched execution with a reused scratch is allocation-free.
+	if r := seen["batch/B4/serial"]; r.AllocsPerOp != 0 {
+		t.Fatalf("batch/B4/serial allocates %v per op, want 0", r.AllocsPerOp)
+	}
+	if sp := BatchSpeedup(rows); sp["batch/B4/serial"] <= 0 {
+		t.Fatalf("speedup map missing batch rows: %v", sp)
+	}
+
+	out := RenderBatchBench(rows, cfg)
+	if !strings.Contains(out, "MACs/loaded value") {
+		t.Fatalf("render missing intensity column:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteBatchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []BatchBenchRow
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0].Op != rows[0].Op {
+		t.Fatal("JSON round trip lost rows")
+	}
+}

@@ -1,0 +1,230 @@
+package compiler
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rtmobile/internal/parallel"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+// forceParallel disables the fork-join break-even cutoff for one test so
+// the parallel merge paths are actually exercised (the suites run on small
+// programs that would otherwise always fall back to serial — by design).
+func forceParallel(t testing.TB) {
+	t.Helper()
+	old := ParallelBreakEvenMACs
+	ParallelBreakEvenMACs = 0
+	t.Cleanup(func() { ParallelBreakEvenMACs = old })
+}
+
+// packPanel lays out per-stream vectors column-major: element i of stream l
+// at panel[i*bw+l].
+func packPanel(streams [][]float32) []float32 {
+	bw := len(streams)
+	n := len(streams[0])
+	panel := make([]float32, n*bw)
+	for l, v := range streams {
+		for i, x := range v {
+			panel[i*bw+l] = x
+		}
+	}
+	return panel
+}
+
+// TestBatchedBitIdentical is the batched half of the equivalence suite:
+// across formats, load-elimination on/off, every unroll factor, batch
+// widths 1..16 and several worker counts, lane l of the RunBatch output
+// panel must be byte-for-byte the serial single-stream Run output of lane
+// l's vector.
+func TestBatchedBitIdentical(t *testing.T) {
+	forceParallel(t)
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	workerCounts := []int{1, 2, 7, runtime.NumCPU()}
+	batchWidths := []int{1, 2, 4, 8, 16}
+	unrolls := []int{1, 2, 4, 8}
+
+	for seed := uint64(1); seed <= 2; seed++ {
+		w := bspMat(seed, 32+int(seed)*9, 40, scheme)
+		for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+			src := MatrixSource{Name: "m", W: w}
+			if format == FormatBSPC {
+				s := scheme
+				src.Scheme = &s
+			}
+			for _, elim := range []bool{true, false} {
+				for _, threads := range []int{1, 4} {
+					opt := DefaultOptions(format, 32)
+					opt.EliminateRedundantLoads = elim
+					prog, err := CompileProgram(src, opt, threads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, unroll := range unrolls {
+						pp, err := Pack(prog, unroll)
+						if err != nil {
+							t.Fatal(err)
+						}
+						scratch := pp.NewScratch()
+						for _, bw := range batchWidths {
+							label := fmt.Sprintf("seed=%d fmt=%s elim=%v threads=%d unroll=%d bw=%d",
+								seed, format, elim, threads, unroll, bw)
+							streams := make([][]float32, bw)
+							want := make([][]float32, bw)
+							for l := range streams {
+								streams[l] = randVec(seed*1000+uint64(bw*100+l), w.Cols)
+								want[l] = make([]float32, w.Rows)
+								if err := pp.Run(want[l], streams[l], scratch); err != nil {
+									t.Fatalf("%s: %v", label, err)
+								}
+							}
+							xp := packPanel(streams)
+							yp := make([]float32, w.Rows*bw)
+							if err := pp.RunBatch(yp, xp, bw, scratch); err != nil {
+								t.Fatalf("%s: %v", label, err)
+							}
+							for l := 0; l < bw; l++ {
+								for r := 0; r < w.Rows; r++ {
+									if yp[r*bw+l] != want[l][r] {
+										t.Fatalf("%s: lane %d row %d: batched %v vs serial %v",
+											label, l, r, yp[r*bw+l], want[l][r])
+									}
+								}
+							}
+							for _, workers := range workerCounts {
+								pool := parallel.NewPool(workers)
+								gp := make([]float32, w.Rows*bw)
+								err := pp.RunBatchParallel(gp, xp, bw, pool, scratch)
+								pool.Close()
+								if err != nil {
+									t.Fatalf("%s workers=%d: %v", label, workers, err)
+								}
+								for i := range gp {
+									if gp[i] != yp[i] {
+										t.Fatalf("%s workers=%d: panel index %d: parallel %v vs serial %v",
+											label, workers, i, gp[i], yp[i])
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchZeroAlloc: steady-state batched execution with a reused
+// scratch must not touch the heap.
+func TestRunBatchZeroAlloc(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(7, 64, 48, scheme)
+	src := MatrixSource{Name: "a", W: w, Scheme: &scheme}
+	prog, err := CompileProgram(src, DefaultOptions(FormatBSPC, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bw = 8
+	xp := make([]float32, w.Cols*bw)
+	copy(xp, randVec(9, w.Cols*bw))
+	yp := make([]float32, w.Rows*bw)
+	scratch := pp.NewScratch()
+	if err := pp.RunBatch(yp, xp, bw, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := pp.RunBatch(yp, xp, bw, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("RunBatch allocates %v times per execution, want 0", allocs)
+	}
+}
+
+// TestRunBatchShapeValidation pins the error paths.
+func TestRunBatchShapeValidation(t *testing.T) {
+	w := tensor.NewMatrix(4, 4)
+	prog, err := CompileProgram(MatrixSource{Name: "d", W: w}, DefaultOptions(FormatDense, 32), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.RunBatch(make([]float32, 8), make([]float32, 8), 0, nil); err == nil {
+		t.Fatal("zero batch width accepted")
+	}
+	if err := pp.RunBatch(make([]float32, 7), make([]float32, 8), 2, nil); err == nil {
+		t.Fatal("short y panel accepted")
+	}
+	if err := pp.RunBatch(make([]float32, 8), make([]float32, 9), 2, nil); err == nil {
+		t.Fatal("long x panel accepted")
+	}
+	forceParallel(t)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	if err := pp.RunBatchParallel(make([]float32, 8), make([]float32, 9), 2, pool, nil); err == nil {
+		t.Fatal("long x panel accepted by parallel path")
+	}
+}
+
+// TestParallelBreakEvenFallback pins the satellite fix for the BENCH_2
+// regression: below the fork-join break-even, RunParallel and
+// ExecuteParallel must take the serial path. Observable without timers:
+// the serial packed path with a reused scratch performs zero allocations,
+// while the parallel path allocates pool closures every call.
+func TestParallelBreakEvenFallback(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(3, 64, 48, scheme)
+	src := MatrixSource{Name: "c", W: w, Scheme: &scheme}
+	prog, err := CompileProgram(src, DefaultOptions(FormatBSPC, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.totalMACs >= ParallelBreakEvenMACs {
+		t.Fatalf("test program too large to sit below the cutoff: %d MACs", pp.totalMACs)
+	}
+	x := randVec(5, w.Cols)
+	y := make([]float32, w.Rows)
+	scratch := pp.NewScratch()
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	if err := pp.RunParallel(y, x, pool, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := pp.RunParallel(y, x, pool, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("sub-break-even RunParallel allocated %v times per call — it did not fall back to serial", allocs)
+	}
+	// The interpreter's parallel entry allocates stats arrays even when it
+	// falls back, so compare bytes instead: fallback output must equal the
+	// serial executor's bytes (this is trivially true either way — the real
+	// assertion is that no error or divergence appears).
+	want := make([]float32, w.Rows)
+	if _, err := prog.Execute(want, x); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, w.Rows)
+	if _, err := prog.ExecuteParallel(got, x, pool); err != nil {
+		t.Fatal(err)
+	}
+	for r := range got {
+		if got[r] != want[r] {
+			t.Fatalf("row %d: fallback %v vs serial %v", r, got[r], want[r])
+		}
+	}
+}

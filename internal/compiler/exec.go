@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"sync"
 
 	"rtmobile/internal/prune"
 	"rtmobile/internal/sparse"
@@ -46,6 +47,28 @@ type Program struct {
 	Format     Format
 	ValueBits  int
 	Threads    [][]Instr
+
+	// macsOnce/macsTotal lazily cache the program's total MAC count for the
+	// parallel break-even test. Programs are treated as immutable once they
+	// start executing, so a one-shot walk over the instructions is safe.
+	macsOnce  sync.Once
+	macsTotal int
+}
+
+// totalMACs returns (and caches) the program's total multiply-accumulate
+// count — the work term of the fork-join break-even test.
+func (p *Program) totalMACs() int {
+	p.macsOnce.Do(func() {
+		for _, lane := range p.Threads {
+			for i := range lane {
+				ins := &lane[i]
+				if ins.Op == OpDotGathered || ins.Op == OpDotStream {
+					p.macsTotal += len(ins.Vals)
+				}
+			}
+		}
+	})
+	return p.macsTotal
 }
 
 // ExecStats counts the events of one program execution.

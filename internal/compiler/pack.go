@@ -72,6 +72,10 @@ type PackedProgram struct {
 
 	// MaxGather is the widest gather — the scratch buffer size Run needs.
 	MaxGather int
+
+	// totalMACs is the program's precomputed work term, summed from the lane
+	// counts at pack time, for the fork-join break-even test.
+	totalMACs int
 }
 
 // DefaultUnroll is the dot-kernel unroll factor used when the caller does
@@ -212,6 +216,9 @@ func Pack(p *Program, unroll int) (*PackedProgram, error) {
 			}
 		}
 	}
+	for t := range pp.Lanes {
+		pp.totalMACs += pp.Lanes[t].counts.macs
+	}
 	return pp, nil
 }
 
@@ -247,6 +254,14 @@ type PackedScratch struct {
 	xbuf     []float32
 	partials [][]float32
 	lanebufs [][]float32
+
+	// Batched (RunBatch) buffers: the gather panel and the per-row lane
+	// accumulators, plus per-lane private panels for RunBatchParallel.
+	pbuf      []float32
+	acc       []float64
+	bpartials [][]float32
+	blanebufs [][]float32
+	baccs     [][]float64
 }
 
 // NewScratch returns a scratch arena sized for this program's serial path.
@@ -383,14 +398,17 @@ func (p *PackedProgram) Execute(y, x []float32) (ExecStats, error) {
 // gets a private accumulator and gather buffer from the scratch, and the
 // merge adds lane partials in lane index order — exactly the interpreter's
 // parallel scheme, so results are bit-identical to Run at any worker count.
-// A nil pool uses parallel.Default(); a 1-worker pool or 1-lane program runs
-// serially. A nil scratch allocates one internally. The pool's closures cost
-// a few allocations per call; the allocation-free path is serial Run.
+// A nil pool uses parallel.Default(); a 1-worker pool, a 1-lane program, or
+// per-worker work below ParallelBreakEvenMACs runs serially (single-stream
+// steps sit far below fork-join break-even — the BENCH_2 regression). A nil
+// scratch allocates one internally. The pool's closures cost a few
+// allocations per call; the allocation-free path is serial Run.
 func (p *PackedProgram) RunParallel(y, x []float32, pool *parallel.Pool, s *PackedScratch) error {
 	if pool == nil {
 		pool = parallel.Default()
 	}
-	if pool.Workers() < 2 || len(p.Lanes) < 2 {
+	if pool.Workers() < 2 || len(p.Lanes) < 2 ||
+		!parallelWorthwhile(p.totalMACs, min(pool.Workers(), len(p.Lanes))) {
 		return p.Run(y, x, s)
 	}
 	if len(x) != p.Cols || len(y) != p.Rows {

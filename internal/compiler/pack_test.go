@@ -15,6 +15,7 @@ import (
 // worker counts, and every dot-kernel unroll factor, packed execution must
 // produce exactly the interpreter's bytes and event counts.
 func TestPackedBitIdentical(t *testing.T) {
+	forceParallel(t)
 	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
 	workerCounts := []int{1, 2, 7, runtime.NumCPU()}
 	threadCounts := []int{1, 3, 8}
@@ -218,6 +219,7 @@ func TestPackedShapeValidation(t *testing.T) {
 // per-goroutine scratches — the read-only-program / private-scratch ownership
 // rule the race target verifies.
 func TestPackedSharedProgram(t *testing.T) {
+	forceParallel(t)
 	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
 	w := bspMat(13, 48, 40, scheme)
 	src := MatrixSource{Name: "s", W: w, Scheme: &scheme}

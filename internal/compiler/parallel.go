@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"runtime"
 
 	"rtmobile/internal/parallel"
 	"rtmobile/internal/tensor"
@@ -16,15 +17,44 @@ import (
 // the bytes Execute produces, at any worker count, along with identical
 // ExecStats.
 
+// ParallelBreakEvenMACs is the fork-join break-even cutoff: below this many
+// multiply-accumulates per worker, handing lanes to the pool costs more than
+// the arithmetic saves, so RunParallel/ExecuteParallel fall back to the
+// serial kernel (which is bit-identical anyway). The BENCH_2 study measured
+// the regression this guards against: on the ~98K-MAC single-stream packed
+// workload every worker count was slower than serial. The default is sized
+// so single-stream per-step matvecs stay serial while batched panels (whose
+// work scales with B) can still fan out. 0 disables the cutoff — the
+// equivalence suites use that to force the parallel merge path under test.
+// A machine without a second CPU never forks regardless of the threshold.
+var ParallelBreakEvenMACs = 1 << 18
+
+// parallelWorthwhile reports whether `work` MACs spread over `workers`
+// clears the fork-join break-even.
+func parallelWorthwhile(work, workers int) bool {
+	if ParallelBreakEvenMACs <= 0 {
+		return true
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		return false
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return work/workers >= ParallelBreakEvenMACs
+}
+
 // ExecuteParallel runs the program on x with its thread lanes distributed
 // over the pool, writing y (len Rows). Results and statistics are
 // bit-identical to Execute. A nil pool uses parallel.Default(); a 1-worker
-// pool or a 1-lane program falls back to the serial executor.
+// pool, a 1-lane program, or per-worker work below ParallelBreakEvenMACs
+// falls back to the serial executor.
 func (p *Program) ExecuteParallel(y, x []float32, pool *parallel.Pool) (ExecStats, error) {
 	if pool == nil {
 		pool = parallel.Default()
 	}
-	if pool.Workers() < 2 || len(p.Threads) < 2 {
+	if pool.Workers() < 2 || len(p.Threads) < 2 ||
+		!parallelWorthwhile(p.totalMACs(), min(pool.Workers(), len(p.Threads))) {
 		return p.Execute(y, x)
 	}
 	if len(x) != p.Cols || len(y) != p.Rows {

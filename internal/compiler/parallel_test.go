@@ -34,6 +34,7 @@ func equalStats(t *testing.T, serial, par ExecStats, label string) {
 // thread counts and several pool worker counts, the parallel executor must
 // produce exactly the serial executor's bytes and event counts.
 func TestExecuteParallelBitIdentical(t *testing.T) {
+	forceParallel(t)
 	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
 	workerCounts := []int{1, 2, 7, runtime.NumCPU()}
 	threadCounts := []int{1, 3, 8}
@@ -135,6 +136,7 @@ func TestExecuteParallelShapeMismatch(t *testing.T) {
 // goroutines — the Program must be safely shareable (it is read-only
 // during execution).
 func TestExecuteParallelSharedProgram(t *testing.T) {
+	forceParallel(t)
 	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
 	w := bspMat(9, 48, 40, scheme)
 	src := MatrixSource{Name: "s", W: w, Scheme: &scheme}

@@ -1,0 +1,280 @@
+package nn
+
+import "rtmobile/internal/tensor"
+
+// Batched streaming inference: B independent utterance streams advanced in
+// lockstep over column-major state panels (element i of stream l at
+// panel[i*bw+l]), so every weight matrix is streamed once per step for the
+// whole batch instead of once per stream. Lane l of every panel is
+// bit-identical to a dedicated serial Stepper fed lane l's frames: the
+// batch steppers replay the serial steppers' float operation order per
+// lane (bias broadcast, then the panel matvec whose per-lane accumulation
+// matches MatVecAdd, then the same element-wise gate math), and lanes never
+// mix — batch width changes data layout, not summation order.
+
+// BatchStepper is a layer that advances B independent streams in lockstep.
+type BatchStepper interface {
+	// StepBatch consumes one bw-wide input panel and returns the layer's
+	// output panel. The returned slice is owned by the stepper and is
+	// overwritten by the next call — copy to retain.
+	StepBatch(x []float32) []float32
+	// Reset clears the recurrent state of every lane.
+	Reset()
+	// ResetLane clears lane l's recurrent state only (a new utterance
+	// entering a serving slot whose neighbors keep streaming).
+	ResetLane(l int)
+}
+
+// broadcastRows stages a per-element vector across all lanes of a panel:
+// dst[i*bw+l] = src[i] for every lane l.
+func broadcastRows(dst, src []float32, bw int) {
+	for i, v := range src {
+		row := dst[i*bw : (i+1)*bw]
+		for l := range row {
+			row[l] = v
+		}
+	}
+}
+
+// addBroadcastRows accumulates a per-element vector into every lane:
+// dst[i*bw+l] += src[i].
+func addBroadcastRows(dst, src []float32, bw int) {
+	for i, v := range src {
+		row := dst[i*bw : (i+1)*bw]
+		for l := range row {
+			row[l] += v
+		}
+	}
+}
+
+// zeroLane clears lane l of an n-element state panel.
+func zeroLane(panel []float32, n, bw, l int) {
+	for i := 0; i < n; i++ {
+		panel[i*bw+l] = 0
+	}
+}
+
+// gruBatchStream is a GRU cell's batched streaming state.
+type gruBatchStream struct {
+	g      *GRU
+	bw     int
+	h      []float32
+	ax, ah []float32
+	out    []float32
+}
+
+// BatchStream returns a stepper advancing bw independent streams over this
+// GRU's (shared, read-only) weights.
+func (g *GRU) BatchStream(bw int) BatchStepper {
+	return &gruBatchStream{
+		g:   g,
+		bw:  bw,
+		h:   make([]float32, g.Hidden*bw),
+		ax:  make([]float32, 3*g.Hidden*bw),
+		ah:  make([]float32, 3*g.Hidden*bw),
+		out: make([]float32, g.Hidden*bw),
+	}
+}
+
+// StepBatch implements BatchStepper.
+func (s *gruBatchStream) StepBatch(x []float32) []float32 {
+	g := s.g
+	H, bw := g.Hidden, s.bw
+	broadcastRows(s.ax, g.Bx.W.Data, bw)
+	tensor.MatVecAddBatch(s.ax, g.Wx.W, x, bw)
+	broadcastRows(s.ah, g.Bh.W.Data, bw)
+	tensor.MatVecAddBatch(s.ah, g.Wh.W, s.h, bw)
+	out := s.out
+	for i := 0; i < H; i++ {
+		axz := s.ax[i*bw : (i+1)*bw]
+		ahz := s.ah[i*bw : (i+1)*bw]
+		axr := s.ax[(H+i)*bw : (H+i+1)*bw]
+		ahr := s.ah[(H+i)*bw : (H+i+1)*bw]
+		axc := s.ax[(2*H+i)*bw : (2*H+i+1)*bw]
+		ahc := s.ah[(2*H+i)*bw : (2*H+i+1)*bw]
+		hrow := s.h[i*bw : (i+1)*bw]
+		orow := out[i*bw : (i+1)*bw]
+		for l := range orow {
+			z := sigmoid(axz[l] + ahz[l])
+			r := sigmoid(axr[l] + ahr[l])
+			c := tanh32(axc[l] + r*ahc[l])
+			orow[l] = (1-z)*hrow[l] + z*c
+		}
+	}
+	copy(s.h, out)
+	return out
+}
+
+// Reset implements BatchStepper.
+func (s *gruBatchStream) Reset() { tensor.ZeroVec(s.h) }
+
+// ResetLane implements BatchStepper.
+func (s *gruBatchStream) ResetLane(l int) { zeroLane(s.h, s.g.Hidden, s.bw, l) }
+
+// lstmBatchStream is an LSTM cell's batched streaming state.
+type lstmBatchStream struct {
+	l    *LSTM
+	bw   int
+	h, c []float32
+	act  []float32
+	out  []float32
+}
+
+// BatchStream returns a stepper advancing bw independent streams over this
+// LSTM's weights.
+func (l *LSTM) BatchStream(bw int) BatchStepper {
+	return &lstmBatchStream{
+		l:   l,
+		bw:  bw,
+		h:   make([]float32, l.Hidden*bw),
+		c:   make([]float32, l.Hidden*bw),
+		act: make([]float32, 4*l.Hidden*bw),
+		out: make([]float32, l.Hidden*bw),
+	}
+}
+
+// StepBatch implements BatchStepper.
+func (s *lstmBatchStream) StepBatch(x []float32) []float32 {
+	l := s.l
+	H, bw := l.Hidden, s.bw
+	broadcastRows(s.act, l.Bx.W.Data, bw)
+	addBroadcastRows(s.act, l.Bh.W.Data, bw)
+	tensor.MatVecAddBatch(s.act, l.Wx.W, x, bw)
+	tensor.MatVecAddBatch(s.act, l.Wh.W, s.h, bw)
+	out := s.out
+	for j := 0; j < H; j++ {
+		ai := s.act[j*bw : (j+1)*bw]
+		af := s.act[(H+j)*bw : (H+j+1)*bw]
+		ag := s.act[(2*H+j)*bw : (2*H+j+1)*bw]
+		ao := s.act[(3*H+j)*bw : (3*H+j+1)*bw]
+		crow := s.c[j*bw : (j+1)*bw]
+		orow := out[j*bw : (j+1)*bw]
+		for k := range orow {
+			i := sigmoid(ai[k])
+			f := sigmoid(af[k])
+			g := tanh32(ag[k])
+			o := sigmoid(ao[k])
+			crow[k] = f*crow[k] + i*g
+			orow[k] = o * tanh32(crow[k])
+		}
+	}
+	copy(s.h, out)
+	return out
+}
+
+// Reset implements BatchStepper.
+func (s *lstmBatchStream) Reset() {
+	tensor.ZeroVec(s.h)
+	tensor.ZeroVec(s.c)
+}
+
+// ResetLane implements BatchStepper.
+func (s *lstmBatchStream) ResetLane(l int) {
+	zeroLane(s.h, s.l.Hidden, s.bw, l)
+	zeroLane(s.c, s.l.Hidden, s.bw, l)
+}
+
+// denseBatchStream steps a Dense layer over panels (stateless; the
+// persistent output panel keeps steady-state streaming allocation-free).
+type denseBatchStream struct {
+	d   *Dense
+	bw  int
+	out []float32
+}
+
+// BatchStream returns a batched stepper over the Dense layer.
+func (d *Dense) BatchStream(bw int) BatchStepper {
+	return &denseBatchStream{d: d, bw: bw, out: make([]float32, d.OutDimN*bw)}
+}
+
+// StepBatch implements BatchStepper.
+func (s *denseBatchStream) StepBatch(x []float32) []float32 {
+	y := s.out
+	broadcastRows(y, s.d.Bias.W.Data, s.bw)
+	tensor.MatVecAddBatch(y, s.d.Weight.W, x, s.bw)
+	return y
+}
+
+// Reset implements BatchStepper.
+func (s *denseBatchStream) Reset() {}
+
+// ResetLane implements BatchStepper.
+func (s *denseBatchStream) ResetLane(int) {}
+
+// BatchStream is a stateful lockstep pipeline advancing bw streams through
+// a whole model. Lane retirement handles ragged batches: Retire(l) marks a
+// lane's output meaningless without stopping the lockstep — retired lanes
+// keep computing on whatever input their panel column holds, which cannot
+// perturb the other lanes because lanes never mix (every kernel accumulates
+// strictly within a lane column). Callers simply stop reading retired
+// columns; ResetLane re-arms a column for a fresh utterance.
+type BatchStream struct {
+	steppers []BatchStepper
+	bw       int
+	active   []bool
+}
+
+// NewBatchStream builds a lockstep pipeline of width bw sharing the model's
+// weights. Panics if bw < 1 or a layer type has no streaming form.
+func (m *Model) NewBatchStream(bw int) *BatchStream {
+	if bw < 1 {
+		panic("nn: batch width must be >= 1")
+	}
+	s := &BatchStream{bw: bw, active: make([]bool, bw)}
+	for l := range s.active {
+		s.active[l] = true
+	}
+	for _, layer := range m.Layers {
+		switch v := layer.(type) {
+		case *GRU:
+			s.steppers = append(s.steppers, v.BatchStream(bw))
+		case *LSTM:
+			s.steppers = append(s.steppers, v.BatchStream(bw))
+		case *Dense:
+			s.steppers = append(s.steppers, v.BatchStream(bw))
+		default:
+			panic("nn: layer has no streaming form")
+		}
+	}
+	return s
+}
+
+// Width reports the stream's batch width.
+func (s *BatchStream) Width() int { return s.bw }
+
+// StepBatch pushes one input panel through the stack and returns the
+// logits panel (the last stepper's persistent buffer — valid until the
+// next call). Lane l is bit-identical to a serial Stream fed lane l's
+// frames.
+func (s *BatchStream) StepBatch(x []float32) []float32 {
+	out := x
+	for _, st := range s.steppers {
+		out = st.StepBatch(out)
+	}
+	return out
+}
+
+// Reset clears every lane's recurrent state and re-activates all lanes.
+func (s *BatchStream) Reset() {
+	for _, st := range s.steppers {
+		st.Reset()
+	}
+	for l := range s.active {
+		s.active[l] = true
+	}
+}
+
+// ResetLane clears lane l's recurrent state and re-activates it.
+func (s *BatchStream) ResetLane(l int) {
+	for _, st := range s.steppers {
+		st.ResetLane(l)
+	}
+	s.active[l] = true
+}
+
+// Retire marks lane l's outputs meaningless (its utterance ended). The
+// lockstep keeps computing the column; callers stop reading it.
+func (s *BatchStream) Retire(l int) { s.active[l] = false }
+
+// Active reports whether lane l currently carries a live utterance.
+func (s *BatchStream) Active(l int) bool { return s.active[l] }

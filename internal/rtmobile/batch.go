@@ -1,0 +1,262 @@
+package rtmobile
+
+import (
+	"rtmobile/internal/nn"
+	"rtmobile/internal/parallel"
+	"rtmobile/internal/tensor"
+)
+
+// Batched serving: InferBatch groups utterances into fixed-width lockstep
+// panels so every weight matrix is streamed from memory once per step for
+// the whole group instead of once per utterance — the SpMM weight-reuse
+// win. Ragged batches are handled by lane retirement: when an utterance
+// runs out of frames its lane keeps lockstepping on its last input (lanes
+// are fully independent, so this cannot perturb the live lanes) and its
+// output column simply stops being read.
+
+// MaxBatchWidth caps the lockstep panel width InferBatch uses per worker
+// group. Wider panels amortize the weight stream further but grow the
+// activation working set linearly; 32 keeps a paper-scale layer's panels
+// inside L2 while already reading each weight 1/32nd as often.
+const MaxBatchWidth = 32
+
+// maxFreeArenas bounds the engine's batch-arena free list.
+const maxFreeArenas = 16
+
+// BatchStream is a stateful lockstep inference session over bw utterance
+// slots. It owns all mutable state (the layer panels, the fp16 staging
+// panel, the softmax staging rows), so one goroutine per BatchStream; the
+// engine weights underneath stay shared and read-only. Lane l of every
+// output panel is bit-identical to a serial Stream fed lane l's frames.
+type BatchStream struct {
+	inner *nn.BatchStream
+	bw    int
+	out   int
+	fp16  bool
+	qbuf  []float32
+	lane  []float32
+	post  []float32
+}
+
+// NewBatchStream opens a lockstep session of width bw. State persists
+// across StepBatch calls until Reset (all lanes) or ResetLane (one slot).
+func (e *Engine) NewBatchStream(bw int) *BatchStream {
+	return &BatchStream{
+		inner: e.model.NewBatchStream(bw),
+		bw:    bw,
+		out:   e.model.Spec.OutputDim,
+		fp16:  e.fp16,
+	}
+}
+
+// Width reports the session's batch width.
+func (s *BatchStream) Width() int { return s.bw }
+
+// stepBatch advances one input panel and returns the raw logits panel,
+// borrowed from the pipeline's persistent buffers. On the fp16 path the
+// whole input panel is rounded through half precision — element-wise, so
+// each lane sees exactly the rounding a serial Stream applies to its frame.
+func (s *BatchStream) stepBatch(panel []float32) []float32 {
+	in := panel
+	if s.fp16 {
+		if cap(s.qbuf) < len(panel) {
+			s.qbuf = make([]float32, len(panel))
+		}
+		in = s.qbuf[:len(panel)]
+		copy(in, panel)
+		tensor.QuantizeHalfVec(in)
+	}
+	return s.inner.StepBatch(in)
+}
+
+// StepBatch consumes one column-major input panel (element i of lane l at
+// panel[i*bw+l]) and returns a freshly allocated posterior panel in the
+// same layout. Use StepBatchInto for the allocation-free variant.
+func (s *BatchStream) StepBatch(panel []float32) []float32 {
+	dst := make([]float32, s.out*s.bw)
+	s.StepBatchInto(dst, panel)
+	return dst
+}
+
+// StepBatchInto consumes one input panel and writes per-lane phone
+// posteriors into dst (column-major, OutputDim×bw). Retired lanes are
+// skipped — their dst columns are left untouched. Steady-state
+// StepBatchInto performs zero heap allocations.
+func (s *BatchStream) StepBatchInto(dst, panel []float32) {
+	logits := s.stepBatch(panel)
+	n := s.out
+	if cap(s.lane) < n {
+		s.lane = make([]float32, n)
+		s.post = make([]float32, n)
+	}
+	lane, post := s.lane[:n], s.post[:n]
+	for l := 0; l < s.bw; l++ {
+		if !s.inner.Active(l) {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			lane[i] = logits[i*s.bw+l]
+		}
+		tensor.Softmax(post, lane)
+		for i, v := range post {
+			dst[i*s.bw+l] = v
+		}
+	}
+}
+
+// Reset clears every lane's recurrent state and re-activates all lanes.
+func (s *BatchStream) Reset() { s.inner.Reset() }
+
+// ResetLane clears one lane's recurrent state and re-activates it — a new
+// utterance entering a serving slot whose neighbors keep streaming.
+func (s *BatchStream) ResetLane(l int) { s.inner.ResetLane(l) }
+
+// Retire marks a lane's outputs meaningless (its utterance ended); the
+// lockstep keeps computing the column but StepBatchInto stops writing it.
+func (s *BatchStream) Retire(l int) { s.inner.Retire(l) }
+
+// Active reports whether a lane currently carries a live utterance.
+func (s *BatchStream) Active(l int) bool { return s.inner.Active(l) }
+
+// batchArena is the per-group working set InferBatch reuses across calls:
+// a lockstep session plus its input and posterior panels. Arenas are keyed
+// by batch width; the engine keeps a small free list so steady-state
+// serving never reallocates them.
+type batchArena struct {
+	bw   int
+	bs   *BatchStream
+	in   []float32
+	post []float32
+}
+
+// getBatchArena pops a width-bw arena off the free list or builds one.
+func (e *Engine) getBatchArena(bw int) *batchArena {
+	e.batchMu.Lock()
+	for i := len(e.batchFree) - 1; i >= 0; i-- {
+		if e.batchFree[i].bw == bw {
+			a := e.batchFree[i]
+			last := len(e.batchFree) - 1
+			e.batchFree[i] = e.batchFree[last]
+			e.batchFree[last] = nil
+			e.batchFree = e.batchFree[:last]
+			e.batchMu.Unlock()
+			return a
+		}
+	}
+	e.batchMu.Unlock()
+	return &batchArena{
+		bw:   bw,
+		bs:   e.NewBatchStream(bw),
+		in:   make([]float32, e.model.Spec.InputDim*bw),
+		post: make([]float32, e.model.Spec.OutputDim*bw),
+	}
+}
+
+// putBatchArena returns an arena to the free list (dropped if full).
+func (e *Engine) putBatchArena(a *batchArena) {
+	e.batchMu.Lock()
+	if len(e.batchFree) < maxFreeArenas {
+		e.batchFree = append(e.batchFree, a)
+	}
+	e.batchMu.Unlock()
+}
+
+// batchWidth picks the lockstep panel width for an n-utterance batch:
+// split the batch evenly across the pool's workers, clamped to
+// [1, MaxBatchWidth].
+func batchWidth(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	bw := (n + workers - 1) / workers
+	if bw > MaxBatchWidth {
+		bw = MaxBatchWidth
+	}
+	if bw < 1 {
+		bw = 1
+	}
+	return bw
+}
+
+// inferPanel scores up to bw utterances in lockstep, writing per-frame
+// posteriors into dst (dst[l][t] must already have the model's output
+// width). Lanes past len(utts), and empty utterances, start retired; each
+// live lane is retired the step after its last frame. Retired lanes keep
+// lockstepping on their final input frame — harmless, because lanes never
+// mix.
+func (e *Engine) inferPanel(dst [][][]float32, utts [][][]float32, bw int) {
+	a := e.getBatchArena(bw)
+	bs := a.bs
+	bs.Reset()
+	maxT := 0
+	for l := 0; l < bw; l++ {
+		if l >= len(utts) || len(utts[l]) == 0 {
+			bs.Retire(l)
+		} else if len(utts[l]) > maxT {
+			maxT = len(utts[l])
+		}
+	}
+	for t := 0; t < maxT; t++ {
+		for l := 0; l < len(utts) && l < bw; l++ {
+			if t < len(utts[l]) {
+				for i, v := range utts[l][t] {
+					a.in[i*bw+l] = v
+				}
+			}
+		}
+		bs.StepBatchInto(a.post, a.in)
+		for l := 0; l < len(utts) && l < bw; l++ {
+			if t < len(utts[l]) {
+				row := dst[l][t]
+				for i := range row {
+					row[i] = a.post[i*bw+l]
+				}
+				if t+1 == len(utts[l]) {
+					bs.Retire(l)
+				}
+			}
+		}
+	}
+	e.putBatchArena(a)
+}
+
+// InferBatchInto scores independent utterances through the lockstep
+// batched path, writing per-frame posteriors into dst. dst must mirror
+// batch's shape: dst[i] has one row per frame of batch[i], each row the
+// model's output width. Steady-state calls with a stable batch shape
+// perform zero heap allocations — the arena free list and the lockstep
+// session's panels are all reused.
+//
+// Output is bit-identical to calling Infer on each utterance serially:
+// grouping changes memory layout and weight-stream amortization, never a
+// single summation order.
+func (e *Engine) InferBatchInto(dst, batch [][][]float32) {
+	n := len(batch)
+	if n == 0 {
+		return
+	}
+	if len(dst) != n {
+		panic("rtmobile: InferBatchInto dst/batch length mismatch")
+	}
+	pool := e.pool
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	bw := batchWidth(n, pool.Workers())
+	groups := (n + bw - 1) / bw
+	if groups == 1 || pool.Workers() < 2 {
+		// Inline loop instead of pool.For: the closure-free path is what
+		// keeps steady-state single-worker serving at zero allocations.
+		for g := 0; g < groups; g++ {
+			lo := g * bw
+			hi := min(lo+bw, n)
+			e.inferPanel(dst[lo:hi], batch[lo:hi], bw)
+		}
+		return
+	}
+	pool.For(groups, func(g int) {
+		lo := g * bw
+		hi := min(lo+bw, n)
+		e.inferPanel(dst[lo:hi], batch[lo:hi], bw)
+	})
+}

@@ -1,0 +1,199 @@
+package rtmobile
+
+import (
+	"testing"
+
+	"rtmobile/internal/device"
+)
+
+// TestBatchStreamMatchesStream: lane l of a lockstep session must emit
+// byte-for-byte what a dedicated serial Stream emits for lane l's frames,
+// on both the fp32 and fp16 (GPU) activation paths, including a
+// mid-utterance lane reset.
+func TestBatchStreamMatchesStream(t *testing.T) {
+	const bw, T, resetAt, victim = 4, 12, 6, 2
+	for _, gpu := range []bool{false, true} {
+		eng := parallelTestEngine(t, 41, gpu, 1)
+		in := eng.model.Spec.InputDim
+		out := eng.model.Spec.OutputDim
+		bs := eng.NewBatchStream(bw)
+		refs := make([]*Stream, bw)
+		lanes := make([][][]float32, bw)
+		for l := range refs {
+			refs[l] = eng.NewStream()
+			lanes[l] = testFrames(100+uint64(l), T, in)
+		}
+		panel := make([]float32, in*bw)
+		dst := make([]float32, out*bw)
+		want := make([]float32, out)
+		for step := 0; step < T; step++ {
+			if step == resetAt {
+				bs.ResetLane(victim)
+				refs[victim].Reset()
+			}
+			for l := 0; l < bw; l++ {
+				for i, v := range lanes[l][step] {
+					panel[i*bw+l] = v
+				}
+			}
+			bs.StepBatchInto(dst, panel)
+			for l := 0; l < bw; l++ {
+				refs[l].StepInto(want, lanes[l][step])
+				for i := 0; i < out; i++ {
+					if dst[i*bw+l] != want[i] {
+						t.Fatalf("gpu=%v step %d lane %d elem %d: batch %v vs serial %v",
+							gpu, step, l, i, dst[i*bw+l], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchStreamRetireSkipsLane: a retired lane's dst column must be left
+// untouched while live lanes keep producing serial-identical posteriors.
+func TestBatchStreamRetireSkipsLane(t *testing.T) {
+	const bw = 3
+	eng := parallelTestEngine(t, 43, false, 1)
+	in := eng.model.Spec.InputDim
+	out := eng.model.Spec.OutputDim
+	bs := eng.NewBatchStream(bw)
+	bs.Retire(1)
+	panel := make([]float32, in*bw)
+	for i, f := range testFrames(44, 1, in)[0] {
+		for l := 0; l < bw; l++ {
+			panel[i*bw+l] = f
+		}
+	}
+	const sentinel = float32(-123.5)
+	dst := make([]float32, out*bw)
+	for i := range dst {
+		dst[i] = sentinel
+	}
+	bs.StepBatchInto(dst, panel)
+	for i := 0; i < out; i++ {
+		if dst[i*bw+1] != sentinel {
+			t.Fatalf("retired lane written at elem %d: %v", i, dst[i*bw+1])
+		}
+		if dst[i*bw+0] == sentinel || dst[i*bw+2] == sentinel {
+			t.Fatalf("live lane not written at elem %d", i)
+		}
+	}
+}
+
+// TestInferBatchIntoZeroAlloc is the batched allocation-regression gate:
+// once the engine's arena free list is warm, steady-state InferBatchInto
+// over a stable batch shape must not touch the heap, on both targets (the
+// GPU target exercises the fp16 panel staging).
+func TestInferBatchIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; alloc gate runs in the non-race suite")
+	}
+	for _, target := range []*device.Target{device.MobileCPU(), device.MobileGPU()} {
+		eng := allocEngine(t, target)
+		batch := [][][]float32{
+			testFrames(51, 12, 8),
+			testFrames(52, 9, 8),
+			testFrames(53, 12, 8),
+		}
+		dst := eng.InferBatch(batch) // warm up: arenas enter the free list
+		if allocs := testing.AllocsPerRun(20, func() {
+			eng.InferBatchInto(dst, batch)
+		}); allocs != 0 {
+			t.Fatalf("%s: InferBatchInto allocates %v times per call, want 0",
+				target.Name, allocs)
+		}
+	}
+}
+
+// TestInferBatchAllocsConstantPerUtterance: InferBatch allocates the output
+// posteriors (a fixed handful per utterance) but nothing per timestep.
+func TestInferBatchAllocsConstantPerUtterance(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; alloc gate runs in the non-race suite")
+	}
+	eng := allocEngine(t, device.MobileGPU())
+	short := [][][]float32{testFrames(55, 10, 8), testFrames(56, 8, 8)}
+	long := [][][]float32{testFrames(57, 110, 8), testFrames(58, 95, 8)}
+	eng.InferBatch(long) // warm up
+	shortAllocs := testing.AllocsPerRun(10, func() { eng.InferBatch(short) })
+	longAllocs := testing.AllocsPerRun(10, func() { eng.InferBatch(long) })
+	// The long batch's flat posterior arenas are larger but not more
+	// numerous; allow the runtime a couple of incidental size-class allocs.
+	if longAllocs > shortAllocs+2 {
+		t.Fatalf("InferBatch allocates per timestep: %v allocs for ~100 frames vs %v for ~10",
+			longAllocs, shortAllocs)
+	}
+}
+
+// TestInferBatchArenaReuseAcrossWidths: interleaving batch sizes must not
+// confuse the width-keyed arena free list — every call stays bit-identical
+// to serial Infer.
+func TestInferBatchArenaReuseAcrossWidths(t *testing.T) {
+	eng := parallelTestEngine(t, 47, true, 2)
+	for round := 0; round < 3; round++ {
+		for _, n := range []int{1, 3, 7, 2} {
+			batch := make([][][]float32, n)
+			for i := range batch {
+				batch[i] = testFrames(uint64(200+round*10+i), 5+i, eng.model.Spec.InputDim)
+			}
+			got := eng.InferBatch(batch)
+			for i := range batch {
+				want := eng.Infer(batch[i])
+				if !postEqual(got[i], want) {
+					t.Fatalf("round %d n=%d utterance %d diverged from serial Infer",
+						round, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchWidthClamp pins the group-width policy: even split across
+// workers, clamped to [1, MaxBatchWidth].
+func TestBatchWidthClamp(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{1, 1, 1},
+		{8, 1, 8},
+		{8, 4, 2},
+		{9, 4, 3},
+		{200, 2, MaxBatchWidth},
+		{5, 0, 5},
+		{0, 4, 1},
+	}
+	for _, c := range cases {
+		if got := batchWidth(c.n, c.workers); got != c.want {
+			t.Fatalf("batchWidth(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestInferBatchIntoShapeMismatch pins the dst validation.
+func TestInferBatchIntoShapeMismatch(t *testing.T) {
+	eng := parallelTestEngine(t, 49, false, 1)
+	batch := [][][]float32{testFrames(61, 4, eng.model.Spec.InputDim)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dst/batch length mismatch accepted")
+		}
+	}()
+	eng.InferBatchInto(make([][][]float32, 2), batch)
+}
+
+// TestStepBatchAllocatesFreshPanel: the convenience StepBatch must hand the
+// caller an owned panel (successive calls don't alias).
+func TestStepBatchAllocatesFreshPanel(t *testing.T) {
+	eng := parallelTestEngine(t, 53, false, 1)
+	in := eng.model.Spec.InputDim
+	bs := eng.NewBatchStream(2)
+	panel := make([]float32, in*2)
+	for i, f := range testFrames(62, 1, in)[0] {
+		panel[i*2] = f
+		panel[i*2+1] = f * 0.5
+	}
+	a := bs.StepBatch(panel)
+	b := bs.StepBatch(panel)
+	if &a[0] == &b[0] {
+		t.Fatal("StepBatch returned an aliased panel")
+	}
+}

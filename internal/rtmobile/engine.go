@@ -1,6 +1,8 @@
 package rtmobile
 
 import (
+	"sync"
+
 	"rtmobile/internal/compiler"
 	"rtmobile/internal/device"
 	"rtmobile/internal/nn"
@@ -28,6 +30,11 @@ type Engine struct {
 	fp16   bool
 	fused  bool
 	tuned  TuneRecord
+
+	// Batched-serving arena cache (see batch.go). Guarded by batchMu so
+	// concurrent InferBatch calls can share the free list.
+	batchMu   sync.Mutex
+	batchFree []*batchArena
 }
 
 // TuneMode records how an engine's tile configuration was chosen.
@@ -110,19 +117,25 @@ func (e *Engine) Infer(frames [][]float32) [][]float32 {
 	return nn.Posteriors(logits)
 }
 
-// InferBatch scores independent utterances concurrently on the engine's
-// worker pool and returns their posteriors in input order. Output is
-// bit-identical to calling Infer on each utterance serially (utterances
-// share no state). Nil or empty batches return a same-length slice.
+// InferBatch scores independent utterances and returns their posteriors in
+// input order. Utterances are grouped into lockstep panels (batch.go) so
+// each weight matrix is streamed from memory once per step for a whole
+// group, and the groups are sharded across the engine's worker pool.
+// Output is bit-identical to calling Infer on each utterance serially
+// (lanes never mix, so grouping changes layout, not summation order).
+// Nil or empty batches return a same-length slice.
 func (e *Engine) InferBatch(batch [][][]float32) [][][]float32 {
 	out := make([][][]float32, len(batch))
-	pool := e.pool
-	if pool == nil {
-		pool = parallel.Default()
+	outDim := e.model.Spec.OutputDim
+	for i, u := range batch {
+		rows := make([][]float32, len(u))
+		flat := make([]float32, len(u)*outDim)
+		for t := range rows {
+			rows[t] = flat[t*outDim : (t+1)*outDim]
+		}
+		out[i] = rows
 	}
-	pool.For(len(batch), func(i int) {
-		out[i] = e.Infer(batch[i])
-	})
+	e.InferBatchInto(out, batch)
 	return out
 }
 

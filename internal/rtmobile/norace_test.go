@@ -1,0 +1,5 @@
+//go:build !race
+
+package rtmobile
+
+const raceEnabled = false

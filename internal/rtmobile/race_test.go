@@ -1,0 +1,8 @@
+//go:build race
+
+package rtmobile
+
+// raceEnabled lets alloc-count gates skip under -race: the race runtime
+// allocates for its own bookkeeping, so AllocsPerRun readings are not the
+// production numbers there.
+const raceEnabled = true

@@ -1,0 +1,117 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// func dotBatchChunk8AVX(a, bp *float32, n, strideBytes int, out *[8]float64)
+//
+// Eight-lane strided SpMM chunk: for lane l in [0,8),
+//
+//	out[l] = Σ_{i<n} float64(a[i]) * float64(bp[(i*strideBytes/4)+l])
+//
+// with one float64 accumulator per lane advanced in strictly increasing i
+// order. The vectorization runs ACROSS lanes — four lanes per ymm — so no
+// lane's summation order changes: VCVTPS2PD is exact, and VMULPD/VADDPD
+// round each element exactly like the scalar mulsd/addsd sequence. FMA is
+// deliberately not used (its single rounding would diverge from the scalar
+// mul-then-add bytes).
+TEXT ·dotBatchChunk8AVX(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ bp+8(FP), DI
+	MOVQ n+16(FP), CX
+	MOVQ strideBytes+24(FP), R8
+	MOVQ out+32(FP), DX
+	VXORPD Y0, Y0, Y0           // lanes 0-3 accumulators
+	VXORPD Y1, Y1, Y1           // lanes 4-7 accumulators
+	TESTQ CX, CX
+	JZ   store
+
+loop:
+	VCVTSS2SD (SI), X2, X2      // va = float64(a[i])
+	VBROADCASTSD X2, Y2
+	VCVTPS2PD (DI), Y3          // float64(bp[i*stride + 0..3])
+	VCVTPS2PD 16(DI), Y4        // float64(bp[i*stride + 4..7])
+	VMULPD Y2, Y3, Y3
+	VADDPD Y3, Y0, Y0
+	VMULPD Y2, Y4, Y4
+	VADDPD Y4, Y1, Y1
+	ADDQ $4, SI
+	ADDQ R8, DI
+	DECQ CX
+	JNZ  loop
+
+store:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
+	RET
+
+// func dotBatchPair8AVX(a0, a1, bp *float32, n, strideBytes int, out0, out1 *[8]float64)
+//
+// Two rows sharing one panel: the strided panel columns are converted once
+// per weight index and multiplied against both rows' broadcast values, with
+// four independent accumulator chains (two ymm per row). Each row's
+// per-lane summation order is exactly dotBatchChunk8AVX's, so results stay
+// bit-identical to the single-row kernel; the pairing only amortizes panel
+// loads and hides VADDPD latency, like DotPairF64 does for the serial path.
+TEXT ·dotBatchPair8AVX(SB), NOSPLIT, $0-56
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), R9
+	MOVQ bp+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ strideBytes+32(FP), R8
+	VXORPD Y0, Y0, Y0           // row0 lanes 0-3
+	VXORPD Y1, Y1, Y1           // row0 lanes 4-7
+	VXORPD Y2, Y2, Y2           // row1 lanes 0-3
+	VXORPD Y3, Y3, Y3           // row1 lanes 4-7
+	TESTQ CX, CX
+	JZ   pairstore
+
+pairloop:
+	VCVTSS2SD (SI), X4, X4      // float64(a0[i])
+	VBROADCASTSD X4, Y4
+	VCVTSS2SD (R9), X5, X5      // float64(a1[i])
+	VBROADCASTSD X5, Y5
+	VCVTPS2PD (DI), Y6          // shared panel columns, lanes 0-3
+	VCVTPS2PD 16(DI), Y7        // lanes 4-7
+	VMULPD Y6, Y4, Y8
+	VADDPD Y8, Y0, Y0
+	VMULPD Y7, Y4, Y9
+	VADDPD Y9, Y1, Y1
+	VMULPD Y6, Y5, Y10
+	VADDPD Y10, Y2, Y2
+	VMULPD Y7, Y5, Y11
+	VADDPD Y11, Y3, Y3
+	ADDQ $4, SI
+	ADDQ $4, R9
+	ADDQ R8, DI
+	DECQ CX
+	JNZ  pairloop
+
+pairstore:
+	MOVQ out0+40(FP), DX
+	MOVQ out1+48(FP), BX
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, (BX)
+	VMOVUPD Y3, 32(BX)
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

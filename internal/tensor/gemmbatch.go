@@ -1,0 +1,62 @@
+package tensor
+
+// Batched dense matvec over column-major panels. MatVecAddBatch is to
+// MatVecAdd what the SpMM dot kernels in dotbatch.go are to dot.go: each
+// weight row is streamed once per step for the whole batch, and lane l of
+// the output panel receives exactly the bytes MatVecAdd would have produced
+// for lane l's vector alone (per-row float64 dot accumulated in ascending
+// column order, then one float32 add). The batch steppers in internal/nn
+// run every recurrent projection through this kernel.
+
+// batchLaneChunk bounds the per-call stack accumulator: wider panels are
+// processed in lane chunks so the float64 accumulators never leave the
+// stack. 64 lanes comfortably covers every serving batch width.
+const batchLaneChunk = 64
+
+// MatVecAddBatch computes, for every lane l in [0, bw), rows of y += W·x
+// over the column-major panels y (Rows×bw) and x (Cols×bw), where element i
+// of lane l lives at panel[i*bw+l]. Lane l's output is bit-identical to
+// MatVecAdd(y_l, w, x_l). bw == 1 is exactly MatVecAdd.
+func MatVecAddBatch(y []float32, w *Matrix, x []float32, bw int) {
+	if bw == 1 {
+		MatVecAdd(y, w, x)
+		return
+	}
+	if bw < 1 {
+		panic("tensor: MatVecAddBatch batch width < 1")
+	}
+	if len(x) != w.Cols*bw || len(y) != w.Rows*bw {
+		panic("tensor: MatVecAddBatch shape mismatch")
+	}
+	if p, chunks := kernelChunks(w.Rows, w.Rows*w.Cols*bw); chunks != nil {
+		// Partition by output row: every y[i*bw+l] is produced by exactly
+		// one worker with the serial loop's float op order.
+		p.For(len(chunks), func(ci int) {
+			matVecAddBatchRange(y, w, x, bw, chunks[ci].Lo, chunks[ci].Hi)
+		})
+		return
+	}
+	matVecAddBatchRange(y, w, x, bw, 0, w.Rows)
+}
+
+// matVecAddBatchRange accumulates rows [lo, hi) of the panel product. The
+// lane dimension is chunked so the accumulators fit a fixed stack array.
+func matVecAddBatchRange(y []float32, w *Matrix, x []float32, bw, lo, hi int) {
+	var accArr [batchLaneChunk]float64
+	for lane0 := 0; lane0 < bw; lane0 += batchLaneChunk {
+		lanes := bw - lane0
+		if lanes > batchLaneChunk {
+			lanes = batchLaneChunk
+		}
+		acc := accArr[:lanes]
+		xs := x[min(lane0, len(x)):]
+		for i := lo; i < hi; i++ {
+			row := w.Row(i)
+			DotBatchF64Strided(row, xs, bw, acc)
+			yr := y[i*bw+lane0 : i*bw+lane0+lanes]
+			for l := range yr {
+				yr[l] += float32(acc[l])
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// BatchSIMD reports whether the vectorized eight-lane batch kernel is
+// active. Always false without amd64 assembly (or under -tags=purego).
+func BatchSIMD() bool { return false }
+
+// dotBatchChunk8 has no vector implementation on this build; callers fall
+// back to the portable kernel.
+func dotBatchChunk8(a, bp []float32, stride int, out *[8]float64) bool {
+	_, _, _, _ = a, bp, stride, out
+	return false
+}
+
+// dotBatchPair8 has no vector implementation on this build; callers fall
+// back to two single-row portable dots.
+func dotBatchPair8(a0, a1, bp []float32, stride int, out0, out1 *[8]float64) bool {
+	_, _, _, _, _, _ = a0, a1, bp, stride, out0, out1
+	return false
+}
