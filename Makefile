@@ -1,7 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
+# Coverage floor for the observability primitives; `make cover` fails
+# below it.
+OBS_COVER_FLOOR ?= 90.0
 
-.PHONY: all build test race fuzz-smoke vet bench
+.PHONY: all build test race fuzz-smoke vet bench cover
 
 all: vet build test
 
@@ -20,6 +23,8 @@ race:
 	$(GO) test -race ./...
 	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Batch' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Batch' ./internal/compiler ./internal/rtmobile
+	RTMOBILE_METRICS=1 $(GO) test -race ./internal/obs
+	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve|Obs|Metrics|Trac' ./cmd/rtmobile ./internal/rtmobile
 
 # Short run of every fuzz target (decoder hardening + compiler shapes +
 # pack lowering).
@@ -45,3 +50,14 @@ bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./cmd/rtmobile bench -exp packed -json BENCH_2.json
 	$(GO) run ./cmd/rtmobile bench -exp batch -json BENCH_3.json
+	$(GO) run ./cmd/rtmobile bench -exp obs -json BENCH_4.json
+
+# Coverage gate on the observability primitives: internal/obs must stay
+# above $(OBS_COVER_FLOOR)% statement coverage.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/obs
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f cover.out; \
+	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(OBS_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage below floor"; exit 1; }

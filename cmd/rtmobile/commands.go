@@ -24,10 +24,18 @@ func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "worker pool size (0 = RTMOBILE_WORKERS env or NumCPU)")
 }
 
-func applyWorkers(n int) {
+// applyWorkers validates the -workers request against the environment
+// (negative flags and garbage RTMOBILE_WORKERS values are loud errors, not
+// silent clamps) and points the dense kernels at a matching pool when an
+// explicit size was given.
+func applyWorkers(n int) error {
+	if _, err := parallel.ResolveWorkers(n); err != nil {
+		return err
+	}
 	if n > 0 {
 		tensor.SetPool(parallel.NewPool(n))
 	}
+	return nil
 }
 
 // corpusFlags adds the shared corpus-shaping flags to a flag set.
@@ -87,7 +95,9 @@ func cmdTrain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	applyWorkers(*workers)
+	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
 	c, err := speech.GenerateCorpus(*cfg)
 	if err != nil {
 		return err
@@ -183,7 +193,9 @@ func cmdCompile(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	applyWorkers(*workers)
+	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
 	model, err := loadModel(*in)
 	if err != nil {
 		return err
@@ -261,10 +273,10 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, batch, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, batch, obs, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
-	jsonOut := fs.String("json", "", "with -exp packed or batch: also write the rows as JSON to this path (e.g. BENCH_2.json)")
+	jsonOut := fs.String("json", "", "with -exp packed, batch, or obs: also write the rows as JSON to this path (e.g. BENCH_4.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -381,6 +393,34 @@ func cmdBench(args []string) error {
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}
+	case "obs":
+		rows, err := bench.RunObsBench(bench.DefaultObsBenchConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderObsBench(rows))
+		if over, ok := bench.ObsOverhead(rows, "packed/serial"); ok {
+			verdict := "within"
+			if over >= bench.ObsOverheadTargetPct {
+				verdict = "OVER"
+			}
+			fmt.Printf("  metrics overhead on packed/serial: %+.2f%% (%s the %.0f%% target)\n",
+				over, verdict, bench.ObsOverheadTargetPct)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteObsJSON(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 	case "blocksize":
 		results, best, err := bench.RunBlockSizeStudy(bench.DefaultBlockSizeStudy())
 		if err != nil {
@@ -486,11 +526,14 @@ func cmdRun(args []string) error {
 	cfg := corpusFlags(fs)
 	bundle := fs.String("bundle", "model.rtmb", "deployment bundle path")
 	targetName := fs.String("target", "gpu", "target: gpu or cpu")
+	stats := fs.Bool("stats", false, "trace the evaluation and print the per-layer latency table")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	applyWorkers(*workers)
+	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
 	target, err := parseTarget(*targetName)
 	if err != nil {
 		return err
@@ -505,6 +548,9 @@ func cmdRun(args []string) error {
 		return err
 	}
 	eng.SetWorkers(*workers)
+	if *stats {
+		eng.EnableTracing(4096)
+	}
 	fmt.Printf("loaded %s: scheme %s, %s\n", *bundle, scheme.Name(), eng.Plan())
 	printTuneRecord(eng)
 	c, err := speech.GenerateCorpus(*cfg)
@@ -515,6 +561,10 @@ func cmdRun(args []string) error {
 		rtmobile.EvaluateEnginePER(eng, c.Test), len(c.Test))
 	fmt.Printf("latency %.2f us/frame, real-time factor %.0fx\n",
 		eng.Latency().TotalUS, eng.RealTimeFactor())
+	if *stats {
+		fmt.Println()
+		fmt.Print(renderLayerStats(eng))
+	}
 	return nil
 }
 

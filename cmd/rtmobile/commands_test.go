@@ -94,7 +94,7 @@ func TestCLIWorkflow(t *testing.T) {
 		"-autotune", "-measured"}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
-	if err := cmdRun(append([]string{"-bundle", bundle}, corpus...)); err != nil {
+	if err := cmdRun(append([]string{"-bundle", bundle, "-stats"}, corpus...)); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if err := cmdCorpus(append([]string{"-v"}, corpus...)); err != nil {

@@ -5,6 +5,7 @@
 //	rtmobile train    — train a dense GRU baseline and save it
 //	rtmobile prune    — BSP/ADMM-prune a saved model and report PER
 //	rtmobile compile  — lower a model for a mobile target, report latency
+//	rtmobile serve    — serve a bundle over HTTP with metrics and profiling
 //	rtmobile autotune — search BSP block grid + tiling for a target
 //	rtmobile bench    — regenerate the paper's tables and figures
 package main
@@ -33,6 +34,8 @@ func main() {
 		err = cmdDeploy(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "autotune":
 		err = cmdAutotune(os.Args[2:])
 	case "bench":
@@ -60,6 +63,7 @@ commands:
   compile    compile a model for the mobile GPU/CPU model and report latency
   deploy     compile and write a deployment bundle (BSPC weight storage)
   run        load a deployment bundle and score it on the test corpus
+  serve      load a bundle and expose /metrics, /healthz, /statz, pprof over HTTP
   autotune   search the BSP block grid and tiling for a target
   bench      regenerate the paper's tables and figures
 

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+
+	"rtmobile/internal/obs"
+	"rtmobile/internal/rtmobile"
+)
+
+// rtmobile serve: load a deployment bundle and expose it over HTTP with
+// the full observability surface — Prometheus metrics, JSON metrics, a
+// health probe, the per-layer latency table, Go's pprof profiles, and a
+// scoring endpoint so the metrics have live traffic to describe.
+
+// newServeMux wires the serving endpoints onto a fresh mux. Split out of
+// cmdServe so tests can drive the handlers through httptest without
+// binding a socket.
+//
+// Endpoints:
+//
+//	GET  /metrics       Prometheus text format 0.0.4
+//	GET  /metrics.json  the same instrument set as flat JSON
+//	GET  /healthz       liveness + deployment identity
+//	GET  /statz         per-layer latency table (run -stats over HTTP)
+//	POST /infer         score one utterance: JSON [][]float32 frames in,
+//	                    [][]float32 posteriors out
+//	GET  /debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
+func newServeMux(eng *rtmobile.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m := obs.M()
+		if m == nil {
+			http.Error(w, "metrics collection disabled (RTMOBILE_METRICS)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		m := obs.M()
+		if m == nil {
+			http.Error(w, "metrics collection disabled (RTMOBILE_METRICS)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		m.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":          "ok",
+			"model":           eng.Plan().ModelName,
+			"format":          eng.Plan().Options.Format.String(),
+			"metrics_enabled": obs.Enabled(),
+			"tracing_enabled": eng.Tracer() != nil,
+		})
+	})
+
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, renderLayerStats(eng))
+	})
+
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a JSON [][]float32 frame sequence", http.StatusMethodNotAllowed)
+			return
+		}
+		var frames [][]float32
+		if err := json.NewDecoder(r.Body).Decode(&frames); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(frames) == 0 {
+			http.Error(w, "bad request: empty frame sequence", http.StatusBadRequest)
+			return
+		}
+		want := eng.InputDim()
+		for t, f := range frames {
+			if len(f) != want {
+				http.Error(w, fmt.Sprintf("bad request: frame %d has %d features, model wants %d",
+					t, len(f), want), http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(eng.Infer(frames))
+	})
+
+	// net/http/pprof registers on DefaultServeMux at import; re-register
+	// explicitly so the serving mux carries the profiles without inheriting
+	// whatever else landed on the default mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// renderLayerStats formats Engine.LayerStats as the per-layer latency
+// table run -stats and /statz print. The MAC column is the plan's priced
+// per-timestep count; the timing columns are measured spans when tracing
+// is on (all zero otherwise). The per-layer MAC rows sum to exactly the
+// plan total printed in the footer.
+func renderLayerStats(eng *rtmobile.Engine) string {
+	stats := eng.LayerStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-8s %12s %10s %12s %10s\n",
+		"layer", "name", "MACs/step", "steps", "total_us", "avg_us")
+	totalMACs, totalNs := 0, int64(0)
+	for _, ls := range stats {
+		fmt.Fprintf(&b, "%-6d %-8s %12d %10d %12.1f %10.2f\n",
+			ls.Index, ls.Name, ls.MACs, ls.Spans,
+			float64(ls.TotalNs)/1e3, float64(ls.AvgNs())/1e3)
+		totalMACs += ls.MACs
+		totalNs += ls.TotalNs
+	}
+	fmt.Fprintf(&b, "%-6s %-8s %12d %10s %12.1f\n",
+		"total", "", totalMACs, "", float64(totalNs)/1e3)
+	plan := eng.Plan()
+	fmt.Fprintf(&b, "plan check: %d MACs/step x %d timesteps = %d MACs/frame (plan prices %d)\n",
+		totalMACs, rtmobile.TimestepsPerFrame,
+		totalMACs*rtmobile.TimestepsPerFrame, plan.FrameMACs())
+	return b.String()
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	bundle := fs.String("bundle", "model.rtmb", "deployment bundle path")
+	targetName := fs.String("target", "gpu", "target: gpu or cpu")
+	addr := fs.String("addr", "localhost:8090", "listen address")
+	trace := fs.Int("trace", 0, "stage-trace ring capacity (0 = tracing off)")
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
+	target, err := parseTarget(*targetName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*bundle)
+	if err != nil {
+		return err
+	}
+	eng, scheme, err := rtmobile.LoadBundle(f, target)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	eng.SetWorkers(*workers)
+	if *trace > 0 {
+		eng.EnableTracing(*trace)
+	}
+	fmt.Printf("serving %s (scheme %s, %s) on http://%s\n", *bundle, scheme.Name(), eng.Plan(), *addr)
+	fmt.Printf("endpoints: /metrics /metrics.json /healthz /statz /infer /debug/pprof/\n")
+	if !obs.Enabled() {
+		fmt.Printf("note: metrics collection is disabled (%s); /metrics will return 503\n", obs.EnvMetrics)
+	}
+	return http.ListenAndServe(*addr, newServeMux(eng))
+}

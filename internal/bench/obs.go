@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/obs"
+)
+
+// Observability-overhead study (BENCH_4): the price of the always-on
+// metrics collector and the opt-in stage tracer on the packed execution
+// backend. Each op is timed three ways — collection off, metrics on, and
+// metrics plus an attached tracer — with testing.Benchmark min-of-reps,
+// and the overhead is reported relative to the op's own "off" row. The
+// acceptance target is metrics overhead under ObsOverheadTargetPct on
+// packed single-stream execution.
+
+// ObsOverheadTargetPct is the acceptance ceiling for metrics-on overhead
+// on the packed/serial op.
+const ObsOverheadTargetPct = 2.0
+
+// ObsBenchRow is one (op, collection mode) measurement.
+type ObsBenchRow struct {
+	Op          string  `json:"op"`   // packed/serial, packed/batch@8
+	Mode        string  `json:"mode"` // off, metrics, metrics+trace
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MACsPerSec  float64 `json:"macs_per_sec"`
+	// OverheadPct is (NsPerOp / off-mode NsPerOp - 1) × 100 for the same
+	// op; 0 for the off rows themselves. Negative values are timing noise.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// ObsBenchConfig sizes the overhead study.
+type ObsBenchConfig struct {
+	// Sweep shapes the packed program (same knob set as the worker sweep).
+	Sweep WorkerSweepConfig
+	// BatchWidth sizes the batched op (0 disables the batched rows).
+	BatchWidth int
+	// TracerRing is the span ring capacity for the metrics+trace mode.
+	TracerRing int
+}
+
+// DefaultObsBenchConfig measures the paper-scale projection serial and at
+// batch width 8.
+func DefaultObsBenchConfig() ObsBenchConfig {
+	return ObsBenchConfig{
+		Sweep:      DefaultWorkerSweepConfig(),
+		BatchWidth: 8,
+		TracerRing: 1024,
+	}
+}
+
+// obsModes runs fn under the three collection modes and appends one row
+// per mode, computing overhead against the off row. setTrace attaches or
+// detaches the tracer on the measured program.
+func obsModes(rows []ObsBenchRow, op string, macs int, tr *obs.Tracer,
+	setTrace func(*obs.Tracer), fn func(b *testing.B)) []ObsBenchRow {
+	prev := obs.Enabled()
+	defer obs.SetEnabled(prev)
+
+	obs.SetEnabled(false)
+	setTrace(nil)
+	off := benchRow(op, macs, fn)
+
+	obs.SetEnabled(true)
+	metrics := benchRow(op, macs, fn)
+
+	setTrace(tr)
+	traced := benchRow(op, macs, fn)
+	setTrace(nil)
+
+	overhead := func(r PackedBenchRow) float64 {
+		if off.NsPerOp <= 0 {
+			return 0
+		}
+		return (r.NsPerOp/off.NsPerOp - 1) * 100
+	}
+	return append(rows,
+		ObsBenchRow{Op: op, Mode: "off", NsPerOp: off.NsPerOp,
+			AllocsPerOp: off.AllocsPerOp, MACsPerSec: off.MACsPerSec},
+		ObsBenchRow{Op: op, Mode: "metrics", NsPerOp: metrics.NsPerOp,
+			AllocsPerOp: metrics.AllocsPerOp, MACsPerSec: metrics.MACsPerSec,
+			OverheadPct: overhead(metrics)},
+		ObsBenchRow{Op: op, Mode: "metrics+trace", NsPerOp: traced.NsPerOp,
+			AllocsPerOp: traced.AllocsPerOp, MACsPerSec: traced.MACsPerSec,
+			OverheadPct: overhead(traced)},
+	)
+}
+
+// RunObsBench measures instrumentation overhead on the packed backend.
+func RunObsBench(cfg ObsBenchConfig) ([]ObsBenchRow, error) {
+	prog, x, err := BuildSweepProgram(cfg.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := compiler.Pack(prog, 0)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := prog.Execute(make([]float32, prog.Rows), x)
+	if err != nil {
+		return nil, err
+	}
+	macs := stats.TotalMACs()
+	if cfg.TracerRing < 1 {
+		cfg.TracerRing = 1024
+	}
+	tr := obs.NewTracer(cfg.TracerRing, 1)
+	setTrace := func(t *obs.Tracer) { pp.SetTracer(t, 0) }
+
+	y := make([]float32, prog.Rows)
+	scratch := pp.NewScratch()
+	if err := pp.Run(y, x, scratch); err != nil {
+		return nil, err
+	}
+	var rows []ObsBenchRow
+	rows = obsModes(rows, "packed/serial", macs, tr, setTrace, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pp.Run(y, x, scratch)
+		}
+	})
+
+	if bw := cfg.BatchWidth; bw > 1 {
+		xb := make([]float32, prog.Cols*bw)
+		for l := 0; l < bw; l++ {
+			for i, v := range x {
+				xb[i*bw+l] = v
+			}
+		}
+		yb := make([]float32, prog.Rows*bw)
+		if err := pp.RunBatch(yb, xb, bw, scratch); err != nil {
+			return nil, err
+		}
+		rows = obsModes(rows, fmt.Sprintf("packed/batch@%d", bw), macs*bw, tr, setTrace,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					pp.RunBatch(yb, xb, bw, scratch)
+				}
+			})
+	}
+	return rows, nil
+}
+
+// ObsOverhead returns the metrics-mode overhead percentage for an op, and
+// whether the op was measured.
+func ObsOverhead(rows []ObsBenchRow, op string) (float64, bool) {
+	for _, r := range rows {
+		if r.Op == op && r.Mode == "metrics" {
+			return r.OverheadPct, true
+		}
+	}
+	return 0, false
+}
+
+// RenderObsBench formats the study, flagging ops over the target.
+func RenderObsBench(rows []ObsBenchRow) string {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Observability overhead on the packed backend (target <%.0f%% with metrics on)",
+			ObsOverheadTargetPct),
+		Headers: []string{"Op", "Mode", "ns/op", "allocs/op", "GMACs/s", "overhead"},
+	}
+	for _, r := range rows {
+		over := "-"
+		if r.Mode != "off" {
+			over = fmt.Sprintf("%+.2f%%", r.OverheadPct)
+		}
+		t.AddRow(r.Op, r.Mode, f(r.NsPerOp, 0), f(r.AllocsPerOp, 0),
+			f(r.MACsPerSec/1e9, 2), over)
+	}
+	return t.Render()
+}
+
+// WriteObsJSON writes the rows as indented JSON — the BENCH_4.json
+// artifact.
+func WriteObsJSON(w io.Writer, rows []ObsBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

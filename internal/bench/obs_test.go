@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunObsBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark study")
+	}
+	cfg := ObsBenchConfig{
+		Sweep:      smallSweepConfig(),
+		BatchWidth: 2,
+		TracerRing: 64,
+	}
+	rows, err := RunObsBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two ops, three collection modes each.
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	modes := map[string]map[string]bool{}
+	for _, r := range rows {
+		if r.NsPerOp <= 0 || r.MACsPerSec <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Mode == "off" && r.OverheadPct != 0 {
+			t.Fatalf("off row carries overhead: %+v", r)
+		}
+		if modes[r.Op] == nil {
+			modes[r.Op] = map[string]bool{}
+		}
+		modes[r.Op][r.Mode] = true
+	}
+	for _, op := range []string{"packed/serial", "packed/batch@2"} {
+		for _, mode := range []string{"off", "metrics", "metrics+trace"} {
+			if !modes[op][mode] {
+				t.Fatalf("missing (%s, %s) row", op, mode)
+			}
+		}
+	}
+	// Metrics collection must not break the zero-allocation property of
+	// the packed serial path.
+	for _, r := range rows {
+		if r.Op == "packed/serial" && r.AllocsPerOp != 0 {
+			t.Fatalf("packed/serial %s mode allocates %v per op, want 0", r.Mode, r.AllocsPerOp)
+		}
+	}
+	if _, ok := ObsOverhead(rows, "packed/serial"); !ok {
+		t.Fatal("ObsOverhead missing packed/serial")
+	}
+	if _, ok := ObsOverhead(rows, "nope"); ok {
+		t.Fatal("ObsOverhead invented an op")
+	}
+
+	out := RenderObsBench(rows)
+	for _, want := range []string{"ns/op", "overhead", "metrics+trace"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteObsJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []ObsBenchRow
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0].Op != rows[0].Op || back[0].Mode != rows[0].Mode {
+		t.Fatal("JSON round trip lost rows")
+	}
+}

@@ -2,7 +2,9 @@ package compiler
 
 import (
 	"fmt"
+	"time"
 
+	"rtmobile/internal/obs"
 	"rtmobile/internal/parallel"
 	"rtmobile/internal/tensor"
 )
@@ -76,6 +78,38 @@ type PackedProgram struct {
 	// totalMACs is the program's precomputed work term, summed from the lane
 	// counts at pack time, for the fork-join break-even test.
 	totalMACs int
+
+	// trace, when non-nil, receives one StageKernel span per execution
+	// (Run/RunParallel/RunBatch/RunBatchParallel), labeled traceID and the
+	// batch width. Event counts are static, so the span plus the program's
+	// Stats() fully price an execution without hot-loop instrumentation.
+	trace   *obs.Tracer
+	traceID int32
+}
+
+// SetTracer attaches (or detaches, with nil) a stage tracer to this
+// program. id labels the recorded kernel spans — the engine uses the plan's
+// matrix index. Not safe to change concurrently with executions.
+func (p *PackedProgram) SetTracer(tr *obs.Tracer, id int32) {
+	p.trace = tr
+	p.traceID = id
+}
+
+// TotalMACs reports the program's static multiply-accumulate count per
+// execution — the priced work term behind the MACs counter.
+func (p *PackedProgram) TotalMACs() int { return p.totalMACs }
+
+// observe records one finished execution of bw lanes into the metrics set
+// and the attached tracer. Allocation-free.
+func (p *PackedProgram) observe(t0 time.Time, bw int, m *obs.Metrics) {
+	dur := time.Since(t0).Nanoseconds()
+	if m != nil {
+		m.MACsTotal.Add(uint64(p.totalMACs * bw))
+		m.KernelLatency.Observe(dur)
+	}
+	if p.trace != nil {
+		p.trace.Record(obs.StageKernel, p.traceID, int32(bw), t0.UnixNano(), dur)
+	}
 }
 
 // DefaultUnroll is the dot-kernel unroll factor used when the caller does
@@ -377,10 +411,19 @@ func (p *PackedProgram) Run(y, x []float32, s *PackedScratch) error {
 	} else {
 		s.ensureSerial(p)
 	}
+	m := obs.M()
+	track := m != nil || p.trace != nil
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	tensor.ZeroVec(y)
 	xbuf := s.xbuf[:cap(s.xbuf)]
 	for t := range p.Lanes {
 		p.runLane(&p.Lanes[t], y, x, xbuf)
+	}
+	if track {
+		p.observe(t0, 1, m)
 	}
 	return nil
 }
@@ -418,6 +461,12 @@ func (p *PackedProgram) RunParallel(y, x []float32, pool *parallel.Pool, s *Pack
 		s = &PackedScratch{}
 	}
 	s.ensureParallel(p)
+	m := obs.M()
+	track := m != nil || p.trace != nil
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	lanes := len(p.Lanes)
 	pool.For(lanes, func(t int) {
 		yt := s.partials[t][:p.Rows]
@@ -433,6 +482,9 @@ func (p *PackedProgram) RunParallel(y, x []float32, pool *parallel.Pool, s *Pack
 				y[r] += v
 			}
 		}
+	}
+	if track {
+		p.observe(t0, 1, m)
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package compiler
 
 import (
 	"fmt"
+	"time"
 
+	"rtmobile/internal/obs"
 	"rtmobile/internal/parallel"
 	"rtmobile/internal/tensor"
 )
@@ -159,11 +161,20 @@ func (p *PackedProgram) RunBatch(y, x []float32, bw int, s *PackedScratch) error
 		s = &PackedScratch{}
 	}
 	s.ensureBatch(p, bw)
+	m := obs.M()
+	track := m != nil || p.trace != nil
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	tensor.ZeroVec(y)
 	pbuf := s.pbuf[:cap(s.pbuf)]
 	acc := s.acc[:2*bw]
 	for t := range p.Lanes {
 		p.runLaneBatch(&p.Lanes[t], y, x, pbuf, acc, bw)
+	}
+	if track {
+		p.observe(t0, bw, m)
 	}
 	return nil
 }
@@ -198,6 +209,12 @@ func (p *PackedProgram) RunBatchParallel(y, x []float32, bw int, pool *parallel.
 		s = &PackedScratch{}
 	}
 	s.ensureBatchParallel(p, bw)
+	m := obs.M()
+	track := m != nil || p.trace != nil
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	lanes := len(p.Lanes)
 	pool.For(lanes, func(t int) {
 		yt := s.bpartials[t][:p.Rows*bw]
@@ -213,6 +230,9 @@ func (p *PackedProgram) RunBatchParallel(y, x []float32, bw int, pool *parallel.
 				y[idx] += v
 			}
 		}
+	}
+	if track {
+		p.observe(t0, bw, m)
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package nn
 
-import "rtmobile/internal/tensor"
+import (
+	"time"
+
+	"rtmobile/internal/obs"
+	"rtmobile/internal/tensor"
+)
 
 // Batched streaming inference: B independent utterance streams advanced in
 // lockstep over column-major state panels (element i of stream l at
@@ -212,7 +217,14 @@ type BatchStream struct {
 	steppers []BatchStepper
 	bw       int
 	active   []bool
+	// tracer, when non-nil, receives one StageLayer span per layer per
+	// lockstep step, with Width carrying the batch width.
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches (or detaches, with nil) a stage tracer recording
+// per-layer panel timings. Allocation-free when tracing.
+func (s *BatchStream) SetTracer(tr *obs.Tracer) { s.tracer = tr }
 
 // NewBatchStream builds a lockstep pipeline of width bw sharing the model's
 // weights. Panics if bw < 1 or a layer type has no streaming form.
@@ -247,9 +259,23 @@ func (s *BatchStream) Width() int { return s.bw }
 // next call). Lane l is bit-identical to a serial Stream fed lane l's
 // frames.
 func (s *BatchStream) StepBatch(x []float32) []float32 {
+	if s.tracer != nil {
+		return s.stepBatchTraced(x)
+	}
 	out := x
 	for _, st := range s.steppers {
 		out = st.StepBatch(out)
+	}
+	return out
+}
+
+// stepBatchTraced is StepBatch with one recorded span per layer.
+func (s *BatchStream) stepBatchTraced(x []float32) []float32 {
+	out := x
+	for i, st := range s.steppers {
+		t0 := time.Now()
+		out = st.StepBatch(out)
+		s.tracer.RecordSince(obs.StageLayer, int32(i), int32(s.bw), t0)
 	}
 	return out
 }

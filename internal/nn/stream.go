@@ -1,6 +1,11 @@
 package nn
 
-import "rtmobile/internal/tensor"
+import (
+	"time"
+
+	"rtmobile/internal/obs"
+	"rtmobile/internal/tensor"
+)
 
 // Streaming inference. The batch Forward path resets recurrent state per
 // utterance — fine for offline scoring, but the paper's use case is live
@@ -135,7 +140,15 @@ func (s *denseStream) Reset() {}
 // Stream is a stateful frame-by-frame pipeline over a whole model.
 type Stream struct {
 	steppers []Stepper
+	// tracer, when non-nil, receives one StageLayer span per layer per
+	// step. The nil check keeps the untraced hot loop branch-cheap.
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches (or detaches, with nil) a stage tracer. Each Step then
+// records a per-layer timing span; the tracing path performs zero heap
+// allocations, so a traced stream keeps the streaming allocation contract.
+func (s *Stream) SetTracer(tr *obs.Tracer) { s.tracer = tr }
 
 // NewStream builds a streaming pipeline sharing the model's weights.
 // Panics if a layer type has no streaming form.
@@ -161,9 +174,24 @@ func (m *Model) NewStream() *Stream {
 // until the next Step call, after which it is overwritten. Copy it to
 // retain it across frames.
 func (s *Stream) Step(x []float32) []float32 {
+	if s.tracer != nil {
+		return s.stepTraced(x)
+	}
 	out := x
 	for _, st := range s.steppers {
 		out = st.Step(out)
+	}
+	return out
+}
+
+// stepTraced is Step with one recorded span per layer (kept out of line so
+// the untraced path stays a tight loop).
+func (s *Stream) stepTraced(x []float32) []float32 {
+	out := x
+	for i, st := range s.steppers {
+		t0 := time.Now()
+		out = st.Step(out)
+		s.tracer.RecordSince(obs.StageLayer, int32(i), 1, t0)
 	}
 	return out
 }

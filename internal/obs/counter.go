@@ -1,0 +1,121 @@
+package obs
+
+import "sync/atomic"
+
+// NumStripes is the stripe count of a sharded Counter. Hot writers that own
+// a stable identity (a stream, a worker) spread across stripes so the cache
+// line holding the count is not ping-ponged between cores; readers sum all
+// stripes. Must be a power of two.
+const NumStripes = 8
+
+// stripe is one cache-line-padded counter cell. The padding keeps adjacent
+// stripes on distinct cache lines so concurrent writers never false-share.
+type stripe struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing sharded atomic counter. The zero
+// value is ready to use. All methods are safe for concurrent use and
+// allocation-free.
+type Counter struct {
+	stripes [NumStripes]stripe
+}
+
+// Add increments the counter by n on stripe 0 — the convenience path for
+// call sites without a writer identity.
+func (c *Counter) Add(n uint64) { c.stripes[0].n.Add(n) }
+
+// Inc increments the counter by one on stripe 0.
+func (c *Counter) Inc() { c.stripes[0].n.Add(1) }
+
+// AddAt increments the counter by n on the stripe selected by shard (taken
+// modulo NumStripes). Hot writers pass a stable per-owner shard (see
+// NextShard) so concurrent owners land on distinct cache lines.
+func (c *Counter) AddAt(shard uint32, n uint64) {
+	c.stripes[shard&(NumStripes-1)].n.Add(n)
+}
+
+// IncAt increments the counter by one on the shard's stripe.
+func (c *Counter) IncAt(shard uint32) { c.AddAt(shard, 1) }
+
+// Value sums all stripes. Concurrent Adds may or may not be included — each
+// stripe is read atomically, so the result is always a value the counter
+// actually passed through per stripe, never a torn read.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.stripes {
+		total += c.stripes[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous signed level (queue depth, in-flight tasks).
+// The zero value is ready to use; all methods are concurrency-safe and
+// allocation-free.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set stores an absolute level.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// MaxTrackedWorkers bounds the per-worker busy-time table; workers beyond
+// the bound fold onto slot (id mod MaxTrackedWorkers).
+const MaxTrackedWorkers = 64
+
+// PerWorker is a fixed table of cache-line-padded counters indexed by
+// worker slot — the pool's per-worker busy-time instrument. The zero value
+// is ready to use.
+type PerWorker struct {
+	slots [MaxTrackedWorkers]stripe
+}
+
+// Add accumulates n into the worker's slot.
+func (p *PerWorker) Add(worker int, n uint64) {
+	if worker < 0 {
+		worker = 0
+	}
+	p.slots[worker%MaxTrackedWorkers].n.Add(n)
+}
+
+// Value reads one worker slot.
+func (p *PerWorker) Value(worker int) uint64 {
+	if worker < 0 {
+		worker = 0
+	}
+	return p.slots[worker%MaxTrackedWorkers].n.Load()
+}
+
+// Values returns the table truncated after the last nonzero slot (nil when
+// every slot is zero), so expositions only emit workers that did work.
+func (p *PerWorker) Values() []uint64 {
+	last := -1
+	for i := range p.slots {
+		if p.slots[i].n.Load() != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := make([]uint64, last+1)
+	for i := range out {
+		out[i] = p.slots[i].n.Load()
+	}
+	return out
+}
+
+// shardSeq hands out writer shard hints.
+var shardSeq atomic.Uint32
+
+// NextShard returns a stable shard hint for a new hot writer (a stream, a
+// batch session). Consecutive owners receive consecutive shards, so up to
+// NumStripes concurrent owners write disjoint cache lines.
+func NextShard() uint32 { return shardSeq.Add(1) - 1 }

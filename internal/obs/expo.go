@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Exposition. Two wire formats over the same instrument set: Prometheus
+// text format (the /metrics endpoint of `rtmobile serve`) and an
+// expvar-style flat JSON document (the /metrics.json endpoint, and what
+// tests assert against). Metric names are part of the public surface —
+// they are documented in README.md and asserted by the serve tests.
+
+// counterRow pairs a metric name with its counter.
+type counterRow struct {
+	name string
+	c    *Counter
+}
+
+// histRow pairs a metric name with its histogram.
+type histRow struct {
+	name string
+	h    *Histogram
+}
+
+func (m *Metrics) counters() []counterRow {
+	return []counterRow{
+		{"rtmobile_steps_total", &m.StepsTotal},
+		{"rtmobile_infer_total", &m.InferTotal},
+		{"rtmobile_frames_total", &m.FramesTotal},
+		{"rtmobile_batch_steps_total", &m.BatchStepsTotal},
+		{"rtmobile_batch_lanes_total", &m.BatchLanesTotal},
+		{"rtmobile_infer_batch_total", &m.InferBatchTotal},
+		{"rtmobile_macs_total", &m.MACsTotal},
+		{"rtmobile_arena_hits_total", &m.ArenaHits},
+		{"rtmobile_arena_misses_total", &m.ArenaMisses},
+		{"rtmobile_pool_tasks_total", &m.PoolTasksTotal},
+	}
+}
+
+func (m *Metrics) histograms() []histRow {
+	return []histRow{
+		{"rtmobile_step_latency_ns", m.StepLatency},
+		{"rtmobile_batch_step_latency_ns", m.BatchStepLatency},
+		{"rtmobile_infer_latency_ns", m.InferLatency},
+		{"rtmobile_kernel_latency_ns", m.KernelLatency},
+	}
+}
+
+// WritePrometheus writes the instrument set in Prometheus text exposition
+// format (version 0.0.4): counters, the pool gauge, per-worker busy time as
+// a labeled counter family, and cumulative-bucket histograms.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	for _, r := range m.counters() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", r.name, r.name, r.c.Value()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE rtmobile_pool_queue_depth gauge\nrtmobile_pool_queue_depth %d\n",
+		m.PoolQueueDepth.Value()); err != nil {
+		return err
+	}
+	if busy := m.PoolBusyNs.Values(); len(busy) > 0 {
+		if _, err := fmt.Fprint(w, "# TYPE rtmobile_pool_worker_busy_ns_total counter\n"); err != nil {
+			return err
+		}
+		for i, v := range busy {
+			if _, err := fmt.Fprintf(w, "rtmobile_pool_worker_busy_ns_total{worker=\"%d\"} %d\n", i, v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range m.histograms() {
+		s := r.h.Snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", r.name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, b := range s.Bounds {
+			cum += s.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", r.name, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Counts[len(s.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			r.name, cum, r.name, s.Sum, r.name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histJSON is a histogram's JSON exposition shape.
+type histJSON struct {
+	Count   uint64            `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// WriteJSON writes the instrument set as one flat expvar-style JSON object:
+// counters and gauges as numbers, histograms as {count, sum_ns, buckets}
+// sub-objects with non-cumulative per-bound counts.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	doc := make(map[string]any, 16)
+	for _, r := range m.counters() {
+		doc[r.name] = r.c.Value()
+	}
+	doc["rtmobile_pool_queue_depth"] = m.PoolQueueDepth.Value()
+	if busy := m.PoolBusyNs.Values(); len(busy) > 0 {
+		workers := make(map[string]uint64, len(busy))
+		for i, v := range busy {
+			workers[fmt.Sprintf("%d", i)] = v
+		}
+		doc["rtmobile_pool_worker_busy_ns_total"] = workers
+	}
+	for _, r := range m.histograms() {
+		s := r.h.Snapshot()
+		hj := histJSON{Count: s.Count, SumNs: s.Sum}
+		if s.Count > 0 {
+			hj.Buckets = make(map[string]uint64)
+			for i, b := range s.Bounds {
+				if s.Counts[i] > 0 {
+					hj.Buckets[fmt.Sprintf("%d", b)] = s.Counts[i]
+				}
+			}
+			if inf := s.Counts[len(s.Bounds)]; inf > 0 {
+				hj.Buckets["+Inf"] = inf
+			}
+		}
+		doc[r.name] = hj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,102 @@
+package obs
+
+import "sync/atomic"
+
+// Histogram is a fixed-bucket latency histogram: cumulative-exposition
+// compatible (Prometheus), allocation-free on the observe path, and safe
+// for concurrent writers. Bucket bounds are fixed at construction — no
+// resizing, no locks, just one atomic add per observation plus the
+// sum/count pair.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds (inclusive); implicit +Inf after
+	counts []atomic.Uint64
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (values ≤ bounds[i] land in bucket i; larger values land in the implicit
+// +Inf bucket). Panics if bounds is empty or not strictly ascending.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// DefaultLatencyBounds covers the repro's latency range — sub-microsecond
+// packed kernels up to second-scale batch inferences — in roughly
+// 1-2.5-5 decades of nanoseconds.
+func DefaultLatencyBounds() []int64 {
+	return []int64{
+		250, 500,
+		1_000, 2_500, 5_000, // 1-5 µs
+		10_000, 25_000, 50_000,
+		100_000, 250_000, 500_000,
+		1_000_000, 2_500_000, 5_000_000, // 1-5 ms
+		10_000_000, 25_000_000, 50_000_000,
+		100_000_000, 250_000_000, 500_000_000,
+		1_000_000_000, // 1 s
+	}
+}
+
+// Observe records one value. Allocation-free; safe for any number of
+// concurrent observers.
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v; ~5 compares over the default
+	// 21-bucket layout.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistSnapshot is a point-in-time read of a histogram.
+type HistSnapshot struct {
+	Bounds []int64  // shared with the histogram; do not mutate
+	Counts []uint64 // per-bucket counts; Counts[len(Bounds)] is +Inf
+	Sum    int64
+	Count  uint64
+}
+
+// Snapshot reads the histogram while writers may be observing. Every field
+// is loaded atomically, so no value is ever torn; fields observed mid-write
+// may disagree transiently (a bucket may already hold an observation whose
+// sum increment has not landed). Once writers quiesce, a snapshot is exact.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// BucketTotal sums the snapshot's buckets (equals Count once writers have
+// quiesced).
+func (s HistSnapshot) BucketTotal() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}

@@ -9,11 +9,16 @@
 package parallel
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"rtmobile/internal/obs"
 )
 
 // EnvWorkers is the environment variable overriding the default pool's
@@ -99,9 +104,20 @@ func (p *Pool) For(n int, fn func(i int)) {
 		}
 		return
 	}
+	// Observability: one task per participating worker, a queue-depth gauge
+	// over the helpers' lifetime, and per-worker busy nanoseconds. Gated on
+	// the nil check so a disabled collector costs one branch and no clocks.
+	m := obs.M()
 	var next atomic.Int64
 	var panicked atomic.Pointer[panicValue]
-	runner := func() {
+	runner := func(w int) {
+		if m != nil {
+			m.PoolTasksTotal.IncAt(uint32(w))
+			t0 := time.Now()
+			defer func() {
+				m.PoolBusyNs.Add(w, uint64(time.Since(t0).Nanoseconds()))
+			}()
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				panicked.CompareAndSwap(nil, &panicValue{r})
@@ -120,12 +136,18 @@ func (p *Pool) For(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 1; w < k; w++ {
 		wg.Add(1)
+		if m != nil {
+			m.PoolQueueDepth.Add(1)
+		}
 		p.submit(func() {
 			defer wg.Done()
-			runner()
+			if m != nil {
+				defer m.PoolQueueDepth.Add(-1)
+			}
+			runner(w)
 		})
 	}
-	runner()
+	runner(0)
 	wg.Wait()
 	if pv := panicked.Load(); pv != nil {
 		panic(pv.v)
@@ -141,7 +163,8 @@ var (
 )
 
 // Default returns the process-wide shared pool. Its size is
-// RTMOBILE_WORKERS when set to a positive integer, else runtime.NumCPU().
+// RTMOBILE_WORKERS when set to a valid positive integer, else
+// runtime.NumCPU() (see DefaultWorkers for the clamp contract).
 func Default() *Pool {
 	defaultOnce.Do(func() {
 		defaultPool = NewPool(DefaultWorkers())
@@ -149,13 +172,63 @@ func Default() *Pool {
 	return defaultPool
 }
 
+// ParseWorkers parses a worker-count string. Valid counts are integers
+// >= 1; anything else — garbage, zero, negative — is an error naming the
+// offending value, so misconfiguration surfaces instead of silently
+// running on a default.
+func ParseWorkers(s string) (int, error) {
+	trimmed := strings.TrimSpace(s)
+	n, err := strconv.Atoi(trimmed)
+	if err != nil {
+		return 0, fmt.Errorf("parallel: worker count %q is not an integer", s)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("parallel: worker count %d is not >= 1", n)
+	}
+	return n, nil
+}
+
+// WorkersFromEnv reads RTMOBILE_WORKERS. set reports whether the variable
+// is present; when it is present but invalid, err describes why and n is 0.
+func WorkersFromEnv() (n int, set bool, err error) {
+	s := os.Getenv(EnvWorkers)
+	if s == "" {
+		return 0, false, nil
+	}
+	n, err = ParseWorkers(s)
+	return n, true, err
+}
+
+// ResolveWorkers resolves an explicit worker request (a -workers flag)
+// against the environment: positive values win as-is, negative values are
+// an error, and 0 defers to RTMOBILE_WORKERS (whose own invalid values are
+// also an error) and finally NumCPU. This is the strict front door the CLI
+// uses; library code that cannot surface errors uses DefaultWorkers.
+func ResolveWorkers(flagVal int) (int, error) {
+	if flagVal > 0 {
+		return flagVal, nil
+	}
+	if flagVal < 0 {
+		return 0, fmt.Errorf("parallel: -workers %d is not >= 1 (use 0 for the default)", flagVal)
+	}
+	n, set, err := WorkersFromEnv()
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", EnvWorkers, err)
+	}
+	if set {
+		return n, nil
+	}
+	return runtime.NumCPU(), nil
+}
+
 // DefaultWorkers resolves the default worker count: the RTMOBILE_WORKERS
-// environment variable when set to a positive integer, else NumCPU.
+// environment variable when set to a valid positive integer, else NumCPU.
+// Invalid values clamp to NumCPU here — this is the non-erroring library
+// path behind Default(); front ends that can report errors should call
+// ResolveWorkers instead, which rejects garbage loudly.
 func DefaultWorkers() int {
-	if s := os.Getenv(EnvWorkers); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
-			return n
-		}
+	if n, set, err := WorkersFromEnv(); set && err == nil {
+		return n
 	}
 	return runtime.NumCPU()
 }

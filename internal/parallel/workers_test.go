@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestParseWorkers(t *testing.T) {
+	valid := map[string]int{
+		"1": 1, "8": 8, " 4 ": 4, "128": 128,
+	}
+	for s, want := range valid {
+		n, err := ParseWorkers(s)
+		if err != nil || n != want {
+			t.Fatalf("ParseWorkers(%q) = %d, %v; want %d", s, n, err, want)
+		}
+	}
+	invalid := []string{"", "0", "-1", "-99", "four", "3.5", "8x", "0x8", "  "}
+	for _, s := range invalid {
+		if n, err := ParseWorkers(s); err == nil {
+			t.Fatalf("ParseWorkers(%q) = %d, accepted garbage", s, n)
+		} else if !strings.Contains(err.Error(), "worker count") {
+			t.Fatalf("ParseWorkers(%q) error %q does not name the problem", s, err)
+		}
+	}
+}
+
+func TestWorkersFromEnv(t *testing.T) {
+	t.Setenv(EnvWorkers, "")
+	if n, set, err := WorkersFromEnv(); n != 0 || set || err != nil {
+		t.Fatalf("unset env: %d, %v, %v", n, set, err)
+	}
+	t.Setenv(EnvWorkers, "6")
+	if n, set, err := WorkersFromEnv(); n != 6 || !set || err != nil {
+		t.Fatalf("valid env: %d, %v, %v", n, set, err)
+	}
+	for _, bad := range []string{"-2", "0", "lots"} {
+		t.Setenv(EnvWorkers, bad)
+		n, set, err := WorkersFromEnv()
+		if !set || err == nil {
+			t.Fatalf("env %q: set=%v err=%v, want set with error", bad, set, err)
+		}
+		if n != 0 {
+			t.Fatalf("env %q returned count %d alongside error", bad, n)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	t.Setenv(EnvWorkers, "")
+	// Explicit positive flag wins regardless of env.
+	t.Setenv(EnvWorkers, "2")
+	if n, err := ResolveWorkers(5); n != 5 || err != nil {
+		t.Fatalf("flag 5: %d, %v", n, err)
+	}
+	// Flag 0 defers to a valid env.
+	if n, err := ResolveWorkers(0); n != 2 || err != nil {
+		t.Fatalf("env fallback: %d, %v", n, err)
+	}
+	// Negative flags are rejected loudly.
+	if _, err := ResolveWorkers(-3); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("negative flag error = %v", err)
+	}
+	// Garbage env is rejected loudly (not silently clamped) and the error
+	// names the variable.
+	t.Setenv(EnvWorkers, "banana")
+	if _, err := ResolveWorkers(0); err == nil || !strings.Contains(err.Error(), EnvWorkers) {
+		t.Fatalf("garbage env error = %v", err)
+	}
+	// Unset env falls through to NumCPU.
+	t.Setenv(EnvWorkers, "")
+	if n, err := ResolveWorkers(0); n != runtime.NumCPU() || err != nil {
+		t.Fatalf("numcpu fallback: %d, %v", n, err)
+	}
+}
+
+// TestDefaultWorkersClamp documents the library-path contract: invalid env
+// values clamp to NumCPU (the erroring path is ResolveWorkers).
+func TestDefaultWorkersClamp(t *testing.T) {
+	t.Setenv(EnvWorkers, "3")
+	if n := DefaultWorkers(); n != 3 {
+		t.Fatalf("valid env: %d", n)
+	}
+	for _, bad := range []string{"-2", "0", "junk"} {
+		t.Setenv(EnvWorkers, bad)
+		if n := DefaultWorkers(); n != runtime.NumCPU() {
+			t.Fatalf("env %q: DefaultWorkers = %d, want NumCPU %d", bad, n, runtime.NumCPU())
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package rtmobile
 
 import (
+	"time"
+
 	"rtmobile/internal/nn"
+	"rtmobile/internal/obs"
 	"rtmobile/internal/parallel"
 	"rtmobile/internal/tensor"
 )
@@ -36,17 +39,30 @@ type BatchStream struct {
 	qbuf  []float32
 	lane  []float32
 	post  []float32
+	// shard/macs/tracer: see Stream. macs is per timestep per lane; the
+	// lockstep executes bw lanes' worth of arithmetic every panel step
+	// (retired lanes keep computing), so MACsTotal is metered at bw×macs.
+	shard  uint32
+	macs   uint64
+	tracer *obs.Tracer
 }
 
 // NewBatchStream opens a lockstep session of width bw. State persists
 // across StepBatch calls until Reset (all lanes) or ResetLane (one slot).
 func (e *Engine) NewBatchStream(bw int) *BatchStream {
-	return &BatchStream{
+	s := &BatchStream{
 		inner: e.model.NewBatchStream(bw),
 		bw:    bw,
 		out:   e.model.Spec.OutputDim,
 		fp16:  e.fp16,
+		shard: obs.NextShard(),
+		macs:  e.stepMACs,
 	}
+	if e.tracer != nil {
+		s.tracer = e.tracer
+		s.inner.SetTracer(e.tracer)
+	}
+	return s
 }
 
 // Width reports the session's batch width.
@@ -83,6 +99,12 @@ func (s *BatchStream) StepBatch(panel []float32) []float32 {
 // skipped — their dst columns are left untouched. Steady-state
 // StepBatchInto performs zero heap allocations.
 func (s *BatchStream) StepBatchInto(dst, panel []float32) {
+	m := obs.M()
+	track := m != nil || s.tracer != nil
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	logits := s.stepBatch(panel)
 	n := s.out
 	if cap(s.lane) < n {
@@ -90,16 +112,33 @@ func (s *BatchStream) StepBatchInto(dst, panel []float32) {
 		s.post = make([]float32, n)
 	}
 	lane, post := s.lane[:n], s.post[:n]
+	live := 0
 	for l := 0; l < s.bw; l++ {
 		if !s.inner.Active(l) {
 			continue
 		}
+		live++
 		for i := 0; i < n; i++ {
 			lane[i] = logits[i*s.bw+l]
 		}
 		tensor.Softmax(post, lane)
 		for i, v := range post {
 			dst[i*s.bw+l] = v
+		}
+	}
+	if track {
+		dur := time.Since(t0).Nanoseconds()
+		if m != nil {
+			m.BatchStepsTotal.IncAt(s.shard)
+			m.BatchLanesTotal.AddAt(s.shard, uint64(live))
+			m.FramesTotal.AddAt(s.shard, uint64(live))
+			// Retired lanes keep lockstepping, so arithmetic scales with
+			// the panel width, not the live-lane count.
+			m.MACsTotal.AddAt(s.shard, uint64(s.bw)*s.macs)
+			m.BatchStepLatency.Observe(dur)
+		}
+		if s.tracer != nil {
+			s.tracer.Record(obs.StageBatchStep, 0, int32(s.bw), t0.UnixNano(), dur)
 		}
 	}
 }
@@ -130,6 +169,9 @@ type batchArena struct {
 }
 
 // getBatchArena pops a width-bw arena off the free list or builds one.
+// Pops and builds are metered as obs arena hits and misses, making the
+// steady-state zero-allocation claim observable: a serving loop at a
+// stable batch shape shows misses flat while hits climb.
 func (e *Engine) getBatchArena(bw int) *batchArena {
 	e.batchMu.Lock()
 	for i := len(e.batchFree) - 1; i >= 0; i-- {
@@ -140,10 +182,16 @@ func (e *Engine) getBatchArena(bw int) *batchArena {
 			e.batchFree[last] = nil
 			e.batchFree = e.batchFree[:last]
 			e.batchMu.Unlock()
+			if m := obs.M(); m != nil {
+				m.ArenaHits.Inc()
+			}
 			return a
 		}
 	}
 	e.batchMu.Unlock()
+	if m := obs.M(); m != nil {
+		m.ArenaMisses.Inc()
+	}
 	return &batchArena{
 		bw:   bw,
 		bs:   e.NewBatchStream(bw),
@@ -244,6 +292,12 @@ func (e *Engine) InferBatchInto(dst, batch [][][]float32) {
 	}
 	bw := batchWidth(n, pool.Workers())
 	groups := (n + bw - 1) / bw
+	m := obs.M()
+	track := m != nil || e.tracer != nil
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	if groups == 1 || pool.Workers() < 2 {
 		// Inline loop instead of pool.For: the closure-free path is what
 		// keeps steady-state single-worker serving at zero allocations.
@@ -252,11 +306,21 @@ func (e *Engine) InferBatchInto(dst, batch [][][]float32) {
 			hi := min(lo+bw, n)
 			e.inferPanel(dst[lo:hi], batch[lo:hi], bw)
 		}
-		return
+	} else {
+		pool.For(groups, func(g int) {
+			lo := g * bw
+			hi := min(lo+bw, n)
+			e.inferPanel(dst[lo:hi], batch[lo:hi], bw)
+		})
 	}
-	pool.For(groups, func(g int) {
-		lo := g * bw
-		hi := min(lo+bw, n)
-		e.inferPanel(dst[lo:hi], batch[lo:hi], bw)
-	})
+	if track {
+		dur := time.Since(t0).Nanoseconds()
+		if m != nil {
+			m.InferBatchTotal.Inc()
+			m.InferLatency.Observe(dur)
+		}
+		if e.tracer != nil {
+			e.tracer.Record(obs.StageInferBatch, 0, int32(n), t0.UnixNano(), dur)
+		}
+	}
 }

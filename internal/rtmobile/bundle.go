@@ -39,6 +39,10 @@ import (
 const (
 	bundleMagic   = "RTMB"
 	bundleVersion = 2
+	// maxBundleNameLen bounds a param-name length field so a corrupt
+	// bundle cannot drive a multi-gigabyte allocation before the name
+	// check fails.
+	maxBundleNameLen = 1 << 16
 )
 
 // SaveBundle writes the engine's deployment artifact.
@@ -130,7 +134,7 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	}
 	var version uint32
 	if err := binary.Read(r, le, &version); err != nil {
-		return nil, zero, err
+		return nil, zero, fmt.Errorf("rtmobile: reading bundle version: %w", err)
 	}
 	if version != 1 && version != bundleVersion {
 		return nil, zero, fmt.Errorf("rtmobile: unsupported bundle version %d", version)
@@ -138,25 +142,25 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	var specRaw [6]uint64
 	for i := range specRaw {
 		if err := binary.Read(r, le, &specRaw[i]); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle model spec: %w", err)
 		}
 	}
 	var schemeRaw [4]float64
 	for i := range schemeRaw {
 		if err := binary.Read(r, le, &schemeRaw[i]); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle prune scheme: %w", err)
 		}
 	}
 	var format, valueBits, rowTile, colTile, unroll uint32
 	for _, p := range []*uint32{&format, &valueBits, &rowTile, &colTile, &unroll} {
 		if err := binary.Read(r, le, p); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle compiler options: %w", err)
 		}
 	}
 	var reorder, loadelim, fused uint8
 	for _, p := range []*uint8{&reorder, &loadelim, &fused} {
 		if err := binary.Read(r, le, p); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle compiler flags: %w", err)
 		}
 	}
 	var tuneMode uint8
@@ -164,13 +168,13 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	var tuneCost float64
 	if version >= 2 {
 		if err := binary.Read(r, le, &tuneMode); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle plan cache: %w", err)
 		}
 		if err := binary.Read(r, le, &placement); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle plan cache: %w", err)
 		}
 		if err := binary.Read(r, le, &tuneCost); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle plan cache: %w", err)
 		}
 		if tuneMode > uint8(TuneMeasured) {
 			return nil, zero, fmt.Errorf("rtmobile: unknown tune mode %d", tuneMode)
@@ -189,7 +193,7 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 
 	var count uint32
 	if err := binary.Read(r, le, &count); err != nil {
-		return nil, zero, err
+		return nil, zero, fmt.Errorf("rtmobile: reading bundle param count: %w", err)
 	}
 	params := model.Params()
 	if int(count) != len(params) {
@@ -198,18 +202,24 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	for _, p := range params {
 		var nameLen uint32
 		if err := binary.Read(r, le, &nameLen); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: %s: reading name length: %w", p.Name, err)
+		}
+		// Param names are short dotted identifiers; a huge length means the
+		// stream is corrupt, and allocating it blindly would OOM on garbage.
+		if nameLen > maxBundleNameLen {
+			return nil, zero, fmt.Errorf("rtmobile: %s: corrupt name length %d (max %d)",
+				p.Name, nameLen, maxBundleNameLen)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(r, name); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: %s: reading name: %w", p.Name, err)
 		}
 		if string(name) != p.Name {
 			return nil, zero, fmt.Errorf("rtmobile: param order mismatch: %q vs %q", name, p.Name)
 		}
 		var kind uint8
 		if err := binary.Read(r, le, &kind); err != nil {
-			return nil, zero, err
+			return nil, zero, fmt.Errorf("rtmobile: %s: reading payload kind: %w", p.Name, err)
 		}
 		switch kind {
 		case 1:
@@ -226,17 +236,17 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 		case 0:
 			var rows, cols uint32
 			if err := binary.Read(r, le, &rows); err != nil {
-				return nil, zero, err
+				return nil, zero, fmt.Errorf("rtmobile: %s: reading shape: %w", p.Name, err)
 			}
 			if err := binary.Read(r, le, &cols); err != nil {
-				return nil, zero, err
+				return nil, zero, fmt.Errorf("rtmobile: %s: reading shape: %w", p.Name, err)
 			}
 			if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
 				return nil, zero, fmt.Errorf("rtmobile: %s shape mismatch", p.Name)
 			}
 			buf := make([]byte, 4*rows*cols)
 			if _, err := io.ReadFull(r, buf); err != nil {
-				return nil, zero, err
+				return nil, zero, fmt.Errorf("rtmobile: %s: reading weights: %w", p.Name, err)
 			}
 			for i := range p.W.Data {
 				p.W.Data[i] = math.Float32frombits(le.Uint32(buf[4*i:]))

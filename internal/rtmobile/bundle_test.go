@@ -2,7 +2,9 @@ package rtmobile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
+	"strings"
 	"testing"
 
 	"rtmobile/internal/compiler"
@@ -173,6 +175,122 @@ func TestLoadBundleRejectsGarbage(t *testing.T) {
 	}
 	if _, _, err := LoadBundle(bytes.NewReader(nil), device.MobileGPU()); err == nil {
 		t.Fatal("empty accepted")
+	}
+}
+
+// validBundleImage serializes a small engine to bytes for corruption tests.
+// Fixed header offsets (little-endian): magic 4 | version 4 | spec 48 |
+// scheme 32 | options 20 | flags 3 | plan cache 13 | param count 4 |
+// first param name length at 128.
+func validBundleImage(t *testing.T) []byte {
+	t.Helper()
+	m := testModel(48)
+	res := Prune(m, nil, PruneConfig{ColRate: 2, RowRate: 1, RowGroups: 2, ColBlocks: 2})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveBundle(&buf, res.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+const (
+	bundleOffVersion   = 4
+	bundleOffPlanCache = 111 // tuneMode u8 | placement u32 | tuneCost f64
+	bundleOffCount     = 124
+	bundleOffNameLen   = 128
+)
+
+// asV1 rewrites a v2 image as the version-1 layout: the 13-byte plan-cache
+// section did not exist, and the version field says 1.
+func asV1(image []byte) []byte {
+	v1 := append([]byte(nil), image[:bundleOffPlanCache]...)
+	v1 = append(v1, image[bundleOffCount:]...)
+	binary.LittleEndian.PutUint32(v1[bundleOffVersion:], 1)
+	return v1
+}
+
+func TestLoadBundleVersion1(t *testing.T) {
+	image := validBundleImage(t)
+	eng, scheme, err := LoadBundle(bytes.NewReader(asV1(image)), device.MobileGPU())
+	if err != nil {
+		t.Fatalf("v1 bundle rejected: %v", err)
+	}
+	if scheme.ColRate != 2 {
+		t.Fatalf("v1 scheme lost: %+v", scheme)
+	}
+	// v1 predates the plan cache, so the loaded engine reports no tuning.
+	if eng.Tuned().Mode != TuneNone {
+		t.Fatalf("v1 bundle invented a plan cache: %+v", eng.Tuned())
+	}
+}
+
+// TestLoadBundleCorrupt drives corrupted and truncated images of both
+// bundle versions through LoadBundle: every case must return a descriptive
+// error, never panic or over-allocate.
+func TestLoadBundleCorrupt(t *testing.T) {
+	image := validBundleImage(t)
+	nameLen := int(binary.LittleEndian.Uint32(image[bundleOffNameLen:]))
+	kindOff := bundleOffNameLen + 4 + nameLen
+
+	patch := func(off int, b []byte) []byte {
+		out := append([]byte(nil), image...)
+		copy(out[off:], b)
+		return out
+	}
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+	cases := []struct {
+		name    string
+		image   []byte
+		wantErr string
+	}{
+		{"bad magic", patch(0, []byte("NOPE")), "bad bundle magic"},
+		{"future version", patch(bundleOffVersion, u32(99)), "unsupported bundle version"},
+		{"truncated version", image[:6], "bundle version"},
+		{"truncated spec", image[:30], "model spec"},
+		{"truncated scheme", image[:70], "prune scheme"},
+		{"truncated options", image[:100], "compiler options"},
+		{"truncated flags", image[:110], "compiler flags"},
+		{"truncated plan cache", image[:115], "plan cache"},
+		{"bad tune mode", patch(bundleOffPlanCache, []byte{200}), "unknown tune mode"},
+		{"truncated param count", image[:126], "param count"},
+		{"wrong param count", patch(bundleOffCount, u32(99)), "bundle has 99 params"},
+		{"huge name length", patch(bundleOffNameLen, u32(0xFFFFFFFF)), "corrupt name length"},
+		{"truncated name", image[:bundleOffNameLen+4+1], "reading name"},
+		{"wrong name", patch(bundleOffNameLen+4, []byte("zzz")), "param order mismatch"},
+		{"bad payload kind", patch(kindOff, []byte{7}), "unknown payload kind"},
+		{"truncated payload", image[:kindOff+3], ""},
+		{"v1 truncated header", asV1(image)[:80], "prune scheme"},
+		{"v1 truncated payload", asV1(image)[:200], ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := LoadBundle(bytes.NewReader(tc.image), device.MobileGPU())
+			if err == nil {
+				t.Fatal("corrupt bundle accepted")
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q missing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestLoadBundleTruncationSweep: no strict prefix of a valid bundle loads,
+// and none of them panic.
+func TestLoadBundleTruncationSweep(t *testing.T) {
+	image := validBundleImage(t)
+	for cut := 0; cut < len(image); cut += 97 {
+		if _, _, err := LoadBundle(bytes.NewReader(image[:cut]), device.MobileGPU()); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
 	}
 }
 

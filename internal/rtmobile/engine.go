@@ -2,10 +2,12 @@ package rtmobile
 
 import (
 	"sync"
+	"time"
 
 	"rtmobile/internal/compiler"
 	"rtmobile/internal/device"
 	"rtmobile/internal/nn"
+	"rtmobile/internal/obs"
 	"rtmobile/internal/parallel"
 	"rtmobile/internal/tensor"
 )
@@ -35,6 +37,12 @@ type Engine struct {
 	// concurrent InferBatch calls can share the free list.
 	batchMu   sync.Mutex
 	batchFree []*batchArena
+
+	// stepMACs is the plan-priced MAC count of one timestep, precomputed
+	// at Compile so streams can meter obs MACsTotal without touching the
+	// plan per step. tracer is the opt-in stage tracer (see obs.go).
+	stepMACs uint64
+	tracer   *obs.Tracer
 }
 
 // TuneMode records how an engine's tile configuration was chosen.
@@ -102,6 +110,12 @@ func (e *Engine) SetWorkers(n int) {
 // heap cost of a call is a fixed handful of allocations per utterance —
 // zero per timestep, however long the audio runs.
 func (e *Engine) Infer(frames [][]float32) [][]float32 {
+	m := obs.M()
+	track := m != nil || e.tracer != nil
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	s := e.NewStream()
 	logits := make([][]float32, len(frames))
 	var flat []float32
@@ -114,7 +128,18 @@ func (e *Engine) Infer(frames [][]float32) [][]float32 {
 		copy(row, out)
 		logits[t] = row
 	}
-	return nn.Posteriors(logits)
+	post := nn.Posteriors(logits)
+	if track {
+		dur := time.Since(t0).Nanoseconds()
+		if m != nil {
+			m.InferTotal.IncAt(s.shard)
+			m.InferLatency.Observe(dur)
+		}
+		if e.tracer != nil {
+			e.tracer.Record(obs.StageInfer, 0, 1, t0.UnixNano(), dur)
+		}
+	}
+	return post
 }
 
 // InferBatch scores independent utterances and returns their posteriors in
@@ -148,18 +173,37 @@ type Stream struct {
 	inner *nn.Stream
 	fp16  bool
 	qbuf  []float32
+	// shard is the stream's stable counter-stripe hint (one atomic stripe
+	// per stream keeps concurrent sessions off each other's cache lines);
+	// macs is the engine's plan-priced per-timestep MAC count; tracer is
+	// the engine tracer captured at open time (nil = untraced fast path).
+	shard  uint32
+	macs   uint64
+	tracer *obs.Tracer
 }
 
 // NewStream opens a streaming session. State persists across Step calls
 // until Reset.
 func (e *Engine) NewStream() *Stream {
-	return &Stream{inner: e.model.NewStream(), fp16: e.fp16}
+	s := &Stream{inner: e.model.NewStream(), fp16: e.fp16,
+		shard: obs.NextShard(), macs: e.stepMACs, tracer: e.tracer}
+	if e.tracer != nil {
+		s.inner.SetTracer(e.tracer)
+	}
+	return s
 }
 
 // step advances one frame and returns the raw logits, borrowed from the
 // stream's persistent buffers (valid until the next step). Allocation-free
-// once qbuf has grown to the frame width.
+// once qbuf has grown to the frame width — with metrics and tracing
+// enabled too (the observability writes are all fixed-size atomics).
 func (s *Stream) step(frame []float32) []float32 {
+	m := obs.M()
+	track := m != nil || s.tracer != nil
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	in := frame
 	if s.fp16 {
 		if cap(s.qbuf) < len(frame) {
@@ -169,7 +213,20 @@ func (s *Stream) step(frame []float32) []float32 {
 		copy(in, frame)
 		tensor.QuantizeHalfVec(in)
 	}
-	return s.inner.Step(in)
+	out := s.inner.Step(in)
+	if track {
+		dur := time.Since(t0).Nanoseconds()
+		if m != nil {
+			m.StepsTotal.IncAt(s.shard)
+			m.FramesTotal.IncAt(s.shard)
+			m.MACsTotal.AddAt(s.shard, s.macs)
+			m.StepLatency.Observe(dur)
+		}
+		if s.tracer != nil {
+			s.tracer.Record(obs.StageStep, 0, 1, t0.UnixNano(), dur)
+		}
+	}
+	return out
 }
 
 // Step consumes one feature frame and returns the phone posterior for it.
@@ -195,6 +252,12 @@ func (s *Stream) Reset() { s.inner.Reset() }
 
 // Plan exposes the compiled execution plan.
 func (e *Engine) Plan() *compiler.Plan { return e.plan }
+
+// InputDim reports the model's per-frame feature width.
+func (e *Engine) InputDim() int { return e.model.Spec.InputDim }
+
+// OutputDim reports the model's phone-posterior width.
+func (e *Engine) OutputDim() int { return e.model.Spec.OutputDim }
 
 // Target exposes the deployment target.
 func (e *Engine) Target() *device.Target { return e.target }

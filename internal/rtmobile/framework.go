@@ -176,7 +176,8 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 		pool = parallel.NewPool(cfg.Workers)
 	}
 	eng := &Engine{model: model, plan: plan, target: cfg.Target, pool: pool,
-		fp16: opt.ValueBits == 16, fused: cfg.FuseKernels, tuned: tuned}
+		fp16: opt.ValueBits == 16, fused: cfg.FuseKernels, tuned: tuned,
+		stepMACs: stepPricedMACs(plan)}
 	if eng.fp16 {
 		eng.quantizeWeights()
 	}

@@ -1,0 +1,230 @@
+package rtmobile
+
+import (
+	"testing"
+
+	"rtmobile/internal/device"
+	"rtmobile/internal/obs"
+)
+
+// withMetrics runs fn with the global collector force-enabled, restoring
+// the prior state afterwards (tests share one process-wide collector).
+func withMetrics(t *testing.T, fn func(m *obs.Metrics)) {
+	t.Helper()
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	fn(obs.M())
+}
+
+// TestStepIntoZeroAllocWithObservability re-runs the real-time allocation
+// gate with the full observability stack on: global metrics enabled AND a
+// stage tracer attached. The instrumented step must still cost zero heap
+// allocations per frame.
+func TestStepIntoZeroAllocWithObservability(t *testing.T) {
+	withMetrics(t, func(_ *obs.Metrics) {
+		for _, target := range []*device.Target{device.MobileCPU(), device.MobileGPU()} {
+			eng := allocEngine(t, target)
+			eng.EnableTracing(256)
+			s := eng.NewStream()
+			frame := testFrames(32, 1, 8)[0]
+			dst := make([]float32, 6)
+			s.StepInto(dst, frame) // warm up
+			if allocs := testing.AllocsPerRun(100, func() {
+				s.StepInto(dst, frame)
+			}); allocs != 0 {
+				t.Fatalf("%s: traced StepInto allocates %v times per frame, want 0",
+					target.Name, allocs)
+			}
+		}
+	})
+}
+
+// TestInferBatchIntoZeroAllocWithObservability: steady-state batched
+// serving with metrics and tracing on must stay allocation-free too.
+func TestInferBatchIntoZeroAllocWithObservability(t *testing.T) {
+	withMetrics(t, func(_ *obs.Metrics) {
+		eng := allocEngine(t, device.MobileGPU())
+		eng.SetWorkers(1) // inline path: the zero-alloc serving contract
+		eng.EnableTracing(256)
+		batch := [][][]float32{testFrames(40, 6, 8), testFrames(41, 6, 8)}
+		dst := eng.InferBatch(batch) // warm up + allocate dst shape
+		eng.InferBatchInto(dst, batch)
+		if allocs := testing.AllocsPerRun(50, func() {
+			eng.InferBatchInto(dst, batch)
+		}); allocs != 0 {
+			t.Fatalf("traced InferBatchInto allocates %v times per call, want 0", allocs)
+		}
+	})
+}
+
+// TestStreamStepMetersCounters checks the units the collector advances
+// per frame: one step, one frame, and exactly the plan's priced MACs.
+func TestStreamStepMetersCounters(t *testing.T) {
+	withMetrics(t, func(m *obs.Metrics) {
+		eng := allocEngine(t, device.MobileCPU())
+		s := eng.NewStream()
+		frame := testFrames(50, 1, 8)[0]
+		dst := make([]float32, 6)
+
+		steps0 := m.StepsTotal.Value()
+		frames0 := m.FramesTotal.Value()
+		macs0 := m.MACsTotal.Value()
+		hist0 := m.StepLatency.Snapshot().Count
+		const N = 17
+		for i := 0; i < N; i++ {
+			s.StepInto(dst, frame)
+		}
+		if got := m.StepsTotal.Value() - steps0; got != N {
+			t.Fatalf("StepsTotal advanced %d, want %d", got, N)
+		}
+		if got := m.FramesTotal.Value() - frames0; got != N {
+			t.Fatalf("FramesTotal advanced %d, want %d", got, N)
+		}
+		wantMACs := N * stepPricedMACs(eng.Plan())
+		if got := m.MACsTotal.Value() - macs0; got != wantMACs {
+			t.Fatalf("MACsTotal advanced %d, want %d", got, wantMACs)
+		}
+		if got := m.StepLatency.Snapshot().Count - hist0; got != N {
+			t.Fatalf("StepLatency observed %d samples, want %d", got, N)
+		}
+	})
+}
+
+// TestInferMetersUtteranceCounters: Infer advances the utterance counter
+// and one latency sample, and frames accrue via the stream path.
+func TestInferMetersUtteranceCounters(t *testing.T) {
+	withMetrics(t, func(m *obs.Metrics) {
+		eng := allocEngine(t, device.MobileCPU())
+		frames := testFrames(51, 9, 8)
+		infer0 := m.InferTotal.Value()
+		frames0 := m.FramesTotal.Value()
+		eng.Infer(frames)
+		if got := m.InferTotal.Value() - infer0; got != 1 {
+			t.Fatalf("InferTotal advanced %d, want 1", got)
+		}
+		if got := m.FramesTotal.Value() - frames0; got != uint64(len(frames)) {
+			t.Fatalf("FramesTotal advanced %d, want %d", got, len(frames))
+		}
+	})
+}
+
+// TestBatchServingMetersArenaAndLanes: the first batch at a width is an
+// arena miss, repeats are hits; lockstep steps meter live lanes (frames)
+// separately from executed arithmetic (panel width × priced MACs).
+func TestBatchServingMetersArenaAndLanes(t *testing.T) {
+	withMetrics(t, func(m *obs.Metrics) {
+		eng := allocEngine(t, device.MobileGPU())
+		eng.SetWorkers(1)
+		// Ragged pair: 4 and 2 frames → lockstep runs 4 panel steps of
+		// width 2, with 4+2=6 live-lane frames scored.
+		batch := [][][]float32{testFrames(60, 4, 8), testFrames(61, 2, 8)}
+
+		misses0 := m.ArenaMisses.Value()
+		hits0 := m.ArenaHits.Value()
+		bsteps0 := m.BatchStepsTotal.Value()
+		lanes0 := m.BatchLanesTotal.Value()
+		frames0 := m.FramesTotal.Value()
+		macs0 := m.MACsTotal.Value()
+		batches0 := m.InferBatchTotal.Value()
+
+		eng.InferBatch(batch)
+		if got := m.ArenaMisses.Value() - misses0; got != 1 {
+			t.Fatalf("first batch: %d arena misses, want 1", got)
+		}
+		eng.InferBatch(batch)
+		if got := m.ArenaHits.Value() - hits0; got != 1 {
+			t.Fatalf("second batch: %d arena hits, want 1", got)
+		}
+		if got := m.InferBatchTotal.Value() - batches0; got != 2 {
+			t.Fatalf("InferBatchTotal advanced %d, want 2", got)
+		}
+		if got := m.BatchStepsTotal.Value() - bsteps0; got != 8 {
+			t.Fatalf("BatchStepsTotal advanced %d, want 8 (4 panel steps × 2 calls)", got)
+		}
+		if got := m.BatchLanesTotal.Value() - lanes0; got != 12 {
+			t.Fatalf("BatchLanesTotal advanced %d, want 12 (6 live frames × 2 calls)", got)
+		}
+		if got := m.FramesTotal.Value() - frames0; got != 12 {
+			t.Fatalf("FramesTotal advanced %d, want 12", got)
+		}
+		// Executed arithmetic covers retired lanes too: width 2 × 4 steps
+		// × 2 calls, at the plan's per-step price.
+		wantMACs := 16 * stepPricedMACs(eng.Plan())
+		if got := m.MACsTotal.Value() - macs0; got != wantMACs {
+			t.Fatalf("MACsTotal advanced %d, want %d", got, wantMACs)
+		}
+	})
+}
+
+// TestLayerStatsConsistency pins the run -stats contract: per-layer priced
+// MACs sum exactly to the plan's per-timestep total, and with tracing on
+// each layer's span count equals the steps taken.
+func TestLayerStatsConsistency(t *testing.T) {
+	eng := allocEngine(t, device.MobileCPU())
+	tr := eng.EnableTracing(128)
+	s := eng.NewStream()
+	frame := testFrames(70, 1, 8)[0]
+	dst := make([]float32, 6)
+	const N = 5
+	for i := 0; i < N; i++ {
+		s.StepInto(dst, frame)
+	}
+
+	stats := eng.LayerStats()
+	if len(stats) != len(eng.model.Layers) {
+		t.Fatalf("LayerStats rows %d, want %d", len(stats), len(eng.model.Layers))
+	}
+	sumMACs := 0
+	for _, ls := range stats {
+		if ls.Name == "" {
+			t.Fatalf("layer %d has no name", ls.Index)
+		}
+		if ls.MACs <= 0 {
+			t.Fatalf("layer %s priced at %d MACs", ls.Name, ls.MACs)
+		}
+		if ls.Spans != N {
+			t.Fatalf("layer %s recorded %d spans, want %d", ls.Name, ls.Spans, N)
+		}
+		if ls.TotalNs < 0 || ls.AvgNs() < 0 {
+			t.Fatalf("layer %s negative timing %d", ls.Name, ls.TotalNs)
+		}
+		sumMACs += ls.MACs
+	}
+	if want := int(stepPricedMACs(eng.Plan())); sumMACs != want {
+		t.Fatalf("per-layer MACs sum %d != plan per-step total %d", sumMACs, want)
+	}
+	if want := eng.Plan().FrameMACs() / TimestepsPerFrame; sumMACs != want {
+		t.Fatalf("per-layer MACs sum %d != FrameMACs/TimestepsPerFrame %d", sumMACs, want)
+	}
+	// Step-level spans recorded too.
+	if count, _ := tr.Stage(obs.StageStep, 0); count != N {
+		t.Fatalf("StageStep count %d, want %d", count, N)
+	}
+	// Detach: subsequently opened streams stop recording.
+	eng.DisableTracing()
+	s2 := eng.NewStream()
+	before := tr.Recorded()
+	s2.StepInto(dst, frame)
+	if tr.Recorded() != before {
+		t.Fatalf("stream opened after DisableTracing still records")
+	}
+}
+
+// TestMetricsDisabledFastPath: with the collector off, nothing advances.
+func TestMetricsDisabledFastPath(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	m := obs.M()
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+
+	eng := allocEngine(t, device.MobileCPU())
+	steps0 := m.StepsTotal.Value()
+	s := eng.NewStream()
+	dst := make([]float32, 6)
+	s.StepInto(dst, testFrames(80, 1, 8)[0])
+	if got := m.StepsTotal.Value(); got != steps0 {
+		t.Fatalf("disabled collector advanced StepsTotal %d → %d", steps0, got)
+	}
+}
