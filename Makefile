@@ -1,8 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
-# Coverage floor for the observability primitives; `make cover` fails
-# below it.
+# Coverage floors; `make cover` fails below them.
 OBS_COVER_FLOOR ?= 90.0
+QUANT_COVER_FLOOR ?= 90.0
 
 .PHONY: all build test race fuzz-smoke vet bench cover
 
@@ -23,6 +23,8 @@ race:
 	$(GO) test -race ./...
 	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Batch' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Batch' ./internal/compiler ./internal/rtmobile
+	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Quant' ./internal/compiler ./internal/rtmobile
+	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Quant' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_METRICS=1 $(GO) test -race ./internal/obs
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve|Obs|Metrics|Trac' ./cmd/rtmobile ./internal/rtmobile
 
@@ -34,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzCompileProgram -fuzztime=$(FUZZTIME) ./internal/compiler
 	$(GO) test -run=^$$ -fuzz=FuzzPackProgram -fuzztime=$(FUZZTIME) ./internal/compiler
 	$(GO) test -run=^$$ -fuzz=FuzzRunBatch -fuzztime=$(FUZZTIME) ./internal/compiler
+	$(GO) test -run=^$$ -fuzz=FuzzPackQuant -fuzztime=$(FUZZTIME) ./internal/compiler
 
 # Static checks: vet under both build configurations (default and the
 # purego fallback used on targets without unsafe), plus a gofmt gate.
@@ -44,20 +47,27 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 # Regenerates the paper tables plus the worker-scaling study, then the
-# packed-vs-interpreter and batched-execution studies as machine-readable
-# artifacts.
+# packed-vs-interpreter, batched-execution, and quantized-execution
+# studies as machine-readable artifacts.
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./cmd/rtmobile bench -exp packed -json BENCH_2.json
 	$(GO) run ./cmd/rtmobile bench -exp batch -json BENCH_3.json
 	$(GO) run ./cmd/rtmobile bench -exp obs -json BENCH_4.json
+	$(GO) run ./cmd/rtmobile bench -exp quant -json BENCH_5.json
 
-# Coverage gate on the observability primitives: internal/obs must stay
-# above $(OBS_COVER_FLOOR)% statement coverage.
+# Coverage gates: the observability primitives and the quantization
+# package must each stay above their statement-coverage floor.
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/obs
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	rm -f cover.out; \
 	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(OBS_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage below floor"; exit 1; }
+	$(GO) test -coverprofile=cover.out ./internal/quant
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f cover.out; \
+	echo "internal/quant coverage: $$total% (floor $(QUANT_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(QUANT_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage below floor"; exit 1; }

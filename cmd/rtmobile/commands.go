@@ -189,6 +189,7 @@ func cmdCompile(args []string) error {
 	tune := fs.Bool("autotune", false, "run the tiling auto-tuner")
 	measured := fs.Bool("measured", false, "with -autotune: tune on measured packed-backend wall time instead of the analytic cost model")
 	listing := fs.Bool("listing", false, "emit the generated kernel pseudo-code")
+	quantBits := fs.Int("quant", 0, "integer weight quantization width: 8, 12, or 16 (0 = float32 weights)")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -213,6 +214,7 @@ func cmdCompile(args []string) error {
 		Target: target, Format: format,
 		DisableReorder: *noReorder, DisableLoadElim: *noLoadElim,
 		AutoTuneTiling: *tune, MeasuredTuning: *measured, Workers: *workers,
+		Quant: *quantBits,
 	})
 	if err != nil {
 		return err
@@ -221,6 +223,7 @@ func cmdCompile(args []string) error {
 	fmt.Printf("target %s, format %s\n", target, format)
 	fmt.Printf("plan: %s\n", eng.Plan())
 	printTuneRecord(eng)
+	printQuantStatus(eng)
 	fmt.Printf("per-frame latency: %.2f us (compute %.2f, memory %.2f, overhead %.2f)\n",
 		lat.TotalUS, lat.ComputeUS, lat.MemoryUS, lat.OverheadUS)
 	fmt.Printf("GOP/frame %.4f, GOP/s %.2f\n", eng.GOP(), eng.GOPs())
@@ -276,7 +279,7 @@ func cmdBench(args []string) error {
 	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, batch, obs, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
-	jsonOut := fs.String("json", "", "with -exp packed, batch, or obs: also write the rows as JSON to this path (e.g. BENCH_4.json)")
+	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, or quant: also write the rows as JSON to this path (e.g. BENCH_5.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -435,6 +438,36 @@ func cmdBench(args []string) error {
 			return err
 		}
 		fmt.Println(bench.RenderQuantSweep(rows))
+		qcfg := bench.DefaultQuantBenchConfig()
+		qcfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		qrows, err := bench.RunQuantBench(qcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderQuantBench(qrows, qcfg))
+		gains := bench.QuantBenchSpeedup(qrows)
+		ops := make([]string, 0, len(gains))
+		for op := range gains {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Printf("  MACs/s vs f32 @ %s: %.2fx\n", op, gains[op])
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteQuantJSON(f, qrows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 	case "all":
 		rows, err := runT2()
 		if err != nil {
@@ -473,6 +506,7 @@ func cmdDeploy(args []string) error {
 	colBlocks := fs.Int("col-blocks", 4, "BSP column blocks")
 	tune := fs.Bool("autotune", false, "run the tiling auto-tuner before bundling (the verdict is cached in the bundle)")
 	measured := fs.Bool("measured", false, "with -autotune: tune on measured packed-backend wall time")
+	quantBits := fs.Int("quant", 0, "integer weight quantization width: 8, 12, or 16 (0 = float32 weights; stored in the bundle)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -487,6 +521,7 @@ func cmdDeploy(args []string) error {
 	scheme := prune.BSP{ColRate: *col, RowRate: *row, NumRowGroups: *rowGroups, NumColBlocks: *colBlocks}
 	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{
 		Target: target, AutoTuneTiling: *tune, MeasuredTuning: *measured,
+		Quant: *quantBits,
 	})
 	if err != nil {
 		return err
@@ -506,6 +541,7 @@ func cmdDeploy(args []string) error {
 	fmt.Printf("wrote %s (%d KiB, %s, %s storage)\n",
 		*out, info.Size()>>10, target.Name, eng.Plan().Options.Format)
 	printTuneRecord(eng)
+	printQuantStatus(eng)
 	fmt.Printf("predicted %.2f us/frame, %.2fx energy efficiency vs ESE\n",
 		eng.Latency().TotalUS, eng.EfficiencyVsESE())
 	return nil
@@ -521,12 +557,44 @@ func printTuneRecord(eng *rtmobile.Engine) {
 	}
 }
 
+// printQuantStatus reports the engine's weight quantization, if any,
+// including the guardrail verdict when one was armed.
+func printQuantStatus(eng *rtmobile.Engine) {
+	bits, delta, fell := eng.Quantized()
+	switch {
+	case fell:
+		fmt.Printf("quantization: guardrail fallback to float32 (PER delta %+.4f over limit)\n", delta)
+	case bits != 0 && delta != 0:
+		fmt.Printf("quantization: int%d weights (guardrail PER delta %+.4f)\n", bits, delta)
+	case bits != 0:
+		fmt.Printf("quantization: int%d weights\n", bits)
+	}
+}
+
+// applyQuantOverride implements the run/serve -quant override: -1 keeps
+// the bundle's width, any other value recompiles the loaded engine at
+// that width (0 = back to float32).
+func applyQuantOverride(eng *rtmobile.Engine, scheme prune.BSP, want int) (*rtmobile.Engine, error) {
+	bits, _, _ := eng.Quantized()
+	if want < 0 || want == bits {
+		return eng, nil
+	}
+	ne, err := eng.Requantize(want, scheme)
+	if err != nil {
+		return nil, err
+	}
+	nbits, _, _ := ne.Quantized()
+	fmt.Printf("requantized: int%d -> int%d weights (0 = float32)\n", bits, nbits)
+	return ne, nil
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	cfg := corpusFlags(fs)
 	bundle := fs.String("bundle", "model.rtmb", "deployment bundle path")
 	targetName := fs.String("target", "gpu", "target: gpu or cpu")
 	stats := fs.Bool("stats", false, "trace the evaluation and print the per-layer latency table")
+	quantBits := fs.Int("quant", -1, "override the bundle's quantization width: 8, 12, 16, or 0 for float32 (-1 = keep bundle width)")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -547,12 +615,16 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	if eng, err = applyQuantOverride(eng, scheme, *quantBits); err != nil {
+		return err
+	}
 	eng.SetWorkers(*workers)
 	if *stats {
 		eng.EnableTracing(4096)
 	}
 	fmt.Printf("loaded %s: scheme %s, %s\n", *bundle, scheme.Name(), eng.Plan())
 	printTuneRecord(eng)
+	printQuantStatus(eng)
 	c, err := speech.GenerateCorpus(*cfg)
 	if err != nil {
 		return err

@@ -132,6 +132,26 @@ func renderLayerStats(eng *rtmobile.Engine) string {
 	fmt.Fprintf(&b, "plan check: %d MACs/step x %d timesteps = %d MACs/frame (plan prices %d)\n",
 		totalMACs, rtmobile.TimestepsPerFrame,
 		totalMACs*rtmobile.TimestepsPerFrame, plan.FrameMACs())
+	if bits, delta, fell := eng.Quantized(); bits != 0 || fell {
+		switch {
+		case fell:
+			fmt.Fprintf(&b, "quantization: float32 (guardrail fallback, PER delta %+.4f)\n", delta)
+		case delta != 0:
+			fmt.Fprintf(&b, "quantization: int%d weights (guardrail PER delta %+.4f)\n", bits, delta)
+		default:
+			fmt.Fprintf(&b, "quantization: int%d weights\n", bits)
+		}
+	}
+	if m := obs.M(); m != nil {
+		fmt.Fprintf(&b, "bytes_streamed_total: %d\n", m.BytesStreamed.Value())
+	}
+	if tr := eng.Tracer(); tr != nil {
+		for _, k := range []obs.StageKind{obs.StageKernel, obs.StageKernelQ8, obs.StageKernelQ16} {
+			if n, ns := tr.KindTotal(k); n > 0 {
+				fmt.Fprintf(&b, "kernel spans %-10s count=%d total_us=%.1f\n", k, n, float64(ns)/1e3)
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -141,6 +161,7 @@ func cmdServe(args []string) error {
 	targetName := fs.String("target", "gpu", "target: gpu or cpu")
 	addr := fs.String("addr", "localhost:8090", "listen address")
 	trace := fs.Int("trace", 0, "stage-trace ring capacity (0 = tracing off)")
+	quantBits := fs.Int("quant", -1, "override the bundle's quantization width: 8, 12, 16, or 0 for float32 (-1 = keep bundle width)")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,6 +180,9 @@ func cmdServe(args []string) error {
 	eng, scheme, err := rtmobile.LoadBundle(f, target)
 	f.Close()
 	if err != nil {
+		return err
+	}
+	if eng, err = applyQuantOverride(eng, scheme, *quantBits); err != nil {
 		return err
 	}
 	eng.SetWorkers(*workers)

@@ -193,6 +193,50 @@ func TestServeStatzTracesLayers(t *testing.T) {
 	}
 }
 
+// TestServeStatzQuantized: a quantized deployment surfaces the weight
+// stream accounting and the per-format kernel span totals on /statz.
+func TestServeStatzQuantized(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	model := nn.NewGRUModel(nn.ModelSpec{
+		InputDim: 8, Hidden: 16, NumLayers: 1, OutputDim: 6, Seed: 3,
+	})
+	res := rtmobile.Prune(model, nil, rtmobile.PruneConfig{
+		ColRate: 2, RowRate: 1, RowGroups: 2, ColBlocks: 2,
+	})
+	eng, err := rtmobile.Compile(model, res.Scheme, rtmobile.DeployConfig{
+		Target: device.MobileCPU(), Quant: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.EnableTracing(256)
+	mux := newServeMux(eng)
+
+	body, _ := json.Marshal(serveFrames(4, eng.InputDim()))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/infer status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/statz status %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"quantization: int8 weights", "bytes_streamed_total:", "kernel_q8",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/statz missing %q in:\n%s", want, text)
+		}
+	}
+}
+
 func TestServePprofRegistered(t *testing.T) {
 	mux := newServeMux(serveEngine(t))
 	rec := httptest.NewRecorder()

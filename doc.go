@@ -44,6 +44,18 @@
 // (compiler.ParallelBreakEvenMACs), so small programs never pay for
 // workers they cannot feed.
 //
+// Because the hot path is bound by the weight stream, the packed backend
+// also runs quantized: compiler.PackQuant stores the same flat layout
+// with int8 (8-bit) or int16 (12/16-bit) values plus per-row float32
+// scales, streaming a quarter or half the bytes, and the kernels
+// dequantize in register in the exact serial accumulation order — so
+// quantized outputs are bit-identical to a scalar dequantize-then-dot
+// reference, not merely close. DeployConfig.Quant (the -quant CLI flag)
+// selects the width end to end: bundle format v3 persists the quantized
+// ints and scales, Engine.Requantize rewidths a loaded bundle, and an
+// optional guard set makes Compile fall back to float32 weights when
+// quantization costs more PER than QuantGuardMaxDelta allows.
+//
 // # Concurrency and the ownership rule
 //
 // The runtime is parallel but deterministic. Compiled programs execute

@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 
+	"rtmobile/internal/quant"
 	"rtmobile/internal/sparse"
 	"rtmobile/internal/tensor"
 )
@@ -74,6 +75,22 @@ func CompileMatrix(src MatrixSource, opt Options, threads int) (MatrixStats, err
 		stats.IndexBytes = b.Bytes(0)
 	default:
 		return MatrixStats{}, fmt.Errorf("compiler: unknown format %v", opt.Format)
+	}
+
+	// Quantized storage: recompute the weight footprint from the real
+	// PackedQProgram layout rather than the bit-width multiplier, so Table
+	// II-style accounting reports exactly what the backend streams (per-row
+	// scales are metadata, reported separately via NumScales, not here).
+	if opt.QuantBits != 0 {
+		prog, err := CompileProgram(src, opt, threads)
+		if err != nil {
+			return MatrixStats{}, err
+		}
+		pq, err := PackQuant(prog, opt.QuantBits, quant.PerRow, opt.Tile.Unroll)
+		if err != nil {
+			return MatrixStats{}, err
+		}
+		stats.WeightBytes = pq.WeightBytes()
 	}
 
 	// Input-load analysis (per application of the matrix).

@@ -93,6 +93,11 @@ type Options struct {
 	EliminateRedundantLoads bool // load redundancy elimination (IV-B(b))
 	Tile                    TileConfig
 	ValueBits               int // 16 on the GPU path, 32 on the CPU path
+	// QuantBits selects quantized packed weight storage: 0 keeps float
+	// values at ValueBits; 8, 12, or 16 stores integers plus per-row scales
+	// (see PackQuant). When set, footprint accounting and measured tuning
+	// price the quantized backend.
+	QuantBits int
 }
 
 // DefaultOptions enables every RTMobile pass for the given format.

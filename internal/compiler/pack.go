@@ -79,6 +79,11 @@ type PackedProgram struct {
 	// counts at pack time, for the fork-join break-even test.
 	totalMACs int
 
+	// streamBytes is the static weight bytes streamed per execution
+	// (4 bytes per packed float32 value; a batched execution streams the
+	// weights once for the whole panel).
+	streamBytes int
+
 	// trace, when non-nil, receives one StageKernel span per execution
 	// (Run/RunParallel/RunBatch/RunBatchParallel), labeled traceID and the
 	// batch width. Event counts are static, so the span plus the program's
@@ -105,6 +110,7 @@ func (p *PackedProgram) observe(t0 time.Time, bw int, m *obs.Metrics) {
 	dur := time.Since(t0).Nanoseconds()
 	if m != nil {
 		m.MACsTotal.Add(uint64(p.totalMACs * bw))
+		m.BytesStreamed.Add(uint64(p.streamBytes))
 		m.KernelLatency.Observe(dur)
 	}
 	if p.trace != nil {
@@ -253,8 +259,13 @@ func Pack(p *Program, unroll int) (*PackedProgram, error) {
 	for t := range pp.Lanes {
 		pp.totalMACs += pp.Lanes[t].counts.macs
 	}
+	pp.streamBytes = 4 * len(pp.Vals)
 	return pp, nil
 }
+
+// StreamBytes reports the static weight bytes this program streams per
+// execution (once per batched execution, regardless of width).
+func (p *PackedProgram) StreamBytes() int { return p.streamBytes }
 
 // Stats returns the program's execution event counts. They are static —
 // every gather and dot width is fixed at pack time — and identical to what
@@ -306,23 +317,35 @@ func (p *PackedProgram) NewScratch() *PackedScratch {
 
 // ensureSerial grows the gather buffer to this program's needs.
 func (s *PackedScratch) ensureSerial(p *PackedProgram) {
-	if cap(s.xbuf) < p.MaxGather {
-		s.xbuf = make([]float32, p.MaxGather)
+	s.ensureSerialDims(p.MaxGather)
+}
+
+// ensureSerialDims grows the gather buffer for a program with the given
+// widest gather. Shared by the float32 and quantized backends.
+func (s *PackedScratch) ensureSerialDims(maxGather int) {
+	if cap(s.xbuf) < maxGather {
+		s.xbuf = make([]float32, maxGather)
 	}
 }
 
 // ensureParallel grows the per-lane buffers to this program's needs.
 func (s *PackedScratch) ensureParallel(p *PackedProgram) {
-	if len(s.partials) < len(p.Lanes) {
-		s.partials = append(s.partials, make([][]float32, len(p.Lanes)-len(s.partials))...)
-		s.lanebufs = append(s.lanebufs, make([][]float32, len(p.Lanes)-len(s.lanebufs))...)
+	s.ensureParallelDims(len(p.Lanes), p.Rows, p.MaxGather)
+}
+
+// ensureParallelDims grows the per-lane buffers for a program with the given
+// lane count, output rows, and widest gather.
+func (s *PackedScratch) ensureParallelDims(lanes, rows, maxGather int) {
+	if len(s.partials) < lanes {
+		s.partials = append(s.partials, make([][]float32, lanes-len(s.partials))...)
+		s.lanebufs = append(s.lanebufs, make([][]float32, lanes-len(s.lanebufs))...)
 	}
-	for t := 0; t < len(p.Lanes); t++ {
-		if cap(s.partials[t]) < p.Rows {
-			s.partials[t] = make([]float32, p.Rows)
+	for t := 0; t < lanes; t++ {
+		if cap(s.partials[t]) < rows {
+			s.partials[t] = make([]float32, rows)
 		}
-		if cap(s.lanebufs[t]) < p.MaxGather {
-			s.lanebufs[t] = make([]float32, p.MaxGather)
+		if cap(s.lanebufs[t]) < maxGather {
+			s.lanebufs[t] = make([]float32, maxGather)
 		}
 	}
 }

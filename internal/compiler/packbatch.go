@@ -31,8 +31,15 @@ import (
 // accumulator holds 2*bw entries so blockDotBatch can run the row-pair
 // kernel (two rows' accumulators live side by side).
 func (s *PackedScratch) ensureBatch(p *PackedProgram, bw int) {
-	if cap(s.pbuf) < p.MaxGather*bw {
-		s.pbuf = make([]float32, p.MaxGather*bw)
+	s.ensureBatchDims(p.MaxGather, bw)
+}
+
+// ensureBatchDims grows the serial batched buffers for a program with the
+// given widest gather at width bw. Shared by the float32 and quantized
+// backends.
+func (s *PackedScratch) ensureBatchDims(maxGather, bw int) {
+	if cap(s.pbuf) < maxGather*bw {
+		s.pbuf = make([]float32, maxGather*bw)
 	}
 	if cap(s.acc) < 2*bw {
 		s.acc = make([]float64, 2*bw)
@@ -41,17 +48,23 @@ func (s *PackedScratch) ensureBatch(p *PackedProgram, bw int) {
 
 // ensureBatchParallel grows the per-lane batched buffers for width bw.
 func (s *PackedScratch) ensureBatchParallel(p *PackedProgram, bw int) {
-	if n := len(p.Lanes) - len(s.bpartials); n > 0 {
+	s.ensureBatchParallelDims(len(p.Lanes), p.Rows, p.MaxGather, bw)
+}
+
+// ensureBatchParallelDims grows the per-lane batched buffers for a program
+// with the given lane count, output rows, and widest gather at width bw.
+func (s *PackedScratch) ensureBatchParallelDims(lanes, rows, maxGather, bw int) {
+	if n := lanes - len(s.bpartials); n > 0 {
 		s.bpartials = append(s.bpartials, make([][]float32, n)...)
 		s.blanebufs = append(s.blanebufs, make([][]float32, n)...)
 		s.baccs = append(s.baccs, make([][]float64, n)...)
 	}
-	for t := 0; t < len(p.Lanes); t++ {
-		if cap(s.bpartials[t]) < p.Rows*bw {
-			s.bpartials[t] = make([]float32, p.Rows*bw)
+	for t := 0; t < lanes; t++ {
+		if cap(s.bpartials[t]) < rows*bw {
+			s.bpartials[t] = make([]float32, rows*bw)
 		}
-		if cap(s.blanebufs[t]) < p.MaxGather*bw {
-			s.blanebufs[t] = make([]float32, p.MaxGather*bw)
+		if cap(s.blanebufs[t]) < maxGather*bw {
+			s.blanebufs[t] = make([]float32, maxGather*bw)
 		}
 		if cap(s.baccs[t]) < 2*bw {
 			s.baccs[t] = make([]float64, 2*bw)

@@ -1,0 +1,624 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"rtmobile/internal/parallel"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/quant"
+	"rtmobile/internal/tensor"
+)
+
+// runQRef is the scalar equivalence reference for the quantized backend: it
+// walks the packed program's lanes and segments in execution order and, for
+// every row dot, dequantizes each weight to float64 through the row scale
+// and accumulates in index order — plain loops, no kernels. Every quantized
+// execution path must match its bytes exactly.
+func runQRef(p *PackedQProgram, y, x []float32) {
+	for i := range y {
+		y[i] = 0
+	}
+	for t := range p.Lanes {
+		l := &p.Lanes[t]
+		for si := range l.Segs {
+			sg := &l.Segs[si]
+			nc := int(sg.NC)
+			g := make([]float32, nc)
+			if sg.Kind == segGather {
+				for i, c := range p.ColIdx[sg.Arg : int(sg.Arg)+nc] {
+					g[i] = x[c]
+				}
+			} else {
+				copy(g, x[sg.Arg:int(sg.Arg)+nc])
+			}
+			for i := 0; i < int(sg.NR); i++ {
+				row := l.Rows[int(sg.RowOff)+i]
+				off := int(sg.ValOff) + i*nc
+				sc := float64(p.Scales[row])
+				s := 0.0
+				for j := 0; j < nc; j++ {
+					var q float64
+					if p.Bits == 8 {
+						q = float64(p.Vals8[off+j])
+					} else {
+						q = float64(p.Vals16[off+j])
+					}
+					s += (sc * q) * float64(g[j])
+				}
+				y[row] += float32(s)
+			}
+		}
+	}
+}
+
+var quantBitModes = []int{8, 12, 16}
+
+// TestPackQuantBitIdentical is the quantized-backend equivalence suite:
+// across formats, load-elimination on/off, lane counts, unroll factors,
+// worker counts, bit widths, and both scale schemes, quantized packed
+// execution (serial and parallel) must produce exactly the scalar
+// dequantize-then-dot reference's bytes, with the float32 backend's static
+// event counts.
+func TestPackQuantBitIdentical(t *testing.T) {
+	forceParallel(t)
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	workerCounts := []int{1, 2, 7, runtime.NumCPU()}
+	threadCounts := []int{1, 3, 8}
+	unrolls := []int{1, 2, 4, 8}
+
+	for seed := uint64(1); seed <= 2; seed++ {
+		w := bspMat(seed, 32+int(seed)*9, 40, scheme)
+		for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+			src := MatrixSource{Name: "m", W: w}
+			if format == FormatBSPC {
+				s := scheme
+				src.Scheme = &s
+			}
+			for _, elim := range []bool{true, false} {
+				for _, threads := range threadCounts {
+					opt := DefaultOptions(format, 32)
+					opt.EliminateRedundantLoads = elim
+					prog, err := CompileProgram(src, opt, threads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					x := randVec(seed*77+uint64(threads), w.Cols)
+					wantStats, err := prog.Execute(make([]float32, w.Rows), x)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, bits := range quantBitModes {
+						for _, qs := range []quant.Scheme{quant.PerRow, quant.PerTensor} {
+							for _, unroll := range unrolls {
+								pq, err := PackQuant(prog, bits, qs, unroll)
+								if err != nil {
+									t.Fatal(err)
+								}
+								label := fmt.Sprintf("seed=%d fmt=%s elim=%v threads=%d bits=%d scheme=%s unroll=%d",
+									seed, format, elim, threads, bits, qs, unroll)
+								want := make([]float32, w.Rows)
+								runQRef(pq, want, x)
+
+								got := make([]float32, w.Rows)
+								gotStats, err := pq.Execute(got, x)
+								if err != nil {
+									t.Fatalf("%s: %v", label, err)
+								}
+								for r := range got {
+									if got[r] != want[r] {
+										t.Fatalf("%s: row %d: quantized packed %v vs scalar reference %v",
+											label, r, got[r], want[r])
+									}
+								}
+								equalStats(t, wantStats, gotStats, label)
+
+								scratch := pq.NewScratch()
+								for _, workers := range workerCounts {
+									pool := parallel.NewPool(workers)
+									gp := make([]float32, w.Rows)
+									err := pq.RunParallel(gp, x, pool, scratch)
+									pool.Close()
+									if err != nil {
+										t.Fatalf("%s workers=%d: %v", label, workers, err)
+									}
+									for r := range gp {
+										if gp[r] != want[r] {
+											t.Fatalf("%s workers=%d: row %d: parallel %v vs reference %v",
+												label, workers, r, gp[r], want[r])
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackQuantBatchLanesMatchSerial extends the SpMM determinism contract
+// to the quantized backend: lane l of the RunBatch and RunBatchParallel
+// output panels must be byte-for-byte the serial Run output on lane l's
+// vector, across formats × bits × unrolls × widths × worker counts.
+func TestPackQuantBatchLanesMatchSerial(t *testing.T) {
+	forceParallel(t)
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(5, 48, 40, scheme)
+	for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+		src := MatrixSource{Name: "b", W: w}
+		if format == FormatBSPC {
+			s := scheme
+			src.Scheme = &s
+		}
+		prog, err := CompileProgram(src, DefaultOptions(format, 32), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bits := range quantBitModes {
+			for _, unroll := range []int{1, 4, 8} {
+				pq, err := PackQuant(prog, bits, quant.PerRow, unroll)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scratch := pq.NewScratch()
+				for _, bw := range []int{1, 2, 7, 8, 16, 32} {
+					label := fmt.Sprintf("fmt=%s bits=%d unroll=%d bw=%d", format, bits, unroll, bw)
+					streams := make([][]float32, bw)
+					want := make([][]float32, bw)
+					xp := make([]float32, w.Cols*bw)
+					for l := range streams {
+						streams[l] = randVec(uint64(1000+l*13), w.Cols)
+						want[l] = make([]float32, w.Rows)
+						if err := pq.Run(want[l], streams[l], scratch); err != nil {
+							t.Fatalf("%s serial lane %d: %v", label, l, err)
+						}
+						for i, v := range streams[l] {
+							xp[i*bw+l] = v
+						}
+					}
+					yp := make([]float32, w.Rows*bw)
+					if err := pq.RunBatch(yp, xp, bw, scratch); err != nil {
+						t.Fatalf("%s RunBatch: %v", label, err)
+					}
+					for l := 0; l < bw; l++ {
+						for i := 0; i < w.Rows; i++ {
+							if yp[i*bw+l] != want[l][i] {
+								t.Fatalf("%s: lane %d row %d: batched %v != serial %v",
+									label, l, i, yp[i*bw+l], want[l][i])
+							}
+						}
+					}
+					for _, workers := range []int{2, 8} {
+						pool := parallel.NewPool(workers)
+						gp := make([]float32, w.Rows*bw)
+						err := pq.RunBatchParallel(gp, xp, bw, pool, scratch)
+						pool.Close()
+						if err != nil {
+							t.Fatalf("%s RunBatchParallel: %v", label, err)
+						}
+						for i := range gp {
+							if gp[i] != yp[i] {
+								t.Fatalf("%s workers=%d: panel index %d: parallel %v != serial %v",
+									label, workers, i, gp[i], yp[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackQuantZeroAlloc gates the allocation-free steady state of the
+// quantized serial and batched paths with a reused scratch.
+func TestPackQuantZeroAlloc(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(7, 64, 48, scheme)
+	for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+		src := MatrixSource{Name: "a", W: w}
+		if format == FormatBSPC {
+			s := scheme
+			src.Scheme = &s
+		}
+		prog, err := CompileProgram(src, DefaultOptions(format, 32), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bits := range quantBitModes {
+			pq, err := PackQuant(prog, bits, quant.PerRow, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := randVec(9, w.Cols)
+			y := make([]float32, w.Rows)
+			scratch := pq.NewScratch()
+			if err := pq.Run(y, x, scratch); err != nil {
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(50, func() {
+				if err := pq.Run(y, x, scratch); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Fatalf("%s bits=%d: quantized Run allocates %v times per execution, want 0",
+					format, bits, allocs)
+			}
+
+			const bw = 8
+			xp := make([]float32, w.Cols*bw)
+			copy(xp, randVec(11, w.Cols*bw))
+			yp := make([]float32, w.Rows*bw)
+			if err := pq.RunBatch(yp, xp, bw, scratch); err != nil {
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(50, func() {
+				if err := pq.RunBatch(yp, xp, bw, scratch); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Fatalf("%s bits=%d: quantized RunBatch allocates %v times per execution, want 0",
+					format, bits, allocs)
+			}
+		}
+	}
+}
+
+// TestPackQuantAccuracy sanity-checks the numeric story: the quantized
+// output approaches the float32 packed output as bits grow, and 16-bit
+// quantization is close on normal-scale weights.
+func TestPackQuantAccuracy(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(3, 64, 48, scheme)
+	src := MatrixSource{Name: "acc", W: w, Scheme: &scheme}
+	prog, err := CompileProgram(src, DefaultOptions(FormatBSPC, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(4, w.Cols)
+	ref := make([]float32, w.Rows)
+	if err := pp.Run(ref, x, nil); err != nil {
+		t.Fatal(err)
+	}
+	prevErr := math.Inf(1)
+	for _, bits := range quantBitModes {
+		pq, err := PackQuant(prog, bits, quant.PerRow, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float32, w.Rows)
+		if err := pq.Run(y, x, nil); err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for r := range y {
+			if e := math.Abs(float64(y[r] - ref[r])); e > worst {
+				worst = e
+			}
+		}
+		if worst > prevErr*1.5 { // allow noise, require no blow-up as bits grow
+			t.Fatalf("bits=%d worst err %v regressed vs previous %v", bits, worst, prevErr)
+		}
+		prevErr = worst
+		if bits == 16 && worst > 1e-2 {
+			t.Fatalf("16-bit quantized output off by %v, want < 1e-2", worst)
+		}
+	}
+}
+
+// TestPackQuantStorage pins the storage accounting: host stream bytes are
+// 1 or 2 bytes per packed value, device WeightBytes are Bits per value
+// bit-packed, and the stored scale count follows the scheme.
+func TestPackQuantStorage(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(8, 32, 32, scheme)
+	prog, err := CompileProgram(MatrixSource{Name: "s", W: w, Scheme: &scheme},
+		DefaultOptions(FormatBSPC, 32), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvals := len(pp.Vals)
+	if pp.StreamBytes() != 4*nvals {
+		t.Fatalf("float StreamBytes %d, want %d", pp.StreamBytes(), 4*nvals)
+	}
+	for _, tc := range []struct {
+		bits       int
+		elem       int
+		weightByte int
+	}{
+		{8, 1, nvals}, {12, 2, (nvals*12 + 7) / 8}, {16, 2, 2 * nvals},
+	} {
+		pq, err := PackQuant(prog, tc.bits, quant.PerRow, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pq.numVals() != nvals {
+			t.Fatalf("bits=%d: %d vals, want %d", tc.bits, pq.numVals(), nvals)
+		}
+		if pq.StreamBytes() != tc.elem*nvals {
+			t.Fatalf("bits=%d: StreamBytes %d, want %d", tc.bits, pq.StreamBytes(), tc.elem*nvals)
+		}
+		if pq.WeightBytes() != tc.weightByte {
+			t.Fatalf("bits=%d: WeightBytes %d, want %d", tc.bits, pq.WeightBytes(), tc.weightByte)
+		}
+		if pq.NumScales() != w.Rows {
+			t.Fatalf("bits=%d: per-row NumScales %d, want %d", tc.bits, pq.NumScales(), w.Rows)
+		}
+		pt, err := PackQuant(prog, tc.bits, quant.PerTensor, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.NumScales() != 1 {
+			t.Fatalf("bits=%d: per-tensor NumScales %d, want 1", tc.bits, pt.NumScales())
+		}
+		if pq.TotalMACs() != pp.TotalMACs() {
+			t.Fatalf("bits=%d: TotalMACs %d, want %d", tc.bits, pq.TotalMACs(), pp.TotalMACs())
+		}
+	}
+}
+
+// TestPackQuantIdempotent pins the requantization property the bundle
+// round-trip relies on: quantizing a model whose weights are already the
+// dequantized values reproduces identical integers and scales.
+func TestPackQuantIdempotent(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(9, 32, 32, scheme)
+	src := MatrixSource{Name: "i", W: w, Scheme: &scheme}
+	prog, err := CompileProgram(src, DefaultOptions(FormatBSPC, 32), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bits := range quantBitModes {
+		pq, err := PackQuant(prog, bits, quant.PerRow, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip the matrix through quant, recompile, repack.
+		qm, err := quant.Quantize(w, bits, quant.PerRow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := qm.Dequantize()
+		src2 := MatrixSource{Name: "i", W: w2, Scheme: &scheme}
+		prog2, err := CompileProgram(src2, DefaultOptions(FormatBSPC, 32), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pq2, err := PackQuant(prog2, bits, quant.PerRow, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range pq.Scales {
+			if pq.Scales[r] != pq2.Scales[r] {
+				t.Fatalf("bits=%d row %d: scale %v != requantized %v", bits, r, pq.Scales[r], pq2.Scales[r])
+			}
+		}
+		for i := range pq.Vals8 {
+			if pq.Vals8[i] != pq2.Vals8[i] {
+				t.Fatalf("bits=%d val %d: %d != requantized %d", bits, i, pq.Vals8[i], pq2.Vals8[i])
+			}
+		}
+		for i := range pq.Vals16 {
+			if pq.Vals16[i] != pq2.Vals16[i] {
+				t.Fatalf("bits=%d val %d: %d != requantized %d", bits, i, pq.Vals16[i], pq2.Vals16[i])
+			}
+		}
+	}
+}
+
+// TestPackQuantRejects covers the validation surface.
+func TestPackQuantRejects(t *testing.T) {
+	w := tensor.NewMatrix(4, 4)
+	prog, err := CompileProgram(MatrixSource{Name: "d", W: w}, DefaultOptions(FormatDense, 32), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bits := range []int{0, 1, 4, 7, 9, 13, 24, 32} {
+		if _, err := PackQuant(prog, bits, quant.PerRow, 0); err == nil {
+			t.Fatalf("bits=%d accepted", bits)
+		}
+	}
+	pq, err := PackQuant(prog, 8, quant.PerRow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pq.Run(make([]float32, 3), make([]float32, 4), nil); err == nil {
+		t.Fatal("short y accepted")
+	}
+	if err := pq.RunBatch(make([]float32, 4*3), make([]float32, 4*3), 0, nil); err == nil {
+		t.Fatal("zero batch width accepted")
+	}
+}
+
+// FuzzPackQuant drives the quantized pack lowering over adversarially-shaped
+// compiled programs × bit widths × scale schemes × batch widths and checks
+// that quantized packing never panics, serial execution matches the scalar
+// dequantize-then-dot reference byte-for-byte, and parallel/batched
+// execution matches serial.
+func FuzzPackQuant(f *testing.F) {
+	f.Add(uint64(1), uint16(16), uint16(12), uint8(0), int16(4), uint8(3), uint8(3), uint8(4), uint8(0), uint8(1), false)
+	f.Add(uint64(2), uint16(8), uint16(0), uint8(1), int16(4), uint8(2), uint8(2), uint8(1), uint8(1), uint8(2), false)
+	f.Add(uint64(3), uint16(24), uint16(16), uint8(2), int16(6), uint8(4), uint8(4), uint8(8), uint8(2), uint8(8), false)
+	f.Add(uint64(4), uint16(1), uint16(16), uint8(2), int16(8), uint8(4), uint8(4), uint8(0), uint8(3), uint8(16), true)
+	f.Add(uint64(5), uint16(13), uint16(17), uint8(2), int16(5), uint8(5), uint8(7), uint8(2), uint8(4), uint8(33), false)
+	f.Add(uint64(6), uint16(0), uint16(8), uint8(0), int16(4), uint8(1), uint8(1), uint8(255), uint8(5), uint8(5), true)
+	f.Fuzz(func(t *testing.T, seed uint64, rows, cols uint16, formatSel uint8,
+		threads int16, rowGroups, colBlocks, unroll, mode, batch uint8, allZero bool) {
+		forceParallel(t)
+		r := int(rows % 64)
+		c := int(cols % 64)
+		bw := int(batch%24) + 1
+		bits := []int{8, 12, 16}[mode%3]
+		qs := []quant.Scheme{quant.PerRow, quant.PerTensor}[(mode/3)%2]
+		w := tensor.NewMatrix(r, c)
+		if !allZero {
+			w.RandNormal(tensor.NewRNG(seed), 1)
+		}
+		scheme := prune.BSP{
+			ColRate: 1 + float64(seed%7), RowRate: 1 + float64(seed%3),
+			NumRowGroups: int(rowGroups%12) + 1, NumColBlocks: int(colBlocks%12) + 1,
+		}
+		format := []Format{FormatDense, FormatCSR, FormatBSPC}[formatSel%3]
+		src := MatrixSource{Name: "fuzz", W: w}
+		if format == FormatBSPC {
+			if r > 0 && c > 0 && !allZero {
+				w = scheme.Project(w)
+				src.W = w
+			}
+			s := scheme
+			src.Scheme = &s
+		}
+
+		prog, err := CompileProgram(src, DefaultOptions(format, 32), int(threads))
+		if err != nil {
+			return
+		}
+		pq, err := PackQuant(prog, bits, qs, int(unroll))
+		if err != nil {
+			t.Fatalf("PackQuant rejected a compiled program: %v", err)
+		}
+		x := randVec(seed+7, c)
+		want := make([]float32, r)
+		runQRef(pq, want, x)
+		got := make([]float32, r)
+		if _, err := pq.Execute(got, x); err != nil {
+			t.Fatalf("quantized packed: %v", err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row %d: quantized packed %v != reference %v (fmt=%s bits=%d unroll=%d)",
+					i, got[i], want[i], format, bits, unroll)
+			}
+		}
+
+		pool := parallel.NewPool(int(seed%5) + 2)
+		defer pool.Close()
+		gp := make([]float32, r)
+		if _, err := pq.ExecuteParallel(gp, x, pool); err != nil {
+			t.Fatalf("quantized parallel: %v", err)
+		}
+		for i := range gp {
+			if gp[i] != want[i] {
+				t.Fatalf("row %d: quantized parallel %v != reference %v", i, gp[i], want[i])
+			}
+		}
+
+		scratch := pq.NewScratch()
+		streams := make([][]float32, bw)
+		wantLanes := make([][]float32, bw)
+		xp := make([]float32, c*bw)
+		for l := range streams {
+			streams[l] = randVec(seed*31+uint64(l)+7, c)
+			wantLanes[l] = make([]float32, r)
+			if err := pq.Run(wantLanes[l], streams[l], scratch); err != nil {
+				t.Fatalf("serial lane %d: %v", l, err)
+			}
+			for i, v := range streams[l] {
+				xp[i*bw+l] = v
+			}
+		}
+		yp := make([]float32, r*bw)
+		if err := pq.RunBatch(yp, xp, bw, scratch); err != nil {
+			t.Fatalf("quantized RunBatch: %v", err)
+		}
+		for l := 0; l < bw; l++ {
+			for i := 0; i < r; i++ {
+				if yp[i*bw+l] != wantLanes[l][i] {
+					t.Fatalf("lane %d row %d: batched %v != serial %v (bits=%d bw=%d)",
+						l, i, yp[i*bw+l], wantLanes[l][i], bits, bw)
+				}
+			}
+		}
+		gpb := make([]float32, r*bw)
+		if err := pq.RunBatchParallel(gpb, xp, bw, pool, scratch); err != nil {
+			t.Fatalf("quantized RunBatchParallel: %v", err)
+		}
+		for i := range gpb {
+			if gpb[i] != yp[i] {
+				t.Fatalf("panel index %d: parallel %v != serial %v", i, gpb[i], yp[i])
+			}
+		}
+	})
+}
+
+// TestQuantFootprintMatchesMultiplier pins satellite accounting: with
+// Options.QuantBits set, CompileMatrix computes WeightBytes from the real
+// PackedQProgram storage, and that figure agrees with the historical
+// bit-width multiplier (stored-values × bits, rounded up) within one byte
+// of padding for every format and bit width.
+func TestQuantFootprintMatchesMultiplier(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(11, 48, 40, scheme)
+	for _, format := range []Format{FormatDense, FormatCSR, FormatBSPC} {
+		src := MatrixSource{Name: "fp", W: w}
+		if format == FormatBSPC {
+			s := scheme
+			src.Scheme = &s
+		}
+		// Stored-value count from the float packed program (== what the old
+		// multiplier path charged for).
+		prog, err := CompileProgram(src, DefaultOptions(format, 32), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := Pack(prog, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nvals := len(pp.Vals)
+		for _, bits := range quantBitModes {
+			opt := DefaultOptions(format, 32)
+			opt.QuantBits = bits
+			ms, err := CompileMatrix(src, opt, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			multiplier := (nvals*bits + 7) / 8
+			diff := ms.WeightBytes - multiplier
+			if diff < -1 || diff > 1 {
+				t.Fatalf("fmt=%s bits=%d: packed footprint %d vs multiplier %d (diff %d > padding)",
+					format, bits, ms.WeightBytes, multiplier, diff)
+			}
+		}
+	}
+}
+
+// TestMeasurePackedNsQuant checks the measured tuner prices the quantized
+// backend when QuantBits is set, and that TuneTilingMeasured returns a
+// valid unroll from the searched space.
+func TestMeasurePackedNsQuant(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(13, 64, 64, scheme)
+	src := MatrixSource{Name: "mq", W: w, Scheme: &scheme}
+	opt := DefaultOptions(FormatBSPC, 32)
+	opt.QuantBits = 8
+	ns, err := MeasurePackedNs([]MatrixSource{src}, opt, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns <= 0 {
+		t.Fatalf("measured %v ns, want > 0", ns)
+	}
+	res, err := TuneTilingMeasured([]MatrixSource{src}, opt, 4,
+		TuneSpace{Unrolls: []int{1, 4}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Measured || res.Evaluated != 2 {
+		t.Fatalf("tune result %+v, want measured with 2 evaluations", res)
+	}
+	if res.Tile.Unroll != 1 && res.Tile.Unroll != 4 {
+		t.Fatalf("tuned unroll %d outside searched space", res.Tile.Unroll)
+	}
+}

@@ -33,6 +33,7 @@ func (m *Metrics) counters() []counterRow {
 		{"rtmobile_batch_lanes_total", &m.BatchLanesTotal},
 		{"rtmobile_infer_batch_total", &m.InferBatchTotal},
 		{"rtmobile_macs_total", &m.MACsTotal},
+		{"rtmobile_bytes_streamed_total", &m.BytesStreamed},
 		{"rtmobile_arena_hits_total", &m.ArenaHits},
 		{"rtmobile_arena_misses_total", &m.ArenaMisses},
 		{"rtmobile_pool_tasks_total", &m.PoolTasksTotal},

@@ -53,6 +53,10 @@ type Metrics struct {
 
 	// Work accounting.
 	MACsTotal Counter // plan-priced multiply-accumulates executed
+	// BytesStreamed counts weight bytes streamed by the packed executors
+	// per execution (static per program: 4 bytes per float32 value, 1 per
+	// int8, 2 per int16; a batched execution streams the weights once).
+	BytesStreamed Counter
 
 	// Engine batch-arena free list.
 	ArenaHits   Counter

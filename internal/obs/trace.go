@@ -30,6 +30,12 @@ const (
 	StageInfer
 	// StageInferBatch is one whole batch through Engine.InferBatch.
 	StageInferBatch
+	// StageKernelQ8 is one quantized (int8) packed-program execution; ID is
+	// the program's tracer ID, like StageKernel.
+	StageKernelQ8
+	// StageKernelQ16 is one quantized (int16-stored, 12- or 16-bit)
+	// packed-program execution.
+	StageKernelQ16
 
 	// NumStageKinds is the number of distinct kinds (array sizing).
 	NumStageKinds
@@ -50,6 +56,10 @@ func (k StageKind) String() string {
 		return "infer"
 	case StageInferBatch:
 		return "infer_batch"
+	case StageKernelQ8:
+		return "kernel_q8"
+	case StageKernelQ16:
+		return "kernel_q16"
 	default:
 		return "unknown"
 	}

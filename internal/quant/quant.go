@@ -47,28 +47,52 @@ type QMatrix struct {
 	Q []int32
 }
 
+// QMax returns the largest representable integer magnitude at a bit width:
+// 2^(bits−1)−1 (symmetric range, so −QMax..QMax).
+func QMax(bits int) float64 {
+	return float64(int64(1)<<(bits-1) - 1)
+}
+
+// ScaleFor returns the symmetric scale mapping maxAbs onto QMax(bits). An
+// all-zero range gets scale 1 (arbitrary; every value quantizes to 0). The
+// mapping is idempotent under requantization: the max-magnitude element
+// dequantizes to exactly scale·QMax, whose maxAbs yields the same scale.
+func ScaleFor(maxAbs float64, bits int) float32 {
+	if maxAbs == 0 {
+		return 1
+	}
+	return float32(maxAbs / QMax(bits))
+}
+
+// ClampRound rounds x to the nearest integer and clamps it into
+// [−qmax, qmax]; x is the already-scaled value v/scale.
+func ClampRound(x, qmax float64) int32 {
+	r := math.Round(x)
+	if r > qmax {
+		r = qmax
+	}
+	if r < -qmax {
+		r = -qmax
+	}
+	return int32(r)
+}
+
 // Quantize converts a matrix at the given bit width (2..32).
 func Quantize(m *tensor.Matrix, bits int, scheme Scheme) (*QMatrix, error) {
 	if bits < 2 || bits > 32 {
 		return nil, fmt.Errorf("quant: bits must be in [2,32], got %d", bits)
 	}
-	qmax := float64(int64(1)<<(bits-1) - 1)
+	qmax := QMax(bits)
 	q := &QMatrix{
 		Rows: m.Rows, Cols: m.Cols, Bits: bits, Scheme: scheme,
 		Q: make([]int32, len(m.Data)),
 	}
-	scaleFor := func(maxAbs float64) float32 {
-		if maxAbs == 0 {
-			return 1 // arbitrary; all values are zero anyway
-		}
-		return float32(maxAbs / qmax)
-	}
 	switch scheme {
 	case PerTensor:
-		q.Scales = []float32{scaleFor(float64(m.MaxAbs()))}
+		q.Scales = []float32{ScaleFor(float64(m.MaxAbs()), bits)}
 		s := float64(q.Scales[0])
 		for i, v := range m.Data {
-			q.Q[i] = clampRound(float64(v)/s, qmax)
+			q.Q[i] = ClampRound(float64(v)/s, qmax)
 		}
 	case PerRow:
 		q.Scales = make([]float32, m.Rows)
@@ -80,27 +104,16 @@ func Quantize(m *tensor.Matrix, bits int, scheme Scheme) (*QMatrix, error) {
 					maxAbs = a
 				}
 			}
-			q.Scales[r] = scaleFor(maxAbs)
+			q.Scales[r] = ScaleFor(maxAbs, bits)
 			s := float64(q.Scales[r])
 			for c, v := range row {
-				q.Q[r*m.Cols+c] = clampRound(float64(v)/s, qmax)
+				q.Q[r*m.Cols+c] = ClampRound(float64(v)/s, qmax)
 			}
 		}
 	default:
 		return nil, fmt.Errorf("quant: unknown scheme %v", scheme)
 	}
 	return q, nil
-}
-
-func clampRound(x, qmax float64) int32 {
-	r := math.Round(x)
-	if r > qmax {
-		r = qmax
-	}
-	if r < -qmax {
-		r = -qmax
-	}
-	return int32(r)
 }
 
 // Dequantize reconstructs the float matrix.

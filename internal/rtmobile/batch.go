@@ -39,11 +39,17 @@ type BatchStream struct {
 	qbuf  []float32
 	lane  []float32
 	post  []float32
-	// shard/macs/tracer: see Stream. macs is per timestep per lane; the
-	// lockstep executes bw lanes' worth of arithmetic every panel step
-	// (retired lanes keep computing), so MACsTotal is metered at bw×macs.
+	// shard/macs/bytes/qkind/qspan/tracer: see Stream. macs is per
+	// timestep per lane; the lockstep executes bw lanes' worth of
+	// arithmetic every panel step (retired lanes keep computing), so
+	// MACsTotal is metered at bw×macs. bytes is NOT scaled by bw: the
+	// panel shares one weight stream per step — the amortization batching
+	// exists for — so BytesStreamed advances once per panel step.
 	shard  uint32
 	macs   uint64
+	bytes  uint64
+	qkind  obs.StageKind
+	qspan  bool
 	tracer *obs.Tracer
 }
 
@@ -57,7 +63,9 @@ func (e *Engine) NewBatchStream(bw int) *BatchStream {
 		fp16:  e.fp16,
 		shard: obs.NextShard(),
 		macs:  e.stepMACs,
+		bytes: e.stepBytes,
 	}
+	s.qkind, s.qspan = e.quantStageKind()
 	if e.tracer != nil {
 		s.tracer = e.tracer
 		s.inner.SetTracer(e.tracer)
@@ -133,12 +141,17 @@ func (s *BatchStream) StepBatchInto(dst, panel []float32) {
 			m.BatchLanesTotal.AddAt(s.shard, uint64(live))
 			m.FramesTotal.AddAt(s.shard, uint64(live))
 			// Retired lanes keep lockstepping, so arithmetic scales with
-			// the panel width, not the live-lane count.
+			// the panel width, not the live-lane count. The weight stream
+			// does not: one stream serves the whole panel.
 			m.MACsTotal.AddAt(s.shard, uint64(s.bw)*s.macs)
+			m.BytesStreamed.AddAt(s.shard, s.bytes)
 			m.BatchStepLatency.Observe(dur)
 		}
 		if s.tracer != nil {
 			s.tracer.Record(obs.StageBatchStep, 0, int32(s.bw), t0.UnixNano(), dur)
+			if s.qspan {
+				s.tracer.Record(s.qkind, 0, int32(s.bw), t0.UnixNano(), dur)
+			}
 		}
 	}
 }

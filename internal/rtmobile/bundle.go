@@ -10,7 +10,9 @@ import (
 	"rtmobile/internal/device"
 	"rtmobile/internal/nn"
 	"rtmobile/internal/prune"
+	"rtmobile/internal/quant"
 	"rtmobile/internal/sparse"
+	"rtmobile/internal/tensor"
 )
 
 // Deployment bundles. A compiled engine serializes to a single artifact
@@ -24,8 +26,9 @@ import (
 // Layout (little-endian): magic "RTMB" | version u32 | spec 6×u64 |
 // scheme 4×f64 | format u32 | valueBits u32 | tile 3×u32 |
 // reorder u8 | loadelim u8 | fused u8 | [v2+: tuneMode u8 |
-// placement u32 | tuneCost f64] | paramCount u32 | per param:
-// nameLen u32, name, kind u8 (0 raw, 1 bspc), payload.
+// placement u32 | tuneCost f64] | [v3+: quantBits u8] | paramCount u32 |
+// per param: nameLen u32, name, kind u8 (0 raw, 1 bspc, 2 quantized),
+// payload.
 //
 // Version 2 adds the plan cache: the auto-tuner's verdict (mode +
 // cost) and the tile's memory placement (dropped by v1), so loading a
@@ -33,12 +36,19 @@ import (
 // search — in particular without re-measuring on the measured-tuning
 // path. Version 1 bundles still load (plan cache empty).
 //
+// Version 3 adds integer weight quantization: the header records the
+// deployment's quantization width (0 = float), and quantized deployments
+// ship their weight matrices as payload kind 2 — the per-row scales plus
+// the raw integers (int8 for 8-bit, int16 little-endian for 12/16-bit),
+// exactly the values the quantized packed backend streams. Versions 1 and
+// 2 still load (quantization off).
+//
 // A fused engine's weight matrices are the model's (fusion happens at
 // compile time); the fused flag makes the reload recompile identically.
 
 const (
 	bundleMagic   = "RTMB"
-	bundleVersion = 2
+	bundleVersion = 3
 	// maxBundleNameLen bounds a param-name length field so a corrupt
 	// bundle cannot drive a multi-gigabyte allocation before the name
 	// check fails.
@@ -64,6 +74,7 @@ func (e *Engine) SaveBundle(w io.Writer, scheme prune.BSP) error {
 		boolByte(e.plan.Options.Reorder), boolByte(e.plan.Options.EliminateRedundantLoads),
 		boolByte(e.fused),
 		uint8(e.tuned.Mode), uint32(e.plan.Options.Tile.Placement), e.tuned.Cost,
+		uint8(e.quant),
 	}
 	for _, v := range header {
 		if err := binary.Write(w, le, v); err != nil {
@@ -81,6 +92,19 @@ func (e *Engine) SaveBundle(w io.Writer, scheme prune.BSP) error {
 		}
 		if _, err := io.WriteString(w, p.Name); err != nil {
 			return err
+		}
+		// Weight matrices of a quantized deployment ship as scales +
+		// integers (kind 2). Requantizing the engine's round-tripped
+		// weights is idempotent (see quant.ScaleFor), so the stored
+		// integers are exactly the ones Compile produced.
+		if e.quant != 0 && p.W.Rows > 1 && p.W.Cols > 1 {
+			if err := binary.Write(w, le, uint8(2)); err != nil {
+				return err
+			}
+			if err := writeQuantPayload(w, p.W, e.quant); err != nil {
+				return fmt.Errorf("rtmobile: %s: %w", p.Name, err)
+			}
+			continue
 		}
 		// Weight matrices of a BSPC deployment ship in BSPC form.
 		if useBSPC && p.W.Rows > 1 && p.W.Cols > 1 {
@@ -120,6 +144,112 @@ func boolByte(b bool) uint8 {
 	return 0
 }
 
+// writeQuantPayload encodes one weight matrix as payload kind 2:
+// rows u32 | cols u32 | bits u8 | scheme u8 | scaleCount u32 |
+// scales f32×scaleCount | integers (int8 for 8-bit, int16 LE otherwise),
+// row-major.
+func writeQuantPayload(w io.Writer, m *tensor.Matrix, bits int) error {
+	le := binary.LittleEndian
+	qm, err := quant.Quantize(m, bits, quant.PerRow)
+	if err != nil {
+		return err
+	}
+	head := []any{
+		uint32(qm.Rows), uint32(qm.Cols), uint8(qm.Bits), uint8(qm.Scheme),
+		uint32(len(qm.Scales)),
+	}
+	for _, v := range head {
+		if err := binary.Write(w, le, v); err != nil {
+			return err
+		}
+	}
+	for _, s := range qm.Scales {
+		if err := binary.Write(w, le, math.Float32bits(s)); err != nil {
+			return err
+		}
+	}
+	if bits == 8 {
+		buf := make([]byte, len(qm.Q))
+		for i, q := range qm.Q {
+			buf[i] = byte(int8(q))
+		}
+		_, err = w.Write(buf)
+		return err
+	}
+	buf := make([]byte, 2*len(qm.Q))
+	for i, q := range qm.Q {
+		le.PutUint16(buf[2*i:], uint16(int16(q)))
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// readQuantPayload decodes a kind-2 payload into dst, dequantizing the
+// stored integers through their scales.
+func readQuantPayload(r io.Reader, dst *tensor.Matrix) error {
+	le := binary.LittleEndian
+	var rows, cols, scaleCount uint32
+	var bits, scheme uint8
+	if err := binary.Read(r, le, &rows); err != nil {
+		return fmt.Errorf("reading quant shape: %w", err)
+	}
+	if err := binary.Read(r, le, &cols); err != nil {
+		return fmt.Errorf("reading quant shape: %w", err)
+	}
+	if int(rows) != dst.Rows || int(cols) != dst.Cols {
+		return fmt.Errorf("quant shape %dx%d, want %dx%d", rows, cols, dst.Rows, dst.Cols)
+	}
+	if err := binary.Read(r, le, &bits); err != nil {
+		return fmt.Errorf("reading quant width: %w", err)
+	}
+	if !compiler.QuantBitsValid(int(bits)) {
+		return fmt.Errorf("corrupt quant width %d", bits)
+	}
+	if err := binary.Read(r, le, &scheme); err != nil {
+		return fmt.Errorf("reading quant scheme: %w", err)
+	}
+	if scheme > uint8(quant.PerRow) {
+		return fmt.Errorf("unknown quant scheme %d", scheme)
+	}
+	if err := binary.Read(r, le, &scaleCount); err != nil {
+		return fmt.Errorf("reading quant scale count: %w", err)
+	}
+	if scaleCount != 1 && scaleCount != rows {
+		return fmt.Errorf("corrupt quant scale count %d for %d rows", scaleCount, rows)
+	}
+	scales := make([]float32, scaleCount)
+	for i := range scales {
+		var b uint32
+		if err := binary.Read(r, le, &b); err != nil {
+			return fmt.Errorf("reading quant scales: %w", err)
+		}
+		scales[i] = math.Float32frombits(b)
+	}
+	n := int(rows) * int(cols)
+	elem := 2
+	if bits == 8 {
+		elem = 1
+	}
+	buf := make([]byte, elem*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("reading quant values: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		var q int32
+		if bits == 8 {
+			q = int32(int8(buf[i]))
+		} else {
+			q = int32(int16(le.Uint16(buf[2*i:])))
+		}
+		s := scales[0]
+		if scaleCount > 1 {
+			s = scales[i/int(cols)]
+		}
+		dst.Data[i] = s * float32(q)
+	}
+	return nil
+}
+
 // LoadBundle reads a deployment artifact and recompiles it for the target.
 // It returns the engine and the scheme stored in the bundle.
 func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) {
@@ -136,7 +266,7 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	if err := binary.Read(r, le, &version); err != nil {
 		return nil, zero, fmt.Errorf("rtmobile: reading bundle version: %w", err)
 	}
-	if version != 1 && version != bundleVersion {
+	if version < 1 || version > bundleVersion {
 		return nil, zero, fmt.Errorf("rtmobile: unsupported bundle version %d", version)
 	}
 	var specRaw [6]uint64
@@ -178,6 +308,15 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 		}
 		if tuneMode > uint8(TuneMeasured) {
 			return nil, zero, fmt.Errorf("rtmobile: unknown tune mode %d", tuneMode)
+		}
+	}
+	var quantBits uint8
+	if version >= 3 {
+		if err := binary.Read(r, le, &quantBits); err != nil {
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle quantization width: %w", err)
+		}
+		if quantBits != 0 && !compiler.QuantBitsValid(int(quantBits)) {
+			return nil, zero, fmt.Errorf("rtmobile: corrupt quantization width %d", quantBits)
 		}
 	}
 
@@ -222,6 +361,13 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 			return nil, zero, fmt.Errorf("rtmobile: %s: reading payload kind: %w", p.Name, err)
 		}
 		switch kind {
+		case 2:
+			if quantBits == 0 {
+				return nil, zero, fmt.Errorf("rtmobile: %s: quantized payload in an unquantized bundle", p.Name)
+			}
+			if err := readQuantPayload(r, p.W); err != nil {
+				return nil, zero, fmt.Errorf("rtmobile: %s: %w", p.Name, err)
+			}
 		case 1:
 			b, err := sparse.DecodeBSPC(r)
 			if err != nil {
@@ -259,7 +405,7 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	eng, err := Compile(model, scheme, DeployConfig{
 		Target: target, Format: compiler.Format(format),
 		DisableReorder: reorder == 0, DisableLoadElim: loadelim == 0,
-		FuseKernels: fused == 1,
+		FuseKernels: fused == 1, Quant: int(quantBits),
 		Tile: compiler.TileConfig{
 			RowTile: int(rowTile), ColTile: int(colTile), Unroll: int(unroll),
 			Placement: compiler.Placement(placement),

@@ -200,17 +200,28 @@ func validBundleImage(t *testing.T) []byte {
 const (
 	bundleOffVersion   = 4
 	bundleOffPlanCache = 111 // tuneMode u8 | placement u32 | tuneCost f64
-	bundleOffCount     = 124
-	bundleOffNameLen   = 128
+	bundleOffQuant     = 124 // quantBits u8 (v3)
+	bundleOffCount     = 125
+	bundleOffNameLen   = 129
 )
 
-// asV1 rewrites a v2 image as the version-1 layout: the 13-byte plan-cache
-// section did not exist, and the version field says 1.
+// asV1 rewrites a v3 image as the version-1 layout: the 13-byte plan-cache
+// section and the quantization byte did not exist, and the version field
+// says 1.
 func asV1(image []byte) []byte {
 	v1 := append([]byte(nil), image[:bundleOffPlanCache]...)
 	v1 = append(v1, image[bundleOffCount:]...)
 	binary.LittleEndian.PutUint32(v1[bundleOffVersion:], 1)
 	return v1
+}
+
+// asV2 rewrites a v3 image as the version-2 layout: plan cache present,
+// quantization byte absent.
+func asV2(image []byte) []byte {
+	v2 := append([]byte(nil), image[:bundleOffQuant]...)
+	v2 = append(v2, image[bundleOffCount:]...)
+	binary.LittleEndian.PutUint32(v2[bundleOffVersion:], 2)
+	return v2
 }
 
 func TestLoadBundleVersion1(t *testing.T) {
@@ -225,6 +236,21 @@ func TestLoadBundleVersion1(t *testing.T) {
 	// v1 predates the plan cache, so the loaded engine reports no tuning.
 	if eng.Tuned().Mode != TuneNone {
 		t.Fatalf("v1 bundle invented a plan cache: %+v", eng.Tuned())
+	}
+}
+
+func TestLoadBundleVersion2(t *testing.T) {
+	image := validBundleImage(t)
+	eng, scheme, err := LoadBundle(bytes.NewReader(asV2(image)), device.MobileGPU())
+	if err != nil {
+		t.Fatalf("v2 bundle rejected: %v", err)
+	}
+	if scheme.ColRate != 2 {
+		t.Fatalf("v2 scheme lost: %+v", scheme)
+	}
+	// v2 predates quantization, so the loaded engine serves float weights.
+	if bits, _, _ := eng.Quantized(); bits != 0 {
+		t.Fatalf("v2 bundle invented quantization: %d bits", bits)
 	}
 }
 
@@ -260,6 +286,8 @@ func TestLoadBundleCorrupt(t *testing.T) {
 		{"truncated flags", image[:110], "compiler flags"},
 		{"truncated plan cache", image[:115], "plan cache"},
 		{"bad tune mode", patch(bundleOffPlanCache, []byte{200}), "unknown tune mode"},
+		{"truncated quant width", image[:bundleOffQuant], "quantization width"},
+		{"bad quant width", patch(bundleOffQuant, []byte{9}), "corrupt quantization width"},
 		{"truncated param count", image[:126], "param count"},
 		{"wrong param count", patch(bundleOffCount, u32(99)), "bundle has 99 params"},
 		{"huge name length", patch(bundleOffNameLen, u32(0xFFFFFFFF)), "corrupt name length"},

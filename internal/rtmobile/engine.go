@@ -9,6 +9,8 @@ import (
 	"rtmobile/internal/nn"
 	"rtmobile/internal/obs"
 	"rtmobile/internal/parallel"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/quant"
 	"rtmobile/internal/tensor"
 )
 
@@ -33,6 +35,13 @@ type Engine struct {
 	fused  bool
 	tuned  TuneRecord
 
+	// quant is the integer weight-quantization width (0 = float weights);
+	// quantPERDelta / quantFallback record the accuracy guardrail's verdict
+	// when DeployConfig.QuantGuardSet armed it (see compileQuantGuarded).
+	quant         int
+	quantPERDelta float64
+	quantFallback bool
+
 	// Batched-serving arena cache (see batch.go). Guarded by batchMu so
 	// concurrent InferBatch calls can share the free list.
 	batchMu   sync.Mutex
@@ -40,9 +49,26 @@ type Engine struct {
 
 	// stepMACs is the plan-priced MAC count of one timestep, precomputed
 	// at Compile so streams can meter obs MACsTotal without touching the
-	// plan per step. tracer is the opt-in stage tracer (see obs.go).
-	stepMACs uint64
-	tracer   *obs.Tracer
+	// plan per step; stepBytes is the plan-priced weight+index traffic of
+	// one timestep (Plan.WeightBytes — shrunk by quantization), metering
+	// obs BytesStreamed the same way. tracer is the opt-in stage tracer
+	// (see obs.go).
+	stepMACs  uint64
+	stepBytes uint64
+	tracer    *obs.Tracer
+}
+
+// quantStageKind maps the engine's quantization width to the per-format
+// kernel-span kind streams record per step; ok is false for float
+// deployments (which record no kernel spans at the engine level).
+func (e *Engine) quantStageKind() (obs.StageKind, bool) {
+	switch e.quant {
+	case 8:
+		return obs.StageKernelQ8, true
+	case 12, 16:
+		return obs.StageKernelQ16, true
+	}
+	return 0, false
 }
 
 // TuneMode records how an engine's tile configuration was chosen.
@@ -77,6 +103,51 @@ func (e *Engine) quantizeWeights() {
 	for _, p := range e.model.Params() {
 		tensor.QuantizeHalf(p.W)
 	}
+}
+
+// quantizeWeightsInt round-trips every prunable weight matrix through
+// symmetric per-row integer quantization at the given width, so functional
+// inference scores exactly the numbers an int-weight deployment produces.
+// Biases stay float (they are not streamed weight traffic). Called once
+// from Compile, never after the engine is shared.
+func (e *Engine) quantizeWeightsInt(bits int) error {
+	var mats []*tensor.Matrix
+	for _, p := range e.model.WeightMatrices() {
+		mats = append(mats, p.W)
+	}
+	_, err := quant.QuantizeModelWeights(mats, bits, quant.PerRow)
+	return err
+}
+
+// Quantized reports the deployment's integer weight quantization: bits is
+// 0 for a float deployment. perDelta is the guardrail's measured PER
+// difference (quantized − float32) when DeployConfig.QuantGuardSet armed
+// it; fellBack reports that the guardrail rejected quantization and this
+// engine serves float weights.
+func (e *Engine) Quantized() (bits int, perDelta float64, fellBack bool) {
+	return e.quant, e.quantPERDelta, e.quantFallback
+}
+
+// Requantize rebuilds the deployment at a different integer quantization
+// width (0 = float weights), keeping the target, format, passes, tile
+// configuration, and plan cache — the run/serve -quant override for a
+// loaded bundle. The scheme must be the bundle's (it defines the BSPC
+// grid). The receiver is not modified; the new engine owns a clone of the
+// model, so narrowing is honest (widening cannot restore precision the
+// current weights no longer carry).
+func (e *Engine) Requantize(bits int, scheme prune.BSP) (*Engine, error) {
+	opts := e.plan.Options
+	ne, err := Compile(e.model.Clone(), scheme, DeployConfig{
+		Target: e.target, Format: opts.Format,
+		DisableReorder:  !opts.Reorder,
+		DisableLoadElim: !opts.EliminateRedundantLoads,
+		FuseKernels:     e.fused, Quant: bits, Tile: opts.Tile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ne.tuned = e.tuned
+	return ne, nil
 }
 
 // Pool returns the worker pool serving requests use (the process default
@@ -175,10 +246,15 @@ type Stream struct {
 	qbuf  []float32
 	// shard is the stream's stable counter-stripe hint (one atomic stripe
 	// per stream keeps concurrent sessions off each other's cache lines);
-	// macs is the engine's plan-priced per-timestep MAC count; tracer is
-	// the engine tracer captured at open time (nil = untraced fast path).
+	// macs/bytes are the engine's plan-priced per-timestep MAC count and
+	// weight-stream traffic; qkind (valid when qspan) is the per-format
+	// kernel-span kind of a quantized deployment; tracer is the engine
+	// tracer captured at open time (nil = untraced fast path).
 	shard  uint32
 	macs   uint64
+	bytes  uint64
+	qkind  obs.StageKind
+	qspan  bool
 	tracer *obs.Tracer
 }
 
@@ -186,7 +262,9 @@ type Stream struct {
 // until Reset.
 func (e *Engine) NewStream() *Stream {
 	s := &Stream{inner: e.model.NewStream(), fp16: e.fp16,
-		shard: obs.NextShard(), macs: e.stepMACs, tracer: e.tracer}
+		shard: obs.NextShard(), macs: e.stepMACs, bytes: e.stepBytes,
+		tracer: e.tracer}
+	s.qkind, s.qspan = e.quantStageKind()
 	if e.tracer != nil {
 		s.inner.SetTracer(e.tracer)
 	}
@@ -220,10 +298,14 @@ func (s *Stream) step(frame []float32) []float32 {
 			m.StepsTotal.IncAt(s.shard)
 			m.FramesTotal.IncAt(s.shard)
 			m.MACsTotal.AddAt(s.shard, s.macs)
+			m.BytesStreamed.AddAt(s.shard, s.bytes)
 			m.StepLatency.Observe(dur)
 		}
 		if s.tracer != nil {
 			s.tracer.Record(obs.StageStep, 0, 1, t0.UnixNano(), dur)
+			if s.qspan {
+				s.tracer.Record(s.qkind, 0, 1, t0.UnixNano(), dur)
+			}
 		}
 	}
 	return out

@@ -25,6 +25,7 @@ import (
 	"rtmobile/internal/nn"
 	"rtmobile/internal/parallel"
 	"rtmobile/internal/prune"
+	"rtmobile/internal/speech"
 )
 
 // TimestepsPerFrame defines one Table II "inference frame" as 30 GRU
@@ -106,7 +107,29 @@ type DeployConfig struct {
 	// (InferBatch). 0 uses the process default: RTMOBILE_WORKERS when
 	// set, else runtime.NumCPU().
 	Workers int
+	// Quant selects integer weight quantization for deployment: 0 keeps
+	// float weights (fp16/fp32 per target); 8, 12, or 16 round-trips every
+	// prunable weight matrix through symmetric per-row quantization
+	// (internal/quant) and makes the compiled plan price the quantized
+	// packed backend's storage (compiler.Options.QuantBits).
+	Quant int
+	// QuantGuardSet, when non-empty with Quant set, arms the accuracy
+	// guardrail: Compile builds both the quantized and the float
+	// deployment from clones of the model, scores PER on this set for
+	// each, and returns the float engine instead when quantization costs
+	// more than QuantGuardMaxDelta absolute PER. Engine.Quantized reports
+	// the verdict either way. The caller's model is left untouched on the
+	// guarded path.
+	QuantGuardSet []speech.Utterance
+	// QuantGuardMaxDelta is the largest tolerated PER increase (absolute,
+	// 0..1 scale) before the guardrail falls back to float weights.
+	// 0 uses DefaultQuantGuardDelta.
+	QuantGuardMaxDelta float64
 }
+
+// DefaultQuantGuardDelta is the guardrail's default PER-increase budget:
+// 2 absolute points.
+const DefaultQuantGuardDelta = 0.02
 
 // valueBits selects numeric width per target: the paper's GPU path runs
 // fp16, the CPU path fp32.
@@ -125,6 +148,12 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 	if cfg.Target == nil {
 		return nil, fmt.Errorf("rtmobile: DeployConfig.Target is required")
 	}
+	if cfg.Quant != 0 && !compiler.QuantBitsValid(cfg.Quant) {
+		return nil, fmt.Errorf("rtmobile: unsupported quantization width %d bits (want 8, 12, or 16)", cfg.Quant)
+	}
+	if cfg.Quant != 0 && len(cfg.QuantGuardSet) > 0 {
+		return compileQuantGuarded(model, scheme, cfg)
+	}
 	if cfg.Format == compiler.FormatAuto {
 		cfg.Format = compiler.FormatBSPC
 	}
@@ -134,6 +163,7 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 		EliminateRedundantLoads: !cfg.DisableLoadElim,
 		Tile:                    cfg.Tile,
 		ValueBits:               valueBits(cfg.Target),
+		QuantBits:               cfg.Quant,
 	}
 	if opt.Tile == (compiler.TileConfig{}) {
 		opt.Tile = compiler.DefaultTile()
@@ -177,11 +207,54 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 	}
 	eng := &Engine{model: model, plan: plan, target: cfg.Target, pool: pool,
 		fp16: opt.ValueBits == 16, fused: cfg.FuseKernels, tuned: tuned,
-		stepMACs: stepPricedMACs(plan)}
+		quant: cfg.Quant, stepMACs: stepPricedMACs(plan),
+		stepBytes: uint64(plan.WeightBytes())}
+	// Integer rounding precedes fp16 rounding: a quantized deployment
+	// streams int weights and dequantizes into the target's compute width.
+	if eng.quant != 0 {
+		if err := eng.quantizeWeightsInt(eng.quant); err != nil {
+			return nil, err
+		}
+	}
 	if eng.fp16 {
 		eng.quantizeWeights()
 	}
 	return eng, nil
+}
+
+// compileQuantGuarded builds the quantized and the float32 deployments
+// from clones, scores both on the guard set, and returns the quantized
+// engine only when its PER stays within the configured delta of the float
+// engine's. Either returned engine records the measured delta.
+func compileQuantGuarded(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, error) {
+	guard := cfg.QuantGuardSet
+	maxDelta := cfg.QuantGuardMaxDelta
+	if maxDelta <= 0 {
+		maxDelta = DefaultQuantGuardDelta
+	}
+	qcfg := cfg
+	qcfg.QuantGuardSet = nil
+	qeng, err := Compile(model.Clone(), scheme, qcfg)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := cfg
+	fcfg.Quant = 0
+	fcfg.QuantGuardSet = nil
+	feng, err := Compile(model.Clone(), scheme, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	fPER := EvaluateEnginePER(feng, guard)
+	qPER := EvaluateEnginePER(qeng, guard)
+	delta := qPER - fPER
+	if delta > maxDelta {
+		feng.quantPERDelta = delta
+		feng.quantFallback = true
+		return feng, nil
+	}
+	qeng.quantPERDelta = delta
+	return qeng, nil
 }
 
 // ModelSources extracts the compiler inputs from a model's prunable weight

@@ -91,6 +91,60 @@ func TestStreamStepMetersCounters(t *testing.T) {
 	})
 }
 
+// TestStreamStepMetersBytesStreamed: each step streams the plan-priced
+// weight+index traffic, and quantization shrinks it — an int8 deployment
+// advances BytesStreamed by strictly less per step than the float one.
+// A quantized stream also records the per-format kernel span each step.
+func TestStreamStepMetersBytesStreamed(t *testing.T) {
+	stepBytes := func(t *testing.T, quantBits int) uint64 {
+		t.Helper()
+		var advanced uint64
+		withMetrics(t, func(m *obs.Metrics) {
+			model := testModel(31)
+			res := Prune(model, nil, PruneConfig{
+				ColRate: 2, RowRate: 1, RowGroups: 2, ColBlocks: 2,
+			})
+			eng, err := Compile(model, res.Scheme, DeployConfig{
+				Target: device.MobileCPU(), Quant: quantBits,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := eng.EnableTracing(64)
+			s := eng.NewStream()
+			frame := testFrames(50, 1, 8)[0]
+			dst := make([]float32, 6)
+			b0 := m.BytesStreamed.Value()
+			const N = 5
+			for i := 0; i < N; i++ {
+				s.StepInto(dst, frame)
+			}
+			advanced = m.BytesStreamed.Value() - b0
+			if advanced%N != 0 {
+				t.Fatalf("BytesStreamed advanced %d, not a multiple of %d steps", advanced, N)
+			}
+			wantKind := obs.StageKernelQ8
+			wantSpans := uint64(N)
+			if quantBits == 0 {
+				wantSpans = 0
+			}
+			if got, _ := tr.KindTotal(wantKind); got != wantSpans {
+				t.Fatalf("quant=%d: %d kernel_q8 spans, want %d", quantBits, got, wantSpans)
+			}
+			advanced /= N
+		})
+		return advanced
+	}
+	f32 := stepBytes(t, 0)
+	q8 := stepBytes(t, 8)
+	if f32 == 0 || q8 == 0 {
+		t.Fatalf("degenerate per-step stream bytes: f32=%d q8=%d", f32, q8)
+	}
+	if q8 >= f32 {
+		t.Fatalf("int8 step streams %d bytes, float %d — quantization must shrink the stream", q8, f32)
+	}
+}
+
 // TestInferMetersUtteranceCounters: Infer advances the utterance counter
 // and one latency sample, and frames accrue via the stream path.
 func TestInferMetersUtteranceCounters(t *testing.T) {

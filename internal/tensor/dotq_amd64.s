@@ -1,0 +1,533 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// func dotQuadQ8AVX(a0, a1, a2, a3 *int8, b *float32, n int, sc, out *[4]float64)
+//
+// Four-row serial quantized dot: for row k in [0,4),
+//
+//	out[k] = Σ_{i<n} (sc[k] * float64(ak[i])) * float64(b[i])
+//
+// The four rows' float64 accumulators live in one ymm and advance together
+// over the shared b stream — vectorization runs ACROSS rows, so each row's
+// summation order is exactly the scalar DotQ8F32 sequence: the int8 is
+// sign-extended and converted to float64 (exact), multiplied by its row
+// scale, then by the converted activation, then added. FMA is deliberately
+// not used (its single rounding would diverge from the scalar bytes).
+// The main loop takes four indices at a time: one dword load per row plus a
+// 3-shuffle byte transpose yields [a0[i] a1[i] a2[i] a3[i]] quadruples for
+// i..i+3, replacing sixteen shuffle-port byte inserts with three unpacks —
+// the insert sequence, not the arithmetic, is what bounds a one-index-per-
+// iteration variant. Indices are still consumed in strictly increasing order
+// (one VADDPD per index), so the bytes cannot change.
+TEXT ·dotQuadQ8AVX(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b+32(FP), DI
+	MOVQ n+40(FP), CX
+	MOVQ sc+48(FP), DX
+	VMOVUPD (DX), Y12           // per-row scales, loop-invariant
+	VXORPD Y0, Y0, Y0           // four row accumulators
+	CMPQ CX, $4
+	JL   q8quadtail
+
+q8quadmain:
+	VMOVD (SI), X2              // row0 weights i..i+3
+	VMOVD (R9), X3              // row1
+	VMOVD (R10), X4             // row2
+	VMOVD (R11), X5             // row3
+	VPUNPCKLBW X3, X2, X2       // [r0 r1 r0 r1 ...] byte interleave
+	VPUNPCKLBW X5, X4, X4       // [r2 r3 r2 r3 ...]
+	VPUNPCKLWD X4, X2, X2       // [r0 r1 r2 r3] per index, i..i+3
+
+	VPMOVSXBD X2, X6            // index i: 4×int8 → 4×int32
+	VCVTDQ2PD X6, Y6            // → 4×float64(q), exact
+	VMULPD Y12, Y6, Y6          // wd_k = sc_k · q_k
+	VBROADCASTSS (DI), X7
+	VCVTPS2PD X7, Y7            // float64(b[i]) in all four lanes
+	VMULPD Y7, Y6, Y6
+	VADDPD Y6, Y0, Y0
+
+	VPSRLDQ $4, X2, X2          // index i+1
+	VPMOVSXBD X2, X6
+	VCVTDQ2PD X6, Y6
+	VMULPD Y12, Y6, Y6
+	VBROADCASTSS 4(DI), X7
+	VCVTPS2PD X7, Y7
+	VMULPD Y7, Y6, Y6
+	VADDPD Y6, Y0, Y0
+
+	VPSRLDQ $4, X2, X2          // index i+2
+	VPMOVSXBD X2, X6
+	VCVTDQ2PD X6, Y6
+	VMULPD Y12, Y6, Y6
+	VBROADCASTSS 8(DI), X7
+	VCVTPS2PD X7, Y7
+	VMULPD Y7, Y6, Y6
+	VADDPD Y6, Y0, Y0
+
+	VPSRLDQ $4, X2, X2          // index i+3
+	VPMOVSXBD X2, X6
+	VCVTDQ2PD X6, Y6
+	VMULPD Y12, Y6, Y6
+	VBROADCASTSS 12(DI), X7
+	VCVTPS2PD X7, Y7
+	VMULPD Y7, Y6, Y6
+	VADDPD Y6, Y0, Y0
+
+	ADDQ $4, SI
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	ADDQ $16, DI
+	SUBQ $4, CX
+	CMPQ CX, $4
+	JGE  q8quadmain
+
+q8quadtail:
+	TESTQ CX, CX
+	JZ   q8quadstore
+
+q8quadtailloop:
+	MOVBLZX (SI), AX
+	VMOVD AX, X2                // fresh destination each iteration: no
+	                            // loop-carried dependency through the inserts
+	VPINSRB $1, (R9), X2, X2
+	VPINSRB $2, (R10), X2, X2
+	VPINSRB $3, (R11), X2, X2
+	VPMOVSXBD X2, X2            // 4×int8 → 4×int32
+	VCVTDQ2PD X2, Y2            // → 4×float64(q), exact
+	VMULPD Y12, Y2, Y2          // wd_k = sc_k · q_k
+	VBROADCASTSS (DI), X3
+	VCVTPS2PD X3, Y3            // float64(b[i]) in all four lanes
+	VMULPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	ADDQ $1, SI
+	ADDQ $1, R9
+	ADDQ $1, R10
+	ADDQ $1, R11
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  q8quadtailloop
+
+q8quadstore:
+	MOVQ out+56(FP), BX
+	VMOVUPD Y0, (BX)
+	VZEROUPPER
+	RET
+
+// func dotSegQuadQ8AVX(vals *int8, rows *int32, groups, nc int, scales, b, y *float32)
+//
+// Segment-level driver for dotQuadQ8AVX's math: processes groups×4 rows of a
+// contiguous row-major int8 panel (row stride nc) against the shared gathered
+// activations b[0:nc], accumulating y[rows[k]] += float32(dot_k) in row-list
+// order. Per row the sequence is exactly dotQuadQ8AVX — scale·quant and
+// activation converted to float64, multiplied, added in strictly increasing
+// index order, float64 sum narrowed with one VCVTSD2SS (Go's float32
+// conversion) and added with VADDSS (Go's float32 +) — so the bytes match the
+// Go caller that invokes the quad kernel per group. Hoisting the group loop
+// into assembly exists purely to amortize call overhead: on narrow segments
+// (nc=16 on the headline shape) the Go-side slicing, argument setup, and
+// call/return cost around each 64-MAC quad call was ~40% of serial runtime.
+// X15 stays zero throughout and serves as the merge source for the scalar
+// converts, keeping groups' conversions independent (no false chains).
+TEXT ·dotSegQuadQ8AVX(SB), NOSPLIT, $0-56
+	MOVQ vals+0(FP), R8
+	MOVQ rows+8(FP), R14
+	MOVQ groups+16(FP), R12
+	MOVQ nc+24(FP), R13
+	MOVQ scales+32(FP), R15
+	MOVQ b+40(FP), DX
+	MOVQ y+48(FP), BX
+	VXORPS X15, X15, X15        // zero merge source for scalar converts
+
+segq8group:
+	MOVQ R8, SI                 // four row base pointers, stride nc bytes
+	LEAQ (SI)(R13*1), R9
+	LEAQ (R9)(R13*1), R10
+	LEAQ (R10)(R13*1), R11
+
+	MOVL (R14), AX              // Y12 = float64(scales[rows[0..3]])
+	VCVTSS2SD (R15)(AX*4), X15, X13
+	MOVL 4(R14), AX
+	VCVTSS2SD (R15)(AX*4), X15, X14
+	VUNPCKLPD X14, X13, X13     // [sc0 sc1]
+	MOVL 8(R14), AX
+	VCVTSS2SD (R15)(AX*4), X15, X6
+	MOVL 12(R14), AX
+	VCVTSS2SD (R15)(AX*4), X15, X7
+	VUNPCKLPD X7, X6, X6        // [sc2 sc3]
+	VINSERTF128 $1, X6, Y13, Y12
+
+	MOVQ DX, DI                 // rewind the shared activation stream
+	MOVQ R13, CX
+	VXORPD Y0, Y0, Y0           // four row accumulators
+	CMPQ CX, $4
+	JL   segq8tail
+
+segq8main:
+	VMOVD (SI), X2              // row0 weights i..i+3
+	VMOVD (R9), X3
+	VMOVD (R10), X4
+	VMOVD (R11), X5
+	VPUNPCKLBW X3, X2, X2
+	VPUNPCKLBW X5, X4, X4
+	VPUNPCKLWD X4, X2, X2       // [r0 r1 r2 r3] per index, i..i+3
+
+	VPMOVSXBD X2, X6            // index i
+	VCVTDQ2PD X6, Y6
+	VMULPD Y12, Y6, Y6
+	VBROADCASTSS (DI), X7
+	VCVTPS2PD X7, Y7
+	VMULPD Y7, Y6, Y6
+	VADDPD Y6, Y0, Y0
+
+	VPSRLDQ $4, X2, X2          // index i+1
+	VPMOVSXBD X2, X6
+	VCVTDQ2PD X6, Y6
+	VMULPD Y12, Y6, Y6
+	VBROADCASTSS 4(DI), X7
+	VCVTPS2PD X7, Y7
+	VMULPD Y7, Y6, Y6
+	VADDPD Y6, Y0, Y0
+
+	VPSRLDQ $4, X2, X2          // index i+2
+	VPMOVSXBD X2, X6
+	VCVTDQ2PD X6, Y6
+	VMULPD Y12, Y6, Y6
+	VBROADCASTSS 8(DI), X7
+	VCVTPS2PD X7, Y7
+	VMULPD Y7, Y6, Y6
+	VADDPD Y6, Y0, Y0
+
+	VPSRLDQ $4, X2, X2          // index i+3
+	VPMOVSXBD X2, X6
+	VCVTDQ2PD X6, Y6
+	VMULPD Y12, Y6, Y6
+	VBROADCASTSS 12(DI), X7
+	VCVTPS2PD X7, Y7
+	VMULPD Y7, Y6, Y6
+	VADDPD Y6, Y0, Y0
+
+	ADDQ $4, SI
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	ADDQ $16, DI
+	SUBQ $4, CX
+	CMPQ CX, $4
+	JGE  segq8main
+
+segq8tail:
+	TESTQ CX, CX
+	JZ   segq8scatter
+
+segq8tailloop:
+	MOVBLZX (SI), AX
+	VMOVD AX, X2
+	VPINSRB $1, (R9), X2, X2
+	VPINSRB $2, (R10), X2, X2
+	VPINSRB $3, (R11), X2, X2
+	VPMOVSXBD X2, X2
+	VCVTDQ2PD X2, Y2
+	VMULPD Y12, Y2, Y2
+	VBROADCASTSS (DI), X3
+	VCVTPS2PD X3, Y3
+	VMULPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	ADDQ $1, SI
+	ADDQ $1, R9
+	ADDQ $1, R10
+	ADDQ $1, R11
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  segq8tailloop
+
+segq8scatter:
+	// y[rows[k]] += float32(acc_k), k = 0..3 in order — VCVTSD2SS then
+	// VADDSS reproduce Go's float32 conversion and addition exactly.
+	MOVL (R14), AX
+	VCVTSD2SS X0, X15, X6
+	VMOVSS (BX)(AX*4), X7
+	VADDSS X6, X7, X7
+	VMOVSS X7, (BX)(AX*4)
+	MOVL 4(R14), AX
+	VUNPCKHPD X0, X0, X8        // lane 1
+	VCVTSD2SS X8, X15, X8
+	VMOVSS (BX)(AX*4), X7
+	VADDSS X8, X7, X7
+	VMOVSS X7, (BX)(AX*4)
+	VEXTRACTF128 $1, Y0, X9     // lanes 2,3
+	MOVL 8(R14), AX
+	VCVTSD2SS X9, X15, X6
+	VMOVSS (BX)(AX*4), X7
+	VADDSS X6, X7, X7
+	VMOVSS X7, (BX)(AX*4)
+	MOVL 12(R14), AX
+	VUNPCKHPD X9, X9, X9
+	VCVTSD2SS X9, X15, X9
+	VMOVSS (BX)(AX*4), X7
+	VADDSS X9, X7, X7
+	VMOVSS X7, (BX)(AX*4)
+
+	MOVQ R11, R8                // row3 end == next group's row0
+	ADDQ $16, R14
+	DECQ R12
+	JNZ  segq8group
+	VZEROUPPER
+	RET
+
+// func dotQuadQ16AVX(a0, a1, a2, a3 *int16, b *float32, n int, sc, out *[4]float64)
+//
+// int16 twin of dotQuadQ8AVX: the main loop loads eight bytes (four weights)
+// per row, transposes with word/dword unpacks into per-index quadruples, and
+// sign-extends words instead of bytes. Same strictly-increasing index order.
+TEXT ·dotQuadQ16AVX(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b+32(FP), DI
+	MOVQ n+40(FP), CX
+	MOVQ sc+48(FP), DX
+	VMOVUPD (DX), Y12
+	VXORPD Y0, Y0, Y0
+	CMPQ CX, $4
+	JL   q16quadtail
+
+q16quadmain:
+	VMOVQ (SI), X2              // row0 weights i..i+3 (4×int16)
+	VMOVQ (R9), X3
+	VMOVQ (R10), X4
+	VMOVQ (R11), X5
+	VPUNPCKLWD X3, X2, X2       // [r0 r1 r0 r1 ...] word interleave
+	VPUNPCKLWD X5, X4, X4       // [r2 r3 r2 r3 ...]
+	VPUNPCKLDQ X4, X2, X6       // [r0 r1 r2 r3] for indices i, i+1
+	VPUNPCKHDQ X4, X2, X2       // [r0 r1 r2 r3] for indices i+2, i+3
+
+	VPMOVSXWD X6, X7            // index i: 4×int16 → 4×int32
+	VCVTDQ2PD X7, Y7
+	VMULPD Y12, Y7, Y7
+	VBROADCASTSS (DI), X8
+	VCVTPS2PD X8, Y8
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y0, Y0
+
+	VPSRLDQ $8, X6, X6          // index i+1
+	VPMOVSXWD X6, X7
+	VCVTDQ2PD X7, Y7
+	VMULPD Y12, Y7, Y7
+	VBROADCASTSS 4(DI), X8
+	VCVTPS2PD X8, Y8
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y0, Y0
+
+	VPMOVSXWD X2, X7            // index i+2
+	VCVTDQ2PD X7, Y7
+	VMULPD Y12, Y7, Y7
+	VBROADCASTSS 8(DI), X8
+	VCVTPS2PD X8, Y8
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y0, Y0
+
+	VPSRLDQ $8, X2, X2          // index i+3
+	VPMOVSXWD X2, X7
+	VCVTDQ2PD X7, Y7
+	VMULPD Y12, Y7, Y7
+	VBROADCASTSS 12(DI), X8
+	VCVTPS2PD X8, Y8
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y0, Y0
+
+	ADDQ $8, SI
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $16, DI
+	SUBQ $4, CX
+	CMPQ CX, $4
+	JGE  q16quadmain
+
+q16quadtail:
+	TESTQ CX, CX
+	JZ   q16quadstore
+
+q16quadtailloop:
+	MOVWLZX (SI), AX
+	VMOVD AX, X2
+	VPINSRW $1, (R9), X2, X2
+	VPINSRW $2, (R10), X2, X2
+	VPINSRW $3, (R11), X2, X2
+	VPMOVSXWD X2, X2            // 4×int16 → 4×int32
+	VCVTDQ2PD X2, Y2
+	VMULPD Y12, Y2, Y2
+	VBROADCASTSS (DI), X3
+	VCVTPS2PD X3, Y3
+	VMULPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	ADDQ $2, SI
+	ADDQ $2, R9
+	ADDQ $2, R10
+	ADDQ $2, R11
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  q16quadtailloop
+
+q16quadstore:
+	MOVQ out+56(FP), BX
+	VMOVUPD Y0, (BX)
+	VZEROUPPER
+	RET
+
+// func dotSegQuadQ16AVX(vals *int16, rows *int32, groups, nc int, scales, b, y *float32)
+//
+// int16 twin of dotSegQuadQ8AVX: row stride is 2·nc bytes, the inner loop is
+// dotQuadQ16AVX's word-transpose body, and the scale-load/scatter framing is
+// identical. Same strictly-increasing index order per row, same float32
+// narrow-and-add on scatter — bytes match the per-group Go caller.
+TEXT ·dotSegQuadQ16AVX(SB), NOSPLIT, $0-56
+	MOVQ vals+0(FP), R8
+	MOVQ rows+8(FP), R14
+	MOVQ groups+16(FP), R12
+	MOVQ nc+24(FP), R13
+	MOVQ scales+32(FP), R15
+	MOVQ b+40(FP), DX
+	MOVQ y+48(FP), BX
+	VXORPS X15, X15, X15        // zero merge source for scalar converts
+
+segq16group:
+	MOVQ R8, SI                 // four row base pointers, stride 2·nc bytes
+	LEAQ (SI)(R13*2), R9
+	LEAQ (R9)(R13*2), R10
+	LEAQ (R10)(R13*2), R11
+
+	MOVL (R14), AX              // Y12 = float64(scales[rows[0..3]])
+	VCVTSS2SD (R15)(AX*4), X15, X13
+	MOVL 4(R14), AX
+	VCVTSS2SD (R15)(AX*4), X15, X14
+	VUNPCKLPD X14, X13, X13     // [sc0 sc1]
+	MOVL 8(R14), AX
+	VCVTSS2SD (R15)(AX*4), X15, X6
+	MOVL 12(R14), AX
+	VCVTSS2SD (R15)(AX*4), X15, X7
+	VUNPCKLPD X7, X6, X6        // [sc2 sc3]
+	VINSERTF128 $1, X6, Y13, Y12
+
+	MOVQ DX, DI                 // rewind the shared activation stream
+	MOVQ R13, CX
+	VXORPD Y0, Y0, Y0           // four row accumulators
+	CMPQ CX, $4
+	JL   segq16tail
+
+segq16main:
+	VMOVQ (SI), X2              // row0 weights i..i+3 (4×int16)
+	VMOVQ (R9), X3
+	VMOVQ (R10), X4
+	VMOVQ (R11), X5
+	VPUNPCKLWD X3, X2, X2
+	VPUNPCKLWD X5, X4, X4
+	VPUNPCKLDQ X4, X2, X6       // [r0 r1 r2 r3] for indices i, i+1
+	VPUNPCKHDQ X4, X2, X2       // [r0 r1 r2 r3] for indices i+2, i+3
+
+	VPMOVSXWD X6, X7            // index i
+	VCVTDQ2PD X7, Y7
+	VMULPD Y12, Y7, Y7
+	VBROADCASTSS (DI), X8
+	VCVTPS2PD X8, Y8
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y0, Y0
+
+	VPSRLDQ $8, X6, X6          // index i+1
+	VPMOVSXWD X6, X7
+	VCVTDQ2PD X7, Y7
+	VMULPD Y12, Y7, Y7
+	VBROADCASTSS 4(DI), X8
+	VCVTPS2PD X8, Y8
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y0, Y0
+
+	VPMOVSXWD X2, X7            // index i+2
+	VCVTDQ2PD X7, Y7
+	VMULPD Y12, Y7, Y7
+	VBROADCASTSS 8(DI), X8
+	VCVTPS2PD X8, Y8
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y0, Y0
+
+	VPSRLDQ $8, X2, X2          // index i+3
+	VPMOVSXWD X2, X7
+	VCVTDQ2PD X7, Y7
+	VMULPD Y12, Y7, Y7
+	VBROADCASTSS 12(DI), X8
+	VCVTPS2PD X8, Y8
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y0, Y0
+
+	ADDQ $8, SI
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $16, DI
+	SUBQ $4, CX
+	CMPQ CX, $4
+	JGE  segq16main
+
+segq16tail:
+	TESTQ CX, CX
+	JZ   segq16scatter
+
+segq16tailloop:
+	MOVWLZX (SI), AX
+	VMOVD AX, X2
+	VPINSRW $1, (R9), X2, X2
+	VPINSRW $2, (R10), X2, X2
+	VPINSRW $3, (R11), X2, X2
+	VPMOVSXWD X2, X2
+	VCVTDQ2PD X2, Y2
+	VMULPD Y12, Y2, Y2
+	VBROADCASTSS (DI), X3
+	VCVTPS2PD X3, Y3
+	VMULPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	ADDQ $2, SI
+	ADDQ $2, R9
+	ADDQ $2, R10
+	ADDQ $2, R11
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  segq16tailloop
+
+segq16scatter:
+	// y[rows[k]] += float32(acc_k), k = 0..3 in order.
+	MOVL (R14), AX
+	VCVTSD2SS X0, X15, X6
+	VMOVSS (BX)(AX*4), X7
+	VADDSS X6, X7, X7
+	VMOVSS X7, (BX)(AX*4)
+	MOVL 4(R14), AX
+	VUNPCKHPD X0, X0, X8        // lane 1
+	VCVTSD2SS X8, X15, X8
+	VMOVSS (BX)(AX*4), X7
+	VADDSS X8, X7, X7
+	VMOVSS X7, (BX)(AX*4)
+	VEXTRACTF128 $1, Y0, X9     // lanes 2,3
+	MOVL 8(R14), AX
+	VCVTSD2SS X9, X15, X6
+	VMOVSS (BX)(AX*4), X7
+	VADDSS X6, X7, X7
+	VMOVSS X7, (BX)(AX*4)
+	MOVL 12(R14), AX
+	VUNPCKHPD X9, X9, X9
+	VCVTSD2SS X9, X15, X9
+	VMOVSS (BX)(AX*4), X7
+	VADDSS X9, X7, X7
+	VMOVSS X7, (BX)(AX*4)
+
+	MOVQ R11, R8                // row3 end == next group's row0
+	ADDQ $16, R14
+	DECQ R12
+	JNZ  segq16group
+	VZEROUPPER
+	RET

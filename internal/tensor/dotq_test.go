@@ -1,0 +1,382 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// refQ8 is the plainest possible scalar reference: dequantize each weight to
+// float64 through the scale, then dot in index order. Every quantized kernel
+// must match it bit-for-bit.
+func refQ8(a []int8, scale float32, b []float32) float64 {
+	sc := float64(scale)
+	s := 0.0
+	for i, v := range a {
+		s += (sc * float64(v)) * float64(b[i])
+	}
+	return s
+}
+
+func refQ16(a []int16, scale float32, b []float32) float64 {
+	sc := float64(scale)
+	s := 0.0
+	for i, v := range a {
+		s += (sc * float64(v)) * float64(b[i])
+	}
+	return s
+}
+
+func qTestVectors(n int) ([]int8, []int16, []float32, float32, float32) {
+	rng := NewRNG(0xD07)
+	a8 := make([]int8, n)
+	a16 := make([]int16, n)
+	b := make([]float32, n)
+	for i := range b {
+		a8[i] = int8(int32(uint32(rng.Uint64())%255) - 127)
+		a16[i] = int16(int32(uint32(rng.Uint64())%4095) - 2047)
+		b[i] = float32(rng.NormFloat64())
+	}
+	return a8, a16, b, 0.0123, 0.00077
+}
+
+func TestDotQ8F32UnrollsBitIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 7, 8, 9, 16, 17, 31, 64, 100} {
+		a8, _, b, sc, _ := qTestVectors(n)
+		want := refQ8(a8, sc, b)
+		for name, got := range map[string]float64{
+			"x1": DotQ8F32(a8, sc, b),
+			"x2": DotQ8F32x2(a8, sc, b),
+			"x4": DotQ8F32x4(a8, sc, b),
+			"x8": DotQ8F32x8(a8, sc, b),
+		} {
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("n=%d DotQ8F32%s = %v, want %v", n, name, got, want)
+			}
+		}
+	}
+}
+
+func TestDotQ16F32UnrollsBitIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 8, 17, 64, 100} {
+		_, a16, b, _, sc := qTestVectors(n)
+		want := refQ16(a16, sc, b)
+		for name, got := range map[string]float64{
+			"x1": DotQ16F32(a16, sc, b),
+			"x2": DotQ16F32x2(a16, sc, b),
+			"x4": DotQ16F32x4(a16, sc, b),
+			"x8": DotQ16F32x8(a16, sc, b),
+		} {
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("n=%d DotQ16F32%s = %v, want %v", n, name, got, want)
+			}
+		}
+	}
+}
+
+func TestDotPairQ8F32BitIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 8, 17, 64, 100} {
+		a0, _, b, sc0, _ := qTestVectors(n)
+		a1 := make([]int8, n)
+		for i := range a1 {
+			a1[i] = int8(-a0[i] / 2)
+		}
+		sc1 := float32(0.0031)
+		w0, w1 := refQ8(a0, sc0, b), refQ8(a1, sc1, b)
+		for name, pair := range map[string]func([]int8, []int8, float32, float32, []float32) (float64, float64){
+			"":   DotPairQ8F32,
+			"x2": DotPairQ8F32x2,
+			"x4": DotPairQ8F32x4,
+			"x8": DotPairQ8F32x8,
+		} {
+			g0, g1 := pair(a0, a1, sc0, sc1, b)
+			if math.Float64bits(g0) != math.Float64bits(w0) || math.Float64bits(g1) != math.Float64bits(w1) {
+				t.Errorf("n=%d DotPairQ8F32%s = (%v,%v), want (%v,%v)", n, name, g0, g1, w0, w1)
+			}
+		}
+	}
+}
+
+func TestDotPairQ16F32BitIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 8, 17, 64, 100} {
+		_, a0, b, _, sc0 := qTestVectors(n)
+		a1 := make([]int16, n)
+		for i := range a1 {
+			a1[i] = int16(-a0[i] / 3)
+		}
+		sc1 := float32(0.00052)
+		w0, w1 := refQ16(a0, sc0, b), refQ16(a1, sc1, b)
+		for name, pair := range map[string]func([]int16, []int16, float32, float32, []float32) (float64, float64){
+			"":   DotPairQ16F32,
+			"x2": DotPairQ16F32x2,
+			"x4": DotPairQ16F32x4,
+			"x8": DotPairQ16F32x8,
+		} {
+			g0, g1 := pair(a0, a1, sc0, sc1, b)
+			if math.Float64bits(g0) != math.Float64bits(w0) || math.Float64bits(g1) != math.Float64bits(w1) {
+				t.Errorf("n=%d DotPairQ16F32%s = (%v,%v), want (%v,%v)", n, name, g0, g1, w0, w1)
+			}
+		}
+	}
+}
+
+// TestDotQuadQ8F32BitIdentical: each of the quad kernel's four accumulators
+// must match the rolled scalar reference bit-for-bit — on the AVX2 path the
+// four live in one ymm, and vectorizing across rows must not perturb any
+// single row's summation order.
+func TestDotQuadQ8F32BitIdentical(t *testing.T) {
+	t.Logf("BatchSIMD=%v", BatchSIMD())
+	for _, n := range []int{0, 1, 2, 3, 5, 8, 17, 64, 100} {
+		a0, _, b, sc0, _ := qTestVectors(n)
+		a1, a2, a3 := make([]int8, n), make([]int8, n), make([]int8, n)
+		for i := range a0 {
+			a1[i] = int8(-a0[i] / 2)
+			a2[i] = int8(a0[i] / 3)
+			a3[i] = int8(-128 + int(uint8(a0[i])>>1))
+		}
+		sc1, sc2, sc3 := float32(0.0031), float32(0.51), float32(7.25e-4)
+		want := [4]float64{refQ8(a0, sc0, b), refQ8(a1, sc1, b), refQ8(a2, sc2, b), refQ8(a3, sc3, b)}
+		g0, g1, g2, g3 := DotQuadQ8F32(a0, a1, a2, a3, sc0, sc1, sc2, sc3, b)
+		for k, got := range [4]float64{g0, g1, g2, g3} {
+			if math.Float64bits(got) != math.Float64bits(want[k]) {
+				t.Errorf("n=%d DotQuadQ8F32 row %d = %v, want %v", n, k, got, want[k])
+			}
+		}
+	}
+}
+
+// TestDotQuadQ16F32BitIdentical is the int16 twin, exercising the full
+// int16 range including the most negative value.
+func TestDotQuadQ16F32BitIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 8, 17, 64, 100} {
+		_, a0, b, _, sc0 := qTestVectors(n)
+		a1, a2, a3 := make([]int16, n), make([]int16, n), make([]int16, n)
+		for i := range a0 {
+			a1[i] = int16(-a0[i] / 3)
+			a2[i] = int16(a0[i] * 13)
+			a3[i] = int16(-32768 + int(uint16(a0[i])<<2))
+		}
+		sc1, sc2, sc3 := float32(0.00052), float32(3.75), float32(9.1e-6)
+		want := [4]float64{refQ16(a0, sc0, b), refQ16(a1, sc1, b), refQ16(a2, sc2, b), refQ16(a3, sc3, b)}
+		g0, g1, g2, g3 := DotQuadQ16F32(a0, a1, a2, a3, sc0, sc1, sc2, sc3, b)
+		for k, got := range [4]float64{g0, g1, g2, g3} {
+			if math.Float64bits(got) != math.Float64bits(want[k]) {
+				t.Errorf("n=%d DotQuadQ16F32 row %d = %v, want %v", n, k, got, want[k])
+			}
+		}
+	}
+}
+
+// TestDotSegQuadQ8F32BitIdentical: the whole-segment driver must produce
+// exactly the bytes of the sequential per-row reference — scale lookup,
+// float64 dot in index order, float32 narrow, float32 add into y — for every
+// segment width and row count, including row remainders the driver must leave
+// untouched and output rows hit by more than one group.
+func TestDotSegQuadQ8F32BitIdentical(t *testing.T) {
+	t.Logf("BatchSIMD=%v", BatchSIMD())
+	rng := NewRNG(0x5E6)
+	for _, nc := range []int{1, 2, 3, 4, 5, 8, 16, 17, 33} {
+		for _, nr := range []int{4, 5, 7, 8, 11, 12, 16} {
+			vals := make([]int8, nr*nc)
+			for i := range vals {
+				vals[i] = int8(rng.Uint64())
+			}
+			g := make([]float32, nc)
+			for i := range g {
+				g[i] = float32(rng.NormFloat64())
+			}
+			ylen := nr + 3
+			rows := make([]int32, nr)
+			for k := range rows {
+				rows[k] = int32((k*5 + 2) % ylen) // some rows repeat across groups
+			}
+			scales := make([]float32, ylen)
+			for i := range scales {
+				scales[i] = float32(0.001 + 0.01*float64(i))
+			}
+			y := make([]float32, ylen)
+			for i := range y {
+				y[i] = float32(rng.NormFloat64())
+			}
+			yRef := append([]float32(nil), y...)
+			consumed := DotSegQuadQ8F32(vals, rows, scales, g, y)
+			if consumed%4 != 0 || consumed > nr {
+				t.Fatalf("nc=%d nr=%d consumed=%d rows, want a multiple of 4 ≤ nr", nc, nr, consumed)
+			}
+			for k := 0; k < consumed; k++ {
+				r := rows[k]
+				yRef[r] += float32(refQ8(vals[k*nc:(k+1)*nc], scales[r], g))
+			}
+			for i := range y {
+				if math.Float32bits(y[i]) != math.Float32bits(yRef[i]) {
+					t.Errorf("nc=%d nr=%d y[%d] = %v, want %v", nc, nr, i, y[i], yRef[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDotSegQuadQ16F32BitIdentical is the int16 twin of the segment-driver
+// identity test.
+func TestDotSegQuadQ16F32BitIdentical(t *testing.T) {
+	rng := NewRNG(0x5E16)
+	for _, nc := range []int{1, 2, 3, 4, 5, 8, 16, 17, 33} {
+		for _, nr := range []int{4, 5, 7, 8, 11, 12, 16} {
+			vals := make([]int16, nr*nc)
+			for i := range vals {
+				vals[i] = int16(rng.Uint64())
+			}
+			g := make([]float32, nc)
+			for i := range g {
+				g[i] = float32(rng.NormFloat64())
+			}
+			ylen := nr + 3
+			rows := make([]int32, nr)
+			for k := range rows {
+				rows[k] = int32((k*5 + 2) % ylen)
+			}
+			scales := make([]float32, ylen)
+			for i := range scales {
+				scales[i] = float32(1e-5 + 0.004*float64(i))
+			}
+			y := make([]float32, ylen)
+			for i := range y {
+				y[i] = float32(rng.NormFloat64())
+			}
+			yRef := append([]float32(nil), y...)
+			consumed := DotSegQuadQ16F32(vals, rows, scales, g, y)
+			if consumed%4 != 0 || consumed > nr {
+				t.Fatalf("nc=%d nr=%d consumed=%d rows, want a multiple of 4 ≤ nr", nc, nr, consumed)
+			}
+			for k := 0; k < consumed; k++ {
+				r := rows[k]
+				yRef[r] += float32(refQ16(vals[k*nc:(k+1)*nc], scales[r], g))
+			}
+			for i := range y {
+				if math.Float32bits(y[i]) != math.Float32bits(yRef[i]) {
+					t.Errorf("nc=%d nr=%d y[%d] = %v, want %v", nc, nr, i, y[i], yRef[i])
+				}
+			}
+		}
+	}
+}
+
+// qPanel builds a column-major panel of bw lanes, each lane a distinct
+// vector, plus the per-lane views for the serial reference.
+func qPanel(n, bw int) ([]float32, [][]float32) {
+	rng := NewRNG(0xBA7C)
+	panel := make([]float32, n*bw)
+	lanes := make([][]float32, bw)
+	for l := range lanes {
+		lanes[l] = make([]float32, n)
+	}
+	for i := 0; i < n; i++ {
+		for l := 0; l < bw; l++ {
+			v := float32(rng.NormFloat64())
+			panel[i*bw+l] = v
+			lanes[l][i] = v
+		}
+	}
+	return panel, lanes
+}
+
+// TestDotBatchQ8F32LanesMatchSerial pins the batched determinism contract:
+// lane l of every batched variant (including the strided AVX2 path when
+// active) is bit-identical to the serial rolled reference on lane l's vector.
+func TestDotBatchQ8F32LanesMatchSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 8, 33, 100} {
+		for _, bw := range []int{1, 2, 7, 8, 16, 19} {
+			a8, _, _, sc, _ := qTestVectors(n)
+			panel, lanes := qPanel(n, bw)
+			out := make([]float64, bw)
+			check := func(name string) {
+				t.Helper()
+				for l := 0; l < bw; l++ {
+					want := refQ8(a8, sc, lanes[l])
+					if math.Float64bits(out[l]) != math.Float64bits(want) {
+						t.Errorf("n=%d bw=%d %s lane %d = %v, want %v", n, bw, name, l, out[l], want)
+					}
+				}
+			}
+			DotBatchQ8F32(a8, sc, panel, bw, out)
+			check("DotBatchQ8F32")
+			DotBatchQ8F32x2(a8, sc, panel, bw, out)
+			check("x2")
+			DotBatchQ8F32x4(a8, sc, panel, bw, out)
+			check("x4")
+			DotBatchQ8F32x8(a8, sc, panel, bw, out)
+			check("x8")
+			DotBatchQ8F32Strided(a8, sc, panel, bw, out)
+			check("Strided")
+		}
+	}
+}
+
+func TestDotBatchQ16F32LanesMatchSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 8, 33, 100} {
+		for _, bw := range []int{1, 2, 7, 8, 16, 19} {
+			_, a16, _, _, sc := qTestVectors(n)
+			panel, lanes := qPanel(n, bw)
+			out := make([]float64, bw)
+			check := func(name string) {
+				t.Helper()
+				for l := 0; l < bw; l++ {
+					want := refQ16(a16, sc, lanes[l])
+					if math.Float64bits(out[l]) != math.Float64bits(want) {
+						t.Errorf("n=%d bw=%d %s lane %d = %v, want %v", n, bw, name, l, out[l], want)
+					}
+				}
+			}
+			DotBatchQ16F32(a16, sc, panel, bw, out)
+			check("DotBatchQ16F32")
+			DotBatchQ16F32x2(a16, sc, panel, bw, out)
+			check("x2")
+			DotBatchQ16F32x4(a16, sc, panel, bw, out)
+			check("x4")
+			DotBatchQ16F32x8(a16, sc, panel, bw, out)
+			check("x8")
+			DotBatchQ16F32Strided(a16, sc, panel, bw, out)
+			check("Strided")
+		}
+	}
+}
+
+func TestDotBatchPairQF32LanesMatchSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 8, 33} {
+		for _, bw := range []int{1, 8, 16, 19} {
+			a0, q0, _, sc0, t0 := qTestVectors(n)
+			a1 := make([]int8, n)
+			q1 := make([]int16, n)
+			for i := range a1 {
+				a1[i] = int8(-a0[i] / 2)
+				q1[i] = int16(-q0[i] / 3)
+			}
+			sc1, t1 := float32(0.0031), float32(0.00052)
+			panel, lanes := qPanel(n, bw)
+			out0 := make([]float64, bw)
+			out1 := make([]float64, bw)
+			DotBatchPairQ8F32Strided(a0, a1, sc0, sc1, panel, bw, out0, out1)
+			for l := 0; l < bw; l++ {
+				w0, w1 := refQ8(a0, sc0, lanes[l]), refQ8(a1, sc1, lanes[l])
+				if math.Float64bits(out0[l]) != math.Float64bits(w0) || math.Float64bits(out1[l]) != math.Float64bits(w1) {
+					t.Errorf("q8 n=%d bw=%d lane %d = (%v,%v), want (%v,%v)", n, bw, l, out0[l], out1[l], w0, w1)
+				}
+			}
+			DotBatchPairQ16F32Strided(q0, q1, t0, t1, panel, bw, out0, out1)
+			for l := 0; l < bw; l++ {
+				w0, w1 := refQ16(q0, t0, lanes[l]), refQ16(q1, t1, lanes[l])
+				if math.Float64bits(out0[l]) != math.Float64bits(w0) || math.Float64bits(out1[l]) != math.Float64bits(w1) {
+					t.Errorf("q16 n=%d bw=%d lane %d = (%v,%v), want (%v,%v)", n, bw, l, out0[l], out1[l], w0, w1)
+				}
+			}
+		}
+	}
+}
+
+func TestDotBatchPairQF32Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched rows")
+		}
+	}()
+	DotBatchPairQ8F32Strided(make([]int8, 3), make([]int8, 4), 1, 1, make([]float32, 32), 8, make([]float64, 8), make([]float64, 8))
+}

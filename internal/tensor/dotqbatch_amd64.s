@@ -1,0 +1,205 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// func dotQ8BatchChunk8AVX(a *int8, sc float64, bp *float32, n, strideBytes int, out *[8]float64)
+//
+// Eight-lane strided quantized SpMM chunk: for lane l in [0,8),
+//
+//	out[l] = Σ_{i<n} (sc * float64(a[i])) * float64(bp[(i*strideBytes/4)+l])
+//
+// The weight is sign-extended, converted to float64 (exact), and multiplied
+// by the scale once per index — exactly the scalar dequantize-then-dot
+// sequence — then broadcast across lanes. Vectorization runs ACROSS lanes
+// (four float64 accumulators per ymm), so no lane's summation order changes.
+// FMA is deliberately not used (its single rounding would diverge from the
+// scalar mul-then-add bytes).
+TEXT ·dotQ8BatchChunk8AVX(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	VMOVSD sc+8(FP), X12        // scale as float64, loop-invariant
+	MOVQ bp+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ strideBytes+32(FP), R8
+	MOVQ out+40(FP), DX
+	VXORPD Y0, Y0, Y0           // lanes 0-3 accumulators
+	VXORPD Y1, Y1, Y1           // lanes 4-7 accumulators
+	VXORPS X15, X15, X15        // zero merge source for VCVTSI2SDQ: routing
+	                            // the upper-bits merge through a register the
+	                            // loop never writes keeps iterations'
+	                            // conversions independent (no false chain
+	                            // through X2)
+	TESTQ CX, CX
+	JZ   q8store
+
+q8loop:
+	MOVBQSX (SI), AX            // sign-extend int8 weight
+	VCVTSI2SDQ AX, X15, X2      // float64(q) — exact
+	VMULSD X12, X2, X2          // wd = float64(q) * sc
+	VBROADCASTSD X2, Y2
+	VCVTPS2PD (DI), Y3          // float64(bp[i*stride + 0..3])
+	VCVTPS2PD 16(DI), Y4        // float64(bp[i*stride + 4..7])
+	VMULPD Y2, Y3, Y3
+	VADDPD Y3, Y0, Y0
+	VMULPD Y2, Y4, Y4
+	VADDPD Y4, Y1, Y1
+	ADDQ $1, SI
+	ADDQ R8, DI
+	DECQ CX
+	JNZ  q8loop
+
+q8store:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
+	RET
+
+// func dotQ16BatchChunk8AVX(a *int16, sc float64, bp *float32, n, strideBytes int, out *[8]float64)
+//
+// int16 twin of dotQ8BatchChunk8AVX: identical structure, the weight load is
+// a 16-bit sign extension and the stream advances two bytes per index.
+TEXT ·dotQ16BatchChunk8AVX(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	VMOVSD sc+8(FP), X12
+	MOVQ bp+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ strideBytes+32(FP), R8
+	MOVQ out+40(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPS X15, X15, X15        // zero merge source (see q8loop)
+	TESTQ CX, CX
+	JZ   q16store
+
+q16loop:
+	MOVWQSX (SI), AX            // sign-extend int16 weight
+	VCVTSI2SDQ AX, X15, X2
+	VMULSD X12, X2, X2
+	VBROADCASTSD X2, Y2
+	VCVTPS2PD (DI), Y3
+	VCVTPS2PD 16(DI), Y4
+	VMULPD Y2, Y3, Y3
+	VADDPD Y3, Y0, Y0
+	VMULPD Y2, Y4, Y4
+	VADDPD Y4, Y1, Y1
+	ADDQ $2, SI
+	ADDQ R8, DI
+	DECQ CX
+	JNZ  q16loop
+
+q16store:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
+	RET
+
+// func dotQ8BatchPair8AVX(a0, a1 *int8, sc0, sc1 float64, bp *float32, n, strideBytes int, out0, out1 *[8]float64)
+//
+// Two quantized rows sharing one panel: the panel columns are converted once
+// per weight index and multiplied against both rows' dequantized broadcast
+// values, with four independent accumulator chains (two ymm per row). Each
+// row's per-lane order is exactly dotQ8BatchChunk8AVX's, so results stay
+// bit-identical to the single-row kernel.
+TEXT ·dotQ8BatchPair8AVX(SB), NOSPLIT, $0-72
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), R9
+	VMOVSD sc0+16(FP), X12      // row0 scale
+	VMOVSD sc1+24(FP), X13      // row1 scale
+	MOVQ bp+32(FP), DI
+	MOVQ n+40(FP), CX
+	MOVQ strideBytes+48(FP), R8
+	VXORPD Y0, Y0, Y0           // row0 lanes 0-3
+	VXORPD Y1, Y1, Y1           // row0 lanes 4-7
+	VXORPD Y2, Y2, Y2           // row1 lanes 0-3
+	VXORPD Y3, Y3, Y3           // row1 lanes 4-7
+	VXORPS X15, X15, X15        // zero merge source (see q8loop)
+	TESTQ CX, CX
+	JZ   q8pairstore
+
+q8pairloop:
+	MOVBQSX (SI), AX
+	VCVTSI2SDQ AX, X15, X4      // float64(q0)
+	VMULSD X12, X4, X4          // wd0
+	VBROADCASTSD X4, Y4
+	MOVBQSX (R9), AX
+	VCVTSI2SDQ AX, X15, X5      // float64(q1)
+	VMULSD X13, X5, X5          // wd1
+	VBROADCASTSD X5, Y5
+	VCVTPS2PD (DI), Y6          // shared panel columns, lanes 0-3
+	VCVTPS2PD 16(DI), Y7        // lanes 4-7
+	VMULPD Y6, Y4, Y8
+	VADDPD Y8, Y0, Y0
+	VMULPD Y7, Y4, Y9
+	VADDPD Y9, Y1, Y1
+	VMULPD Y6, Y5, Y10
+	VADDPD Y10, Y2, Y2
+	VMULPD Y7, Y5, Y11
+	VADDPD Y11, Y3, Y3
+	ADDQ $1, SI
+	ADDQ $1, R9
+	ADDQ R8, DI
+	DECQ CX
+	JNZ  q8pairloop
+
+q8pairstore:
+	MOVQ out0+56(FP), DX
+	MOVQ out1+64(FP), BX
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, (BX)
+	VMOVUPD Y3, 32(BX)
+	VZEROUPPER
+	RET
+
+// func dotQ16BatchPair8AVX(a0, a1 *int16, sc0, sc1 float64, bp *float32, n, strideBytes int, out0, out1 *[8]float64)
+//
+// int16 twin of dotQ8BatchPair8AVX.
+TEXT ·dotQ16BatchPair8AVX(SB), NOSPLIT, $0-72
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), R9
+	VMOVSD sc0+16(FP), X12
+	VMOVSD sc1+24(FP), X13
+	MOVQ bp+32(FP), DI
+	MOVQ n+40(FP), CX
+	MOVQ strideBytes+48(FP), R8
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPS X15, X15, X15        // zero merge source (see q8loop)
+	TESTQ CX, CX
+	JZ   q16pairstore
+
+q16pairloop:
+	MOVWQSX (SI), AX
+	VCVTSI2SDQ AX, X15, X4
+	VMULSD X12, X4, X4
+	VBROADCASTSD X4, Y4
+	MOVWQSX (R9), AX
+	VCVTSI2SDQ AX, X15, X5
+	VMULSD X13, X5, X5
+	VBROADCASTSD X5, Y5
+	VCVTPS2PD (DI), Y6
+	VCVTPS2PD 16(DI), Y7
+	VMULPD Y6, Y4, Y8
+	VADDPD Y8, Y0, Y0
+	VMULPD Y7, Y4, Y9
+	VADDPD Y9, Y1, Y1
+	VMULPD Y6, Y5, Y10
+	VADDPD Y10, Y2, Y2
+	VMULPD Y7, Y5, Y11
+	VADDPD Y11, Y3, Y3
+	ADDQ $2, SI
+	ADDQ $2, R9
+	ADDQ R8, DI
+	DECQ CX
+	JNZ  q16pairloop
+
+q16pairstore:
+	MOVQ out0+56(FP), DX
+	MOVQ out1+64(FP), BX
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, (BX)
+	VMOVUPD Y3, 32(BX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,134 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// AVX2 dispatch for the quantized batched kernels. The asm widens each
+// int8/int16 weight with a sign-extending load, converts to float64, and
+// multiplies by the row scale before broadcasting — one dequantization per
+// weight, exactly the scalar sequence — then vectorizes across lanes like
+// dotbatch_amd64.s. Gated by the same hasBatchSIMD check.
+
+//go:noescape
+func dotQuadQ8AVX(a0, a1, a2, a3 *int8, b *float32, n int, sc, out *[4]float64)
+
+//go:noescape
+func dotQuadQ16AVX(a0, a1, a2, a3 *int16, b *float32, n int, sc, out *[4]float64)
+
+//go:noescape
+func dotQ8BatchChunk8AVX(a *int8, sc float64, bp *float32, n, strideBytes int, out *[8]float64)
+
+//go:noescape
+func dotQ16BatchChunk8AVX(a *int16, sc float64, bp *float32, n, strideBytes int, out *[8]float64)
+
+//go:noescape
+func dotQ8BatchPair8AVX(a0, a1 *int8, sc0, sc1 float64, bp *float32, n, strideBytes int, out0, out1 *[8]float64)
+
+//go:noescape
+func dotQ16BatchPair8AVX(a0, a1 *int16, sc0, sc1 float64, bp *float32, n, strideBytes int, out0, out1 *[8]float64)
+
+//go:noescape
+func dotSegQuadQ8AVX(vals *int8, rows *int32, groups, nc int, scales, b, y *float32)
+
+//go:noescape
+func dotSegQuadQ16AVX(vals *int16, rows *int32, groups, nc int, scales, b, y *float32)
+
+// dotSegQuadQ8 runs the segment-level asm driver over groups of four rows,
+// returning the number of rows consumed (0 when SIMD is unavailable and the
+// caller must fall back to the per-group path). The caller guarantees
+// len(vals) ≥ len(rows)·nc, len(b) == nc > 0, and every rows[k] indexes both
+// scales and y.
+func dotSegQuadQ8(vals []int8, rows []int32, nc int, scales, b, y []float32) int {
+	groups := len(rows) / 4
+	if !hasBatchSIMD || groups == 0 {
+		return 0
+	}
+	dotSegQuadQ8AVX(&vals[0], &rows[0], groups, nc, &scales[0], &b[0], &y[0])
+	return groups * 4
+}
+
+// dotSegQuadQ16 is dotSegQuadQ8 for int16-stored formats.
+func dotSegQuadQ16(vals []int16, rows []int32, nc int, scales, b, y []float32) int {
+	groups := len(rows) / 4
+	if !hasBatchSIMD || groups == 0 {
+		return 0
+	}
+	dotSegQuadQ16AVX(&vals[0], &rows[0], groups, nc, &scales[0], &b[0], &y[0])
+	return groups * 4
+}
+
+// dotQuadQ8 runs the four-row serial asm kernel. The caller guarantees all
+// four rows are len(b) long and len(b) > 0. Returns false when the vector
+// path is unavailable so the caller can fall back to the portable loop.
+func dotQuadQ8(a0, a1, a2, a3 []int8, sc *[4]float64, b []float32, out *[4]float64) bool {
+	if !hasBatchSIMD {
+		return false
+	}
+	dotQuadQ8AVX(&a0[0], &a1[0], &a2[0], &a3[0], &b[0], len(b), sc, out)
+	return true
+}
+
+// dotQuadQ16 runs the four-row serial int16 asm kernel (see dotQuadQ8).
+func dotQuadQ16(a0, a1, a2, a3 []int16, sc *[4]float64, b []float32, out *[4]float64) bool {
+	if !hasBatchSIMD {
+		return false
+	}
+	dotQuadQ16AVX(&a0[0], &a1[0], &a2[0], &a3[0], &b[0], len(b), sc, out)
+	return true
+}
+
+// dotQ8BatchChunk8 runs the int8 asm kernel over one eight-lane chunk. Same
+// caller contract and fallback semantics as dotBatchChunk8.
+func dotQ8BatchChunk8(a []int8, sc float64, bp []float32, stride int, out *[8]float64) bool {
+	if !hasBatchSIMD {
+		return false
+	}
+	if len(a) == 0 {
+		*out = [8]float64{}
+		return true
+	}
+	dotQ8BatchChunk8AVX(&a[0], sc, &bp[0], len(a), stride*4, out)
+	return true
+}
+
+// dotQ16BatchChunk8 runs the int16 asm kernel over one eight-lane chunk.
+func dotQ16BatchChunk8(a []int16, sc float64, bp []float32, stride int, out *[8]float64) bool {
+	if !hasBatchSIMD {
+		return false
+	}
+	if len(a) == 0 {
+		*out = [8]float64{}
+		return true
+	}
+	dotQ16BatchChunk8AVX(&a[0], sc, &bp[0], len(a), stride*4, out)
+	return true
+}
+
+// dotQ8BatchPair8 runs the paired int8 asm kernel over one eight-lane chunk
+// for two equal-length rows sharing the panel.
+func dotQ8BatchPair8(a0, a1 []int8, sc0, sc1 float64, bp []float32, stride int, out0, out1 *[8]float64) bool {
+	if !hasBatchSIMD {
+		return false
+	}
+	if len(a0) == 0 {
+		*out0 = [8]float64{}
+		*out1 = [8]float64{}
+		return true
+	}
+	dotQ8BatchPair8AVX(&a0[0], &a1[0], sc0, sc1, &bp[0], len(a0), stride*4, out0, out1)
+	return true
+}
+
+// dotQ16BatchPair8 runs the paired int16 asm kernel over one eight-lane
+// chunk.
+func dotQ16BatchPair8(a0, a1 []int16, sc0, sc1 float64, bp []float32, stride int, out0, out1 *[8]float64) bool {
+	if !hasBatchSIMD {
+		return false
+	}
+	if len(a0) == 0 {
+		*out0 = [8]float64{}
+		*out1 = [8]float64{}
+		return true
+	}
+	dotQ16BatchPair8AVX(&a0[0], &a1[0], sc0, sc1, &bp[0], len(a0), stride*4, out0, out1)
+	return true
+}

@@ -1,0 +1,46 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Quantized batch kernels have no vector implementation on this build;
+// callers fall back to the portable chunk kernels.
+
+func dotQuadQ8(a0, a1, a2, a3 []int8, sc *[4]float64, b []float32, out *[4]float64) bool {
+	_, _, _, _, _, _, _ = a0, a1, a2, a3, sc, b, out
+	return false
+}
+
+func dotQuadQ16(a0, a1, a2, a3 []int16, sc *[4]float64, b []float32, out *[4]float64) bool {
+	_, _, _, _, _, _, _ = a0, a1, a2, a3, sc, b, out
+	return false
+}
+
+func dotSegQuadQ8(vals []int8, rows []int32, nc int, scales, b, y []float32) int {
+	_, _, _, _, _, _ = vals, rows, nc, scales, b, y
+	return 0
+}
+
+func dotSegQuadQ16(vals []int16, rows []int32, nc int, scales, b, y []float32) int {
+	_, _, _, _, _, _ = vals, rows, nc, scales, b, y
+	return 0
+}
+
+func dotQ8BatchChunk8(a []int8, sc float64, bp []float32, stride int, out *[8]float64) bool {
+	_, _, _, _, _ = a, sc, bp, stride, out
+	return false
+}
+
+func dotQ16BatchChunk8(a []int16, sc float64, bp []float32, stride int, out *[8]float64) bool {
+	_, _, _, _, _ = a, sc, bp, stride, out
+	return false
+}
+
+func dotQ8BatchPair8(a0, a1 []int8, sc0, sc1 float64, bp []float32, stride int, out0, out1 *[8]float64) bool {
+	_, _, _, _, _, _, _, _ = a0, a1, sc0, sc1, bp, stride, out0, out1
+	return false
+}
+
+func dotQ16BatchPair8(a0, a1 []int16, sc0, sc1 float64, bp []float32, stride int, out0, out1 *[8]float64) bool {
+	_, _, _, _, _, _, _, _ = a0, a1, sc0, sc1, bp, stride, out0, out1
+	return false
+}
