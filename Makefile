@@ -3,6 +3,7 @@ FUZZTIME ?= 10s
 # Coverage floors; `make cover` fails below them.
 OBS_COVER_FLOOR ?= 90.0
 QUANT_COVER_FLOOR ?= 90.0
+SCHED_COVER_FLOOR ?= 90.0
 
 .PHONY: all build test race fuzz-smoke vet bench cover
 
@@ -27,6 +28,8 @@ race:
 	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Quant' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_METRICS=1 $(GO) test -race ./internal/obs
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve|Obs|Metrics|Trac' ./cmd/rtmobile ./internal/rtmobile
+	RTMOBILE_METRICS=1 $(GO) test -race ./internal/sched
+	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve' -count=2 ./cmd/rtmobile
 
 # Short run of every fuzz target (decoder hardening + compiler shapes +
 # pack lowering).
@@ -37,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzPackProgram -fuzztime=$(FUZZTIME) ./internal/compiler
 	$(GO) test -run=^$$ -fuzz=FuzzRunBatch -fuzztime=$(FUZZTIME) ./internal/compiler
 	$(GO) test -run=^$$ -fuzz=FuzzPackQuant -fuzztime=$(FUZZTIME) ./internal/compiler
+	$(GO) test -run=^$$ -fuzz=FuzzSchedTrace -fuzztime=$(FUZZTIME) ./internal/sched
 
 # Static checks: vet under both build configurations (default and the
 # purego fallback used on targets without unsafe), plus a gofmt gate.
@@ -55,6 +59,7 @@ bench:
 	$(GO) run ./cmd/rtmobile bench -exp batch -json BENCH_3.json
 	$(GO) run ./cmd/rtmobile bench -exp obs -json BENCH_4.json
 	$(GO) run ./cmd/rtmobile bench -exp quant -json BENCH_5.json
+	$(GO) run ./cmd/rtmobile bench -exp serve -json BENCH_6.json
 
 # Coverage gates: the observability primitives and the quantization
 # package must each stay above their statement-coverage floor.
@@ -70,4 +75,10 @@ cover:
 	rm -f cover.out; \
 	echo "internal/quant coverage: $$total% (floor $(QUANT_COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(QUANT_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage below floor"; exit 1; }
+	RTMOBILE_METRICS=1 $(GO) test -coverprofile=cover.out ./internal/sched
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f cover.out; \
+	echo "internal/sched coverage: $$total% (floor $(SCHED_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(SCHED_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage below floor"; exit 1; }

@@ -276,10 +276,10 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, batch, obs, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, batch, obs, serve, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
-	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, or quant: also write the rows as JSON to this path (e.g. BENCH_5.json)")
+	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, or serve: also write the rows as JSON to this path (e.g. BENCH_6.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -416,6 +416,36 @@ func cmdBench(args []string) error {
 				return err
 			}
 			if err := bench.WriteObsJSON(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+	case "serve":
+		cfg := bench.DefaultServeBenchConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rows, err := bench.RunServeBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderServeBench(rows, cfg))
+		if speed, ok := bench.ServeSpeedup(rows, bench.ServeSpeedupClients); ok {
+			verdict := "meets"
+			if speed < bench.ServeSpeedupTarget {
+				verdict = "MISSES"
+			}
+			fmt.Printf("  batched goodput @ %d clients: %.2fx direct (%s the %.0fx target)\n",
+				bench.ServeSpeedupClients, speed, verdict, bench.ServeSpeedupTarget)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteServeJSON(f, rows); err != nil {
 				f.Close()
 				return err
 			}

@@ -1,22 +1,53 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"rtmobile/internal/obs"
 	"rtmobile/internal/rtmobile"
+	"rtmobile/internal/sched"
 )
 
 // rtmobile serve: load a deployment bundle and expose it over HTTP with
 // the full observability surface — Prometheus metrics, JSON metrics, a
-// health probe, the per-layer latency table, Go's pprof profiles, and a
-// scoring endpoint so the metrics have live traffic to describe.
+// health probe, the per-layer latency table, Go's pprof profiles — and a
+// continuous-batching scheduler between the handlers and the engine so
+// concurrent scoring requests coalesce into lockstep panels instead of
+// contending for the weight stream one utterance at a time.
+
+// engineBatcher adapts an Engine to the scheduler's Batcher interface;
+// the lease an Acquire hands back already satisfies sched.Session.
+type engineBatcher struct{ eng *rtmobile.Engine }
+
+func (b engineBatcher) InputDim() int                   { return b.eng.InputDim() }
+func (b engineBatcher) OutputDim() int                  { return b.eng.OutputDim() }
+func (b engineBatcher) Acquire(width int) sched.Session { return b.eng.AcquireBatch(width) }
+
+// newScheduler stands up the continuous-batching scheduler for an engine.
+func newScheduler(eng *rtmobile.Engine, cfg sched.Config) *sched.Scheduler {
+	return sched.New(engineBatcher{eng: eng}, cfg)
+}
+
+// retryAfterHeader formats a Retry-After value in whole seconds (min 1).
+func retryAfterHeader(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
 
 // newServeMux wires the serving endpoints onto a fresh mux. Split out of
 // cmdServe so tests can drive the handlers through httptest without
@@ -27,11 +58,15 @@ import (
 //	GET  /metrics       Prometheus text format 0.0.4
 //	GET  /metrics.json  the same instrument set as flat JSON
 //	GET  /healthz       liveness + deployment identity
-//	GET  /statz         per-layer latency table (run -stats over HTTP)
+//	GET  /statz         per-layer latency table + scheduler state
 //	POST /infer         score one utterance: JSON [][]float32 frames in,
-//	                    [][]float32 posteriors out
+//	                    [][]float32 posteriors out; batched across
+//	                    concurrent requests, 429 + Retry-After on overload
+//	POST /infer/stream  frame-at-a-time scoring over one request: NDJSON
+//	                    []float32 frames in, []float32 posteriors out,
+//	                    flushed per frame on a dedicated stream lane
 //	GET  /debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
-func newServeMux(eng *rtmobile.Engine) *http.ServeMux {
+func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -68,6 +103,9 @@ func newServeMux(eng *rtmobile.Engine) *http.ServeMux {
 	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, renderLayerStats(eng))
+		cfg := sch.Config()
+		fmt.Fprintf(w, "sched: window=%v max_batch=%d queue=%d/%d max_streams=%d\n",
+			cfg.Window, cfg.MaxBatch, sch.QueueLen(), cfg.QueueDepth, cfg.MaxStreams)
 	})
 
 	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
@@ -92,8 +130,65 @@ func newServeMux(eng *rtmobile.Engine) *http.ServeMux {
 				return
 			}
 		}
+		post, err := sch.Infer(r.Context(), frames)
+		switch {
+		case errors.Is(err, sched.ErrQueueFull):
+			w.Header().Set("Retry-After", retryAfterHeader(sch.RetryAfter()))
+			http.Error(w, "server overloaded: inference queue full", http.StatusTooManyRequests)
+			return
+		case errors.Is(err, sched.ErrClosed):
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		case err != nil: // request context cancelled; client is gone
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(eng.Infer(frames))
+		json.NewEncoder(w).Encode(post)
+	})
+
+	mux.HandleFunc("/infer/stream", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST an NDJSON stream of []float32 frames", http.StatusMethodNotAllowed)
+			return
+		}
+		// Streaming sessions hold recurrent state across frames, which
+		// lockstep panels cannot pause, so each gets a dedicated serial
+		// stream — admitted against the scheduler's stream-lane budget.
+		release, err := sch.AcquireStreamLane()
+		if errors.Is(err, sched.ErrClosed) {
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		if err != nil {
+			w.Header().Set("Retry-After", retryAfterHeader(sch.RetryAfter()))
+			http.Error(w, "server overloaded: all stream lanes busy", http.StatusTooManyRequests)
+			return
+		}
+		defer release()
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		s := eng.NewStream()
+		dst := make([]float32, eng.OutputDim())
+		dec := json.NewDecoder(r.Body)
+		enc := json.NewEncoder(w)
+		want := eng.InputDim()
+		for frame := 0; ; frame++ {
+			var f []float32
+			if err := dec.Decode(&f); err != nil {
+				return // EOF or malformed mid-stream; response is committed
+			}
+			if len(f) != want {
+				return
+			}
+			s.StepInto(dst, f)
+			if enc.Encode(dst) != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
 	})
 
 	// net/http/pprof registers on DefaultServeMux at import; re-register
@@ -162,12 +257,24 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "localhost:8090", "listen address")
 	trace := fs.Int("trace", 0, "stage-trace ring capacity (0 = tracing off)")
 	quantBits := fs.Int("quant", -1, "override the bundle's quantization width: 8, 12, 16, or 0 for float32 (-1 = keep bundle width)")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "max time a request waits for panel-mates before dispatch")
+	maxBatch := fs.Int("max-batch", 8, fmt.Sprintf("lockstep panel width cap, 1..%d", rtmobile.MaxBatchWidth))
+	queueDepth := fs.Int("queue-depth", 64, "bound on waiting requests before 429s")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := applyWorkers(*workers); err != nil {
 		return err
+	}
+	if *maxBatch < 1 || *maxBatch > rtmobile.MaxBatchWidth {
+		return fmt.Errorf("-max-batch %d out of range 1..%d", *maxBatch, rtmobile.MaxBatchWidth)
+	}
+	if *queueDepth < 1 {
+		return fmt.Errorf("-queue-depth %d: need at least 1", *queueDepth)
+	}
+	if *batchWindow < 0 {
+		return fmt.Errorf("-batch-window %v: negative", *batchWindow)
 	}
 	target, err := parseTarget(*targetName)
 	if err != nil {
@@ -189,10 +296,38 @@ func cmdServe(args []string) error {
 	if *trace > 0 {
 		eng.EnableTracing(*trace)
 	}
+	sch := newScheduler(eng, sched.Config{
+		MaxBatch:   *maxBatch,
+		Window:     *batchWindow,
+		QueueDepth: *queueDepth,
+	})
 	fmt.Printf("serving %s (scheme %s, %s) on http://%s\n", *bundle, scheme.Name(), eng.Plan(), *addr)
-	fmt.Printf("endpoints: /metrics /metrics.json /healthz /statz /infer /debug/pprof/\n")
+	fmt.Printf("batching: window=%v max-batch=%d queue-depth=%d\n", *batchWindow, *maxBatch, *queueDepth)
+	fmt.Printf("endpoints: /metrics /metrics.json /healthz /statz /infer /infer/stream /debug/pprof/\n")
 	if !obs.Enabled() {
 		fmt.Printf("note: metrics collection is disabled (%s); /metrics will return 503\n", obs.EnvMetrics)
 	}
-	return http.ListenAndServe(*addr, newServeMux(eng))
+
+	server := &http.Server{Addr: *addr, Handler: newServeMux(eng, sch)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		sch.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, finish in-flight handlers, then let
+	// the scheduler dispatch whatever is still queued.
+	stop()
+	fmt.Println("shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = server.Shutdown(shutdownCtx)
+	if cerr := sch.Close(shutdownCtx); err == nil {
+		err = cerr
+	}
+	return err
 }

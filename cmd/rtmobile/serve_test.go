@@ -2,17 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"rtmobile/internal/device"
 	"rtmobile/internal/nn"
 	"rtmobile/internal/obs"
 	"rtmobile/internal/rtmobile"
+	"rtmobile/internal/sched"
 )
 
 // serveEngine builds a small in-process engine for handler tests (no
@@ -32,6 +35,15 @@ func serveEngine(t *testing.T) *rtmobile.Engine {
 	return eng
 }
 
+// serveMux pairs an engine with a short-window scheduler and wires the
+// mux, closing the scheduler when the test ends.
+func serveMux(t *testing.T, eng *rtmobile.Engine) *http.ServeMux {
+	t.Helper()
+	sch := newScheduler(eng, sched.Config{MaxBatch: 4, Window: 200 * time.Microsecond})
+	t.Cleanup(func() { sch.Close(context.Background()) })
+	return newServeMux(eng, sch)
+}
+
 // serveFrames builds a deterministic T×dim utterance.
 func serveFrames(tSteps, dim int) [][]float32 {
 	frames := make([][]float32, tSteps)
@@ -45,7 +57,7 @@ func serveFrames(tSteps, dim int) [][]float32 {
 }
 
 func TestServeHealthz(t *testing.T) {
-	mux := newServeMux(serveEngine(t))
+	mux := serveMux(t, serveEngine(t))
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
@@ -69,7 +81,7 @@ func TestServeInferAndMetrics(t *testing.T) {
 	defer obs.SetEnabled(prev)
 
 	eng := serveEngine(t)
-	mux := newServeMux(eng)
+	mux := serveMux(t, eng)
 
 	body, _ := json.Marshal(serveFrames(5, eng.InputDim()))
 	rec := httptest.NewRecorder()
@@ -135,7 +147,7 @@ func TestServeMetricsDisabled(t *testing.T) {
 	obs.SetEnabled(false)
 	defer obs.SetEnabled(prev)
 
-	mux := newServeMux(serveEngine(t))
+	mux := serveMux(t, serveEngine(t))
 	for _, path := range []string{"/metrics", "/metrics.json"} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
@@ -147,7 +159,7 @@ func TestServeMetricsDisabled(t *testing.T) {
 
 func TestServeInferValidation(t *testing.T) {
 	eng := serveEngine(t)
-	mux := newServeMux(eng)
+	mux := serveMux(t, eng)
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/infer", nil))
@@ -171,7 +183,7 @@ func TestServeInferValidation(t *testing.T) {
 func TestServeStatzTracesLayers(t *testing.T) {
 	eng := serveEngine(t)
 	eng.EnableTracing(256)
-	mux := newServeMux(eng)
+	mux := serveMux(t, eng)
 
 	body, _ := json.Marshal(serveFrames(4, eng.InputDim()))
 	rec := httptest.NewRecorder()
@@ -213,7 +225,7 @@ func TestServeStatzQuantized(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.EnableTracing(256)
-	mux := newServeMux(eng)
+	mux := serveMux(t, eng)
 
 	body, _ := json.Marshal(serveFrames(4, eng.InputDim()))
 	rec := httptest.NewRecorder()
@@ -238,7 +250,7 @@ func TestServeStatzQuantized(t *testing.T) {
 }
 
 func TestServePprofRegistered(t *testing.T) {
-	mux := newServeMux(serveEngine(t))
+	mux := serveMux(t, serveEngine(t))
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
 	if rec.Code != http.StatusOK {

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"rtmobile/internal/device"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/rtmobile"
+	"rtmobile/internal/sched"
+)
+
+// Serve-scheduler study (BENCH_6): end-to-end request throughput and
+// latency with the continuous-batching scheduler between clients and the
+// engine, against the per-request baseline where every client scores its
+// utterance with its own serial Infer call. The batching win is weight
+// locality: a lockstep panel streams each packed weight block once for
+// the whole panel instead of once per request. The acceptance target is
+// ServeSpeedupTarget× goodput at ServeSpeedupClients concurrent clients,
+// with responses bit-identical to serial Infer.
+
+// ServeSpeedupTarget is the acceptance floor for batched/direct goodput.
+const ServeSpeedupTarget = 2.0
+
+// ServeSpeedupClients is the concurrency level the target applies to.
+const ServeSpeedupClients = 16
+
+// ServeBenchRow is one (mode, concurrency) measurement.
+type ServeBenchRow struct {
+	Mode       string  `json:"mode"` // direct, batched
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	GoodputRPS float64 `json:"goodput_rps"`
+	// SpeedupX is batched goodput over direct goodput at the same client
+	// count; 0 on direct rows.
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// ServeBenchConfig sizes the study.
+type ServeBenchConfig struct {
+	Spec              nn.ModelSpec
+	Prune             rtmobile.PruneConfig
+	FramesPerRequest  int
+	RequestsPerClient int
+	Concurrency       []int
+	MaxBatch          int
+	Window            time.Duration
+	Logf              func(string, ...any)
+}
+
+// DefaultServeBenchConfig measures a paper-scale GRU under the serving
+// concurrency sweep.
+func DefaultServeBenchConfig() ServeBenchConfig {
+	return ServeBenchConfig{
+		Spec: nn.ModelSpec{
+			InputDim: 40, Hidden: 512, NumLayers: 2, OutputDim: 32, Seed: 11,
+		},
+		Prune:             rtmobile.PruneConfig{ColRate: 4, RowRate: 1, RowGroups: 4, ColBlocks: 4},
+		FramesPerRequest:  20,
+		RequestsPerClient: 2,
+		Concurrency:       []int{2, 8, 16, 32},
+		MaxBatch:          16,
+		Window:            time.Millisecond,
+	}
+}
+
+// serveBatcher adapts the engine for the scheduler (mirrors the cmd/
+// rtmobile adapter without exporting it).
+type serveBatcher struct{ eng *rtmobile.Engine }
+
+func (b serveBatcher) InputDim() int                   { return b.eng.InputDim() }
+func (b serveBatcher) OutputDim() int                  { return b.eng.OutputDim() }
+func (b serveBatcher) Acquire(width int) sched.Session { return b.eng.AcquireBatch(width) }
+
+// pctile reads the p-th percentile from sorted latencies.
+func pctile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / 1e6
+}
+
+// runClients drives clients×RequestsPerClient scorings through score,
+// returning per-request latencies and the wall time.
+func runClients(clients, perClient int, score func(client, req int) error) ([]time.Duration, time.Duration, error) {
+	lat := make([]time.Duration, clients*perClient)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				t0 := time.Now()
+				if err := score(c, r); err != nil {
+					errs[c] = err
+					return
+				}
+				lat[c*perClient+r] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat, wall, nil
+}
+
+// RunServeBench measures direct per-request scoring against scheduler-
+// batched scoring across the concurrency sweep, verifying the batched
+// responses bit-identical to serial Infer as it goes.
+func RunServeBench(cfg ServeBenchConfig) ([]ServeBenchRow, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	model := nn.NewGRUModel(cfg.Spec)
+	res := rtmobile.Prune(model, nil, cfg.Prune)
+	eng, err := rtmobile.Compile(model, res.Scheme, rtmobile.DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		return nil, err
+	}
+
+	// Distinct utterances, with serial ground truth computed up front.
+	maxClients := 0
+	for _, n := range cfg.Concurrency {
+		if n > maxClients {
+			maxClients = n
+		}
+	}
+	inputs := make([][][]float32, maxClients)
+	wants := make([][][]float32, maxClients)
+	for c := range inputs {
+		frames := make([][]float32, cfg.FramesPerRequest)
+		for t := range frames {
+			f := make([]float32, cfg.Spec.InputDim)
+			for i := range f {
+				f[i] = float32(c+1)*0.01 + float32(t)*0.003 - float32(i)*0.0007
+			}
+			frames[t] = f
+		}
+		inputs[c] = frames
+		wants[c] = eng.Infer(frames)
+	}
+
+	var rows []ServeBenchRow
+	for _, clients := range cfg.Concurrency {
+		total := clients * cfg.RequestsPerClient
+
+		logf("direct: %d clients x %d requests", clients, cfg.RequestsPerClient)
+		lat, wall, err := runClients(clients, cfg.RequestsPerClient, func(c, _ int) error {
+			eng.Infer(inputs[c])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		direct := ServeBenchRow{
+			Mode: "direct", Clients: clients, Requests: total,
+			P50Ms: pctile(lat, 0.50), P95Ms: pctile(lat, 0.95), P99Ms: pctile(lat, 0.99),
+			GoodputRPS: float64(total) / wall.Seconds(),
+		}
+		rows = append(rows, direct)
+
+		logf("batched: %d clients x %d requests", clients, cfg.RequestsPerClient)
+		sch := sched.New(serveBatcher{eng: eng}, sched.Config{
+			MaxBatch: cfg.MaxBatch, Window: cfg.Window, QueueDepth: 4 * maxClients,
+		})
+		ctx := context.Background()
+		// Warm the scheduler's free lists and the engine's batch arenas.
+		if _, err := sch.Infer(ctx, inputs[0]); err != nil {
+			sch.Close(ctx)
+			return nil, err
+		}
+		var mu sync.Mutex
+		var divergence error
+		lat, wall, err = runClients(clients, cfg.RequestsPerClient, func(c, _ int) error {
+			post, err := sch.Infer(ctx, inputs[c])
+			if err != nil {
+				return err
+			}
+			if err := samePosteriors(post, wants[c]); err != nil {
+				mu.Lock()
+				if divergence == nil {
+					divergence = fmt.Errorf("client %d: %w", c, err)
+				}
+				mu.Unlock()
+			}
+			return nil
+		})
+		sch.Close(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if divergence != nil {
+			return nil, fmt.Errorf("batched response not bit-identical to serial Infer: %w", divergence)
+		}
+		batched := ServeBenchRow{
+			Mode: "batched", Clients: clients, Requests: total,
+			P50Ms: pctile(lat, 0.50), P95Ms: pctile(lat, 0.95), P99Ms: pctile(lat, 0.99),
+			GoodputRPS: float64(total) / wall.Seconds(),
+		}
+		if direct.GoodputRPS > 0 {
+			batched.SpeedupX = batched.GoodputRPS / direct.GoodputRPS
+		}
+		rows = append(rows, batched)
+	}
+	return rows, nil
+}
+
+// samePosteriors demands exact float equality row by row.
+func samePosteriors(got, want [][]float32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("frame count %d, want %d", len(got), len(want))
+	}
+	for t := range want {
+		for i := range want[t] {
+			if got[t][i] != want[t][i] {
+				return fmt.Errorf("frame %d dim %d: %v != %v", t, i, got[t][i], want[t][i])
+			}
+		}
+	}
+	return nil
+}
+
+// ServeSpeedup returns the batched/direct goodput ratio at the given
+// client count, and whether that concurrency was measured.
+func ServeSpeedup(rows []ServeBenchRow, clients int) (float64, bool) {
+	for _, r := range rows {
+		if r.Mode == "batched" && r.Clients == clients {
+			return r.SpeedupX, true
+		}
+	}
+	return 0, false
+}
+
+// RenderServeBench formats the study.
+func RenderServeBench(rows []ServeBenchRow, cfg ServeBenchConfig) string {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Continuous-batching serve scheduler (GRU h=%d L=%d, %d frames/req, max-batch %d, window %v; target ≥%.0fx @ %d clients)",
+			cfg.Spec.Hidden, cfg.Spec.NumLayers, cfg.FramesPerRequest,
+			cfg.MaxBatch, cfg.Window, ServeSpeedupTarget, ServeSpeedupClients),
+		Headers: []string{"Mode", "Clients", "Reqs", "p50 ms", "p95 ms", "p99 ms", "RPS", "speedup"},
+	}
+	for _, r := range rows {
+		speed := "-"
+		if r.Mode == "batched" {
+			speed = fmt.Sprintf("%.2fx", r.SpeedupX)
+		}
+		t.AddRow(r.Mode, f(float64(r.Clients), 0), f(float64(r.Requests), 0),
+			f(r.P50Ms, 2), f(r.P95Ms, 2), f(r.P99Ms, 2), f(r.GoodputRPS, 1), speed)
+	}
+	return t.Render()
+}
+
+// WriteServeJSON writes the rows as indented JSON — the BENCH_6.json
+// artifact.
+func WriteServeJSON(w io.Writer, rows []ServeBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

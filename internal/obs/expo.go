@@ -24,6 +24,12 @@ type histRow struct {
 	h    *Histogram
 }
 
+// gaugeRow pairs a metric name with its gauge.
+type gaugeRow struct {
+	name string
+	g    *Gauge
+}
+
 func (m *Metrics) counters() []counterRow {
 	return []counterRow{
 		{"rtmobile_steps_total", &m.StepsTotal},
@@ -37,6 +43,20 @@ func (m *Metrics) counters() []counterRow {
 		{"rtmobile_arena_hits_total", &m.ArenaHits},
 		{"rtmobile_arena_misses_total", &m.ArenaMisses},
 		{"rtmobile_pool_tasks_total", &m.PoolTasksTotal},
+		{"rtmobile_sched_admitted_total", &m.SchedAdmitted},
+		{"rtmobile_sched_rejected_total", &m.SchedRejected},
+		{"rtmobile_sched_dispatch_total", &m.SchedDispatch},
+		{"rtmobile_sched_lane_joins_total", &m.SchedJoins},
+		{"rtmobile_sched_steps_total", &m.SchedSteps},
+		{"rtmobile_stream_sessions_total", &m.StreamSessions},
+	}
+}
+
+func (m *Metrics) gauges() []gaugeRow {
+	return []gaugeRow{
+		{"rtmobile_pool_queue_depth", &m.PoolQueueDepth},
+		{"rtmobile_sched_queue_depth", &m.SchedQueue},
+		{"rtmobile_stream_lanes", &m.StreamLanes},
 	}
 }
 
@@ -46,6 +66,9 @@ func (m *Metrics) histograms() []histRow {
 		{"rtmobile_batch_step_latency_ns", m.BatchStepLatency},
 		{"rtmobile_infer_latency_ns", m.InferLatency},
 		{"rtmobile_kernel_latency_ns", m.KernelLatency},
+		{"rtmobile_sched_queue_wait_ns", m.SchedQueueWait},
+		{"rtmobile_sched_latency_ns", m.SchedLatency},
+		{"rtmobile_sched_lane_occupancy", m.LaneOccupancy},
 	}
 }
 
@@ -58,9 +81,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# TYPE rtmobile_pool_queue_depth gauge\nrtmobile_pool_queue_depth %d\n",
-		m.PoolQueueDepth.Value()); err != nil {
-		return err
+	for _, r := range m.gauges() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", r.name, r.name, r.g.Value()); err != nil {
+			return err
+		}
 	}
 	if busy := m.PoolBusyNs.Values(); len(busy) > 0 {
 		if _, err := fmt.Fprint(w, "# TYPE rtmobile_pool_worker_busy_ns_total counter\n"); err != nil {
@@ -108,7 +132,9 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 	for _, r := range m.counters() {
 		doc[r.name] = r.c.Value()
 	}
-	doc["rtmobile_pool_queue_depth"] = m.PoolQueueDepth.Value()
+	for _, r := range m.gauges() {
+		doc[r.name] = r.g.Value()
+	}
 	if busy := m.PoolBusyNs.Values(); len(busy) > 0 {
 		workers := make(map[string]uint64, len(busy))
 		for i, v := range busy {

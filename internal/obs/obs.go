@@ -62,6 +62,16 @@ type Metrics struct {
 	ArenaHits   Counter
 	ArenaMisses Counter
 
+	// Continuous-batching serve scheduler (internal/sched).
+	SchedAdmitted  Counter // requests accepted into the pending queue
+	SchedRejected  Counter // requests bounced by admission control (429 path)
+	SchedDispatch  Counter // panel generations opened
+	SchedJoins     Counter // lane assignments (generation starts + mid-flight joins)
+	SchedSteps     Counter // lockstep panel steps driven by the scheduler
+	SchedQueue     Gauge   // requests waiting for a lane right now
+	StreamSessions Counter // /infer/stream sessions opened
+	StreamLanes    Gauge   // streaming sessions currently holding a lane
+
 	// Worker pool.
 	PoolTasksTotal Counter   // pool.For tasks started
 	PoolQueueDepth Gauge     // submitted-but-unfinished pool tasks
@@ -72,6 +82,20 @@ type Metrics struct {
 	BatchStepLatency *Histogram
 	InferLatency     *Histogram
 	KernelLatency    *Histogram
+
+	// Scheduler distributions: queue wait (enqueue → lane assignment) and
+	// end-to-end request latency (enqueue → completion) in nanoseconds,
+	// plus live-lane occupancy per panel step (a count histogram — how full
+	// the panels the scheduler dispatches actually run).
+	SchedQueueWait *Histogram
+	SchedLatency   *Histogram
+	LaneOccupancy  *Histogram
+}
+
+// DefaultOccupancyBounds buckets live-lane counts per panel step at the
+// powers of two the batch kernels care about (MaxBatchWidth is 32).
+func DefaultOccupancyBounds() []int64 {
+	return []int64{1, 2, 4, 8, 16, 32}
 }
 
 // NewMetrics builds a fresh instrument set with the default latency
@@ -82,6 +106,9 @@ func NewMetrics() *Metrics {
 		BatchStepLatency: NewHistogram(DefaultLatencyBounds()),
 		InferLatency:     NewHistogram(DefaultLatencyBounds()),
 		KernelLatency:    NewHistogram(DefaultLatencyBounds()),
+		SchedQueueWait:   NewHistogram(DefaultLatencyBounds()),
+		SchedLatency:     NewHistogram(DefaultLatencyBounds()),
+		LaneOccupancy:    NewHistogram(DefaultOccupancyBounds()),
 	}
 }
 

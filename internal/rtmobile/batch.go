@@ -173,12 +173,15 @@ func (s *BatchStream) Active(l int) bool { return s.inner.Active(l) }
 // batchArena is the per-group working set InferBatch reuses across calls:
 // a lockstep session plus its input and posterior panels. Arenas are keyed
 // by batch width; the engine keeps a small free list so steady-state
-// serving never reallocates them.
+// serving never reallocates them. The embedded lease is the arena's
+// exported face for the serve scheduler — allocated once with the arena so
+// AcquireBatch stays allocation-free on the free-list hit path.
 type batchArena struct {
-	bw   int
-	bs   *BatchStream
-	in   []float32
-	post []float32
+	bw    int
+	bs    *BatchStream
+	in    []float32
+	post  []float32
+	lease BatchLease
 }
 
 // getBatchArena pops a width-bw arena off the free list or builds one.
@@ -205,13 +208,61 @@ func (e *Engine) getBatchArena(bw int) *batchArena {
 	if m := obs.M(); m != nil {
 		m.ArenaMisses.Inc()
 	}
-	return &batchArena{
+	a := &batchArena{
 		bw:   bw,
 		bs:   e.NewBatchStream(bw),
 		in:   make([]float32, e.model.Spec.InputDim*bw),
 		post: make([]float32, e.model.Spec.OutputDim*bw),
 	}
+	a.lease.e = e
+	a.lease.a = a
+	return a
 }
+
+// BatchLease is a leased lockstep panel session for external serving
+// tiers (internal/sched): the caller fills the input panel column-major,
+// Steps, and reads the posterior panel, with ResetLane/Retire managing
+// lane occupancy across ragged utterances. It satisfies sched.Session
+// structurally. One goroutine per lease; Release returns it to the
+// engine's arena free list, so steady-state acquire/release cycles at a
+// stable width perform zero heap allocations.
+type BatchLease struct {
+	e *Engine
+	a *batchArena
+}
+
+// AcquireBatch leases a width-bw lockstep session with every lane reset
+// and active. Arena-backed: repeated acquire/release at one width reuses
+// the same panels and session.
+func (e *Engine) AcquireBatch(bw int) *BatchLease {
+	a := e.getBatchArena(bw)
+	a.bs.Reset()
+	return &a.lease
+}
+
+// In returns the input panel (InputDim × width, element i of lane l at
+// In()[i*width+l]).
+func (l *BatchLease) In() []float32 { return l.a.in }
+
+// Out returns the posterior panel (OutputDim × width), valid after Step.
+func (l *BatchLease) Out() []float32 { return l.a.post }
+
+// Width reports the lease's panel width.
+func (l *BatchLease) Width() int { return l.a.bw }
+
+// Step advances every lane one frame: posteriors for live lanes land in
+// Out, retired lanes' columns are left untouched.
+func (l *BatchLease) Step() { l.a.bs.StepBatchInto(l.a.post, l.a.in) }
+
+// ResetLane clears lane i's recurrent state and re-activates it.
+func (l *BatchLease) ResetLane(i int) { l.a.bs.ResetLane(i) }
+
+// Retire marks lane i's outputs meaningless (its utterance ended).
+func (l *BatchLease) Retire(i int) { l.a.bs.Retire(i) }
+
+// Release returns the session to the engine's arena free list. The lease
+// must not be used afterwards.
+func (l *BatchLease) Release() { l.e.putBatchArena(l.a) }
 
 // putBatchArena returns an arena to the free list (dropped if full).
 func (e *Engine) putBatchArena(a *batchArena) {

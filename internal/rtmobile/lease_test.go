@@ -1,0 +1,101 @@
+package rtmobile
+
+import (
+	"testing"
+
+	"rtmobile/internal/device"
+)
+
+// TestBatchLeaseMatchesStream: driving lanes through the exported lease
+// API (the scheduler's view of the engine) yields byte-for-byte the same
+// posteriors as dedicated serial Streams, including a mid-flight retire
+// and lane reuse — the contract the serve scheduler's bit-identical
+// response guarantee rests on.
+func TestBatchLeaseMatchesStream(t *testing.T) {
+	const bw, T = 3, 8
+	eng := parallelTestEngine(t, 61, false, 1)
+	inDim := eng.InputDim()
+	outDim := eng.OutputDim()
+
+	l := eng.AcquireBatch(bw)
+	if l.Width() != bw {
+		t.Fatalf("lease width %d, want %d", l.Width(), bw)
+	}
+	refs := make([]*Stream, bw)
+	lanes := make([][][]float32, bw)
+	for i := range refs {
+		refs[i] = eng.NewStream()
+		lanes[i] = testFrames(200+uint64(i), T, inDim)
+		l.ResetLane(i)
+	}
+	want := make([]float32, outDim)
+	for step := 0; step < T; step++ {
+		if step == T/2 {
+			// Lane 1 retires mid-flight and a fresh utterance takes over.
+			l.Retire(1)
+			l.ResetLane(1)
+			refs[1].Reset()
+			lanes[1] = testFrames(300, T, inDim)
+		}
+		in := l.In()
+		for lane := 0; lane < bw; lane++ {
+			for i, v := range lanes[lane][step] {
+				in[i*bw+lane] = v
+			}
+		}
+		l.Step()
+		out := l.Out()
+		for lane := 0; lane < bw; lane++ {
+			refs[lane].StepInto(want, lanes[lane][step])
+			for i := 0; i < outDim; i++ {
+				if out[i*bw+lane] != want[i] {
+					t.Fatalf("step %d lane %d elem %d: lease %v vs serial %v",
+						step, lane, i, out[i*bw+lane], want[i])
+				}
+			}
+		}
+	}
+	l.Release()
+}
+
+// TestBatchLeaseReuse: Release returns the lease to the engine arena, so
+// reacquiring the same width hands back the same backing buffers.
+func TestBatchLeaseReuse(t *testing.T) {
+	eng := parallelTestEngine(t, 62, false, 1)
+	l1 := eng.AcquireBatch(2)
+	in1 := &l1.In()[0]
+	l1.Release()
+	l2 := eng.AcquireBatch(2)
+	defer l2.Release()
+	if &l2.In()[0] != in1 {
+		t.Fatal("reacquired lease does not reuse the arena buffers")
+	}
+}
+
+// TestBatchLeaseZeroAlloc: once the arena is warm, a full
+// acquire → reset → step → release cycle costs zero heap allocations —
+// the engine-side half of the serve scheduler's steady-state 0 allocs/op
+// guarantee.
+func TestBatchLeaseZeroAlloc(t *testing.T) {
+	const bw = 2
+	eng := allocEngine(t, device.MobileCPU())
+	frame := testFrames(63, 1, eng.InputDim())[0]
+	cycle := func() {
+		l := eng.AcquireBatch(bw)
+		in := l.In()
+		for lane := 0; lane < bw; lane++ {
+			l.ResetLane(lane)
+			for i, v := range frame {
+				in[i*bw+lane] = v
+			}
+		}
+		l.Step()
+		l.Retire(0)
+		l.Retire(1)
+		l.Release()
+	}
+	cycle() // warm the arena
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("warm lease cycle allocates %v times, want 0", allocs)
+	}
+}

@@ -1,0 +1,357 @@
+// Package sched is the continuous-batching serve scheduler: it sits
+// between the HTTP handlers and the engine's lockstep batch machinery,
+// coalescing concurrent whole-utterance requests into B-wide panel
+// generations so the serving tier sees the weight-stream amortization the
+// batch kernels earn (BENCH_3/BENCH_5: the fast path only pays off when
+// panel lanes are full).
+//
+// Architecture: every batching decision lives in a single-threaded state
+// machine (core) whose inputs are arrivals and explicit clock readings —
+// no time.Now calls, no goroutines, no channels. The async Scheduler
+// (sched.go) is a thin shell that serializes Submit/Advance under one
+// mutex and sleeps on an injectable timer between units of work. Tests
+// drive the very same core synchronously with scripted arrival traces and
+// a fake clock, so batch composition is asserted exactly, not
+// probabilistically.
+//
+// Batching policy (continuous batching, not fixed batch-and-drain):
+//
+//   - A request waits in a bounded FIFO queue. When the queue reaches
+//     MaxBatch, or the oldest waiting request has waited Window, a panel
+//     generation opens at width min(waiting, MaxBatch).
+//   - While a generation is live, every panel step first fills any free
+//     lanes from the queue immediately (no window wait — the marginal cost
+//     of occupying a free lane is near zero, the weight stream is already
+//     being paid for the panel).
+//   - A lane retires the step its utterance's last frame is scored;
+//     ResetLane re-arms it for the next occupant. The generation closes
+//     when every lane has retired and the queue cannot refill it.
+//   - Admission control: a full queue rejects with ErrQueueFull (the HTTP
+//     429 path); a closed scheduler rejects with ErrClosed but drains
+//     everything already admitted.
+package sched
+
+import (
+	"errors"
+	"time"
+
+	"rtmobile/internal/obs"
+)
+
+// ErrQueueFull is returned when admission control bounces a request: the
+// pending queue is at QueueDepth. HTTP handlers map it to 429 with a
+// Retry-After hint.
+var ErrQueueFull = errors.New("sched: queue full")
+
+// ErrClosed is returned for submissions after Close; already-admitted
+// requests still drain to completion.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// Session is one leased lockstep panel: the scheduler's view of
+// rtmobile.BatchLease (or a test fake). In and Out are column-major
+// panels — element i of lane l at panel[i*width+l].
+type Session interface {
+	// In returns the input panel (InputDim × width) the caller fills
+	// before Step.
+	In() []float32
+	// Out returns the posterior panel (OutputDim × width), valid after
+	// Step until the next Step.
+	Out() []float32
+	// Step advances every live lane one frame.
+	Step()
+	// ResetLane clears lane l's recurrent state and re-activates it.
+	ResetLane(l int)
+	// Retire marks lane l's outputs meaningless; the lockstep keeps
+	// computing the column but stops writing posteriors for it.
+	Retire(l int)
+	// Release returns the session to its owner's arena.
+	Release()
+}
+
+// Batcher hands out lockstep sessions over shared read-only weights —
+// implemented by the engine adapter in cmd/rtmobile and by test fakes.
+type Batcher interface {
+	InputDim() int
+	OutputDim() int
+	Acquire(width int) Session
+}
+
+// request is one queued inference job. Requests are recycled through the
+// scheduler's free list, so the steady-state dispatch path allocates
+// nothing per request.
+type request struct {
+	frames [][]float32
+	out    [][]float32 // len(frames) rows of OutputDim, caller-owned
+	err    error
+	done   chan struct{} // buffered 1; exactly one completion token per job
+	enq    time.Time
+	next   int // frames scored so far
+}
+
+// Config sizes the scheduler.
+type Config struct {
+	// MaxBatch caps panel width (lanes per generation). Default 8.
+	MaxBatch int
+	// Window is the longest a request waits for lane-mates before a
+	// sub-full generation opens. 0 dispatches immediately. Default 2ms.
+	Window time.Duration
+	// QueueDepth bounds the pending queue; submissions beyond it are
+	// rejected with ErrQueueFull. Default 8×MaxBatch.
+	QueueDepth int
+	// MaxStreams bounds concurrent streaming sessions admitted through
+	// AcquireStreamLane. Default MaxBatch.
+	MaxStreams int
+	// Clock injects time; nil means the wall clock.
+	Clock Clock
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 8 * c.MaxBatch
+	}
+	if c.MaxStreams < 1 {
+		c.MaxStreams = c.MaxBatch
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+	return c
+}
+
+// core is the single-threaded scheduling state machine. The Scheduler
+// serializes every method under its mutex; the deterministic tests call
+// them directly. No method reads a clock — callers pass now.
+type core struct {
+	cfg     Config
+	batcher Batcher
+	inDim   int
+	outDim  int
+
+	// pending is a fixed-capacity FIFO ring of waiting requests.
+	ring []*request
+	head int
+	n    int
+
+	// Generation state: sess is nil when no panel is live. lanes[l] is the
+	// request occupying lane l (nil = free). completed is the reusable
+	// scratch Advance returns finished requests in.
+	sess      Session
+	width     int
+	lanes     []*request
+	live      int
+	completed []*request
+
+	closed bool
+}
+
+func newCore(b Batcher, cfg Config) *core {
+	return &core{
+		cfg:       cfg,
+		batcher:   b,
+		inDim:     b.InputDim(),
+		outDim:    b.OutputDim(),
+		ring:      make([]*request, cfg.QueueDepth),
+		lanes:     make([]*request, cfg.MaxBatch),
+		completed: make([]*request, 0, cfg.MaxBatch),
+	}
+}
+
+// submit admits a request into the pending queue or rejects it.
+func (c *core) submit(r *request, now time.Time) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.n == len(c.ring) {
+		if m := obs.M(); m != nil {
+			m.SchedRejected.Inc()
+		}
+		return ErrQueueFull
+	}
+	r.enq = now
+	r.next = 0
+	r.err = nil
+	c.ring[(c.head+c.n)%len(c.ring)] = r
+	c.n++
+	if m := obs.M(); m != nil {
+		m.SchedAdmitted.Inc()
+		m.SchedQueue.Set(int64(c.n))
+	}
+	return nil
+}
+
+// pop removes the oldest pending request.
+func (c *core) pop() *request {
+	r := c.ring[c.head]
+	c.ring[c.head] = nil
+	c.head = (c.head + 1) % len(c.ring)
+	c.n--
+	if m := obs.M(); m != nil {
+		m.SchedQueue.Set(int64(c.n))
+	}
+	return r
+}
+
+// queueLen reports the number of waiting requests.
+func (c *core) queueLen() int { return c.n }
+
+// idle reports that no generation is live and nothing waits.
+func (c *core) idle() bool { return c.sess == nil && c.n == 0 }
+
+// deadline returns the instant the batch window expires — meaningful only
+// while requests wait with no generation live.
+func (c *core) deadline() (time.Time, bool) {
+	if c.sess != nil || c.n == 0 {
+		return time.Time{}, false
+	}
+	return c.ring[c.head].enq.Add(c.cfg.Window), true
+}
+
+// runnable reports whether Advance has work: a live generation always
+// does; otherwise waiting requests dispatch when the panel would be full,
+// when the window has expired, or when the scheduler is draining for
+// close.
+func (c *core) runnable(now time.Time) bool {
+	if c.sess != nil {
+		return true
+	}
+	if c.n == 0 {
+		return false
+	}
+	if c.n >= c.cfg.MaxBatch || c.closed {
+		return true
+	}
+	dl, _ := c.deadline()
+	return !now.Before(dl)
+}
+
+// assign seats the oldest non-empty pending request in lane l of the live
+// session, completing any zero-frame requests it skips over. Reports
+// whether a request was seated (the queue may run dry first).
+func (c *core) assign(l int, now time.Time) bool {
+	for c.n > 0 {
+		r := c.pop()
+		if len(r.frames) == 0 {
+			c.completed = append(c.completed, r)
+			continue
+		}
+		c.sess.ResetLane(l)
+		c.lanes[l] = r
+		c.live++
+		if m := obs.M(); m != nil {
+			m.SchedJoins.Inc()
+			m.SchedQueueWait.Observe(now.Sub(r.enq).Nanoseconds())
+		}
+		return true
+	}
+	return false
+}
+
+// advance performs one unit of scheduling work — opening a generation or
+// driving one lockstep panel step — and appends any finished requests to
+// the returned slice (reused scratch; consume before the next call).
+// Callers must only invoke it when runnable reported work.
+func (c *core) advance(now time.Time) []*request {
+	c.completed = c.completed[:0]
+	if c.sess == nil {
+		c.open(now)
+		return c.completed
+	}
+	c.step(now)
+	return c.completed
+}
+
+// open starts a generation: width = min(waiting, MaxBatch), one waiting
+// request per lane. Zero-frame requests (defended against even though the
+// HTTP tier rejects them) complete immediately without occupying a lane.
+func (c *core) open(now time.Time) {
+	for c.n > 0 && len(c.ring[c.head].frames) == 0 {
+		c.completed = append(c.completed, c.pop())
+	}
+	if c.n == 0 {
+		return
+	}
+	w := c.n
+	if w > c.cfg.MaxBatch {
+		w = c.cfg.MaxBatch
+	}
+	c.width = w
+	c.sess = c.batcher.Acquire(w)
+	c.live = 0
+	for l := 0; l < w; l++ {
+		c.lanes[l] = nil
+	}
+	for l := 0; l < w && c.n > 0; l++ {
+		c.assign(l, now)
+	}
+	if m := obs.M(); m != nil {
+		m.SchedDispatch.Inc()
+	}
+}
+
+// step drives one lockstep panel step: fill free lanes from the queue,
+// stage each live lane's next frame, advance the panel, scatter posterior
+// columns back into per-request rows, retire finished lanes. Closes the
+// generation when the last lane drains.
+func (c *core) step(now time.Time) {
+	// Continuous joining: a free lane is occupied the moment a request is
+	// waiting — mid-flight, no window.
+	for l := 0; l < c.width && c.n > 0; l++ {
+		if c.lanes[l] == nil {
+			c.assign(l, now)
+		}
+	}
+	if c.live == 0 { // every waiting request was zero-frame; nothing to step
+		c.sess.Release()
+		c.sess = nil
+		c.width = 0
+		return
+	}
+	in := c.sess.In()
+	bw := c.width
+	stepped := 0
+	for l := 0; l < bw; l++ {
+		r := c.lanes[l]
+		if r == nil {
+			continue
+		}
+		stepped++
+		for i, v := range r.frames[r.next] {
+			in[i*bw+l] = v
+		}
+	}
+	c.sess.Step()
+	out := c.sess.Out()
+	for l := 0; l < bw; l++ {
+		r := c.lanes[l]
+		if r == nil {
+			continue
+		}
+		row := r.out[r.next]
+		for i := range row {
+			row[i] = out[i*bw+l]
+		}
+		r.next++
+		if r.next == len(r.frames) {
+			c.sess.Retire(l)
+			c.lanes[l] = nil
+			c.live--
+			c.completed = append(c.completed, r)
+		}
+	}
+	if m := obs.M(); m != nil {
+		m.SchedSteps.Inc()
+		m.LaneOccupancy.Observe(int64(stepped))
+	}
+	if c.live == 0 && c.n == 0 {
+		c.sess.Release()
+		c.sess = nil
+		c.width = 0
+	}
+}

@@ -1,0 +1,312 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The scripted-trace harness: drives the core state machine synchronously
+// with explicit clock readings, so every batching decision — window
+// expiry, full-panel dispatch, mid-flight joins, ragged retirement — is
+// asserted exactly. No goroutines, no sleeps, no probabilistic slack.
+
+type harness struct {
+	t         *testing.T
+	c         *core
+	b         *fakeBatcher
+	now       time.Time
+	frames    map[int][][]float32
+	outs      map[int][][]float32
+	byReq     map[*request]int
+	completed []int // request ids in completion order
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	cfg.Clock = NewFakeClock(time.Unix(0, 0)) // defaults need a clock; the core never reads it
+	cfg = cfg.withDefaults()
+	b := newFakeBatcher(3, 2)
+	return &harness{
+		t:      t,
+		c:      newCore(b, cfg),
+		b:      b,
+		now:    time.Unix(0, 0),
+		frames: map[int][][]float32{},
+		outs:   map[int][][]float32{},
+		byReq:  map[*request]int{},
+	}
+}
+
+// submit enqueues a T-frame request tagged id.
+func (h *harness) submit(id, T int) error {
+	h.t.Helper()
+	frames := traceFrames(id, T, h.b.inDim)
+	out := outRows(T, h.b.outDim)
+	r := &request{done: make(chan struct{}, 1), frames: frames, out: out}
+	if err := h.c.submit(r, h.now); err != nil {
+		return err
+	}
+	h.frames[id] = frames
+	h.outs[id] = out
+	h.byReq[r] = id
+	return nil
+}
+
+// tick moves the harness clock.
+func (h *harness) tick(d time.Duration) { h.now = h.now.Add(d) }
+
+// advance runs one core unit of work, recording completions.
+func (h *harness) advance() {
+	h.t.Helper()
+	if !h.c.runnable(h.now) {
+		h.t.Fatalf("advance at %v: core not runnable", h.now)
+	}
+	for _, r := range h.c.advance(h.now) {
+		h.completed = append(h.completed, h.byReq[r])
+	}
+}
+
+// drain runs the core until idle, bounded so a wedged core fails loudly.
+func (h *harness) drain() {
+	h.t.Helper()
+	for i := 0; i < 10_000; i++ {
+		if !h.c.runnable(h.now) {
+			return
+		}
+		h.advance()
+	}
+	h.t.Fatalf("core did not drain in 10k advances (live=%d queued=%d)", h.c.live, h.c.n)
+}
+
+// composition reports the ids seated per lane (-1 = free lane).
+func (h *harness) composition() []int {
+	if h.c.sess == nil {
+		return nil
+	}
+	ids := make([]int, h.c.width)
+	for l := range ids {
+		ids[l] = -1
+		if r := h.c.lanes[l]; r != nil {
+			ids[l] = h.byReq[r]
+		}
+	}
+	return ids
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkOutputs verifies every completed request against the serial oracle.
+func (h *harness) checkOutputs() {
+	h.t.Helper()
+	for id, frames := range h.frames {
+		want := fakeRef(h.b.inDim, h.b.outDim, frames)
+		if err := mustEqual(h.outs[id], want); err != nil {
+			h.t.Fatalf("request %d output diverges from serial oracle: %v", id, err)
+		}
+	}
+}
+
+// TestCoreWindowExpiry: two arrivals inside the window dispatch together
+// exactly when the window of the oldest expires — not before, not after.
+func TestCoreWindowExpiry(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 4, Window: 5 * time.Millisecond})
+	if err := h.submit(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	h.tick(time.Millisecond)
+	if err := h.submit(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if h.c.runnable(h.now) {
+		t.Fatal("core dispatchable before the window expired")
+	}
+	dl, ok := h.c.deadline()
+	if !ok || dl != time.Unix(0, 0).Add(5*time.Millisecond) {
+		t.Fatalf("deadline = %v, %v; want first arrival + window", dl, ok)
+	}
+	h.tick(3 * time.Millisecond) // now = 4ms: still inside the window
+	if h.c.runnable(h.now) {
+		t.Fatal("core dispatchable 1ms before the window expired")
+	}
+	h.tick(time.Millisecond) // now = 5ms: expiry, to the nanosecond
+	if !h.c.runnable(h.now) {
+		t.Fatal("core not dispatchable at window expiry")
+	}
+	h.advance() // opens the generation
+	if got := h.composition(); !eqInts(got, []int{0, 1}) {
+		t.Fatalf("generation composition %v, want [0 1]", got)
+	}
+	if w := h.b.widths(); !eqInts(w, []int{2}) {
+		t.Fatalf("acquired widths %v, want [2]", w)
+	}
+	h.drain()
+	if !eqInts(h.completed, []int{0, 1}) {
+		t.Fatalf("completion order %v, want [0 1]", h.completed)
+	}
+	h.checkOutputs()
+}
+
+// TestCoreFullPanelDispatch: the window is not waited out once MaxBatch
+// requests queue — dispatch is immediate and the panel is exactly full.
+func TestCoreFullPanelDispatch(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 3, Window: time.Hour})
+	for id := 0; id < 3; id++ {
+		if err := h.submit(id, 2); err != nil {
+			t.Fatal(err)
+		}
+		if id < 2 && h.c.runnable(h.now) {
+			t.Fatalf("dispatchable at %d queued, below MaxBatch", id+1)
+		}
+	}
+	if !h.c.runnable(h.now) {
+		t.Fatal("full panel not dispatchable with the window still open")
+	}
+	h.advance()
+	if got := h.composition(); !eqInts(got, []int{0, 1, 2}) {
+		t.Fatalf("composition %v, want [0 1 2]", got)
+	}
+	h.drain()
+	h.checkOutputs()
+}
+
+// TestCoreRaggedRetireAndJoin: lanes retire as their utterances end and a
+// queued late arrival takes over the freed lane mid-flight — the
+// continuous-batching property, asserted step by step.
+func TestCoreRaggedRetireAndJoin(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 3, Window: 0})
+	// Ragged lengths: lane 0 runs 4 frames, lane 1 runs 1, lane 2 runs 2.
+	h.submit(0, 4)
+	h.submit(1, 1)
+	h.submit(2, 2)
+	h.advance() // open at width 3
+	if got := h.composition(); !eqInts(got, []int{0, 1, 2}) {
+		t.Fatalf("composition %v, want [0 1 2]", got)
+	}
+	h.advance() // step 1: request 1 (one frame) retires
+	if got := h.composition(); !eqInts(got, []int{0, -1, 2}) {
+		t.Fatalf("after step 1: composition %v, want [0 -1 2]", got)
+	}
+	if !eqInts(h.completed, []int{1}) {
+		t.Fatalf("completed %v, want [1]", h.completed)
+	}
+	// A late arrival joins the freed lane on the very next step — no new
+	// generation, no window wait.
+	h.submit(3, 2)
+	h.advance() // step 2: request 3 seated in lane 1; request 2 retires
+	if got := h.composition(); !eqInts(got, []int{0, 3, -1}) {
+		t.Fatalf("after step 2: composition %v, want [0 3 -1]", got)
+	}
+	h.drain()
+	if w := h.b.widths(); !eqInts(w, []int{3}) {
+		t.Fatalf("acquired widths %v, want one generation of width 3", w)
+	}
+	if !eqInts(h.completed, []int{1, 2, 3, 0}) {
+		t.Fatalf("completion order %v, want [1 2 3 0]", h.completed)
+	}
+	h.checkOutputs()
+}
+
+// TestCoreWidthClamp: more waiting requests than MaxBatch open a full
+// panel; the rest wait and join as lanes free up, never widening the
+// panel.
+func TestCoreWidthClamp(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 2, Window: 0})
+	for id := 0; id < 5; id++ {
+		h.submit(id, 2)
+	}
+	h.drain()
+	for _, w := range h.b.widths() {
+		if w > 2 {
+			t.Fatalf("acquired width %d exceeds MaxBatch 2 (widths %v)", w, h.b.widths())
+		}
+	}
+	if len(h.completed) != 5 {
+		t.Fatalf("completed %d of 5", len(h.completed))
+	}
+	h.checkOutputs()
+}
+
+// TestCoreQueueBound: admission control rejects exactly at QueueDepth.
+func TestCoreQueueBound(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 8, Window: time.Hour, QueueDepth: 2})
+	if err := h.submit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.submit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.submit(2, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit err = %v, want ErrQueueFull", err)
+	}
+	// Draining the queue re-opens admission.
+	h.tick(2 * time.Hour)
+	h.drain()
+	if err := h.submit(3, 1); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	h.tick(2 * time.Hour)
+	h.drain()
+	h.checkOutputs()
+}
+
+// TestCoreClosedDrains: a closed core rejects new work but dispatches the
+// queue immediately, window be damned.
+func TestCoreClosedDrains(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 4, Window: time.Hour})
+	h.submit(0, 2)
+	h.submit(1, 3)
+	if h.c.runnable(h.now) {
+		t.Fatal("dispatchable with the window open")
+	}
+	h.c.closed = true
+	if !h.c.runnable(h.now) {
+		t.Fatal("closed core must dispatch pending work immediately")
+	}
+	if err := h.submit(2, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close err = %v, want ErrClosed", err)
+	}
+	h.drain()
+	if len(h.completed) != 2 {
+		t.Fatalf("completed %d of 2 admitted before close", len(h.completed))
+	}
+	h.checkOutputs()
+}
+
+// TestCoreEmptyUtterance: a zero-frame request completes without a
+// session (defense in depth; the HTTP tier rejects these).
+func TestCoreEmptyUtterance(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 2, Window: 0})
+	h.submit(0, 0)
+	h.drain()
+	if !eqInts(h.completed, []int{0}) {
+		t.Fatalf("completed %v, want [0]", h.completed)
+	}
+	if len(h.b.widths()) != 0 {
+		t.Fatalf("a zero-frame request acquired a session (widths %v)", h.b.widths())
+	}
+}
+
+// TestCoreSessionsReleased: every generation releases its session.
+func TestCoreSessionsReleased(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 2, Window: 0})
+	for id := 0; id < 6; id++ {
+		h.submit(id, 1+id%3)
+		h.drain()
+	}
+	h.b.mu.Lock()
+	defer h.b.mu.Unlock()
+	if h.b.released != len(h.b.acquired) {
+		t.Fatalf("acquired %d sessions, released %d", len(h.b.acquired), h.b.released)
+	}
+}

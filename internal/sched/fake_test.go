@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The fake batcher used by the deterministic harness: a per-lane recurrent
+// toy model (acc' = acc/2 + Σ input column) whose per-lane math touches
+// only that lane's panel column, mirroring the engine's lanes-never-mix
+// contract. Because the recurrence is width-independent, a lane's outputs
+// must be bit-identical to fakeRef scoring the same frames serially — any
+// cross-lane leak, missed ResetLane, or misrouted column breaks equality
+// exactly.
+
+type fakeBatcher struct {
+	inDim, outDim int
+
+	mu       sync.Mutex
+	acquired []int // width of every Acquire, in order
+	released int
+	maxWidth int
+	free     map[int]*fakeSession // width → idle session, like the engine arena
+}
+
+func newFakeBatcher(inDim, outDim int) *fakeBatcher {
+	// acquired is pre-grown so bookkeeping appends stay out of the
+	// zero-alloc gate's way.
+	return &fakeBatcher{inDim: inDim, outDim: outDim, acquired: make([]int, 0, 4096)}
+}
+
+func (b *fakeBatcher) InputDim() int  { return b.inDim }
+func (b *fakeBatcher) OutputDim() int { return b.outDim }
+
+func (b *fakeBatcher) Acquire(width int) Session {
+	b.mu.Lock()
+	b.acquired = append(b.acquired, width)
+	if width > b.maxWidth {
+		b.maxWidth = width
+	}
+	if s := b.free[width]; s != nil {
+		delete(b.free, width)
+		b.mu.Unlock()
+		return s
+	}
+	b.mu.Unlock()
+	return &fakeSession{
+		b:      b,
+		bw:     width,
+		in:     make([]float32, b.inDim*width),
+		out:    make([]float32, b.outDim*width),
+		acc:    make([]float32, width),
+		active: make([]bool, width),
+	}
+}
+
+// widths snapshots the Acquire history.
+func (b *fakeBatcher) widths() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.acquired...)
+}
+
+type fakeSession struct {
+	b      *fakeBatcher
+	bw     int
+	in     []float32
+	out    []float32
+	acc    []float32
+	active []bool
+}
+
+func (s *fakeSession) In() []float32  { return s.in }
+func (s *fakeSession) Out() []float32 { return s.out }
+
+func (s *fakeSession) Step() {
+	for l := 0; l < s.bw; l++ {
+		if !s.active[l] {
+			continue
+		}
+		var sum float32
+		for i := 0; i < s.b.inDim; i++ {
+			sum += s.in[i*s.bw+l]
+		}
+		s.acc[l] = s.acc[l]/2 + sum
+		for i := 0; i < s.b.outDim; i++ {
+			s.out[i*s.bw+l] = s.acc[l] + float32(i)
+		}
+	}
+}
+
+func (s *fakeSession) ResetLane(l int) {
+	s.acc[l] = 0
+	s.active[l] = true
+}
+
+func (s *fakeSession) Retire(l int) { s.active[l] = false }
+
+func (s *fakeSession) Release() {
+	s.b.mu.Lock()
+	s.b.released++
+	if s.b.free == nil {
+		s.b.free = map[int]*fakeSession{}
+	}
+	s.b.free[s.bw] = s
+	s.b.mu.Unlock()
+}
+
+// fakeRef is the serial oracle: the recurrence a width-1 session applies.
+func fakeRef(inDim, outDim int, frames [][]float32) [][]float32 {
+	out := make([][]float32, len(frames))
+	var acc float32
+	for t, f := range frames {
+		var sum float32
+		for i := 0; i < inDim; i++ {
+			sum += f[i]
+		}
+		acc = acc/2 + sum
+		row := make([]float32, outDim)
+		for i := range row {
+			row[i] = acc + float32(i)
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// traceFrames builds a deterministic utterance whose values encode the
+// request identity, so misrouted lanes produce loud mismatches.
+func traceFrames(id, T, inDim int) [][]float32 {
+	frames := make([][]float32, T)
+	for t := range frames {
+		f := make([]float32, inDim)
+		for i := range f {
+			f[i] = float32(id+1)*0.25 + float32(t)*0.0625 - float32(i)*0.125
+		}
+		frames[t] = f
+	}
+	return frames
+}
+
+// outRows allocates a result buffer shaped for T frames.
+func outRows(T, outDim int) [][]float32 {
+	rows := make([][]float32, T)
+	for t := range rows {
+		rows[t] = make([]float32, outDim)
+	}
+	return rows
+}
+
+// mustEqual compares posterior rows exactly (the scheduler never changes
+// summation order, so float equality is the contract, not tolerance).
+func mustEqual(got, want [][]float32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("row count %d, want %d", len(got), len(want))
+	}
+	for t := range want {
+		if len(got[t]) != len(want[t]) {
+			return fmt.Errorf("row %d width %d, want %d", t, len(got[t]), len(want[t]))
+		}
+		for i := range want[t] {
+			if got[t][i] != want[t][i] {
+				return fmt.Errorf("row %d col %d: got %v, want %v", t, i, got[t][i], want[t][i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzSchedTrace drives the deterministic core with an arbitrary byte
+// stream decoded as (config, events) and checks the scheduler's hard
+// invariants on every trace:
+//
+//   - no generation is ever wider than MaxBatch;
+//   - the queue never exceeds QueueDepth (admission control is airtight);
+//   - the core always drains in bounded work (no deadlock / livelock);
+//   - every admitted request completes exactly once, and its outputs are
+//     bit-identical to the serial oracle regardless of how the trace
+//     interleaved arrivals, window expiries, and mid-flight joins.
+func FuzzSchedTrace(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{3, 1, 4, 0x05, 0x11, 0x22, 0x05, 0x33})       // submits + ticks
+	f.Add([]byte{7, 2, 1, 0x00, 0x00, 0x41, 0x52, 0x63, 0x74}) // ragged lengths
+	f.Add([]byte{1, 0, 6, 0x10, 0x20, 0xff, 0x30, 0x05, 0x05, 0x05})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		cfg := Config{
+			MaxBatch:   int(data[0])%5 + 1,
+			Window:     time.Duration(data[1]%4) * time.Millisecond,
+			QueueDepth: int(data[2])%7 + 1,
+			Clock:      NewFakeClock(time.Unix(0, 0)),
+		}
+		cfg = cfg.withDefaults()
+		b := newFakeBatcher(3, 2)
+		c := newCore(b, cfg)
+		now := time.Unix(0, 0)
+
+		type inflight struct {
+			id     int
+			frames [][]float32
+			out    [][]float32
+		}
+		byReq := map[*request]*inflight{}
+		admitted := 0
+		completedBy := map[int]int{}
+		closed := false
+
+		finish := func(rs []*request) {
+			for _, r := range rs {
+				fl := byReq[r]
+				if fl == nil {
+					t.Fatal("completion for a request that was never admitted")
+				}
+				completedBy[fl.id]++
+			}
+		}
+
+		// One advance bound for the whole trace: generous, but a wedged
+		// core (stuck runnable without progress) still trips it.
+		budget := 100_000
+		advance := func() {
+			if budget == 0 {
+				t.Fatalf("core exceeded the advance budget (live=%d queued=%d)", c.live, c.n)
+			}
+			budget--
+			finish(c.advance(now))
+		}
+
+		for _, op := range data[3:] {
+			switch op % 4 {
+			case 0: // submit a request of 0..7 frames
+				T := int(op/4) % 8
+				fl := &inflight{id: admitted, frames: traceFrames(admitted, T, b.inDim), out: outRows(T, b.outDim)}
+				r := &request{done: make(chan struct{}, 1), frames: fl.frames, out: fl.out}
+				err := c.submit(r, now)
+				switch {
+				case closed:
+					if err != ErrClosed {
+						t.Fatalf("submit after close err = %v, want ErrClosed", err)
+					}
+				case err == nil:
+					byReq[r] = fl
+					admitted++
+				case err != ErrQueueFull:
+					t.Fatalf("submit err = %v", err)
+				}
+			case 1: // advance time by 0..63 ms
+				now = now.Add(time.Duration(op/4) * time.Millisecond)
+			case 2: // run one unit of core work, if any is due
+				if c.runnable(now) {
+					advance()
+				}
+			case 3: // close once, partway through the trace
+				closed = true
+				c.closed = true
+			}
+			if c.queueLen() > cfg.QueueDepth {
+				t.Fatalf("queue %d exceeds QueueDepth %d", c.queueLen(), cfg.QueueDepth)
+			}
+		}
+
+		// Drain: close forces the window, so everything admitted finishes.
+		c.closed = true
+		for c.runnable(now) {
+			advance()
+		}
+		if !c.idle() {
+			t.Fatalf("core not idle after drain (live=%d queued=%d)", c.live, c.n)
+		}
+
+		b.mu.Lock()
+		maxWidth, sessions, released := b.maxWidth, len(b.acquired), b.released
+		b.mu.Unlock()
+		if maxWidth > cfg.MaxBatch {
+			t.Fatalf("generation width %d exceeds MaxBatch %d", maxWidth, cfg.MaxBatch)
+		}
+		if released != sessions {
+			t.Fatalf("acquired %d sessions, released %d", sessions, released)
+		}
+		if len(completedBy) != admitted {
+			t.Fatalf("admitted %d requests, %d completed", admitted, len(completedBy))
+		}
+		for _, fl := range byReq {
+			if completedBy[fl.id] != 1 {
+				t.Fatalf("request %d completed %d times", fl.id, completedBy[fl.id])
+			}
+			if err := mustEqual(fl.out, fakeRef(b.inDim, b.outDim, fl.frames)); err != nil {
+				t.Fatalf("request %d diverges from serial oracle: %v", fl.id, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rtmobile/internal/obs"
+)
+
+// Scheduler is the async shell around the core state machine: it owns the
+// dispatcher goroutine, the wake/stop plumbing, and the request free list.
+// All scheduling decisions are the core's; the shell only decides when to
+// sleep and for how long, via the injected Clock.
+type Scheduler struct {
+	clock Clock
+	cfg   Config
+
+	mu   sync.Mutex
+	core *core
+
+	wake chan struct{} // cap 1: submissions nudge the dispatcher
+	stop chan struct{} // closed once by Close
+	done chan struct{} // closed when the dispatcher exits
+
+	closeOnce sync.Once
+
+	freeMu sync.Mutex
+	free   []*request
+
+	streamMu    sync.Mutex
+	streamLanes int
+}
+
+// New starts a scheduler over the batcher and returns it running. Close
+// drains and stops it.
+func New(b Batcher, cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		clock: cfg.Clock,
+		cfg:   cfg,
+		core:  newCore(b, cfg),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Config reports the scheduler's resolved configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// QueueLen reports how many admitted requests are waiting for a lane.
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.queueLen()
+}
+
+// getReq checks a request out of the free list.
+func (s *Scheduler) getReq() *request {
+	s.freeMu.Lock()
+	if n := len(s.free); n > 0 {
+		r := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.freeMu.Unlock()
+		select {
+		case <-r.done: // defensive: drop a stale token
+		default:
+		}
+		return r
+	}
+	s.freeMu.Unlock()
+	return &request{done: make(chan struct{}, 1)}
+}
+
+// putReq returns a request whose completion token has been consumed.
+func (s *Scheduler) putReq(r *request) {
+	r.frames, r.out, r.err = nil, nil, nil
+	s.freeMu.Lock()
+	s.free = append(s.free, r)
+	s.freeMu.Unlock()
+}
+
+// Infer scores one utterance through the batching tier and returns freshly
+// allocated posterior rows. Blocks until the result is ready, admission
+// rejects it (ErrQueueFull), the scheduler closes (ErrClosed), or ctx is
+// done.
+func (s *Scheduler) Infer(ctx context.Context, frames [][]float32) ([][]float32, error) {
+	outDim := s.core.outDim
+	flat := make([]float32, len(frames)*outDim)
+	out := make([][]float32, len(frames))
+	for t := range out {
+		out[t] = flat[t*outDim : (t+1)*outDim]
+	}
+	if err := s.InferInto(ctx, out, frames); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InferInto is the allocation-free variant: posteriors land in dst, which
+// must have one OutputDim-wide row per frame. On a ctx cancellation the
+// request may still be scored — dst must stay writable until the scheduler
+// finishes with it, so recycle dst only on a nil or admission error.
+func (s *Scheduler) InferInto(ctx context.Context, dst, frames [][]float32) error {
+	if len(dst) != len(frames) {
+		return fmt.Errorf("sched: dst has %d rows for %d frames", len(dst), len(frames))
+	}
+	m := obs.M()
+	r := s.getReq()
+	r.frames, r.out = frames, dst
+	s.mu.Lock()
+	now := s.clock.Now()
+	err := s.core.submit(r, now)
+	s.mu.Unlock()
+	if err != nil {
+		s.putReq(r)
+		return err
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case <-r.done:
+		err = r.err
+		if m != nil {
+			m.SchedLatency.Observe(s.clock.Now().Sub(now).Nanoseconds())
+		}
+		s.putReq(r)
+		return err
+	case <-ctx.Done():
+		// The request is abandoned, not cancelled: the dispatcher will
+		// still score it and park the token in r.done; the object is
+		// simply never recycled.
+		return ctx.Err()
+	}
+}
+
+// RetryAfter is the backoff hint handlers attach to ErrQueueFull
+// rejections (HTTP Retry-After is whole seconds; the queue usually drains
+// much faster, so the floor is 1).
+func (s *Scheduler) RetryAfter() time.Duration {
+	d := s.cfg.Window * time.Duration(s.cfg.QueueDepth)
+	if d < time.Second {
+		return time.Second
+	}
+	return d.Round(time.Second)
+}
+
+// AcquireStreamLane admits a long-lived streaming session against the
+// MaxStreams budget. The release func must be called exactly once when the
+// session ends; ErrQueueFull means the budget is exhausted (429 path).
+func (s *Scheduler) AcquireStreamLane() (release func(), err error) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if s.streamLanes >= s.cfg.MaxStreams {
+		if m := obs.M(); m != nil {
+			m.SchedRejected.Inc()
+		}
+		return nil, ErrQueueFull
+	}
+	s.streamLanes++
+	if m := obs.M(); m != nil {
+		m.StreamSessions.Inc()
+		m.StreamLanes.Set(int64(s.streamLanes))
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.streamMu.Lock()
+			s.streamLanes--
+			if m := obs.M(); m != nil {
+				m.StreamLanes.Set(int64(s.streamLanes))
+			}
+			s.streamMu.Unlock()
+		})
+	}, nil
+}
+
+// Close stops admission, drains every admitted request to completion, and
+// waits for the dispatcher to exit (or ctx to give up on the wait — the
+// drain itself is not abandoned).
+func (s *Scheduler) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.core.closed = true
+		s.mu.Unlock()
+		close(s.stop)
+	})
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the dispatcher loop: do one unit of core work per lock hold (so
+// submissions interleave and join panels mid-flight), sleep on the window
+// timer when the core is waiting for lane-mates, exit once closed and
+// drained.
+func (s *Scheduler) run() {
+	defer close(s.done)
+	timer := s.clock.NewTimer()
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		now := s.clock.Now()
+		if s.core.runnable(now) {
+			completed := s.core.advance(now)
+			s.mu.Unlock()
+			for _, r := range completed {
+				r.done <- struct{}{}
+			}
+			continue
+		}
+		stopping := s.core.closed
+		dl, hasDL := s.core.deadline()
+		s.mu.Unlock()
+		if stopping {
+			// Closed and not runnable means the queue is empty; any live
+			// generation would have kept runnable true. Drained — exit.
+			return
+		}
+		if hasDL {
+			timer.Reset(dl.Sub(now))
+			select {
+			case <-s.wake:
+			case <-timer.C():
+			case <-s.stop:
+			}
+		} else {
+			select {
+			case <-s.wake:
+			case <-s.stop:
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Async scheduler tests. Determinism comes from the injected FakeClock:
+// with time frozen, the dispatcher cannot open a sub-full generation no
+// matter how goroutines interleave, so tests park arrivals, then advance
+// the clock and assert composition exactly. The only waiting is
+// liveness-bounded spinning (no time.Sleep in any assertion).
+
+// waitUntil spins (yielding) until cond holds; fails the test after a
+// real-time liveness bound. It asserts nothing about timing — only that
+// the scheduler eventually makes externally visible progress.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestSchedulerWindowCoalescing: requests parked inside the frozen window
+// dispatch as one exactly-composed panel when the clock advances.
+func TestSchedulerWindowCoalescing(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 8, Window: 2 * time.Millisecond, Clock: clk})
+	defer s.Close(context.Background())
+
+	const n = 3
+	var wg sync.WaitGroup
+	outs := make([][][]float32, n)
+	errs := make([]error, n)
+	frames := make([][][]float32, n)
+	for i := 0; i < n; i++ {
+		frames[i] = traceFrames(i, 4, b.inDim)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = s.Infer(context.Background(), frames[i])
+		}(i)
+	}
+	// All three must be queued before time moves: the frozen clock makes
+	// early dispatch impossible (3 < MaxBatch and the window never
+	// expires on its own).
+	waitUntil(t, "3 requests queued", func() bool { return s.QueueLen() == n })
+	clk.Advance(2 * time.Millisecond)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if err := mustEqual(outs[i], fakeRef(b.inDim, b.outDim, frames[i])); err != nil {
+			t.Fatalf("request %d diverges from serial oracle: %v", i, err)
+		}
+	}
+	if w := b.widths(); len(w) != 1 || w[0] != n {
+		t.Fatalf("acquired widths %v, want one generation of width %d", w, n)
+	}
+}
+
+// TestSchedulerFullPanelNoWait: MaxBatch arrivals dispatch with the clock
+// frozen — a full panel never waits for the window.
+func TestSchedulerFullPanelNoWait(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 2, Window: time.Hour, Clock: clk})
+	defer s.Close(context.Background())
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Infer(context.Background(), traceFrames(i, 3, b.inDim)); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait() // completes without the clock ever advancing
+	if w := b.widths(); len(w) != 1 || w[0] != 2 {
+		t.Fatalf("acquired widths %v, want one full panel of width 2", w)
+	}
+}
+
+// TestSchedulerOverload: a full queue rejects with ErrQueueFull while the
+// window is frozen, and the parked requests still complete afterwards.
+func TestSchedulerOverload(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 8, Window: time.Minute, QueueDepth: 2, Clock: clk})
+	defer s.Close(context.Background())
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Infer(context.Background(), traceFrames(i, 2, b.inDim)); err != nil {
+				t.Errorf("parked request %d: %v", i, err)
+			}
+		}(i)
+	}
+	waitUntil(t, "queue full", func() bool { return s.QueueLen() == 2 })
+	if _, err := s.Infer(context.Background(), traceFrames(9, 2, b.inDim)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overload err = %v, want ErrQueueFull", err)
+	}
+	if s.RetryAfter() < time.Second {
+		t.Fatalf("RetryAfter %v, want >= 1s", s.RetryAfter())
+	}
+	clk.Advance(time.Minute)
+	wg.Wait()
+}
+
+// TestSchedulerCloseDrains: Close completes every admitted request (no
+// dropped responses) and rejects later submissions with ErrClosed.
+func TestSchedulerCloseDrains(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 8, Window: time.Hour, Clock: clk})
+
+	const n = 3
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			frames := traceFrames(i, 3, b.inDim)
+			out, err := s.Infer(context.Background(), frames)
+			if err != nil {
+				t.Errorf("parked request %d dropped at shutdown: %v", i, err)
+				return
+			}
+			if err := mustEqual(out, fakeRef(b.inDim, b.outDim, frames)); err != nil {
+				t.Errorf("request %d diverges: %v", i, err)
+			}
+		}(i)
+	}
+	waitUntil(t, "requests queued", func() bool { return s.QueueLen() == n })
+	// Close with the window still frozen: the drain must not wait for it.
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := s.Infer(context.Background(), traceFrames(9, 1, b.inDim)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestSchedulerContextCancel: an abandoned caller gets ctx.Err while the
+// scheduler carries the request to completion on its own.
+func TestSchedulerContextCancel(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 8, Window: time.Hour, Clock: clk})
+	defer s.Close(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Infer(ctx, traceFrames(0, 2, b.inDim))
+		done <- err
+	}()
+	waitUntil(t, "request queued", func() bool { return s.QueueLen() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Infer err = %v", err)
+	}
+}
+
+// TestSchedulerRealClock: the default wall-clock path end to end — window
+// expiry on a real timer, serial oracle equality.
+func TestSchedulerRealClock(t *testing.T) {
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 4, Window: 100 * time.Microsecond})
+	defer s.Close(context.Background())
+	frames := traceFrames(7, 5, b.inDim)
+	out, err := s.Infer(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustEqual(out, fakeRef(b.inDim, b.outDim, frames)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerInferIntoShape: mis-shaped dst is rejected up front.
+func TestSchedulerInferIntoShape(t *testing.T) {
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{Window: 0})
+	defer s.Close(context.Background())
+	err := s.InferInto(context.Background(), outRows(2, 2), traceFrames(0, 3, b.inDim))
+	if err == nil {
+		t.Fatal("dst/frames mismatch accepted")
+	}
+}
+
+// TestStreamLaneBudget: stream-lane admission is bounded, released lanes
+// are reusable, and release is idempotent.
+func TestStreamLaneBudget(t *testing.T) {
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 4, MaxStreams: 2, Window: 0})
+	defer s.Close(context.Background())
+
+	rel1, err := s.AcquireStreamLane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := s.AcquireStreamLane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AcquireStreamLane(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third stream lane err = %v, want ErrQueueFull", err)
+	}
+	rel1()
+	rel1() // idempotent: must not free a second slot
+	if _, err := s.AcquireStreamLane(); err != nil {
+		t.Fatalf("lane not reusable after release: %v", err)
+	}
+	if _, err := s.AcquireStreamLane(); !errors.Is(err, ErrQueueFull) {
+		t.Fatal("double release freed two slots")
+	}
+	rel2()
+}
+
+// TestInferIntoZeroAlloc gates the steady-state dispatch path: with warm
+// free lists and a stable shape, a whole submit → coalesce → step →
+// complete round trip performs zero heap allocations in the scheduler
+// machinery (Window 0 so every op drives a full generation lifecycle).
+func TestInferIntoZeroAlloc(t *testing.T) {
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 4, Window: 0})
+	defer s.Close(context.Background())
+
+	frames := traceFrames(0, 6, b.inDim)
+	dst := outRows(6, b.outDim)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ { // warm the request free list and fake arenas
+		if err := s.InferInto(ctx, dst, frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := s.InferInto(ctx, dst, frames); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state dispatch allocates %v times per request, want 0", allocs)
+	}
+}
