@@ -26,14 +26,17 @@ race:
 	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Batch' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Quant' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Quant' ./internal/compiler ./internal/rtmobile
+	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Fast|Precision' ./internal/compiler ./internal/rtmobile
+	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Fast|Precision' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_METRICS=1 $(GO) test -race ./internal/obs
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve|Obs|Metrics|Trac' ./cmd/rtmobile ./internal/rtmobile
 	RTMOBILE_METRICS=1 $(GO) test -race ./internal/sched
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve' -count=2 ./cmd/rtmobile
 
 # Short run of every fuzz target (decoder hardening + compiler shapes +
-# pack lowering).
+# pack lowering + fast-tier tolerance equivalence).
 fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzFastEquiv -fuzztime=$(FUZZTIME) ./internal/tensor
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBSPC -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run=^$$ -fuzz=FuzzBSPCRoundTrip -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run=^$$ -fuzz=FuzzCompileProgram -fuzztime=$(FUZZTIME) ./internal/compiler
@@ -51,8 +54,8 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 # Regenerates the paper tables plus the worker-scaling study, then the
-# packed-vs-interpreter, batched-execution, and quantized-execution
-# studies as machine-readable artifacts.
+# packed-vs-interpreter, batched-execution, quantized-execution, and
+# precision-tier studies as machine-readable artifacts.
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./cmd/rtmobile bench -exp packed -json BENCH_2.json
@@ -60,6 +63,7 @@ bench:
 	$(GO) run ./cmd/rtmobile bench -exp obs -json BENCH_4.json
 	$(GO) run ./cmd/rtmobile bench -exp quant -json BENCH_5.json
 	$(GO) run ./cmd/rtmobile bench -exp serve -json BENCH_6.json
+	$(GO) run ./cmd/rtmobile bench -exp precision -json BENCH_7.json
 
 # Coverage gates: the observability primitives and the quantization
 # package must each stay above their statement-coverage floor.

@@ -38,6 +38,13 @@ func applyWorkers(n int) error {
 	return nil
 }
 
+// precisionFlag adds the shared -precision knob selecting the kernel tier
+// a deployment compiles for.
+func precisionFlag(fs *flag.FlagSet) *string {
+	return fs.String("precision", "exact",
+		"kernel tier: exact (bit-pinned reference) or fast (FMA + f32 accumulation, tolerance-verified)")
+}
+
 // corpusFlags adds the shared corpus-shaping flags to a flag set.
 func corpusFlags(fs *flag.FlagSet) *speech.CorpusConfig {
 	cfg := speech.DefaultCorpusConfig()
@@ -190,6 +197,7 @@ func cmdCompile(args []string) error {
 	measured := fs.Bool("measured", false, "with -autotune: tune on measured packed-backend wall time instead of the analytic cost model")
 	listing := fs.Bool("listing", false, "emit the generated kernel pseudo-code")
 	quantBits := fs.Int("quant", 0, "integer weight quantization width: 8, 12, or 16 (0 = float32 weights)")
+	precName := precisionFlag(fs)
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -209,12 +217,16 @@ func cmdCompile(args []string) error {
 	if err != nil {
 		return err
 	}
+	prec, err := compiler.ParsePrecision(*precName)
+	if err != nil {
+		return err
+	}
 	scheme := prune.BSP{ColRate: *col, RowRate: *row, NumRowGroups: *rowGroups, NumColBlocks: *colBlocks}
 	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{
 		Target: target, Format: format,
 		DisableReorder: *noReorder, DisableLoadElim: *noLoadElim,
 		AutoTuneTiling: *tune, MeasuredTuning: *measured, Workers: *workers,
-		Quant: *quantBits,
+		Quant: *quantBits, Precision: prec,
 	})
 	if err != nil {
 		return err
@@ -224,6 +236,7 @@ func cmdCompile(args []string) error {
 	fmt.Printf("plan: %s\n", eng.Plan())
 	printTuneRecord(eng)
 	printQuantStatus(eng)
+	printPrecisionStatus(eng)
 	fmt.Printf("per-frame latency: %.2f us (compute %.2f, memory %.2f, overhead %.2f)\n",
 		lat.TotalUS, lat.ComputeUS, lat.MemoryUS, lat.OverheadUS)
 	fmt.Printf("GOP/frame %.4f, GOP/s %.2f\n", eng.GOP(), eng.GOPs())
@@ -276,10 +289,10 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, scaling, workers, packed, batch, obs, serve, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, precision, scaling, workers, packed, batch, obs, serve, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
-	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, or serve: also write the rows as JSON to this path (e.g. BENCH_6.json)")
+	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, precision, or serve: also write the rows as JSON to this path (e.g. BENCH_7.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -498,6 +511,45 @@ func cmdBench(args []string) error {
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}
+	case "precision":
+		cfg := bench.DefaultPrecisionBenchConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rows, err := bench.RunPrecisionBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderPrecisionBench(rows, cfg))
+		gains := bench.PrecisionSpeedup(rows)
+		ops := make([]string, 0, len(gains))
+		for op := range gains {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Printf("  fast vs exact @ %s: %.2fx\n", op, gains[op])
+		}
+		if speed, ok := gains[bench.PrecisionHeadlineOp]; ok {
+			verdict := "meets"
+			if speed < bench.PrecisionSpeedupTarget {
+				verdict = "MISSES"
+			}
+			fmt.Printf("  headline fast q8 serial: %.2fx exact (%s the %.1fx target)\n",
+				speed, verdict, bench.PrecisionSpeedupTarget)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WritePrecisionJSON(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 	case "all":
 		rows, err := runT2()
 		if err != nil {
@@ -537,6 +589,7 @@ func cmdDeploy(args []string) error {
 	tune := fs.Bool("autotune", false, "run the tiling auto-tuner before bundling (the verdict is cached in the bundle)")
 	measured := fs.Bool("measured", false, "with -autotune: tune on measured packed-backend wall time")
 	quantBits := fs.Int("quant", 0, "integer weight quantization width: 8, 12, or 16 (0 = float32 weights; stored in the bundle)")
+	precName := precisionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -548,10 +601,14 @@ func cmdDeploy(args []string) error {
 	if err != nil {
 		return err
 	}
+	prec, err := compiler.ParsePrecision(*precName)
+	if err != nil {
+		return err
+	}
 	scheme := prune.BSP{ColRate: *col, RowRate: *row, NumRowGroups: *rowGroups, NumColBlocks: *colBlocks}
 	eng, err := rtmobile.Compile(model, scheme, rtmobile.DeployConfig{
 		Target: target, AutoTuneTiling: *tune, MeasuredTuning: *measured,
-		Quant: *quantBits,
+		Quant: *quantBits, Precision: prec,
 	})
 	if err != nil {
 		return err
@@ -572,6 +629,7 @@ func cmdDeploy(args []string) error {
 		*out, info.Size()>>10, target.Name, eng.Plan().Options.Format)
 	printTuneRecord(eng)
 	printQuantStatus(eng)
+	printPrecisionStatus(eng)
 	fmt.Printf("predicted %.2f us/frame, %.2fx energy efficiency vs ESE\n",
 		eng.Latency().TotalUS, eng.EfficiencyVsESE())
 	return nil
@@ -601,6 +659,21 @@ func printQuantStatus(eng *rtmobile.Engine) {
 	}
 }
 
+// printPrecisionStatus reports the engine's kernel tier when it departs
+// from the exact default, including the guardrail verdict when one was
+// armed.
+func printPrecisionStatus(eng *rtmobile.Engine) {
+	tier, delta, fell := eng.Precision()
+	switch {
+	case fell:
+		fmt.Printf("precision: guardrail fallback to exact kernels (PER delta %+.4f over limit)\n", delta)
+	case tier == compiler.PrecisionFast && delta != 0:
+		fmt.Printf("precision: fast tier (guardrail PER delta %+.4f)\n", delta)
+	case tier == compiler.PrecisionFast:
+		fmt.Printf("precision: fast tier (FMA + f32 accumulation)\n")
+	}
+}
+
 // applyQuantOverride implements the run/serve -quant override: -1 keeps
 // the bundle's width, any other value recompiles the loaded engine at
 // that width (0 = back to float32).
@@ -618,6 +691,29 @@ func applyQuantOverride(eng *rtmobile.Engine, scheme prune.BSP, want int) (*rtmo
 	return ne, nil
 }
 
+// applyPrecisionOverride implements the run/serve -precision override: an
+// empty value keeps the bundle's tier, "exact"/"fast" re-deploy the loaded
+// engine on that tier (a tier change drops the bundle's cached tuning
+// verdict — see Engine.Reprecision).
+func applyPrecisionOverride(eng *rtmobile.Engine, scheme prune.BSP, want string) (*rtmobile.Engine, error) {
+	if want == "" {
+		return eng, nil
+	}
+	tier, err := compiler.ParsePrecision(want)
+	if err != nil {
+		return nil, err
+	}
+	cur, _, _ := eng.Precision()
+	ne, err := eng.Reprecision(tier, scheme)
+	if err != nil {
+		return nil, err
+	}
+	if ne != eng {
+		fmt.Printf("reprecisioned: %s -> %s kernels (plan cache reset)\n", cur, tier)
+	}
+	return ne, nil
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	cfg := corpusFlags(fs)
@@ -625,6 +721,7 @@ func cmdRun(args []string) error {
 	targetName := fs.String("target", "gpu", "target: gpu or cpu")
 	stats := fs.Bool("stats", false, "trace the evaluation and print the per-layer latency table")
 	quantBits := fs.Int("quant", -1, "override the bundle's quantization width: 8, 12, 16, or 0 for float32 (-1 = keep bundle width)")
+	precName := fs.String("precision", "", "override the bundle's kernel tier: exact or fast (empty = keep bundle tier)")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -648,6 +745,9 @@ func cmdRun(args []string) error {
 	if eng, err = applyQuantOverride(eng, scheme, *quantBits); err != nil {
 		return err
 	}
+	if eng, err = applyPrecisionOverride(eng, scheme, *precName); err != nil {
+		return err
+	}
 	eng.SetWorkers(*workers)
 	if *stats {
 		eng.EnableTracing(4096)
@@ -655,6 +755,7 @@ func cmdRun(args []string) error {
 	fmt.Printf("loaded %s: scheme %s, %s\n", *bundle, scheme.Name(), eng.Plan())
 	printTuneRecord(eng)
 	printQuantStatus(eng)
+	printPrecisionStatus(eng)
 	c, err := speech.GenerateCorpus(*cfg)
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"rtmobile/internal/compiler"
 	"rtmobile/internal/obs"
 	"rtmobile/internal/rtmobile"
 	"rtmobile/internal/sched"
@@ -237,11 +238,24 @@ func renderLayerStats(eng *rtmobile.Engine) string {
 			fmt.Fprintf(&b, "quantization: int%d weights\n", bits)
 		}
 	}
+	if tier, delta, fell := eng.Precision(); tier != compiler.PrecisionExact || fell {
+		switch {
+		case fell:
+			fmt.Fprintf(&b, "precision: exact (guardrail fallback, PER delta %+.4f)\n", delta)
+		case delta != 0:
+			fmt.Fprintf(&b, "precision: %s kernels (guardrail PER delta %+.4f)\n", tier, delta)
+		default:
+			fmt.Fprintf(&b, "precision: %s kernels\n", tier)
+		}
+	}
 	if m := obs.M(); m != nil {
 		fmt.Fprintf(&b, "bytes_streamed_total: %d\n", m.BytesStreamed.Value())
 	}
 	if tr := eng.Tracer(); tr != nil {
-		for _, k := range []obs.StageKind{obs.StageKernel, obs.StageKernelQ8, obs.StageKernelQ16} {
+		for _, k := range []obs.StageKind{
+			obs.StageKernel, obs.StageKernelQ8, obs.StageKernelQ16,
+			obs.StageKernelFast, obs.StageKernelQ8Fast, obs.StageKernelQ16Fast,
+		} {
 			if n, ns := tr.KindTotal(k); n > 0 {
 				fmt.Fprintf(&b, "kernel spans %-10s count=%d total_us=%.1f\n", k, n, float64(ns)/1e3)
 			}
@@ -257,6 +271,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "localhost:8090", "listen address")
 	trace := fs.Int("trace", 0, "stage-trace ring capacity (0 = tracing off)")
 	quantBits := fs.Int("quant", -1, "override the bundle's quantization width: 8, 12, 16, or 0 for float32 (-1 = keep bundle width)")
+	precName := fs.String("precision", "", "override the bundle's kernel tier: exact or fast (empty = keep bundle tier)")
 	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "max time a request waits for panel-mates before dispatch")
 	maxBatch := fs.Int("max-batch", 8, fmt.Sprintf("lockstep panel width cap, 1..%d", rtmobile.MaxBatchWidth))
 	queueDepth := fs.Int("queue-depth", 64, "bound on waiting requests before 429s")
@@ -290,6 +305,9 @@ func cmdServe(args []string) error {
 		return err
 	}
 	if eng, err = applyQuantOverride(eng, scheme, *quantBits); err != nil {
+		return err
+	}
+	if eng, err = applyPrecisionOverride(eng, scheme, *precName); err != nil {
 		return err
 	}
 	eng.SetWorkers(*workers)

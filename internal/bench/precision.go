@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/quant"
+)
+
+// Precision-tier study: exact vs fast kernels on the memory-bound hot
+// path. Each row times one (value format, tier, batch width) triple on
+// the Table-I-sized GRU projection, so the artifact records what the
+// relaxed tolerance contract actually buys — FMA + f32 accumulation
+// against the bit-pinned f64-accumulation reference — for f32, q8, and
+// q16 weight streams, serial and batched. Fast outputs are tolerance-
+// checked against the exact tier's before any timing (the tight per-row
+// ULP contract is enforced by the compiler package's equivalence suite;
+// the check here is the bench's own smoke gate), and every row must be
+// allocation-free or the run errors out.
+
+// PrecisionSpeedupTarget is the acceptance floor: fast q8 serial must
+// beat exact q8 serial by at least this factor on the headline layer.
+const PrecisionSpeedupTarget = 1.3
+
+// PrecisionHeadlineOp keys the acceptance entry in PrecisionSpeedup's
+// result: the q8 serial pairing on the 3072x1024 projection.
+const PrecisionHeadlineOp = "q8/serial"
+
+// precisionBenchTol bounds |fast - exact| per output element in the
+// pre-timing smoke check. The sweep layer's rows hold ~64 kept weights
+// of Xavier scale against a unit-normal input, so exact outputs are
+// O(1) and the fast tier's rounding-order drift sits orders of
+// magnitude below this.
+const precisionBenchTol = 1e-3
+
+// PrecisionBenchConfig sizes the precision-tier study.
+type PrecisionBenchConfig struct {
+	WorkerSweepConfig
+	// Batches are the lockstep panel widths to measure alongside serial.
+	Batches []int
+}
+
+// DefaultPrecisionBenchConfig measures the paper-scale layer serially
+// and at B = 8 and 32, for f32, q8, and q16 streams on both tiers.
+func DefaultPrecisionBenchConfig() PrecisionBenchConfig {
+	return PrecisionBenchConfig{
+		WorkerSweepConfig: DefaultWorkerSweepConfig(),
+		Batches:           []int{8, 32},
+	}
+}
+
+// PrecisionBenchRow is one (format, tier, batch) measurement.
+type PrecisionBenchRow struct {
+	Op          string  `json:"op"` // e.g. "q8/serial", "f32/B8"
+	Format      string  `json:"format"`
+	Bits        int     `json:"bits"`
+	Tier        string  `json:"tier"` // "exact" or "fast"
+	Batch       int     `json:"batch"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MACsPerSec  float64 `json:"macs_per_sec"`
+}
+
+// precExec pairs one format's exact and fast packed backends.
+type precExec struct {
+	format string
+	bits   int
+	run    [2]func(y, x []float32) error           // [exact, fast]
+	batch  [2]func(yp, xp []float32, bw int) error // [exact, fast]
+}
+
+// tierName indexes precExec's backend pairs.
+var tierName = [2]string{"exact", "fast"}
+
+// RunPrecisionBench measures exact vs fast packed execution for every
+// stream format, serial and at every configured panel width.
+func RunPrecisionBench(cfg PrecisionBenchConfig) ([]PrecisionBenchRow, error) {
+	prog, x, err := BuildSweepProgram(cfg.WorkerSweepConfig)
+	if err != nil {
+		return nil, err
+	}
+	// Pack each format once per tier; the tier is a pack-time property, so
+	// the exact and fast programs share the IR but select different kernel
+	// families.
+	macs := 0
+	execs := make([]precExec, 0, 3)
+	for tier := 0; tier < 2; tier++ {
+		prog.Precision = compiler.PrecisionExact
+		if tier == 1 {
+			prog.Precision = compiler.PrecisionFast
+		}
+		pp, err := compiler.Pack(prog, 0)
+		if err != nil {
+			return nil, err
+		}
+		fs := pp.NewScratch()
+		if tier == 0 {
+			macs = pp.TotalMACs()
+			execs = append(execs, precExec{format: "f32", bits: 32})
+		}
+		execs[0].run[tier] = func(y, x []float32) error { return pp.Run(y, x, fs) }
+		execs[0].batch[tier] = func(yp, xp []float32, bw int) error { return pp.RunBatch(yp, xp, bw, fs) }
+		for qi, bits := range []int{8, 16} {
+			pq, err := compiler.PackQuant(prog, bits, quant.PerRow, 0)
+			if err != nil {
+				return nil, err
+			}
+			qs := pq.NewScratch()
+			if tier == 0 {
+				execs = append(execs, precExec{format: fmt.Sprintf("q%d", bits), bits: bits})
+			}
+			execs[1+qi].run[tier] = func(y, x []float32) error { return pq.Run(y, x, qs) }
+			execs[1+qi].batch[tier] = func(yp, xp []float32, bw int) error { return pq.RunBatch(yp, xp, bw, qs) }
+		}
+	}
+	prog.Precision = compiler.PrecisionExact
+
+	maxB := 1
+	for _, b := range cfg.Batches {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	lanes := make([][]float32, maxB)
+	for l := range lanes {
+		lanes[l] = batchLaneVec(prog.Cols, l)
+	}
+	lanes[0] = x
+
+	var rows []PrecisionBenchRow
+	for _, ex := range execs {
+		// Exact serial outputs per lane: the tolerance anchor for every
+		// fast-tier row (fast batch lanes accumulate in a different — but
+		// equally f32 — order than fast serial, so all fast outputs are
+		// checked against the exact reference rather than each other).
+		refs := make([][]float32, maxB)
+		for l := range refs {
+			refs[l] = make([]float32, prog.Rows)
+			if err := ex.run[0](refs[l], lanes[l]); err != nil {
+				return nil, err
+			}
+		}
+		checkLane := func(got []float32, l int, what string) error {
+			for r, v := range got {
+				if d := math.Abs(float64(v - refs[l][r])); d > precisionBenchTol {
+					return fmt.Errorf("bench: %s %s diverged from exact at lane %d row %d (|Δ|=%g)",
+						ex.format, what, l, r, d)
+				}
+			}
+			return nil
+		}
+
+		for tier := 0; tier < 2; tier++ {
+			y := make([]float32, prog.Rows)
+			if err := ex.run[tier](y, x); err != nil {
+				return nil, err
+			}
+			if err := checkLane(y, 0, tierName[tier]+"/serial"); err != nil {
+				return nil, err
+			}
+			op := fmt.Sprintf("%s/serial", ex.format)
+			rows = append(rows, precisionRow(ex, tierName[tier], 1, benchRow(op, macs, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ex.run[tier](y, x)
+				}
+			})))
+			for _, bw := range cfg.Batches {
+				xp := make([]float32, prog.Cols*bw)
+				for l := 0; l < bw; l++ {
+					for i, v := range lanes[l] {
+						xp[i*bw+l] = v
+					}
+				}
+				yp := make([]float32, prog.Rows*bw)
+				if err := ex.batch[tier](yp, xp, bw); err != nil {
+					return nil, err
+				}
+				lane := make([]float32, prog.Rows)
+				for l := 0; l < bw; l++ {
+					for r := 0; r < prog.Rows; r++ {
+						lane[r] = yp[r*bw+l]
+					}
+					if err := checkLane(lane, l, fmt.Sprintf("%s/B%d", tierName[tier], bw)); err != nil {
+						return nil, err
+					}
+				}
+				op := fmt.Sprintf("%s/B%d", ex.format, bw)
+				rows = append(rows, precisionRow(ex, tierName[tier], bw, benchRow(op, macs*bw, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						ex.batch[tier](yp, xp, bw)
+					}
+				})))
+			}
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("%s measured (both tiers)", ex.format)
+		}
+	}
+	for _, r := range rows {
+		if r.AllocsPerOp != 0 {
+			return nil, fmt.Errorf("bench: %s %s allocates %.0f/op on the hot path",
+				r.Op, r.Tier, r.AllocsPerOp)
+		}
+	}
+	return rows, nil
+}
+
+func precisionRow(ex precExec, tier string, bw int, r PackedBenchRow) PrecisionBenchRow {
+	return PrecisionBenchRow{
+		Op: r.Op, Format: ex.format, Bits: ex.bits, Tier: tier, Batch: bw,
+		NsPerOp: r.NsPerOp, AllocsPerOp: r.AllocsPerOp, MACsPerSec: r.MACsPerSec,
+	}
+}
+
+// PrecisionSpeedup returns each fast row's MACs/s normalized to the
+// exact row with the same op — the acceptance entry is
+// PrecisionHeadlineOp.
+func PrecisionSpeedup(rows []PrecisionBenchRow) map[string]float64 {
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.Tier == "exact" {
+			base[r.Op] = r.MACsPerSec
+		}
+	}
+	out := map[string]float64{}
+	for _, r := range rows {
+		if r.Tier != "fast" || r.MACsPerSec <= 0 {
+			continue
+		}
+		if b, ok := base[r.Op]; ok && b > 0 {
+			out[r.Op] = r.MACsPerSec / b
+		}
+	}
+	return out
+}
+
+// RenderPrecisionBench formats the study.
+func RenderPrecisionBench(rows []PrecisionBenchRow, cfg PrecisionBenchConfig) string {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Precision tiers (%dx%d %s, %d lanes, fast tolerance-checked against exact)",
+			3*cfg.Hidden, cfg.Hidden, cfg.Format, cfg.Lanes),
+		Headers: []string{"Op", "tier", "bits", "B", "ns/op", "allocs/op", "GMACs/s"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Op, r.Tier, f(float64(r.Bits), 0), f(float64(r.Batch), 0),
+			f(r.NsPerOp, 0), f(r.AllocsPerOp, 0), f(r.MACsPerSec/1e9, 2))
+	}
+	return t.Render()
+}
+
+// WritePrecisionJSON writes the rows as indented JSON — the
+// BENCH_<n>.json artifact recording the fast tier's perf trajectory.
+func WritePrecisionJSON(w io.Writer, rows []PrecisionBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

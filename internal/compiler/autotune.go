@@ -43,12 +43,16 @@ func DefaultTuneSpace() TuneSpace {
 
 // TuneResult reports the chosen configuration and its cost. Cost is in
 // the analytic cost model's units, or wall nanoseconds when Measured
-// (see TuneTilingMeasured).
+// (see TuneTilingMeasured). Precision is the kernel tier the winning
+// candidate ran under: the measured tuner prices fast-tier kernels as
+// first-class candidates whenever the caller deploys the fast tier, so
+// the plan cache records which family actually won.
 type TuneResult struct {
 	Tile      TileConfig
 	Cost      float64
 	Evaluated int
 	Measured  bool
+	Precision Precision
 }
 
 // TuneTiling searches tile/unroll configurations for a fixed set of
@@ -83,6 +87,9 @@ func TuneTiling(name string, srcs []MatrixSource, opt Options, threads, timestep
 	if best.Cost < 0 {
 		return TuneResult{}, fmt.Errorf("compiler: empty tuning space")
 	}
+	// The analytic cost model prices memory traffic and MACs, which the
+	// precision tier does not change; the requested tier carries through.
+	best.Precision = opt.Precision
 	return best, nil
 }
 

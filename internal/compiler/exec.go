@@ -46,6 +46,7 @@ type Program struct {
 	Rows, Cols int
 	Format     Format
 	ValueBits  int
+	Precision  Precision
 	Threads    [][]Instr
 
 	// macsOnce/macsTotal lazily cache the program's total MAC count for the
@@ -104,6 +105,7 @@ func CompileProgram(src MatrixSource, opt Options, threads int) (*Program, error
 	prog := &Program{
 		Name: src.Name, Rows: w.Rows, Cols: w.Cols,
 		Format: opt.Format, ValueBits: opt.ValueBits,
+		Precision: opt.Precision,
 	}
 
 	// Recreate the thread chunking codegen uses.

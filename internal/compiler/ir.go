@@ -98,6 +98,11 @@ type Options struct {
 	// (see PackQuant). When set, footprint accounting and measured tuning
 	// price the quantized backend.
 	QuantBits int
+	// Precision selects the kernel tier: PrecisionExact (zero value) keeps
+	// the bit-exact float64-accumulation kernels; PrecisionFast lowers to
+	// the FMA + float32-accumulation family under the tolerance contract
+	// (see precision.go).
+	Precision Precision
 }
 
 // DefaultOptions enables every RTMobile pass for the given format.

@@ -95,23 +95,41 @@ func MeasurePackedNs(srcs []MatrixSource, opt Options, threads, reps int) (float
 }
 
 // TuneTilingMeasured is TuneTiling with the measured-nanoseconds
-// objective. Only the unroll factor is searched: row/column tile sizes and
-// memory placement parameterize the analytic device model but do not
-// change what the host's packed backend executes, so measuring them would
-// only add noise. Deterministic apart from timer noise, which
+// objective. Only the unroll factor is searched on the exact tier:
+// row/column tile sizes and memory placement parameterize the analytic
+// device model but do not change what the host's packed backend executes,
+// so measuring them would only add noise. When the caller deploys the
+// fast tier (opt.Precision == PrecisionFast), one fast-tier candidate
+// joins the exact-tier unroll sweep as a first-class competitor — the
+// fast kernels fix their own vector shape, so the unroll axis collapses —
+// and the winner's tier is recorded in TuneResult.Precision. An
+// exact-tier caller never sees fast candidates (the tuner must not relax
+// precision on its own). Deterministic apart from timer noise, which
 // minimum-of-reps suppresses.
 func TuneTilingMeasured(srcs []MatrixSource, opt Options, threads int, space TuneSpace, reps int) (TuneResult, error) {
 	unrolls := space.Unrolls
 	if len(unrolls) == 0 {
 		unrolls = []int{1, 2, 4, 8}
 	}
-	best := TuneResult{Cost: -1}
+	type candidate struct {
+		prec   Precision
+		unroll int
+	}
+	var cands []candidate
 	for _, un := range unrolls {
+		cands = append(cands, candidate{PrecisionExact, un})
+	}
+	if opt.Precision == PrecisionFast {
+		cands = append(cands, candidate{PrecisionFast, DefaultUnroll})
+	}
+	best := TuneResult{Cost: -1}
+	for _, c := range cands {
 		o := opt
 		if o.Tile == (TileConfig{}) {
 			o.Tile = DefaultTile()
 		}
-		o.Tile.Unroll = un
+		o.Tile.Unroll = c.unroll
+		o.Precision = c.prec
 		ns, err := MeasurePackedNs(srcs, o, threads, reps)
 		if err != nil {
 			return TuneResult{}, err
@@ -120,6 +138,7 @@ func TuneTilingMeasured(srcs []MatrixSource, opt Options, threads int, space Tun
 		if best.Cost < 0 || ns < best.Cost {
 			best.Cost = ns
 			best.Tile = o.Tile
+			best.Precision = c.prec
 		}
 	}
 	if best.Cost < 0 {

@@ -67,6 +67,13 @@ type PackedProgram struct {
 	// factor produces bit-identical results, the auto-tuner picks by
 	// measured time.
 	Unroll int
+	// Precision selects the kernel tier the hot path executes:
+	// PrecisionExact runs the bit-exact float64-accumulation kernels,
+	// PrecisionFast the FMA + float32-accumulation family (see
+	// precision.go). Fast-tier outputs satisfy the tolerance contract
+	// against the exact tier, not bit-equality; Unroll is ignored on the
+	// fast path (the fast kernels fix their own vector shape).
+	Precision Precision
 
 	Vals   []float32 // all dot payloads, lane-major, contiguous
 	ColIdx []int32   // all gather indices, lane-major, contiguous
@@ -104,6 +111,14 @@ func (p *PackedProgram) SetTracer(tr *obs.Tracer, id int32) {
 // execution — the priced work term behind the MACs counter.
 func (p *PackedProgram) TotalMACs() int { return p.totalMACs }
 
+// stageKind selects the per-tier kernel span kind.
+func (p *PackedProgram) stageKind() obs.StageKind {
+	if p.Precision == PrecisionFast {
+		return obs.StageKernelFast
+	}
+	return obs.StageKernel
+}
+
 // observe records one finished execution of bw lanes into the metrics set
 // and the attached tracer. Allocation-free.
 func (p *PackedProgram) observe(t0 time.Time, bw int, m *obs.Metrics) {
@@ -114,7 +129,7 @@ func (p *PackedProgram) observe(t0 time.Time, bw int, m *obs.Metrics) {
 		m.KernelLatency.Observe(dur)
 	}
 	if p.trace != nil {
-		p.trace.Record(obs.StageKernel, p.traceID, int32(bw), t0.UnixNano(), dur)
+		p.trace.Record(p.stageKind(), p.traceID, int32(bw), t0.UnixNano(), dur)
 	}
 }
 
@@ -148,8 +163,9 @@ func Pack(p *Program, unroll int) (*PackedProgram, error) {
 	pp := &PackedProgram{
 		Name: p.Name, Rows: p.Rows, Cols: p.Cols,
 		Format: p.Format, ValueBits: p.ValueBits,
-		Unroll: normalizeUnroll(unroll),
-		Lanes:  make([]PackedLane, len(p.Threads)),
+		Unroll:    normalizeUnroll(unroll),
+		Precision: p.Precision,
+		Lanes:     make([]PackedLane, len(p.Threads)),
 	}
 	for t, prog := range p.Threads {
 		lane := &pp.Lanes[t]
@@ -302,11 +318,15 @@ type PackedScratch struct {
 
 	// Batched (RunBatch) buffers: the gather panel and the per-row lane
 	// accumulators, plus per-lane private panels for RunBatchParallel.
+	// facc/bfaccs are the fast tier's float32 accumulators (the exact tier
+	// accumulates in acc/baccs float64).
 	pbuf      []float32
 	acc       []float64
+	facc      []float32
 	bpartials [][]float32
 	blanebufs [][]float32
 	baccs     [][]float64
+	bfaccs    [][]float32
 }
 
 // NewScratch returns a scratch arena sized for this program's serial path.
@@ -371,7 +391,23 @@ func (p *PackedProgram) runLane(l *PackedLane, y, x, xbuf []float32) {
 		}
 		rows := l.Rows[sg.RowOff : int(sg.RowOff)+int(sg.NR)]
 		vals := p.Vals[sg.ValOff : int(sg.ValOff)+len(rows)*nc]
-		blockDot(y, rows, vals, g, nc, unroll)
+		if p.Precision == PrecisionFast {
+			blockDotFast(y, rows, vals, g, nc)
+		} else {
+			blockDot(y, rows, vals, g, nc, unroll)
+		}
+	}
+}
+
+// blockDotFast is the fast-tier blockDot: the whole segment runs through
+// the FMA'd f32-accumulation segment driver when the host has it, and any
+// remainder (or the no-SIMD case) falls to per-row fast dots with the same
+// f32 index-order semantics. Outputs satisfy the tolerance contract
+// against blockDot, not bit-equality.
+func blockDotFast(y []float32, rows []int32, vals, g []float32, nc int) {
+	ri := tensor.DotSegFastF32(vals, rows, g, y)
+	for ; ri < len(rows); ri++ {
+		y[rows[ri]] += tensor.DotFastF32(vals[ri*nc:ri*nc+nc], g)
 	}
 }
 

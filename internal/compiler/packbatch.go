@@ -44,6 +44,9 @@ func (s *PackedScratch) ensureBatchDims(maxGather, bw int) {
 	if cap(s.acc) < 2*bw {
 		s.acc = make([]float64, 2*bw)
 	}
+	if cap(s.facc) < bw {
+		s.facc = make([]float32, bw)
+	}
 }
 
 // ensureBatchParallel grows the per-lane batched buffers for width bw.
@@ -58,6 +61,7 @@ func (s *PackedScratch) ensureBatchParallelDims(lanes, rows, maxGather, bw int) 
 		s.bpartials = append(s.bpartials, make([][]float32, n)...)
 		s.blanebufs = append(s.blanebufs, make([][]float32, n)...)
 		s.baccs = append(s.baccs, make([][]float64, n)...)
+		s.bfaccs = append(s.bfaccs, make([][]float32, n)...)
 	}
 	for t := 0; t < lanes; t++ {
 		if cap(s.bpartials[t]) < rows*bw {
@@ -69,6 +73,9 @@ func (s *PackedScratch) ensureBatchParallelDims(lanes, rows, maxGather, bw int) 
 		if cap(s.baccs[t]) < 2*bw {
 			s.baccs[t] = make([]float64, 2*bw)
 		}
+		if cap(s.bfaccs[t]) < bw {
+			s.bfaccs[t] = make([]float32, bw)
+		}
 	}
 }
 
@@ -77,7 +84,7 @@ func (s *PackedScratch) ensureBatchParallelDims(lanes, rows, maxGather, bw int) 
 // gathered columns lane-contiguously; stream segments slice the input panel
 // directly (a window [lo, lo+nc) of columns is the contiguous panel range
 // [lo*bw, (lo+nc)*bw)).
-func (p *PackedProgram) runLaneBatch(l *PackedLane, y, x, pbuf []float32, acc []float64, bw int) {
+func (p *PackedProgram) runLaneBatch(l *PackedLane, y, x, pbuf []float32, acc []float64, facc []float32, bw int) {
 	unroll := p.Unroll
 	for si := range l.Segs {
 		sg := &l.Segs[si]
@@ -97,7 +104,27 @@ func (p *PackedProgram) runLaneBatch(l *PackedLane, y, x, pbuf []float32, acc []
 		}
 		rows := l.Rows[sg.RowOff : int(sg.RowOff)+int(sg.NR)]
 		vals := p.Vals[sg.ValOff : int(sg.ValOff)+len(rows)*nc]
-		blockDotBatch(y, rows, vals, g, nc, bw, unroll, acc)
+		if p.Precision == PrecisionFast {
+			blockDotBatchFast(y, rows, vals, g, nc, bw, facc)
+		} else {
+			blockDotBatch(y, rows, vals, g, nc, bw, unroll, acc)
+		}
+	}
+}
+
+// blockDotBatchFast is the fast-tier blockDotBatch: each weight row is
+// streamed once and FMA-broadcast against all bw lanes with per-lane
+// float32 accumulators (tensor.DotBatchFastF32Strided dispatches across
+// the AVX2 chunk kernel and the portable fallback internally, so no panel
+// width gate is needed here).
+func blockDotBatchFast(y []float32, rows []int32, vals, g []float32, nc, bw int, facc []float32) {
+	facc = facc[:bw]
+	for ri, r := range rows {
+		tensor.DotBatchFastF32Strided(vals[ri*nc:(ri+1)*nc], g, bw, facc)
+		out := y[int(r)*bw : (int(r)+1)*bw]
+		for l := range out {
+			out[l] += facc[l]
+		}
 	}
 }
 
@@ -183,8 +210,9 @@ func (p *PackedProgram) RunBatch(y, x []float32, bw int, s *PackedScratch) error
 	tensor.ZeroVec(y)
 	pbuf := s.pbuf[:cap(s.pbuf)]
 	acc := s.acc[:2*bw]
+	facc := s.facc[:bw]
 	for t := range p.Lanes {
-		p.runLaneBatch(&p.Lanes[t], y, x, pbuf, acc, bw)
+		p.runLaneBatch(&p.Lanes[t], y, x, pbuf, acc, facc, bw)
 	}
 	if track {
 		p.observe(t0, bw, m)
@@ -232,7 +260,8 @@ func (p *PackedProgram) RunBatchParallel(y, x []float32, bw int, pool *parallel.
 	pool.For(lanes, func(t int) {
 		yt := s.bpartials[t][:p.Rows*bw]
 		tensor.ZeroVec(yt)
-		p.runLaneBatch(&p.Lanes[t], yt, x, s.blanebufs[t][:cap(s.blanebufs[t])], s.baccs[t][:2*bw], bw)
+		p.runLaneBatch(&p.Lanes[t], yt, x, s.blanebufs[t][:cap(s.blanebufs[t])],
+			s.baccs[t][:2*bw], s.bfaccs[t][:bw], bw)
 	})
 	// Deterministic merge in lane order; one-lane-per-row means each output
 	// panel row receives at most one nonzero lane contribution.

@@ -50,6 +50,10 @@ type PackedQProgram struct {
 	Bits   int
 	Scheme quant.Scheme
 	Unroll int
+	// Precision selects the kernel tier, as on PackedProgram: the fast
+	// tier dequantizes into float32 lanes and FMA-accumulates, applying
+	// each row's scale once instead of inside the accumulation chain.
+	Precision Precision
 
 	Vals8  []int8  // all dot payloads when Bits == 8
 	Vals16 []int16 // all dot payloads when Bits == 12 or 16
@@ -92,6 +96,7 @@ func PackQuant(p *Program, bits int, scheme quant.Scheme, unroll int) (*PackedQP
 		Name: pp.Name, Rows: pp.Rows, Cols: pp.Cols,
 		Format: pp.Format, Bits: bits, Scheme: scheme,
 		Unroll:    pp.Unroll,
+		Precision: pp.Precision,
 		ColIdx:    pp.ColIdx,
 		Lanes:     pp.Lanes,
 		MaxGather: pp.MaxGather,
@@ -224,10 +229,16 @@ func (p *PackedQProgram) SetTracer(tr *obs.Tracer, id int32) {
 // execution.
 func (p *PackedQProgram) TotalMACs() int { return p.totalMACs }
 
-// stageKind selects the per-format kernel span kind.
+// stageKind selects the per-format, per-tier kernel span kind.
 func (p *PackedQProgram) stageKind() obs.StageKind {
 	if p.Bits == 8 {
+		if p.Precision == PrecisionFast {
+			return obs.StageKernelQ8Fast
+		}
 		return obs.StageKernelQ8
+	}
+	if p.Precision == PrecisionFast {
+		return obs.StageKernelQ16Fast
 	}
 	return obs.StageKernelQ16
 }
@@ -294,11 +305,41 @@ func (p *PackedQProgram) runLane(l *PackedLane, y, x, xbuf []float32) {
 		rows := l.Rows[sg.RowOff : int(sg.RowOff)+int(sg.NR)]
 		if p.Bits == 8 {
 			vals := p.Vals8[sg.ValOff : int(sg.ValOff)+len(rows)*nc]
-			blockDotQ8(y, rows, vals, p.Scales, g, nc, unroll)
+			if p.Precision == PrecisionFast {
+				blockDotQ8Fast(y, rows, vals, p.Scales, g, nc)
+			} else {
+				blockDotQ8(y, rows, vals, p.Scales, g, nc, unroll)
+			}
 		} else {
 			vals := p.Vals16[sg.ValOff : int(sg.ValOff)+len(rows)*nc]
-			blockDotQ16(y, rows, vals, p.Scales, g, nc, unroll)
+			if p.Precision == PrecisionFast {
+				blockDotQ16Fast(y, rows, vals, p.Scales, g, nc)
+			} else {
+				blockDotQ16(y, rows, vals, p.Scales, g, nc, unroll)
+			}
 		}
+	}
+}
+
+// blockDotQ8Fast is the fast-tier blockDotQ8: the segment driver widens
+// int8 lanes straight into FMA chains with float32 accumulation and
+// applies each row's scale once after its reduce; the remainder (or the
+// no-SIMD case) falls to per-row fast quant dots with identical
+// f32-index-order semantics.
+func blockDotQ8Fast(y []float32, rows []int32, vals []int8, scales, g []float32, nc int) {
+	ri := tensor.DotSegQ8FastF32(vals, rows, scales, g, y)
+	for ; ri < len(rows); ri++ {
+		r := rows[ri]
+		y[r] += tensor.DotQ8FastF32(vals[ri*nc:ri*nc+nc], scales[r], g)
+	}
+}
+
+// blockDotQ16Fast is blockDotQ8Fast for the int16-stored formats.
+func blockDotQ16Fast(y []float32, rows []int32, vals []int16, scales, g []float32, nc int) {
+	ri := tensor.DotSegQ16FastF32(vals, rows, scales, g, y)
+	for ; ri < len(rows); ri++ {
+		r := rows[ri]
+		y[r] += tensor.DotQ16FastF32(vals[ri*nc:ri*nc+nc], scales[r], g)
 	}
 }
 

@@ -22,7 +22,7 @@ import (
 // runLaneBatch executes one lane's segments over a bw-wide input panel,
 // accumulating into the output panel y (see PackedProgram.runLaneBatch for
 // the panel layout).
-func (p *PackedQProgram) runLaneBatch(l *PackedLane, y, x, pbuf []float32, acc []float64, bw int) {
+func (p *PackedQProgram) runLaneBatch(l *PackedLane, y, x, pbuf []float32, acc []float64, facc []float32, bw int) {
 	unroll := p.Unroll
 	for si := range l.Segs {
 		sg := &l.Segs[si]
@@ -43,10 +43,47 @@ func (p *PackedQProgram) runLaneBatch(l *PackedLane, y, x, pbuf []float32, acc [
 		rows := l.Rows[sg.RowOff : int(sg.RowOff)+int(sg.NR)]
 		if p.Bits == 8 {
 			vals := p.Vals8[sg.ValOff : int(sg.ValOff)+len(rows)*nc]
-			blockDotQ8Batch(y, rows, vals, p.Scales, g, nc, bw, unroll, acc)
+			if p.Precision == PrecisionFast {
+				blockDotQ8BatchFast(y, rows, vals, p.Scales, g, nc, bw, facc)
+			} else {
+				blockDotQ8Batch(y, rows, vals, p.Scales, g, nc, bw, unroll, acc)
+			}
 		} else {
 			vals := p.Vals16[sg.ValOff : int(sg.ValOff)+len(rows)*nc]
-			blockDotQ16Batch(y, rows, vals, p.Scales, g, nc, bw, unroll, acc)
+			if p.Precision == PrecisionFast {
+				blockDotQ16BatchFast(y, rows, vals, p.Scales, g, nc, bw, facc)
+			} else {
+				blockDotQ16Batch(y, rows, vals, p.Scales, g, nc, bw, unroll, acc)
+			}
+		}
+	}
+}
+
+// blockDotQ8BatchFast is the fast-tier blockDotQ8Batch: each int8 weight
+// is widened once, broadcast, and FMA-accumulated against all bw lanes in
+// float32, with the row scale applied once per lane after the stream
+// (tensor.DotQ8BatchFastF32Strided dispatches SIMD vs portable
+// internally).
+func blockDotQ8BatchFast(y []float32, rows []int32, vals []int8, scales, g []float32, nc, bw int, facc []float32) {
+	facc = facc[:bw]
+	for ri, r := range rows {
+		tensor.DotQ8BatchFastF32Strided(vals[ri*nc:(ri+1)*nc], scales[r], g, bw, facc)
+		out := y[int(r)*bw : (int(r)+1)*bw]
+		for l := range out {
+			out[l] += facc[l]
+		}
+	}
+}
+
+// blockDotQ16BatchFast is blockDotQ8BatchFast for the int16-stored
+// formats.
+func blockDotQ16BatchFast(y []float32, rows []int32, vals []int16, scales, g []float32, nc, bw int, facc []float32) {
+	facc = facc[:bw]
+	for ri, r := range rows {
+		tensor.DotQ16BatchFastF32Strided(vals[ri*nc:(ri+1)*nc], scales[r], g, bw, facc)
+		out := y[int(r)*bw : (int(r)+1)*bw]
+		for l := range out {
+			out[l] += facc[l]
 		}
 	}
 }
@@ -180,8 +217,9 @@ func (p *PackedQProgram) RunBatch(y, x []float32, bw int, s *PackedScratch) erro
 	tensor.ZeroVec(y)
 	pbuf := s.pbuf[:cap(s.pbuf)]
 	acc := s.acc[:2*bw]
+	facc := s.facc[:bw]
 	for t := range p.Lanes {
-		p.runLaneBatch(&p.Lanes[t], y, x, pbuf, acc, bw)
+		p.runLaneBatch(&p.Lanes[t], y, x, pbuf, acc, facc, bw)
 	}
 	if track {
 		p.observe(t0, bw, m)
@@ -224,7 +262,8 @@ func (p *PackedQProgram) RunBatchParallel(y, x []float32, bw int, pool *parallel
 	pool.For(lanes, func(t int) {
 		yt := s.bpartials[t][:p.Rows*bw]
 		tensor.ZeroVec(yt)
-		p.runLaneBatch(&p.Lanes[t], yt, x, s.blanebufs[t][:cap(s.blanebufs[t])], s.baccs[t][:2*bw], bw)
+		p.runLaneBatch(&p.Lanes[t], yt, x, s.blanebufs[t][:cap(s.blanebufs[t])],
+			s.baccs[t][:2*bw], s.bfaccs[t][:bw], bw)
 	})
 	// Deterministic merge in lane order; one-lane-per-row means each output
 	// panel row receives at most one nonzero lane contribution.

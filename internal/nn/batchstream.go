@@ -59,6 +59,15 @@ func zeroLane(panel []float32, n, bw, l int) {
 	}
 }
 
+// matVecAddBatch selects the kernel tier for a batch stepper's panel
+// projections, mirroring the serial matVecAdd selector in stream.go.
+func matVecAddBatch(fast bool) func(y []float32, w *tensor.Matrix, x []float32, bw int) {
+	if fast {
+		return tensor.MatVecAddBatchFast
+	}
+	return tensor.MatVecAddBatch
+}
+
 // gruBatchStream is a GRU cell's batched streaming state.
 type gruBatchStream struct {
 	g      *GRU
@@ -66,11 +75,17 @@ type gruBatchStream struct {
 	h      []float32
 	ax, ah []float32
 	out    []float32
+	mv     func(y []float32, w *tensor.Matrix, x []float32, bw int)
 }
 
 // BatchStream returns a stepper advancing bw independent streams over this
 // GRU's (shared, read-only) weights.
-func (g *GRU) BatchStream(bw int) BatchStepper {
+func (g *GRU) BatchStream(bw int) BatchStepper { return g.batchStream(bw, false) }
+
+// BatchStreamFast is BatchStream on the relaxed-precision kernel tier.
+func (g *GRU) BatchStreamFast(bw int) BatchStepper { return g.batchStream(bw, true) }
+
+func (g *GRU) batchStream(bw int, fast bool) BatchStepper {
 	return &gruBatchStream{
 		g:   g,
 		bw:  bw,
@@ -78,6 +93,7 @@ func (g *GRU) BatchStream(bw int) BatchStepper {
 		ax:  make([]float32, 3*g.Hidden*bw),
 		ah:  make([]float32, 3*g.Hidden*bw),
 		out: make([]float32, g.Hidden*bw),
+		mv:  matVecAddBatch(fast),
 	}
 }
 
@@ -86,9 +102,9 @@ func (s *gruBatchStream) StepBatch(x []float32) []float32 {
 	g := s.g
 	H, bw := g.Hidden, s.bw
 	broadcastRows(s.ax, g.Bx.W.Data, bw)
-	tensor.MatVecAddBatch(s.ax, g.Wx.W, x, bw)
+	s.mv(s.ax, g.Wx.W, x, bw)
 	broadcastRows(s.ah, g.Bh.W.Data, bw)
-	tensor.MatVecAddBatch(s.ah, g.Wh.W, s.h, bw)
+	s.mv(s.ah, g.Wh.W, s.h, bw)
 	out := s.out
 	for i := 0; i < H; i++ {
 		axz := s.ax[i*bw : (i+1)*bw]
@@ -123,11 +139,17 @@ type lstmBatchStream struct {
 	h, c []float32
 	act  []float32
 	out  []float32
+	mv   func(y []float32, w *tensor.Matrix, x []float32, bw int)
 }
 
 // BatchStream returns a stepper advancing bw independent streams over this
 // LSTM's weights.
-func (l *LSTM) BatchStream(bw int) BatchStepper {
+func (l *LSTM) BatchStream(bw int) BatchStepper { return l.batchStream(bw, false) }
+
+// BatchStreamFast is BatchStream on the relaxed-precision kernel tier.
+func (l *LSTM) BatchStreamFast(bw int) BatchStepper { return l.batchStream(bw, true) }
+
+func (l *LSTM) batchStream(bw int, fast bool) BatchStepper {
 	return &lstmBatchStream{
 		l:   l,
 		bw:  bw,
@@ -135,6 +157,7 @@ func (l *LSTM) BatchStream(bw int) BatchStepper {
 		c:   make([]float32, l.Hidden*bw),
 		act: make([]float32, 4*l.Hidden*bw),
 		out: make([]float32, l.Hidden*bw),
+		mv:  matVecAddBatch(fast),
 	}
 }
 
@@ -144,8 +167,8 @@ func (s *lstmBatchStream) StepBatch(x []float32) []float32 {
 	H, bw := l.Hidden, s.bw
 	broadcastRows(s.act, l.Bx.W.Data, bw)
 	addBroadcastRows(s.act, l.Bh.W.Data, bw)
-	tensor.MatVecAddBatch(s.act, l.Wx.W, x, bw)
-	tensor.MatVecAddBatch(s.act, l.Wh.W, s.h, bw)
+	s.mv(s.act, l.Wx.W, x, bw)
+	s.mv(s.act, l.Wh.W, s.h, bw)
 	out := s.out
 	for j := 0; j < H; j++ {
 		ai := s.act[j*bw : (j+1)*bw]
@@ -185,18 +208,27 @@ type denseBatchStream struct {
 	d   *Dense
 	bw  int
 	out []float32
+	mv  func(y []float32, w *tensor.Matrix, x []float32, bw int)
 }
 
 // BatchStream returns a batched stepper over the Dense layer.
-func (d *Dense) BatchStream(bw int) BatchStepper {
-	return &denseBatchStream{d: d, bw: bw, out: make([]float32, d.OutDimN*bw)}
+func (d *Dense) BatchStream(bw int) BatchStepper { return d.batchStream(bw, false) }
+
+// BatchStreamFast is BatchStream on the relaxed-precision kernel tier.
+func (d *Dense) BatchStreamFast(bw int) BatchStepper { return d.batchStream(bw, true) }
+
+func (d *Dense) batchStream(bw int, fast bool) BatchStepper {
+	return &denseBatchStream{
+		d: d, bw: bw, out: make([]float32, d.OutDimN*bw),
+		mv: matVecAddBatch(fast),
+	}
 }
 
 // StepBatch implements BatchStepper.
 func (s *denseBatchStream) StepBatch(x []float32) []float32 {
 	y := s.out
 	broadcastRows(y, s.d.Bias.W.Data, s.bw)
-	tensor.MatVecAddBatch(y, s.d.Weight.W, x, s.bw)
+	s.mv(y, s.d.Weight.W, x, s.bw)
 	return y
 }
 
@@ -228,7 +260,14 @@ func (s *BatchStream) SetTracer(tr *obs.Tracer) { s.tracer = tr }
 
 // NewBatchStream builds a lockstep pipeline of width bw sharing the model's
 // weights. Panics if bw < 1 or a layer type has no streaming form.
-func (m *Model) NewBatchStream(bw int) *BatchStream {
+func (m *Model) NewBatchStream(bw int) *BatchStream { return m.newBatchStream(bw, false) }
+
+// NewBatchStreamFast is NewBatchStream on the relaxed-precision kernel
+// tier: lane l is tolerance-close to a NewStreamFast session fed lane l's
+// frames, and lanes still never mix.
+func (m *Model) NewBatchStreamFast(bw int) *BatchStream { return m.newBatchStream(bw, true) }
+
+func (m *Model) newBatchStream(bw int, fast bool) *BatchStream {
 	if bw < 1 {
 		panic("nn: batch width must be >= 1")
 	}
@@ -239,11 +278,11 @@ func (m *Model) NewBatchStream(bw int) *BatchStream {
 	for _, layer := range m.Layers {
 		switch v := layer.(type) {
 		case *GRU:
-			s.steppers = append(s.steppers, v.BatchStream(bw))
+			s.steppers = append(s.steppers, v.batchStream(bw, fast))
 		case *LSTM:
-			s.steppers = append(s.steppers, v.BatchStream(bw))
+			s.steppers = append(s.steppers, v.batchStream(bw, fast))
 		case *Dense:
-			s.steppers = append(s.steppers, v.BatchStream(bw))
+			s.steppers = append(s.steppers, v.batchStream(bw, fast))
 		default:
 			panic("nn: layer has no streaming form")
 		}

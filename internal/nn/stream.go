@@ -25,24 +25,43 @@ type Stepper interface {
 	Reset()
 }
 
+// matVecAdd selects the kernel tier for a stepper's projections: the
+// exact tier runs the bit-pinned float64-accumulation reference, the fast
+// tier the FMA'd float32-accumulation twins (tolerance-verified, see
+// tensor.FastClose). Steppers capture the choice once at construction so
+// the per-step hot loop stays branch-cheap.
+func matVecAdd(fast bool) func(y []float32, w *tensor.Matrix, x []float32) {
+	if fast {
+		return tensor.MatVecAddFast
+	}
+	return tensor.MatVecAdd
+}
+
 // gruStream is a GRU cell's streaming state.
 type gruStream struct {
 	g      *GRU
 	h      []float32
 	ax, ah []float32
 	out    []float32
+	mv     func(y []float32, w *tensor.Matrix, x []float32)
 }
 
 // Stream returns a stateful stepper over this GRU's weights. The stepper
 // shares weights with the layer (training would be visible) but owns its
 // state.
-func (g *GRU) Stream() Stepper {
+func (g *GRU) Stream() Stepper { return g.stream(false) }
+
+// StreamFast is Stream on the relaxed-precision kernel tier.
+func (g *GRU) StreamFast() Stepper { return g.stream(true) }
+
+func (g *GRU) stream(fast bool) Stepper {
 	return &gruStream{
 		g:   g,
 		h:   make([]float32, g.Hidden),
 		ax:  make([]float32, 3*g.Hidden),
 		ah:  make([]float32, 3*g.Hidden),
 		out: make([]float32, g.Hidden),
+		mv:  matVecAdd(fast),
 	}
 }
 
@@ -51,9 +70,9 @@ func (s *gruStream) Step(x []float32) []float32 {
 	g := s.g
 	H := g.Hidden
 	copy(s.ax, g.Bx.W.Data)
-	tensor.MatVecAdd(s.ax, g.Wx.W, x)
+	s.mv(s.ax, g.Wx.W, x)
 	copy(s.ah, g.Bh.W.Data)
-	tensor.MatVecAdd(s.ah, g.Wh.W, s.h)
+	s.mv(s.ah, g.Wh.W, s.h)
 	out := s.out
 	for i := 0; i < H; i++ {
 		z := sigmoid(s.ax[i] + s.ah[i])
@@ -74,16 +93,23 @@ type lstmStream struct {
 	h, c []float32
 	act  []float32
 	out  []float32
+	mv   func(y []float32, w *tensor.Matrix, x []float32)
 }
 
 // Stream returns a stateful stepper over this LSTM's weights.
-func (l *LSTM) Stream() Stepper {
+func (l *LSTM) Stream() Stepper { return l.stream(false) }
+
+// StreamFast is Stream on the relaxed-precision kernel tier.
+func (l *LSTM) StreamFast() Stepper { return l.stream(true) }
+
+func (l *LSTM) stream(fast bool) Stepper {
 	return &lstmStream{
 		l:   l,
 		h:   make([]float32, l.Hidden),
 		c:   make([]float32, l.Hidden),
 		act: make([]float32, 4*l.Hidden),
 		out: make([]float32, l.Hidden),
+		mv:  matVecAdd(fast),
 	}
 }
 
@@ -93,8 +119,8 @@ func (s *lstmStream) Step(x []float32) []float32 {
 	H := l.Hidden
 	copy(s.act, l.Bx.W.Data)
 	tensor.Axpy(1, l.Bh.W.Data, s.act)
-	tensor.MatVecAdd(s.act, l.Wx.W, x)
-	tensor.MatVecAdd(s.act, l.Wh.W, s.h)
+	s.mv(s.act, l.Wx.W, x)
+	s.mv(s.act, l.Wh.W, s.h)
 	out := s.out
 	for j := 0; j < H; j++ {
 		i := sigmoid(s.act[j])
@@ -119,18 +145,24 @@ func (s *lstmStream) Reset() {
 type denseStream struct {
 	d   *Dense
 	out []float32
+	mv  func(y []float32, w *tensor.Matrix, x []float32)
 }
 
 // Stream returns a stepper over the Dense layer.
-func (d *Dense) Stream() Stepper {
-	return &denseStream{d: d, out: make([]float32, d.OutDimN)}
+func (d *Dense) Stream() Stepper { return d.stream(false) }
+
+// StreamFast is Stream on the relaxed-precision kernel tier.
+func (d *Dense) StreamFast() Stepper { return d.stream(true) }
+
+func (d *Dense) stream(fast bool) Stepper {
+	return &denseStream{d: d, out: make([]float32, d.OutDimN), mv: matVecAdd(fast)}
 }
 
 // Step implements Stepper.
 func (s *denseStream) Step(x []float32) []float32 {
 	y := s.out
 	copy(y, s.d.Bias.W.Data)
-	tensor.MatVecAdd(y, s.d.Weight.W, x)
+	s.mv(y, s.d.Weight.W, x)
 	return y
 }
 
@@ -152,16 +184,24 @@ func (s *Stream) SetTracer(tr *obs.Tracer) { s.tracer = tr }
 
 // NewStream builds a streaming pipeline sharing the model's weights.
 // Panics if a layer type has no streaming form.
-func (m *Model) NewStream() *Stream {
+func (m *Model) NewStream() *Stream { return m.newStream(false) }
+
+// NewStreamFast is NewStream on the relaxed-precision kernel tier: every
+// layer's projections run the FMA'd float32-accumulation kernels instead
+// of the bit-pinned exact reference. Outputs are tolerance-close to
+// NewStream's, not bit-identical (see tensor.FastClose).
+func (m *Model) NewStreamFast() *Stream { return m.newStream(true) }
+
+func (m *Model) newStream(fast bool) *Stream {
 	s := &Stream{}
 	for _, l := range m.Layers {
 		switch v := l.(type) {
 		case *GRU:
-			s.steppers = append(s.steppers, v.Stream())
+			s.steppers = append(s.steppers, v.stream(fast))
 		case *LSTM:
-			s.steppers = append(s.steppers, v.Stream())
+			s.steppers = append(s.steppers, v.stream(fast))
 		case *Dense:
-			s.steppers = append(s.steppers, v.Stream())
+			s.steppers = append(s.steppers, v.stream(fast))
 		default:
 			panic("nn: layer has no streaming form")
 		}

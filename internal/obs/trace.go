@@ -36,6 +36,14 @@ const (
 	// StageKernelQ16 is one quantized (int16-stored, 12- or 16-bit)
 	// packed-program execution.
 	StageKernelQ16
+	// StageKernelFast is one fast-tier (FMA + f32 accumulation) float32
+	// packed-program execution; ID is the program's tracer ID.
+	StageKernelFast
+	// StageKernelQ8Fast is one fast-tier int8 packed-program execution.
+	StageKernelQ8Fast
+	// StageKernelQ16Fast is one fast-tier int16-stored packed-program
+	// execution.
+	StageKernelQ16Fast
 
 	// NumStageKinds is the number of distinct kinds (array sizing).
 	NumStageKinds
@@ -60,6 +68,12 @@ func (k StageKind) String() string {
 		return "kernel_q8"
 	case StageKernelQ16:
 		return "kernel_q16"
+	case StageKernelFast:
+		return "kernel_fast"
+	case StageKernelQ8Fast:
+		return "kernel_q8_fast"
+	case StageKernelQ16Fast:
+		return "kernel_q16_fast"
 	default:
 		return "unknown"
 	}

@@ -3,6 +3,7 @@ package rtmobile
 import (
 	"time"
 
+	"rtmobile/internal/compiler"
 	"rtmobile/internal/nn"
 	"rtmobile/internal/obs"
 	"rtmobile/internal/parallel"
@@ -56,8 +57,14 @@ type BatchStream struct {
 // NewBatchStream opens a lockstep session of width bw. State persists
 // across StepBatch calls until Reset (all lanes) or ResetLane (one slot).
 func (e *Engine) NewBatchStream(bw int) *BatchStream {
+	var inner *nn.BatchStream
+	if e.precision == compiler.PrecisionFast {
+		inner = e.model.NewBatchStreamFast(bw)
+	} else {
+		inner = e.model.NewBatchStream(bw)
+	}
 	s := &BatchStream{
-		inner: e.model.NewBatchStream(bw),
+		inner: inner,
 		bw:    bw,
 		out:   e.model.Spec.OutputDim,
 		fp16:  e.fp16,

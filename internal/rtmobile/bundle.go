@@ -26,7 +26,8 @@ import (
 // Layout (little-endian): magic "RTMB" | version u32 | spec 6×u64 |
 // scheme 4×f64 | format u32 | valueBits u32 | tile 3×u32 |
 // reorder u8 | loadelim u8 | fused u8 | [v2+: tuneMode u8 |
-// placement u32 | tuneCost f64] | [v3+: quantBits u8] | paramCount u32 |
+// placement u32 | tuneCost f64] | [v3+: quantBits u8] |
+// [v4+: precision u8] | paramCount u32 |
 // per param: nameLen u32, name, kind u8 (0 raw, 1 bspc, 2 quantized),
 // payload.
 //
@@ -43,12 +44,19 @@ import (
 // exactly the values the quantized packed backend streams. Versions 1 and
 // 2 still load (quantization off).
 //
+// Version 4 adds the precision tier: the header records the kernel tier
+// the engine actually ran under (after the measured tuner's verdict, when
+// one ran), so a reloaded bundle re-selects the same kernel family — an
+// exact-tier bundle can never silently pin a fast-tier deployment's plan,
+// or vice versa. Versions 1–3 still load (exact tier, the historical
+// behavior).
+//
 // A fused engine's weight matrices are the model's (fusion happens at
 // compile time); the fused flag makes the reload recompile identically.
 
 const (
 	bundleMagic   = "RTMB"
-	bundleVersion = 3
+	bundleVersion = 4
 	// maxBundleNameLen bounds a param-name length field so a corrupt
 	// bundle cannot drive a multi-gigabyte allocation before the name
 	// check fails.
@@ -74,7 +82,7 @@ func (e *Engine) SaveBundle(w io.Writer, scheme prune.BSP) error {
 		boolByte(e.plan.Options.Reorder), boolByte(e.plan.Options.EliminateRedundantLoads),
 		boolByte(e.fused),
 		uint8(e.tuned.Mode), uint32(e.plan.Options.Tile.Placement), e.tuned.Cost,
-		uint8(e.quant),
+		uint8(e.quant), uint8(e.precision),
 	}
 	for _, v := range header {
 		if err := binary.Write(w, le, v); err != nil {
@@ -319,6 +327,15 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 			return nil, zero, fmt.Errorf("rtmobile: corrupt quantization width %d", quantBits)
 		}
 	}
+	var precByte uint8
+	if version >= 4 {
+		if err := binary.Read(r, le, &precByte); err != nil {
+			return nil, zero, fmt.Errorf("rtmobile: reading bundle precision tier: %w", err)
+		}
+		if !compiler.PrecisionValid(compiler.Precision(precByte)) {
+			return nil, zero, fmt.Errorf("rtmobile: corrupt precision tier %d", precByte)
+		}
+	}
 
 	model := nn.NewModel(nn.ModelSpec{
 		InputDim: int(specRaw[0]), Hidden: int(specRaw[1]),
@@ -406,6 +423,7 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 		Target: target, Format: compiler.Format(format),
 		DisableReorder: reorder == 0, DisableLoadElim: loadelim == 0,
 		FuseKernels: fused == 1, Quant: int(quantBits),
+		Precision: compiler.Precision(precByte),
 		Tile: compiler.TileConfig{
 			RowTile: int(rowTile), ColTile: int(colTile), Unroll: int(unroll),
 			Placement: compiler.Placement(placement),

@@ -180,8 +180,8 @@ func TestLoadBundleRejectsGarbage(t *testing.T) {
 
 // validBundleImage serializes a small engine to bytes for corruption tests.
 // Fixed header offsets (little-endian): magic 4 | version 4 | spec 48 |
-// scheme 32 | options 20 | flags 3 | plan cache 13 | param count 4 |
-// first param name length at 128.
+// scheme 32 | options 20 | flags 3 | plan cache 13 | quant 1 |
+// precision 1 | param count 4 | first param name length at 130.
 func validBundleImage(t *testing.T) []byte {
 	t.Helper()
 	m := testModel(48)
@@ -201,13 +201,14 @@ const (
 	bundleOffVersion   = 4
 	bundleOffPlanCache = 111 // tuneMode u8 | placement u32 | tuneCost f64
 	bundleOffQuant     = 124 // quantBits u8 (v3)
-	bundleOffCount     = 125
-	bundleOffNameLen   = 129
+	bundleOffPrecision = 125 // precision u8 (v4)
+	bundleOffCount     = 126
+	bundleOffNameLen   = 130
 )
 
-// asV1 rewrites a v3 image as the version-1 layout: the 13-byte plan-cache
-// section and the quantization byte did not exist, and the version field
-// says 1.
+// asV1 rewrites a v4 image as the version-1 layout: the 13-byte plan-cache
+// section, the quantization byte, and the precision byte did not exist,
+// and the version field says 1.
 func asV1(image []byte) []byte {
 	v1 := append([]byte(nil), image[:bundleOffPlanCache]...)
 	v1 = append(v1, image[bundleOffCount:]...)
@@ -215,13 +216,22 @@ func asV1(image []byte) []byte {
 	return v1
 }
 
-// asV2 rewrites a v3 image as the version-2 layout: plan cache present,
-// quantization byte absent.
+// asV2 rewrites a v4 image as the version-2 layout: plan cache present,
+// quantization and precision bytes absent.
 func asV2(image []byte) []byte {
 	v2 := append([]byte(nil), image[:bundleOffQuant]...)
 	v2 = append(v2, image[bundleOffCount:]...)
 	binary.LittleEndian.PutUint32(v2[bundleOffVersion:], 2)
 	return v2
+}
+
+// asV3 rewrites a v4 image as the version-3 layout: quantization byte
+// present, precision byte absent.
+func asV3(image []byte) []byte {
+	v3 := append([]byte(nil), image[:bundleOffPrecision]...)
+	v3 = append(v3, image[bundleOffCount:]...)
+	binary.LittleEndian.PutUint32(v3[bundleOffVersion:], 3)
+	return v3
 }
 
 func TestLoadBundleVersion1(t *testing.T) {
@@ -251,6 +261,22 @@ func TestLoadBundleVersion2(t *testing.T) {
 	// v2 predates quantization, so the loaded engine serves float weights.
 	if bits, _, _ := eng.Quantized(); bits != 0 {
 		t.Fatalf("v2 bundle invented quantization: %d bits", bits)
+	}
+}
+
+func TestLoadBundleVersion3(t *testing.T) {
+	image := validBundleImage(t)
+	eng, scheme, err := LoadBundle(bytes.NewReader(asV3(image)), device.MobileGPU())
+	if err != nil {
+		t.Fatalf("v3 bundle rejected: %v", err)
+	}
+	if scheme.ColRate != 2 {
+		t.Fatalf("v3 scheme lost: %+v", scheme)
+	}
+	// v3 predates the precision tier, so the loaded engine runs exact
+	// kernels (the historical behavior).
+	if tier, _, _ := eng.Precision(); tier != compiler.PrecisionExact {
+		t.Fatalf("v3 bundle invented a precision tier: %v", tier)
 	}
 }
 
@@ -288,7 +314,9 @@ func TestLoadBundleCorrupt(t *testing.T) {
 		{"bad tune mode", patch(bundleOffPlanCache, []byte{200}), "unknown tune mode"},
 		{"truncated quant width", image[:bundleOffQuant], "quantization width"},
 		{"bad quant width", patch(bundleOffQuant, []byte{9}), "corrupt quantization width"},
-		{"truncated param count", image[:126], "param count"},
+		{"truncated precision tier", image[:bundleOffPrecision], "precision tier"},
+		{"bad precision tier", patch(bundleOffPrecision, []byte{9}), "corrupt precision tier"},
+		{"truncated param count", image[:bundleOffCount+2], "param count"},
 		{"wrong param count", patch(bundleOffCount, u32(99)), "bundle has 99 params"},
 		{"huge name length", patch(bundleOffNameLen, u32(0xFFFFFFFF)), "corrupt name length"},
 		{"truncated name", image[:bundleOffNameLen+4+1], "reading name"},

@@ -1,6 +1,7 @@
 package rtmobile
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -42,6 +43,15 @@ type Engine struct {
 	quantPERDelta float64
 	quantFallback bool
 
+	// precision is the kernel tier the deployment executes under (exact is
+	// the bit-pinned default; fast runs the FMA'd float32-accumulation
+	// family). precPERDelta / precFallback record the fast-tier accuracy
+	// guardrail's verdict when DeployConfig.PrecisionGuardSet armed it
+	// (see compilePrecisionGuarded).
+	precision    compiler.Precision
+	precPERDelta float64
+	precFallback bool
+
 	// Batched-serving arena cache (see batch.go). Guarded by batchMu so
 	// concurrent InferBatch calls can share the free list.
 	batchMu   sync.Mutex
@@ -58,15 +68,27 @@ type Engine struct {
 	tracer    *obs.Tracer
 }
 
-// quantStageKind maps the engine's quantization width to the per-format
-// kernel-span kind streams record per step; ok is false for float
-// deployments (which record no kernel spans at the engine level).
+// quantStageKind maps the engine's quantization width and precision tier
+// to the per-format kernel-span kind streams record per step; ok is false
+// only for exact-tier float deployments (which record no kernel spans at
+// the engine level — the pre-existing behavior). Fast-tier deployments
+// always record a span, so /statz can attribute time to the tier.
 func (e *Engine) quantStageKind() (obs.StageKind, bool) {
+	fast := e.precision == compiler.PrecisionFast
 	switch e.quant {
 	case 8:
+		if fast {
+			return obs.StageKernelQ8Fast, true
+		}
 		return obs.StageKernelQ8, true
 	case 12, 16:
+		if fast {
+			return obs.StageKernelQ16Fast, true
+		}
 		return obs.StageKernelQ16, true
+	}
+	if fast {
+		return obs.StageKernelFast, true
 	}
 	return 0, false
 }
@@ -128,6 +150,15 @@ func (e *Engine) Quantized() (bits int, perDelta float64, fellBack bool) {
 	return e.quant, e.quantPERDelta, e.quantFallback
 }
 
+// Precision reports the kernel tier the deployment executes under.
+// perDelta is the fast-tier guardrail's measured PER difference
+// (fast − exact) when DeployConfig.PrecisionGuardSet armed it; fellBack
+// reports that the guardrail rejected the fast tier and this engine runs
+// exact kernels.
+func (e *Engine) Precision() (tier compiler.Precision, perDelta float64, fellBack bool) {
+	return e.precision, e.precPERDelta, e.precFallback
+}
+
 // Requantize rebuilds the deployment at a different integer quantization
 // width (0 = float weights), keeping the target, format, passes, tile
 // configuration, and plan cache — the run/serve -quant override for a
@@ -142,12 +173,40 @@ func (e *Engine) Requantize(bits int, scheme prune.BSP) (*Engine, error) {
 		DisableReorder:  !opts.Reorder,
 		DisableLoadElim: !opts.EliminateRedundantLoads,
 		FuseKernels:     e.fused, Quant: bits, Tile: opts.Tile,
+		Precision: e.precision,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ne.tuned = e.tuned
 	return ne, nil
+}
+
+// Reprecision rebuilds the deployment on a different kernel tier, keeping
+// the target, format, passes, quantization width, and tile configuration —
+// the run/serve -precision override for a loaded bundle. Unlike
+// Requantize, the plan cache is NOT carried over: a measured TuneRecord
+// prices one kernel family's wall time, so a tier change invalidates it,
+// and the rebuilt engine reports TuneNone until a search is re-run under
+// the new tier (bundles saved from it record the reset, so a stale
+// exact-tier verdict can never pin a fast-tier deployment's plan, or vice
+// versa). Requesting the engine's current tier returns the receiver
+// unchanged. The receiver is never modified.
+func (e *Engine) Reprecision(tier compiler.Precision, scheme prune.BSP) (*Engine, error) {
+	if !compiler.PrecisionValid(tier) {
+		return nil, fmt.Errorf("rtmobile: unknown precision tier %d", tier)
+	}
+	if tier == e.precision {
+		return e, nil
+	}
+	opts := e.plan.Options
+	return Compile(e.model.Clone(), scheme, DeployConfig{
+		Target: e.target, Format: opts.Format,
+		DisableReorder:  !opts.Reorder,
+		DisableLoadElim: !opts.EliminateRedundantLoads,
+		FuseKernels:     e.fused, Quant: e.quant, Tile: opts.Tile,
+		Precision: tier,
+	})
 }
 
 // Pool returns the worker pool serving requests use (the process default
@@ -261,7 +320,13 @@ type Stream struct {
 // NewStream opens a streaming session. State persists across Step calls
 // until Reset.
 func (e *Engine) NewStream() *Stream {
-	s := &Stream{inner: e.model.NewStream(), fp16: e.fp16,
+	var inner *nn.Stream
+	if e.precision == compiler.PrecisionFast {
+		inner = e.model.NewStreamFast()
+	} else {
+		inner = e.model.NewStream()
+	}
+	s := &Stream{inner: inner, fp16: e.fp16,
 		shard: obs.NextShard(), macs: e.stepMACs, bytes: e.stepBytes,
 		tracer: e.tracer}
 	s.qkind, s.qspan = e.quantStageKind()

@@ -125,11 +125,35 @@ type DeployConfig struct {
 	// 0..1 scale) before the guardrail falls back to float weights.
 	// 0 uses DefaultQuantGuardDelta.
 	QuantGuardMaxDelta float64
+	// Precision selects the kernel tier: the zero value (PrecisionExact)
+	// keeps every kernel bit-pinned to the interpreter reference, as all
+	// prior deployments ran; compiler.PrecisionFast opts into the FMA'd
+	// float32-accumulation family, tolerance-verified against exact (see
+	// tensor.FastClose) and typically well over 1.3× faster on the
+	// quantized hot path. The tier is recorded on the plan, the engine,
+	// and the bundle, so a reloaded deployment re-selects the same kernel
+	// family.
+	Precision compiler.Precision
+	// PrecisionGuardSet, when non-empty with Precision fast, arms the
+	// fast-tier accuracy guardrail: Compile builds both tiers from clones,
+	// scores PER on this set for each, and returns the exact engine
+	// instead when the fast tier costs more than PrecisionGuardMaxDelta
+	// absolute PER. Engine.Precision reports the verdict either way.
+	PrecisionGuardSet []speech.Utterance
+	// PrecisionGuardMaxDelta is the largest tolerated PER increase
+	// (absolute, 0..1 scale) before the guardrail falls back to exact
+	// kernels. 0 uses DefaultPrecisionGuardDelta.
+	PrecisionGuardMaxDelta float64
 }
 
 // DefaultQuantGuardDelta is the guardrail's default PER-increase budget:
 // 2 absolute points.
 const DefaultQuantGuardDelta = 0.02
+
+// DefaultPrecisionGuardDelta is the fast-tier guardrail's default
+// PER-increase budget. Relaxed precision only reorders float rounding —
+// far gentler than integer quantization — so the budget is half a point.
+const DefaultPrecisionGuardDelta = 0.005
 
 // valueBits selects numeric width per target: the paper's GPU path runs
 // fp16, the CPU path fp32.
@@ -151,8 +175,14 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 	if cfg.Quant != 0 && !compiler.QuantBitsValid(cfg.Quant) {
 		return nil, fmt.Errorf("rtmobile: unsupported quantization width %d bits (want 8, 12, or 16)", cfg.Quant)
 	}
+	if !compiler.PrecisionValid(cfg.Precision) {
+		return nil, fmt.Errorf("rtmobile: unknown precision tier %d", cfg.Precision)
+	}
 	if cfg.Quant != 0 && len(cfg.QuantGuardSet) > 0 {
 		return compileQuantGuarded(model, scheme, cfg)
+	}
+	if cfg.Precision == compiler.PrecisionFast && len(cfg.PrecisionGuardSet) > 0 {
+		return compilePrecisionGuarded(model, scheme, cfg)
 	}
 	if cfg.Format == compiler.FormatAuto {
 		cfg.Format = compiler.FormatBSPC
@@ -164,6 +194,7 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 		Tile:                    cfg.Tile,
 		ValueBits:               valueBits(cfg.Target),
 		QuantBits:               cfg.Quant,
+		Precision:               cfg.Precision,
 	}
 	if opt.Tile == (compiler.TileConfig{}) {
 		opt.Tile = compiler.DefaultTile()
@@ -190,6 +221,11 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 			return nil, err
 		}
 		opt.Tile = res.Tile
+		// The measured tuner prices fast-tier kernels as first-class
+		// candidates, so the winning tier may legitimately be exact even
+		// when the caller requested fast — the deployment then runs the
+		// tier that actually won, and the bundle records it.
+		opt.Precision = res.Precision
 		tuned = TuneRecord{Mode: TuneAnalytic, Cost: res.Cost}
 		if res.Measured {
 			tuned.Mode = TuneMeasured
@@ -207,7 +243,8 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 	}
 	eng := &Engine{model: model, plan: plan, target: cfg.Target, pool: pool,
 		fp16: opt.ValueBits == 16, fused: cfg.FuseKernels, tuned: tuned,
-		quant: cfg.Quant, stepMACs: stepPricedMACs(plan),
+		quant: cfg.Quant, precision: opt.Precision,
+		stepMACs:  stepPricedMACs(plan),
 		stepBytes: uint64(plan.WeightBytes())}
 	// Integer rounding precedes fp16 rounding: a quantized deployment
 	// streams int weights and dequantizes into the target's compute width.
@@ -255,6 +292,44 @@ func compileQuantGuarded(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*
 	}
 	qeng.quantPERDelta = delta
 	return qeng, nil
+}
+
+// compilePrecisionGuarded builds the fast-tier and the exact-tier
+// deployments from clones, scores both on the guard set, and returns the
+// fast engine only when its PER stays within the configured delta of the
+// exact engine's — the deployment-level complement of the kernel-level
+// tolerance bound (tensor.FastClose verifies individual dots; this
+// verifies the end-to-end recognizer). Either returned engine records the
+// measured delta.
+func compilePrecisionGuarded(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, error) {
+	guard := cfg.PrecisionGuardSet
+	maxDelta := cfg.PrecisionGuardMaxDelta
+	if maxDelta <= 0 {
+		maxDelta = DefaultPrecisionGuardDelta
+	}
+	fcfg := cfg
+	fcfg.PrecisionGuardSet = nil
+	feng, err := Compile(model.Clone(), scheme, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := cfg
+	ecfg.Precision = compiler.PrecisionExact
+	ecfg.PrecisionGuardSet = nil
+	eeng, err := Compile(model.Clone(), scheme, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	ePER := EvaluateEnginePER(eeng, guard)
+	fPER := EvaluateEnginePER(feng, guard)
+	delta := fPER - ePER
+	if delta > maxDelta {
+		eeng.precPERDelta = delta
+		eeng.precFallback = true
+		return eeng, nil
+	}
+	feng.precPERDelta = delta
+	return feng, nil
 }
 
 // ModelSources extracts the compiler inputs from a model's prunable weight

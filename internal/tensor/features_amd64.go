@@ -1,0 +1,45 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// cpuid/xgetbv are implemented in dotbatch_amd64.s.
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv() (eax, edx uint32)
+
+// feat is detected once at init. Bits are set only when usable: CPUID
+// advertises the instruction set and XGETBV confirms the OS saves the
+// matching register state on context switch.
+var feat = detectFeatures()
+
+func detectFeatures() Features {
+	const (
+		osxsave = 1 << 27 // CPUID.1:ECX
+		avx     = 1 << 28 // CPUID.1:ECX
+		fma     = 1 << 12 // CPUID.1:ECX
+		avx2    = 1 << 5  // CPUID.7.0:EBX
+		avx512f = 1 << 16 // CPUID.7.0:EBX
+		avx512v = 1 << 31 // CPUID.7.0:EBX (AVX512VL)
+
+		ymmState = 0x6  // XCR0: xmm|ymm
+		zmmState = 0xe6 // XCR0: xmm|ymm|opmask|zmm_hi256|hi16_zmm
+	)
+	_, _, c, _ := cpuid(1, 0)
+	if c&osxsave == 0 || c&avx == 0 {
+		return Features{}
+	}
+	xeax, _ := xgetbv()
+	if xeax&ymmState != ymmState {
+		return Features{}
+	}
+	var f Features
+	_, b, _, _ := cpuid(7, 0)
+	f.AVX2 = b&avx2 != 0
+	f.FMA = c&fma != 0
+	if xeax&zmmState == zmmState {
+		f.AVX512F = b&avx512f != 0
+		f.AVX512VL = b&avx512v != 0
+	}
+	return f
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// feat is all-false without amd64 assembly (or under -tags=purego): every
+// kernel dispatch takes its portable fallback.
+var feat Features

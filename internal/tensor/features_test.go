@@ -1,0 +1,32 @@
+package tensor
+
+import "testing"
+
+// The feature set is detected once; these tests pin the derived dispatch
+// gates to it so no kernel family can drift onto its own CPUID logic again.
+
+func TestFeatureGatesConsistent(t *testing.T) {
+	f := CPUFeatures()
+	if got, want := BatchSIMD(), f.AVX2; got != want {
+		t.Errorf("BatchSIMD() = %v, want AVX2 bit %v", got, want)
+	}
+	if got, want := FastSIMD(), f.AVX2 && f.FMA; got != want {
+		t.Errorf("FastSIMD() = %v, want AVX2&&FMA %v", got, want)
+	}
+	if got, want := FastSIMD512(), FastSIMD() && f.AVX512F && f.AVX512VL; got != want {
+		t.Errorf("FastSIMD512() = %v, want %v", got, want)
+	}
+	if FastSIMD512() && !FastSIMD() {
+		t.Error("FastSIMD512 implies FastSIMD")
+	}
+}
+
+func TestFeatureBitsImplyBaseState(t *testing.T) {
+	f := CPUFeatures()
+	// AVX-512 bits are only set when the narrower state is also usable;
+	// a CPU/OS combination reporting zmm without ymm would be detection
+	// breakage, not hardware.
+	if (f.AVX512F || f.AVX512VL) && !f.AVX2 {
+		t.Errorf("AVX-512 bits set without AVX2: %+v", f)
+	}
+}

@@ -1,0 +1,77 @@
+package tensor
+
+// Fast-tier dense matvec. The nn steppers run every recurrent projection
+// through MatVecAdd/MatVecAddBatch; when the engine's precision tier is
+// fast they switch to these twins, which dot each row through the FMA'd
+// float32-accumulation kernels instead of the scalar float64 reference.
+// Row partitioning is unchanged (every y element produced by exactly one
+// worker), so the parallel form equals the serial fast form bit-for-bit;
+// what changes versus the exact tier is per-row rounding, bounded by
+// FastClose and the engine-level PER guardrail.
+
+// MatVecAddFast computes y += W·x with fast-tier rounding.
+func MatVecAddFast(y []float32, w *Matrix, x []float32) {
+	if len(x) != w.Cols || len(y) != w.Rows {
+		panic("tensor: MatVecAddFast shape mismatch")
+	}
+	if p, chunks := kernelChunks(w.Rows, w.Rows*w.Cols); chunks != nil {
+		p.For(len(chunks), func(ci int) {
+			matVecAddFastRange(y, w, x, chunks[ci].Lo, chunks[ci].Hi)
+		})
+		return
+	}
+	matVecAddFastRange(y, w, x, 0, w.Rows)
+}
+
+// matVecAddFastRange accumulates rows [lo, hi) of y += W·x through the
+// fast dot.
+func matVecAddFastRange(y []float32, w *Matrix, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += DotFastF32(w.Row(i), x)
+	}
+}
+
+// MatVecAddBatchFast is MatVecAddBatch with fast-tier rounding: lane l of
+// the column-major panel receives MatVecAddFast's math for lane l's vector
+// (modulo the across-lane vectorization's per-lane f32 accumulation, which
+// is the same operation order).
+func MatVecAddBatchFast(y []float32, w *Matrix, x []float32, bw int) {
+	if bw == 1 {
+		MatVecAddFast(y, w, x)
+		return
+	}
+	if bw < 1 {
+		panic("tensor: MatVecAddBatchFast batch width < 1")
+	}
+	if len(x) != w.Cols*bw || len(y) != w.Rows*bw {
+		panic("tensor: MatVecAddBatchFast shape mismatch")
+	}
+	if p, chunks := kernelChunks(w.Rows, w.Rows*w.Cols*bw); chunks != nil {
+		p.For(len(chunks), func(ci int) {
+			matVecAddBatchFastRange(y, w, x, bw, chunks[ci].Lo, chunks[ci].Hi)
+		})
+		return
+	}
+	matVecAddBatchFastRange(y, w, x, bw, 0, w.Rows)
+}
+
+// matVecAddBatchFastRange accumulates rows [lo, hi) of the panel product
+// with per-lane float32 accumulators, lane-chunked like the exact twin.
+func matVecAddBatchFastRange(y []float32, w *Matrix, x []float32, bw, lo, hi int) {
+	var accArr [batchLaneChunk]float32
+	for lane0 := 0; lane0 < bw; lane0 += batchLaneChunk {
+		lanes := bw - lane0
+		if lanes > batchLaneChunk {
+			lanes = batchLaneChunk
+		}
+		acc := accArr[:lanes]
+		xs := x[min(lane0, len(x)):]
+		for i := lo; i < hi; i++ {
+			DotBatchFastF32Strided(w.Row(i), xs, bw, acc)
+			yr := y[i*bw+lane0 : i*bw+lane0+lanes]
+			for l := range yr {
+				yr[l] += acc[l]
+			}
+		}
+	}
+}

@@ -12,35 +12,12 @@ func dotBatchChunk8AVX(a, bp *float32, n, strideBytes int, out *[8]float64)
 //go:noescape
 func dotBatchPair8AVX(a0, a1, bp *float32, n, strideBytes int, out0, out1 *[8]float64)
 
-func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
-
-func xgetbv() (eax, edx uint32)
-
-// hasBatchSIMD is true when the OS and CPU support AVX2 with ymm state
-// enabled (OSXSAVE + XGETBV xmm|ymm + CPUID.7.EBX[5]).
-var hasBatchSIMD = func() bool {
-	const osxsave, avx = 1 << 27, 1 << 28
-	_, _, c, _ := cpuid(1, 0)
-	if c&osxsave == 0 || c&avx == 0 {
-		return false
-	}
-	if eax, _ := xgetbv(); eax&6 != 6 {
-		return false
-	}
-	_, b, _, _ := cpuid(7, 0)
-	return b&(1<<5) != 0
-}()
-
-// BatchSIMD reports whether the vectorized eight-lane batch kernel is
-// active (AVX2 on this build/CPU; always false under -tags=purego).
-func BatchSIMD() bool { return hasBatchSIMD }
-
 // dotBatchChunk8 runs the asm kernel over one eight-lane chunk. The caller
 // guarantees len(bp) >= (len(a)-1)*stride + 8. Returns false when the
 // vector path is unavailable so the caller can fall back to the portable
 // kernel.
 func dotBatchChunk8(a, bp []float32, stride int, out *[8]float64) bool {
-	if !hasBatchSIMD {
+	if !feat.AVX2 {
 		return false
 	}
 	if len(a) == 0 {
@@ -55,7 +32,7 @@ func dotBatchChunk8(a, bp []float32, stride int, out *[8]float64) bool {
 // two equal-length rows sharing the panel. Same caller contract and
 // fallback semantics as dotBatchChunk8.
 func dotBatchPair8(a0, a1, bp []float32, stride int, out0, out1 *[8]float64) bool {
-	if !hasBatchSIMD {
+	if !feat.AVX2 {
 		return false
 	}
 	if len(a0) == 0 {

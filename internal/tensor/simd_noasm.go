@@ -2,10 +2,6 @@
 
 package tensor
 
-// BatchSIMD reports whether the vectorized eight-lane batch kernel is
-// active. Always false without amd64 assembly (or under -tags=purego).
-func BatchSIMD() bool { return false }
-
 // dotBatchChunk8 has no vector implementation on this build; callers fall
 // back to the portable kernel.
 func dotBatchChunk8(a, bp []float32, stride int, out *[8]float64) bool {

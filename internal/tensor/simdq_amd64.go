@@ -6,7 +6,7 @@ package tensor
 // int8/int16 weight with a sign-extending load, converts to float64, and
 // multiplies by the row scale before broadcasting — one dequantization per
 // weight, exactly the scalar sequence — then vectorizes across lanes like
-// dotbatch_amd64.s. Gated by the same hasBatchSIMD check.
+// dotbatch_amd64.s. Gated by the unified feature detection (features.go).
 
 //go:noescape
 func dotQuadQ8AVX(a0, a1, a2, a3 *int8, b *float32, n int, sc, out *[4]float64)
@@ -39,7 +39,7 @@ func dotSegQuadQ16AVX(vals *int16, rows *int32, groups, nc int, scales, b, y *fl
 // scales and y.
 func dotSegQuadQ8(vals []int8, rows []int32, nc int, scales, b, y []float32) int {
 	groups := len(rows) / 4
-	if !hasBatchSIMD || groups == 0 {
+	if !feat.AVX2 || groups == 0 {
 		return 0
 	}
 	dotSegQuadQ8AVX(&vals[0], &rows[0], groups, nc, &scales[0], &b[0], &y[0])
@@ -49,7 +49,7 @@ func dotSegQuadQ8(vals []int8, rows []int32, nc int, scales, b, y []float32) int
 // dotSegQuadQ16 is dotSegQuadQ8 for int16-stored formats.
 func dotSegQuadQ16(vals []int16, rows []int32, nc int, scales, b, y []float32) int {
 	groups := len(rows) / 4
-	if !hasBatchSIMD || groups == 0 {
+	if !feat.AVX2 || groups == 0 {
 		return 0
 	}
 	dotSegQuadQ16AVX(&vals[0], &rows[0], groups, nc, &scales[0], &b[0], &y[0])
@@ -60,7 +60,7 @@ func dotSegQuadQ16(vals []int16, rows []int32, nc int, scales, b, y []float32) i
 // four rows are len(b) long and len(b) > 0. Returns false when the vector
 // path is unavailable so the caller can fall back to the portable loop.
 func dotQuadQ8(a0, a1, a2, a3 []int8, sc *[4]float64, b []float32, out *[4]float64) bool {
-	if !hasBatchSIMD {
+	if !feat.AVX2 {
 		return false
 	}
 	dotQuadQ8AVX(&a0[0], &a1[0], &a2[0], &a3[0], &b[0], len(b), sc, out)
@@ -69,7 +69,7 @@ func dotQuadQ8(a0, a1, a2, a3 []int8, sc *[4]float64, b []float32, out *[4]float
 
 // dotQuadQ16 runs the four-row serial int16 asm kernel (see dotQuadQ8).
 func dotQuadQ16(a0, a1, a2, a3 []int16, sc *[4]float64, b []float32, out *[4]float64) bool {
-	if !hasBatchSIMD {
+	if !feat.AVX2 {
 		return false
 	}
 	dotQuadQ16AVX(&a0[0], &a1[0], &a2[0], &a3[0], &b[0], len(b), sc, out)
@@ -79,7 +79,7 @@ func dotQuadQ16(a0, a1, a2, a3 []int16, sc *[4]float64, b []float32, out *[4]flo
 // dotQ8BatchChunk8 runs the int8 asm kernel over one eight-lane chunk. Same
 // caller contract and fallback semantics as dotBatchChunk8.
 func dotQ8BatchChunk8(a []int8, sc float64, bp []float32, stride int, out *[8]float64) bool {
-	if !hasBatchSIMD {
+	if !feat.AVX2 {
 		return false
 	}
 	if len(a) == 0 {
@@ -92,7 +92,7 @@ func dotQ8BatchChunk8(a []int8, sc float64, bp []float32, stride int, out *[8]fl
 
 // dotQ16BatchChunk8 runs the int16 asm kernel over one eight-lane chunk.
 func dotQ16BatchChunk8(a []int16, sc float64, bp []float32, stride int, out *[8]float64) bool {
-	if !hasBatchSIMD {
+	if !feat.AVX2 {
 		return false
 	}
 	if len(a) == 0 {
@@ -106,7 +106,7 @@ func dotQ16BatchChunk8(a []int16, sc float64, bp []float32, stride int, out *[8]
 // dotQ8BatchPair8 runs the paired int8 asm kernel over one eight-lane chunk
 // for two equal-length rows sharing the panel.
 func dotQ8BatchPair8(a0, a1 []int8, sc0, sc1 float64, bp []float32, stride int, out0, out1 *[8]float64) bool {
-	if !hasBatchSIMD {
+	if !feat.AVX2 {
 		return false
 	}
 	if len(a0) == 0 {
@@ -121,7 +121,7 @@ func dotQ8BatchPair8(a0, a1 []int8, sc0, sc1 float64, bp []float32, stride int, 
 // dotQ16BatchPair8 runs the paired int16 asm kernel over one eight-lane
 // chunk.
 func dotQ16BatchPair8(a0, a1 []int16, sc0, sc1 float64, bp []float32, stride int, out0, out1 *[8]float64) bool {
-	if !hasBatchSIMD {
+	if !feat.AVX2 {
 		return false
 	}
 	if len(a0) == 0 {

@@ -1,0 +1,83 @@
+package tensor
+
+import "math"
+
+// ULP-distance helpers for the relaxed-precision fast tier. The exact tier
+// is bit-identical to the scalar reference, so its tests compare bytes; the
+// fast tier reassociates sums (split vector accumulators), fuses
+// multiply-adds, and accumulates in float32, so its contract is a tolerance:
+// every output must sit within a small ULP distance of the exact oracle, or
+// within an absolute bound derived from the standard forward-error analysis
+// of a length-n product sum. Both arms are needed — a pure ULP bound fails
+// under catastrophic cancellation (the exact result's magnitude collapses
+// while the roundoff does not), and a pure absolute bound is meaninglessly
+// loose for large-magnitude outputs.
+
+// ulpIndex maps a float32 onto a signed integer line where adjacent
+// representable values (denormals included) are exactly one apart and
+// ordering matches <. IEEE-754 binary interchange formats are monotone in
+// their bit patterns within a sign, so the map is the payload for positive
+// values and its negation for negative ones; both zeros land on 0.
+func ulpIndex(f float32) int64 {
+	u := math.Float32bits(f)
+	if u&(1<<31) != 0 {
+		return -int64(u &^ (1 << 31))
+	}
+	return int64(u)
+}
+
+// ULPDiff32 returns the distance between a and b in float32 ULPs, counting
+// every representable value between them — denormals included, and sign
+// flips measured through zero (so 1.0e-45 and -1.0e-45 are 2 apart, not
+// half the number line). NaN on either side returns MaxUint64. Infinities
+// sit one past the largest finite value, so comparing an overflowed result
+// against a finite oracle yields a large-but-ordered distance.
+func ULPDiff32(a, b float32) uint64 {
+	if a != a || b != b { // NaN never compares close to anything
+		return math.MaxUint64
+	}
+	d := ulpIndex(a) - ulpIndex(b)
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d)
+}
+
+// FastULPBound is the per-output ULP budget for a length-n fast-tier dot
+// compared against the exact oracle. Without cancellation the worst-case
+// relative divergence of the two accumulation orders is ~2n·u (u = 2⁻²⁴),
+// i.e. about n ULPs; the budget carries 4× headroom plus a constant floor
+// for the final float32 narrow of the oracle. Outputs that fail this bound
+// under cancellation must pass FastDotBound instead (see FastClose).
+func FastULPBound(n int) uint64 {
+	if n < 1 {
+		n = 1
+	}
+	return 32 + 4*uint64(n)
+}
+
+// FastDotBound is the absolute-error budget for a length-n fast-tier dot
+// whose products have absolute-value sum sumAbs: the classic forward bound
+// |fast − exact| ≤ γ_n·Σ|aᵢbᵢ| with γ_n ≈ n·u for each accumulation order,
+// doubled for the difference of the two and padded for the FMA fusions and
+// the oracle's final narrow. This is the arm that absorbs cancellation —
+// it scales with the magnitude of what was summed, not of the result.
+func FastDotBound(n int, sumAbs float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return (float64(n) + 8) * 0x1p-23 * sumAbs
+}
+
+// FastClose reports whether got is an acceptable fast-tier value for the
+// exact oracle want: bit-equal, within ulps ULPs, or within atol absolutely.
+// Callers derive ulps from FastULPBound and atol from FastDotBound.
+func FastClose(got, want float32, ulps uint64, atol float64) bool {
+	if got == want {
+		return true
+	}
+	if ULPDiff32(got, want) <= ulps {
+		return true
+	}
+	return math.Abs(float64(got)-float64(want)) <= atol
+}

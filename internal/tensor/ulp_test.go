@@ -1,0 +1,127 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestULPDiff32Boundaries(t *testing.T) {
+	tiny := float32(math.SmallestNonzeroFloat32) // smallest denormal
+	cases := []struct {
+		name string
+		a, b float32
+		want uint64
+	}{
+		{"equal", 1.5, 1.5, 0},
+		{"zeros", 0, float32(math.Copysign(0, -1)), 0},
+		{"adjacent", 1, math.Nextafter32(1, 2), 1},
+		{"adjacent down", 1, math.Nextafter32(1, 0), 1},
+		{"denormal adjacent", 0, tiny, 1},
+		{"denormal pair", tiny, 2 * tiny, 1},
+		{"sign flip through zero", tiny, -tiny, 2},
+		{"neg zero to denormal", float32(math.Copysign(0, -1)), tiny, 1},
+		{"denormal-normal boundary", math.Nextafter32(minNormal32(), 0), minNormal32(), 1},
+		{"exponent step", 2, math.Nextafter32(2, 3), 1},
+	}
+	for _, c := range cases {
+		if got := ULPDiff32(c.a, c.b); got != c.want {
+			t.Errorf("%s: ULPDiff32(%g, %g) = %d, want %d", c.name, c.a, c.b, got, c.want)
+		}
+		if got := ULPDiff32(c.b, c.a); got != c.want {
+			t.Errorf("%s (swapped): ULPDiff32(%g, %g) = %d, want %d", c.name, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// minNormal32 is the smallest positive normal float32 (2^-126).
+func minNormal32() float32 { return math.Float32frombits(0x00800000) }
+
+func TestULPDiff32NaNInf(t *testing.T) {
+	nan := float32(math.NaN())
+	if got := ULPDiff32(nan, 1); got != math.MaxUint64 {
+		t.Errorf("ULPDiff32(NaN, 1) = %d, want MaxUint64", got)
+	}
+	if got := ULPDiff32(1, nan); got != math.MaxUint64 {
+		t.Errorf("ULPDiff32(1, NaN) = %d, want MaxUint64", got)
+	}
+	if got := ULPDiff32(nan, nan); got != math.MaxUint64 {
+		t.Errorf("ULPDiff32(NaN, NaN) = %d, want MaxUint64", got)
+	}
+	// +Inf sits one past MaxFloat32 on the integer line.
+	inf := float32(math.Inf(1))
+	if got := ULPDiff32(inf, math.MaxFloat32); got != 1 {
+		t.Errorf("ULPDiff32(+Inf, MaxFloat32) = %d, want 1", got)
+	}
+}
+
+func TestFastBoundsGrowWithLength(t *testing.T) {
+	prevULP := uint64(0)
+	prevAbs := 0.0
+	for _, n := range []int{0, 1, 8, 64, 512, 4096} {
+		u := FastULPBound(n)
+		a := FastDotBound(n, 1)
+		if u <= prevULP && n > 1 {
+			t.Errorf("FastULPBound(%d) = %d did not grow past %d", n, u, prevULP)
+		}
+		if a <= prevAbs && n > 1 {
+			t.Errorf("FastDotBound(%d, 1) = %g did not grow past %g", n, a, prevAbs)
+		}
+		prevULP, prevAbs = u, a
+	}
+	// The absolute bound scales linearly with the product-magnitude sum.
+	if got, want := FastDotBound(16, 100), 100*FastDotBound(16, 1); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("FastDotBound not linear in sumAbs: %g vs %g", got, want)
+	}
+}
+
+func TestFastCloseArms(t *testing.T) {
+	// Bit-equal always passes, even for values the bounds would reject.
+	if !FastClose(3e8, 3e8, 0, 0) {
+		t.Error("FastClose rejected bit-equal values")
+	}
+	// ULP arm: a few ULPs on a large magnitude is a huge absolute gap.
+	big := float32(1e30)
+	bigUp := math.Nextafter32(math.Nextafter32(big, 2e30), 2e30)
+	if !FastClose(bigUp, big, 4, 0) {
+		t.Error("FastClose ULP arm rejected a 2-ULP gap at 1e30")
+	}
+	if FastClose(bigUp, big, 1, 0) {
+		t.Error("FastClose accepted a 2-ULP gap with a 1-ULP budget and no atol")
+	}
+	// Absolute arm: cancellation leaves a tiny result whose ULP distance is
+	// enormous but whose absolute error is within the forward bound.
+	if !FastClose(1e-6, -1e-6, 4, 1e-5) {
+		t.Error("FastClose atol arm rejected a cancellation-scale gap")
+	}
+	if FastClose(1e-6, -1e-6, 4, 1e-7) {
+		t.Error("FastClose accepted a gap above both budgets")
+	}
+}
+
+// TestFastAccumulatedErrorGrowth drives the portable fast dot (f32
+// accumulation) against the exact f64 oracle across growing lengths and
+// checks every divergence stays inside the hybrid bound — the
+// accumulated-error-growth case the bounds exist for.
+func TestFastAccumulatedErrorGrowth(t *testing.T) {
+	rng := NewRNG(0xFA57)
+	for _, n := range []int{1, 7, 16, 129, 1024, 8192} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		sumAbs := 0.0
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+			sumAbs += math.Abs(float64(a[i]) * float64(b[i]))
+		}
+		want := float32(DotF64(a, b))
+		// Portable fast semantics, forced (no asm): strict f32 loop.
+		var got float32
+		for i := range a {
+			got += a[i] * b[i]
+		}
+		if !FastClose(got, want, FastULPBound(n), FastDotBound(n, sumAbs)) {
+			t.Errorf("n=%d: portable fast dot %g vs exact %g outside bound (ulp=%d, atol=%g)",
+				n, got, want, ULPDiff32(got, want), FastDotBound(n, sumAbs))
+		}
+	}
+}
