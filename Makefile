@@ -4,6 +4,7 @@ FUZZTIME ?= 10s
 OBS_COVER_FLOOR ?= 90.0
 QUANT_COVER_FLOOR ?= 90.0
 SCHED_COVER_FLOOR ?= 90.0
+REGISTRY_COVER_FLOOR ?= 90.0
 
 .PHONY: all build test race fuzz-smoke vet bench cover
 
@@ -32,9 +33,11 @@ race:
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve|Obs|Metrics|Trac' ./cmd/rtmobile ./internal/rtmobile
 	RTMOBILE_METRICS=1 $(GO) test -race ./internal/sched
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve' -count=2 ./cmd/rtmobile
+	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Swap|Registry' ./internal/registry ./cmd/rtmobile
+	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Swap|Registry' ./internal/registry ./cmd/rtmobile
 
 # Short run of every fuzz target (decoder hardening + compiler shapes +
-# pack lowering + fast-tier tolerance equivalence).
+# pack lowering + fast-tier tolerance equivalence + bundle mapping).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFastEquiv -fuzztime=$(FUZZTIME) ./internal/tensor
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBSPC -fuzztime=$(FUZZTIME) ./internal/sparse
@@ -44,9 +47,11 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzRunBatch -fuzztime=$(FUZZTIME) ./internal/compiler
 	$(GO) test -run=^$$ -fuzz=FuzzPackQuant -fuzztime=$(FUZZTIME) ./internal/compiler
 	$(GO) test -run=^$$ -fuzz=FuzzSchedTrace -fuzztime=$(FUZZTIME) ./internal/sched
+	$(GO) test -run=^$$ -fuzz=FuzzMapBundle -fuzztime=$(FUZZTIME) ./internal/rtmobile
 
-# Static checks: vet under both build configurations (default and the
-# purego fallback used on targets without unsafe), plus a gofmt gate.
+# Static checks: vet under both build configurations — the default build
+# (which includes the unsafe mmap/alias files in internal/rtmobile) and
+# the purego fallback used on targets without unsafe — plus a gofmt gate.
 vet:
 	$(GO) vet ./...
 	GOFLAGS=-tags=purego $(GO) vet ./...
@@ -64,6 +69,7 @@ bench:
 	$(GO) run ./cmd/rtmobile bench -exp quant -json BENCH_5.json
 	$(GO) run ./cmd/rtmobile bench -exp serve -json BENCH_6.json
 	$(GO) run ./cmd/rtmobile bench -exp precision -json BENCH_7.json
+	$(GO) run ./cmd/rtmobile bench -exp mmap -json BENCH_8.json
 
 # Coverage gates: the observability primitives and the quantization
 # package must each stay above their statement-coverage floor.
@@ -85,4 +91,10 @@ cover:
 	rm -f cover.out; \
 	echo "internal/sched coverage: $$total% (floor $(SCHED_COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(SCHED_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage below floor"; exit 1; }
+	RTMOBILE_METRICS=1 $(GO) test -coverprofile=cover.out ./internal/registry
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f cover.out; \
+	echo "internal/registry coverage: $$total% (floor $(REGISTRY_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(REGISTRY_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage below floor"; exit 1; }

@@ -289,10 +289,10 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, precision, scaling, workers, packed, batch, obs, serve, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, precision, scaling, workers, packed, batch, obs, serve, mmap, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
-	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, precision, or serve: also write the rows as JSON to this path (e.g. BENCH_7.json)")
+	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, precision, serve, or mmap: also write the rows as JSON to this path (e.g. BENCH_8.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -467,6 +467,34 @@ func cmdBench(args []string) error {
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}
+	case "mmap":
+		cfg := bench.DefaultMmapBenchConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		res, err := bench.RunMmapBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderMmapBench(res))
+		verdict := "meets"
+		if res.SpeedupX < bench.MmapSpeedupTarget {
+			verdict = "MISSES"
+		}
+		fmt.Printf("  v5 map load: %.1fx faster than v4 decode (%s the %.0fx target)\n",
+			res.SpeedupX, verdict, bench.MmapSpeedupTarget)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteMmapJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 	case "blocksize":
 		results, best, err := bench.RunBlockSizeStudy(bench.DefaultBlockSizeStudy())
 		if err != nil {
@@ -590,8 +618,12 @@ func cmdDeploy(args []string) error {
 	measured := fs.Bool("measured", false, "with -autotune: tune on measured packed-backend wall time")
 	quantBits := fs.Int("quant", 0, "integer weight quantization width: 8, 12, or 16 (0 = float32 weights; stored in the bundle)")
 	precName := precisionFlag(fs)
+	bundleVersion := fs.Int("bundle-version", 5, "bundle wire format: 5 (section table, zero-copy mmap load) or 4 (compact decode load)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *bundleVersion != 4 && *bundleVersion != 5 {
+		return fmt.Errorf("-bundle-version %d: want 4 or 5", *bundleVersion)
 	}
 	model, err := loadModel(*in)
 	if err != nil {
@@ -618,15 +650,15 @@ func cmdDeploy(args []string) error {
 		return err
 	}
 	defer f.Close()
-	if err := eng.SaveBundle(f, scheme); err != nil {
+	if err := eng.SaveBundleVersion(f, scheme, *bundleVersion); err != nil {
 		return err
 	}
 	info, err := f.Stat()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d KiB, %s, %s storage)\n",
-		*out, info.Size()>>10, target.Name, eng.Plan().Options.Format)
+	fmt.Printf("wrote %s (v%d, %d KiB, %s, %s storage)\n",
+		*out, *bundleVersion, info.Size()>>10, target.Name, eng.Plan().Options.Format)
 	printTuneRecord(eng)
 	printQuantStatus(eng)
 	printPrecisionStatus(eng)

@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"rtmobile/internal/compiler"
+	"rtmobile/internal/device"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/rtmobile"
 	"rtmobile/internal/speech"
 )
 
@@ -102,6 +105,65 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 	if err := cmdAutotune([]string{"-hidden", "16", "-col", "2", "-row", "1"}); err != nil {
 		t.Fatalf("autotune: %v", err)
+	}
+}
+
+// TestCmdDeployBundleVersions: deploy writes either wire format on
+// request, the two bundles load through the same front door, and their
+// inference is bit-identical — the v4↔v5 round trip loses nothing.
+func TestCmdDeployBundleVersions(t *testing.T) {
+	dir := t.TempDir()
+	model := nn.NewGRUModel(nn.ModelSpec{
+		InputDim: 8, Hidden: 16, NumLayers: 1, OutputDim: 6, Seed: 9,
+	})
+	rtmobile.Prune(model, nil, rtmobile.PruneConfig{
+		ColRate: 2, RowRate: 1, RowGroups: 2, ColBlocks: 2,
+	})
+	pruned := filepath.Join(dir, "p.bin")
+	f, err := os.Create(pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	schemeArgs := []string{"-col", "2", "-row", "1", "-row-groups", "2", "-col-blocks", "2", "-target", "cpu"}
+	b4 := filepath.Join(dir, "m4.rtmb")
+	b5 := filepath.Join(dir, "m5.rtmb")
+	if err := cmdDeploy(append([]string{"-in", pruned, "-out", b4, "-bundle-version", "4"}, schemeArgs...)); err != nil {
+		t.Fatalf("deploy v4: %v", err)
+	}
+	if err := cmdDeploy(append([]string{"-in", pruned, "-out", b5, "-bundle-version", "5"}, schemeArgs...)); err != nil {
+		t.Fatalf("deploy v5: %v", err)
+	}
+	if err := cmdDeploy(append([]string{"-in", pruned, "-out", filepath.Join(dir, "m3.rtmb"),
+		"-bundle-version", "3"}, schemeArgs...)); err == nil {
+		t.Fatal("-bundle-version 3 accepted")
+	}
+
+	mb4, err := rtmobile.MapBundle(b4, device.MobileCPU())
+	if err != nil {
+		t.Fatalf("load v4 bundle: %v", err)
+	}
+	defer mb4.Close()
+	mb5, err := rtmobile.MapBundle(b5, device.MobileCPU())
+	if err != nil {
+		t.Fatalf("load v5 bundle: %v", err)
+	}
+	defer mb5.Close()
+	if mb4.Version() != 4 || mb5.Version() != 5 {
+		t.Fatalf("bundle versions %d, %d; want 4, 5", mb4.Version(), mb5.Version())
+	}
+
+	frames := serveFrames(5, mb4.Engine().InputDim())
+	want := mb4.Engine().Infer(frames)
+	got := mb5.Engine().Infer(frames)
+	if err := samePost(got, want); err != nil {
+		t.Fatalf("v4/v5 deployed inference diverges: %v", err)
 	}
 }
 

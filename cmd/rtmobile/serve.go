@@ -6,6 +6,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -17,29 +18,19 @@ import (
 
 	"rtmobile/internal/compiler"
 	"rtmobile/internal/obs"
+	"rtmobile/internal/registry"
 	"rtmobile/internal/rtmobile"
 	"rtmobile/internal/sched"
 )
 
-// rtmobile serve: load a deployment bundle and expose it over HTTP with
-// the full observability surface — Prometheus metrics, JSON metrics, a
-// health probe, the per-layer latency table, Go's pprof profiles — and a
-// continuous-batching scheduler between the handlers and the engine so
-// concurrent scoring requests coalesce into lockstep panels instead of
-// contending for the weight stream one utterance at a time.
-
-// engineBatcher adapts an Engine to the scheduler's Batcher interface;
-// the lease an Acquire hands back already satisfies sched.Session.
-type engineBatcher struct{ eng *rtmobile.Engine }
-
-func (b engineBatcher) InputDim() int                   { return b.eng.InputDim() }
-func (b engineBatcher) OutputDim() int                  { return b.eng.OutputDim() }
-func (b engineBatcher) Acquire(width int) sched.Session { return b.eng.AcquireBatch(width) }
-
-// newScheduler stands up the continuous-batching scheduler for an engine.
-func newScheduler(eng *rtmobile.Engine, cfg sched.Config) *sched.Scheduler {
-	return sched.New(engineBatcher{eng: eng}, cfg)
-}
+// rtmobile serve: expose one or more deployment bundles over HTTP with the
+// full observability surface — Prometheus metrics, JSON metrics, a health
+// probe, the per-layer latency table, Go's pprof profiles — through a
+// multi-model engine registry. Each model gets its own continuous-batching
+// scheduler so concurrent scoring requests coalesce into lockstep panels,
+// and bundles can be hot-swapped atomically while traffic flows: in-flight
+// requests finish on the version they acquired, new requests see only the
+// replacement, and the old mapping is released after the last lease drops.
 
 // retryAfterHeader formats a Retry-After value in whole seconds (min 1).
 func retryAfterHeader(d time.Duration) string {
@@ -50,27 +41,58 @@ func retryAfterHeader(d time.Duration) string {
 	return strconv.Itoa(secs)
 }
 
+// acquireModel resolves the request's model name ("" means the default
+// model) to a lease, writing the HTTP error itself when it cannot.
+func acquireModel(reg *registry.Registry, w http.ResponseWriter, name string) *registry.Lease {
+	if name == "" {
+		name = reg.DefaultModel()
+	}
+	l, err := reg.Acquire(name)
+	switch {
+	case errors.Is(err, registry.ErrUnknownModel):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return nil
+	case err != nil:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return nil
+	}
+	return l
+}
+
 // newServeMux wires the serving endpoints onto a fresh mux. Split out of
 // cmdServe so tests can drive the handlers through httptest without
 // binding a socket.
 //
 // Endpoints:
 //
-//	GET  /metrics       Prometheus text format 0.0.4
-//	GET  /metrics.json  the same instrument set as flat JSON
-//	GET  /healthz       liveness + deployment identity
-//	GET  /statz         per-layer latency table + scheduler state
-//	POST /infer         score one utterance: JSON [][]float32 frames in,
-//	                    [][]float32 posteriors out; batched across
-//	                    concurrent requests, 429 + Retry-After on overload
-//	POST /infer/stream  frame-at-a-time scoring over one request: NDJSON
-//	                    []float32 frames in, []float32 posteriors out,
-//	                    flushed per frame on a dedicated stream lane
-//	GET  /debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
-func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
+//	GET  /metrics              Prometheus text format 0.0.4 (process-wide
+//	                           plus {model="..."}-labeled per-model families)
+//	GET  /metrics.json         the same instrument set as flat JSON
+//	GET  /healthz              liveness + deployment identity
+//	GET  /statz                per-model latency tables + scheduler state
+//	POST /infer                score one utterance on the default model:
+//	                           JSON [][]float32 frames in, [][]float32
+//	                           posteriors out; batched across concurrent
+//	                           requests, 429 + Retry-After on overload
+//	POST /infer/{model}        the same against a named model (404 unknown)
+//	POST /infer/stream         frame-at-a-time scoring over one request:
+//	                           NDJSON []float32 frames in, []float32
+//	                           posteriors out, flushed per frame on a
+//	                           dedicated stream lane (default model)
+//	POST /infer/{model}/stream the same against a named model
+//	GET  /admin/models         registry snapshot as JSON
+//	POST /admin/models/{name}/swap
+//	                           hot-swap the named model to the bundle in the
+//	                           JSON body {"path": "..."} (empty body or path
+//	                           reloads the current bundle path)
+//	GET  /debug/pprof/         CPU/heap/goroutine profiles (net/http/pprof)
+//
+// A model literally named "stream" is shadowed on the /infer/{model} route
+// by the default model's /infer/stream endpoint; use a different name.
+func newServeMux(reg *registry.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := obs.M()
 		if m == nil {
 			http.Error(w, "metrics collection disabled (RTMOBILE_METRICS)", http.StatusServiceUnavailable)
@@ -80,7 +102,7 @@ func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
 		m.WritePrometheus(w)
 	})
 
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		m := obs.M()
 		if m == nil {
 			http.Error(w, "metrics collection disabled (RTMOBILE_METRICS)", http.StatusServiceUnavailable)
@@ -90,30 +112,53 @@ func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
 		m.WriteJSON(w)
 	})
 
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		lease, err := reg.Acquire(reg.DefaultModel())
+		if err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"status": "unavailable", "error": err.Error()})
+			return
+		}
+		defer lease.Release()
+		eng := lease.Engine()
 		json.NewEncoder(w).Encode(map[string]any{
 			"status":          "ok",
 			"model":           eng.Plan().ModelName,
 			"format":          eng.Plan().Options.Format.String(),
+			"models":          reg.Names(),
 			"metrics_enabled": obs.Enabled(),
 			"tracing_enabled": eng.Tracer() != nil,
 		})
 	})
 
-	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, renderLayerStats(eng))
-		cfg := sch.Config()
-		fmt.Fprintf(w, "sched: window=%v max_batch=%d queue=%d/%d max_streams=%d\n",
-			cfg.Window, cfg.MaxBatch, sch.QueueLen(), cfg.QueueDepth, cfg.MaxStreams)
+		for _, name := range reg.Names() {
+			st, _ := reg.Stats(name)
+			fmt.Fprintf(w, "model %s: version=%d path=%s leases=%d requests=%d errors=%d swaps=%d retired=%d\n",
+				name, st.Version, st.Path, st.Leases, st.Requests, st.Errors, st.Swaps, st.Retired)
+			lease, err := reg.Acquire(name)
+			if err != nil {
+				fmt.Fprintf(w, "  unavailable: %v\n", err)
+				continue
+			}
+			fmt.Fprint(w, renderLayerStats(lease.Engine()))
+			sch := lease.Scheduler()
+			cfg := sch.Config()
+			fmt.Fprintf(w, "sched: window=%v max_batch=%d queue=%d/%d max_streams=%d\n",
+				cfg.Window, cfg.MaxBatch, sch.QueueLen(), cfg.QueueDepth, cfg.MaxStreams)
+			lease.Release()
+		}
 	})
 
-	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST a JSON [][]float32 frame sequence", http.StatusMethodNotAllowed)
+	score := func(w http.ResponseWriter, r *http.Request) {
+		lease := acquireModel(reg, w, r.PathValue("model"))
+		if lease == nil {
 			return
 		}
+		defer lease.Release()
+		start := time.Now()
 		var frames [][]float32
 		if err := json.NewDecoder(r.Body).Decode(&frames); err != nil {
 			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
@@ -123,7 +168,7 @@ func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
 			http.Error(w, "bad request: empty frame sequence", http.StatusBadRequest)
 			return
 		}
-		want := eng.InputDim()
+		want := lease.Engine().InputDim()
 		for t, f := range frames {
 			if len(f) != want {
 				http.Error(w, fmt.Sprintf("bad request: frame %d has %d features, model wants %d",
@@ -131,6 +176,7 @@ func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
 				return
 			}
 		}
+		sch := lease.Scheduler()
 		post, err := sch.Infer(r.Context(), frames)
 		switch {
 		case errors.Is(err, sched.ErrQueueFull):
@@ -138,25 +184,32 @@ func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
 			http.Error(w, "server overloaded: inference queue full", http.StatusTooManyRequests)
 			return
 		case errors.Is(err, sched.ErrClosed):
+			lease.Error()
 			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 			return
 		case err != nil: // request context cancelled; client is gone
 			return
 		}
+		lease.ObserveLatency(time.Since(start).Nanoseconds())
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(post)
-	})
+	}
+	mux.HandleFunc("POST /infer", score)
+	mux.HandleFunc("POST /infer/{model}", score)
 
-	mux.HandleFunc("/infer/stream", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST an NDJSON stream of []float32 frames", http.StatusMethodNotAllowed)
+	stream := func(w http.ResponseWriter, r *http.Request) {
+		lease := acquireModel(reg, w, r.PathValue("model"))
+		if lease == nil {
 			return
 		}
+		defer lease.Release()
 		// Streaming sessions hold recurrent state across frames, which
 		// lockstep panels cannot pause, so each gets a dedicated serial
 		// stream — admitted against the scheduler's stream-lane budget.
+		sch := lease.Scheduler()
 		release, err := sch.AcquireStreamLane()
 		if errors.Is(err, sched.ErrClosed) {
+			lease.Error()
 			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 			return
 		}
@@ -167,6 +220,7 @@ func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
 		}
 		defer release()
 
+		eng := lease.Engine()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
 		s := eng.NewStream()
@@ -190,6 +244,48 @@ func newServeMux(eng *rtmobile.Engine, sch *sched.Scheduler) *http.ServeMux {
 				flusher.Flush()
 			}
 		}
+	}
+	mux.HandleFunc("POST /infer/stream", stream)
+	mux.HandleFunc("POST /infer/{model}/stream", stream)
+
+	mux.HandleFunc("GET /admin/models", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reg.AllStats())
+	})
+
+	mux.HandleFunc("POST /admin/models/{name}/swap", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		var req struct {
+			Path string `json:"path"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		path := req.Path
+		if path == "" {
+			st, ok := reg.Stats(name)
+			if !ok {
+				http.Error(w, registry.ErrUnknownModel.Error()+": "+name, http.StatusNotFound)
+				return
+			}
+			path = st.Path
+		}
+		err := reg.Swap(name, path)
+		switch {
+		case errors.Is(err, registry.ErrUnknownModel):
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		case errors.Is(err, registry.ErrClosed):
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		case err != nil: // the replacement bundle failed to load; old serves on
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, _ := reg.Stats(name)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
 	})
 
 	// net/http/pprof registers on DefaultServeMux at import; re-register
@@ -264,9 +360,21 @@ func renderLayerStats(eng *rtmobile.Engine) string {
 	return b.String()
 }
 
+// modelArg is one -model name=path registration.
+type modelArg struct{ name, path string }
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	bundle := fs.String("bundle", "model.rtmb", "deployment bundle path")
+	bundle := fs.String("bundle", "model.rtmb", "deployment bundle path (registered as model \"default\" when no -model flag is given)")
+	var models []modelArg
+	fs.Func("model", "register a model as name=path (repeatable; the first becomes the default model)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("-model wants name=path, got %q", v)
+		}
+		models = append(models, modelArg{name: name, path: path})
+		return nil
+	})
 	targetName := fs.String("target", "gpu", "target: gpu or cpu")
 	addr := fs.String("addr", "localhost:8090", "listen address")
 	trace := fs.Int("trace", 0, "stage-trace ring capacity (0 = tracing off)")
@@ -295,56 +403,85 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*bundle)
-	if err != nil {
-		return err
+	if len(models) == 0 {
+		models = []modelArg{{name: "default", path: *bundle}}
 	}
-	eng, scheme, err := rtmobile.LoadBundle(f, target)
-	f.Close()
-	if err != nil {
-		return err
+
+	// Every load — initial registration and every later hot swap — goes
+	// through one loader: zero-copy map the bundle, then apply the CLI
+	// overrides so a swapped-in bundle serves under the same deployment
+	// configuration as the original.
+	loader := func(path string) (registry.Instance, error) {
+		mb, err := rtmobile.MapBundle(path, target)
+		if err != nil {
+			return registry.Instance{}, err
+		}
+		eng := mb.Engine()
+		if eng, err = applyQuantOverride(eng, mb.Scheme(), *quantBits); err != nil {
+			mb.Close()
+			return registry.Instance{}, err
+		}
+		if eng, err = applyPrecisionOverride(eng, mb.Scheme(), *precName); err != nil {
+			mb.Close()
+			return registry.Instance{}, err
+		}
+		eng.SetWorkers(*workers)
+		if *trace > 0 {
+			eng.EnableTracing(*trace)
+		}
+		return registry.Instance{Engine: eng, Close: mb.Close}, nil
 	}
-	if eng, err = applyQuantOverride(eng, scheme, *quantBits); err != nil {
-		return err
-	}
-	if eng, err = applyPrecisionOverride(eng, scheme, *precName); err != nil {
-		return err
-	}
-	eng.SetWorkers(*workers)
-	if *trace > 0 {
-		eng.EnableTracing(*trace)
-	}
-	sch := newScheduler(eng, sched.Config{
-		MaxBatch:   *maxBatch,
-		Window:     *batchWindow,
-		QueueDepth: *queueDepth,
+	reg, err := registry.New(registry.Config{
+		Loader: loader,
+		Sched: sched.Config{
+			MaxBatch:   *maxBatch,
+			Window:     *batchWindow,
+			QueueDepth: *queueDepth,
+		},
 	})
-	fmt.Printf("serving %s (scheme %s, %s) on http://%s\n", *bundle, scheme.Name(), eng.Plan(), *addr)
-	fmt.Printf("batching: window=%v max-batch=%d queue-depth=%d\n", *batchWindow, *maxBatch, *queueDepth)
-	fmt.Printf("endpoints: /metrics /metrics.json /healthz /statz /infer /infer/stream /debug/pprof/\n")
+	if err != nil {
+		return err
+	}
+	for _, m := range models {
+		if err := reg.Register(m.name, m.path); err != nil {
+			reg.Close(context.Background())
+			return err
+		}
+		lease, err := reg.Acquire(m.name)
+		if err != nil {
+			reg.Close(context.Background())
+			return err
+		}
+		fmt.Printf("model %s: %s (%s)\n", m.name, m.path, lease.Engine().Plan())
+		lease.Release()
+	}
+	fmt.Printf("serving %d model(s) on http://%s (default %s)\n", len(models), *addr, reg.DefaultModel())
+	fmt.Printf("batching: window=%v max-batch=%d queue-depth=%d (per model)\n", *batchWindow, *maxBatch, *queueDepth)
+	fmt.Printf("endpoints: /metrics /metrics.json /healthz /statz /infer /infer/{model} /infer/stream /admin/models /debug/pprof/\n")
 	if !obs.Enabled() {
 		fmt.Printf("note: metrics collection is disabled (%s); /metrics will return 503\n", obs.EnvMetrics)
 	}
 
-	server := &http.Server{Addr: *addr, Handler: newServeMux(eng, sch)}
+	server := &http.Server{Addr: *addr, Handler: newServeMux(reg)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		sch.Close(context.Background())
+		reg.Close(context.Background())
 		return err
 	case <-ctx.Done():
 	}
 	// Graceful drain: stop accepting, finish in-flight handlers, then let
-	// the scheduler dispatch whatever is still queued.
+	// each model's scheduler dispatch whatever is still queued before the
+	// registry releases the bundle mappings.
 	stop()
 	fmt.Println("shutting down: draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	err = server.Shutdown(shutdownCtx)
-	if cerr := sch.Close(shutdownCtx); err == nil {
+	if cerr := reg.Close(shutdownCtx); err == nil {
 		err = cerr
 	}
 	return err

@@ -76,11 +76,10 @@ func TestServeConcurrentBitIdentical(t *testing.T) {
 
 	for _, clients := range []int{2, 8, 32} {
 		t.Run(fmt.Sprintf("clients=%d", clients), func(t *testing.T) {
-			sch := newScheduler(eng, sched.Config{
+			reg := newEngineRegistry(t, eng, sched.Config{
 				MaxBatch: 8, Window: 500 * time.Microsecond, QueueDepth: 4 * clients,
 			})
-			defer sch.Close(context.Background())
-			srv := httptest.NewServer(newServeMux(eng, sch))
+			srv := httptest.NewServer(newServeMux(reg))
 			defer srv.Close()
 
 			var wg sync.WaitGroup
@@ -113,11 +112,11 @@ func TestServeConcurrentBitIdentical(t *testing.T) {
 func TestServeOverload429(t *testing.T) {
 	eng := serveEngine(t)
 	clk := sched.NewFakeClock(time.Unix(0, 0))
-	sch := newScheduler(eng, sched.Config{
+	reg := newEngineRegistry(t, eng, sched.Config{
 		MaxBatch: 8, Window: time.Minute, QueueDepth: 2, Clock: clk,
 	})
-	defer sch.Close(context.Background())
-	srv := httptest.NewServer(newServeMux(eng, sch))
+	sch := regScheduler(t, reg)
+	srv := httptest.NewServer(newServeMux(reg))
 	defer srv.Close()
 
 	frames := serveFrames(3, eng.InputDim())
@@ -157,10 +156,11 @@ func TestServeOverload429(t *testing.T) {
 func TestServeShutdownDrains(t *testing.T) {
 	eng := serveEngine(t)
 	clk := sched.NewFakeClock(time.Unix(0, 0))
-	sch := newScheduler(eng, sched.Config{
+	reg := newEngineRegistry(t, eng, sched.Config{
 		MaxBatch: 8, Window: time.Hour, Clock: clk,
 	})
-	srv := httptest.NewServer(newServeMux(eng, sch))
+	sch := regScheduler(t, reg)
+	srv := httptest.NewServer(newServeMux(reg))
 	defer srv.Close()
 
 	frames := serveFrames(4, eng.InputDim())
@@ -183,8 +183,10 @@ func TestServeShutdownDrains(t *testing.T) {
 		}()
 	}
 	waitFor(t, "requests parked", func() bool { return sch.QueueLen() == n })
-	// Close with the window frozen at +1h: the drain must not wait it out.
-	if err := sch.Close(context.Background()); err != nil {
+	// Close with the window frozen at +1h: the registry drains each model's
+	// scheduler (immediate dispatch, no window wait), so parked requests
+	// must complete without the clock moving.
+	if err := reg.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -200,9 +202,9 @@ func TestServeShutdownDrains(t *testing.T) {
 // per frame; lane exhaustion answers 429 + Retry-After.
 func TestServeStreamEndpoint(t *testing.T) {
 	eng := serveEngine(t)
-	sch := newScheduler(eng, sched.Config{MaxBatch: 4, Window: 0, MaxStreams: 1})
-	defer sch.Close(context.Background())
-	srv := httptest.NewServer(newServeMux(eng, sch))
+	reg := newEngineRegistry(t, eng, sched.Config{MaxBatch: 4, Window: 0, MaxStreams: 1})
+	sch := regScheduler(t, reg)
+	srv := httptest.NewServer(newServeMux(reg))
 	defer srv.Close()
 
 	frames := serveFrames(5, eng.InputDim())

@@ -14,6 +14,7 @@ import (
 	"rtmobile/internal/device"
 	"rtmobile/internal/nn"
 	"rtmobile/internal/obs"
+	"rtmobile/internal/registry"
 	"rtmobile/internal/rtmobile"
 	"rtmobile/internal/sched"
 )
@@ -35,13 +36,45 @@ func serveEngine(t *testing.T) *rtmobile.Engine {
 	return eng
 }
 
-// serveMux pairs an engine with a short-window scheduler and wires the
-// mux, closing the scheduler when the test ends.
+// newEngineRegistry wraps an already-built engine in a single-model
+// registry (model "default"), so handler tests can exercise the serving
+// mux without a bundle file. The registry is closed when the test ends.
+func newEngineRegistry(t *testing.T, eng *rtmobile.Engine, cfg sched.Config) *registry.Registry {
+	t.Helper()
+	reg, err := registry.New(registry.Config{
+		Loader: func(path string) (registry.Instance, error) {
+			return registry.Instance{Engine: eng}, nil
+		},
+		Sched: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("default", "mem://engine"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close(context.Background()) })
+	return reg
+}
+
+// regScheduler exposes the current default-model scheduler (the registry
+// keeps it alive while the version stays current; these tests never swap).
+func regScheduler(t *testing.T, reg *registry.Registry) *sched.Scheduler {
+	t.Helper()
+	lease, err := reg.Acquire(reg.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	return lease.Scheduler()
+}
+
+// serveMux pairs an engine with a short-window single-model registry and
+// wires the mux, closing the registry when the test ends.
 func serveMux(t *testing.T, eng *rtmobile.Engine) *http.ServeMux {
 	t.Helper()
-	sch := newScheduler(eng, sched.Config{MaxBatch: 4, Window: 200 * time.Microsecond})
-	t.Cleanup(func() { sch.Close(context.Background()) })
-	return newServeMux(eng, sch)
+	reg := newEngineRegistry(t, eng, sched.Config{MaxBatch: 4, Window: 200 * time.Microsecond})
+	return newServeMux(reg)
 }
 
 // serveFrames builds a deterministic T×dim utterance.

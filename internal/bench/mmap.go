@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"rtmobile/internal/device"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/registry"
+	"rtmobile/internal/rtmobile"
+	"rtmobile/internal/sched"
+)
+
+// Zero-copy bundle-load study (BENCH_8): the v5 section-table bundle
+// mapped with MapBundle against the v4 decode load, on the paper-scale
+// recurrent projection (3*Hidden × Hidden; the default Hidden=1024 is the
+// paper's 3072×1024). Three claims are measured:
+//
+//  1. Load latency: mapping is O(sections) — directory walk, checksum
+//     pass, pointer fix-up — while decode is O(weights), so the map load
+//     must be ≥10× faster on a paper-scale bundle (MmapSpeedupTarget).
+//  2. Load allocations: the map path allocates per section, not per
+//     weight value.
+//  3. Multi-model scaling: N registry entries sharing one v5 bundle file
+//     alias the same read-only pages, so heap growth is per-engine
+//     bookkeeping (~flat in N), where N v4 decode loads each copy every
+//     weight (linear in N).
+//
+// Responses from a mapped engine must stay bit-identical to the v4-loaded
+// engine; the run fails otherwise.
+
+// MmapSpeedupTarget is the acceptance floor for v4-load / v5-map time.
+const MmapSpeedupTarget = 10.0
+
+// MmapLoadRow is one load mode's measurement.
+type MmapLoadRow struct {
+	Mode          string  `json:"mode"` // v4-decode, v5-map
+	BundleBytes   int64   `json:"bundle_bytes"`
+	LoadUS        float64 `json:"load_us"`         // mean wall-clock per load
+	AllocsPerLoad float64 `json:"allocs_per_load"` // heap allocations per load
+	// SpeedupX is v4-decode load time over this row's; 0 on the v4 row.
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// MmapScalingRow is one (mode, model count) registry measurement: N
+// registered models all loading the same bundle file.
+type MmapScalingRow struct {
+	Mode            string `json:"mode"` // v4-decode, v5-map
+	Models          int    `json:"models"`
+	HeapKiB         int64  `json:"heap_kib"`           // heap growth for N models
+	HeapPerModelKiB int64  `json:"heap_per_model_kib"` // HeapKiB / Models
+	RSSKiB          int64  `json:"rss_kib"`            // VmRSS growth (0 where unreadable)
+}
+
+// MmapBenchResult is the full BENCH_8 document.
+type MmapBenchResult struct {
+	Hidden       int              `json:"hidden"`
+	WeightBytes  int              `json:"weight_bytes"` // plan-priced packed weight bytes
+	Loads        []MmapLoadRow    `json:"loads"`
+	Scaling      []MmapScalingRow `json:"scaling"`
+	BitIdentical bool             `json:"bit_identical"` // mapped inference == v4-loaded inference
+	SpeedupX     float64          `json:"speedup_x"`     // headline: v4 load time / v5 map time
+}
+
+// MmapBenchConfig sizes the study.
+type MmapBenchConfig struct {
+	Spec        nn.ModelSpec
+	Prune       rtmobile.PruneConfig
+	Reps        int   // timed loads per mode (after one warmup)
+	ModelCounts []int // registry sizes for the scaling sweep
+	Frames      int   // utterance length for the bit-identity check
+	Logf        func(string, ...any)
+}
+
+// DefaultMmapBenchConfig measures the paper-scale GRU layer (3072×1024 at
+// 16× column / 2× row compression) with 1/4/16 models sharing one file.
+func DefaultMmapBenchConfig() MmapBenchConfig {
+	return MmapBenchConfig{
+		Spec: nn.ModelSpec{
+			InputDim: 40, Hidden: 1024, NumLayers: 1, OutputDim: 32, Seed: 17,
+		},
+		Prune:       rtmobile.PruneConfig{ColRate: 16, RowRate: 2, RowGroups: 8, ColBlocks: 4},
+		Reps:        5,
+		ModelCounts: []int{1, 4, 16},
+		Frames:      4,
+	}
+}
+
+// readVmRSSKiB reads the process resident set from /proc/self/status.
+// Returns 0 on platforms without procfs — the JSON then records heap
+// growth only.
+func readVmRSSKiB() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kib, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kib
+	}
+	return 0
+}
+
+// heapSample forces a collection and reads the live-heap and RSS levels.
+func heapSample() (heapKiB, rssKiB int64) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc >> 10), readVmRSSKiB()
+}
+
+// mmapLoadV4 decodes the v4 bundle; the caller keeps the engine alive.
+func mmapLoadV4(path string, target *device.Target) (*rtmobile.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	eng, _, err := rtmobile.LoadBundle(f, target)
+	return eng, err
+}
+
+// RunMmapBench executes the study.
+func RunMmapBench(cfg MmapBenchConfig) (MmapBenchResult, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if cfg.Frames < 1 {
+		cfg.Frames = 1
+	}
+	target := device.MobileGPU()
+	res := MmapBenchResult{Hidden: cfg.Spec.Hidden}
+
+	logf("compiling %dx%d reference engine", 3*cfg.Spec.Hidden, cfg.Spec.Hidden)
+	model := nn.NewGRUModel(cfg.Spec)
+	pr := rtmobile.Prune(model, nil, cfg.Prune)
+	eng, err := rtmobile.Compile(model, pr.Scheme, rtmobile.DeployConfig{Target: target})
+	if err != nil {
+		return res, err
+	}
+	res.WeightBytes = eng.Plan().WeightBytes()
+
+	dir, err := os.MkdirTemp("", "rtmobile-bench-mmap")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	paths := map[string]string{
+		"v4-decode": filepath.Join(dir, "bench-v4.rtmb"),
+		"v5-map":    filepath.Join(dir, "bench-v5.rtmb"),
+	}
+	versions := map[string]int{"v4-decode": 4, "v5-map": 5}
+	for mode, p := range paths {
+		f, err := os.Create(p)
+		if err != nil {
+			return res, err
+		}
+		if err := eng.SaveBundleVersion(f, pr.Scheme, versions[mode]); err != nil {
+			f.Close()
+			return res, err
+		}
+		if err := f.Close(); err != nil {
+			return res, err
+		}
+	}
+
+	// Load latency + allocations, one row per mode. Every load is a fresh
+	// open of the file; the loaded engine is dropped between reps so the
+	// measurement is the load itself, not cache reuse.
+	load := func(mode string) (func() (io.Closer, error), error) {
+		switch mode {
+		case "v4-decode":
+			return func() (io.Closer, error) {
+				eng, err := mmapLoadV4(paths[mode], target)
+				if err != nil {
+					return nil, err
+				}
+				return nopCloser{eng}, nil
+			}, nil
+		case "v5-map":
+			return func() (io.Closer, error) {
+				return rtmobile.MapBundle(paths[mode], target)
+			}, nil
+		}
+		return nil, fmt.Errorf("bench: unknown mmap mode %q", mode)
+	}
+	for _, mode := range []string{"v4-decode", "v5-map"} {
+		doLoad, err := load(mode)
+		if err != nil {
+			return res, err
+		}
+		warm, err := doLoad()
+		if err != nil {
+			return res, err
+		}
+		warm.Close()
+		info, err := os.Stat(paths[mode])
+		if err != nil {
+			return res, err
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs0 := ms.Mallocs
+		start := time.Now()
+		for r := 0; r < cfg.Reps; r++ {
+			h, err := doLoad()
+			if err != nil {
+				return res, err
+			}
+			h.Close()
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		row := MmapLoadRow{
+			Mode:          mode,
+			BundleBytes:   info.Size(),
+			LoadUS:        float64(wall.Microseconds()) / float64(cfg.Reps),
+			AllocsPerLoad: float64(ms.Mallocs-mallocs0) / float64(cfg.Reps),
+		}
+		res.Loads = append(res.Loads, row)
+		logf("%-9s load %.0f us, %.0f allocs (%d KiB bundle)",
+			mode, row.LoadUS, row.AllocsPerLoad, row.BundleBytes>>10)
+	}
+	if res.Loads[1].LoadUS > 0 {
+		res.SpeedupX = res.Loads[0].LoadUS / res.Loads[1].LoadUS
+		res.Loads[1].SpeedupX = res.SpeedupX
+	}
+
+	// Bit identity: the mapped engine must reproduce the decode-loaded
+	// engine's posteriors exactly.
+	frames := make([][]float32, cfg.Frames)
+	for t := range frames {
+		frames[t] = make([]float32, eng.InputDim())
+		for i := range frames[t] {
+			frames[t][i] = float32(t-i) * 0.01
+		}
+	}
+	v4eng, err := mmapLoadV4(paths["v4-decode"], target)
+	if err != nil {
+		return res, err
+	}
+	mb, err := rtmobile.MapBundle(paths["v5-map"], target)
+	if err != nil {
+		return res, err
+	}
+	wantPost := v4eng.Infer(frames)
+	gotPost := mb.Engine().Infer(frames)
+	res.BitIdentical = true
+	for t := range wantPost {
+		for i := range wantPost[t] {
+			if wantPost[t][i] != gotPost[t][i] {
+				res.BitIdentical = false
+			}
+		}
+	}
+	mb.Close()
+	if !res.BitIdentical {
+		return res, fmt.Errorf("bench: mapped engine diverges from v4-loaded engine")
+	}
+
+	// Registry scaling: N models sharing one bundle file. The v5 rows all
+	// alias the same mapped pages, so per-model heap growth is engine
+	// bookkeeping; the v4 rows decode a private copy of every weight.
+	for _, mode := range []string{"v4-decode", "v5-map"} {
+		for _, n := range cfg.ModelCounts {
+			reg, err := registry.New(registry.Config{
+				Loader: registry.BundleLoader(target),
+				Sched:  sched.Config{MaxBatch: 4, Window: time.Millisecond},
+			})
+			if err != nil {
+				return res, err
+			}
+			heap0, rss0 := heapSample()
+			for i := 0; i < n; i++ {
+				if err := reg.Register(fmt.Sprintf("m%d", i), paths[mode]); err != nil {
+					reg.Close(context.Background())
+					return res, err
+				}
+			}
+			heap1, rss1 := heapSample()
+			row := MmapScalingRow{
+				Mode:    mode,
+				Models:  n,
+				HeapKiB: heap1 - heap0,
+				RSSKiB:  rss1 - rss0,
+			}
+			if row.HeapKiB < 0 {
+				row.HeapKiB = 0
+			}
+			if row.RSSKiB < 0 {
+				row.RSSKiB = 0
+			}
+			row.HeapPerModelKiB = row.HeapKiB / int64(n)
+			res.Scaling = append(res.Scaling, row)
+			logf("%-9s %2d models: heap +%d KiB (%d KiB/model), rss +%d KiB",
+				mode, n, row.HeapKiB, row.HeapPerModelKiB, row.RSSKiB)
+			if err := reg.Close(context.Background()); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// nopCloser keeps a decode-loaded engine alive until the timing loop
+// drops it.
+type nopCloser struct{ eng *rtmobile.Engine }
+
+func (nopCloser) Close() error { return nil }
+
+// RenderMmapBench formats the result as the study's summary table.
+func RenderMmapBench(res MmapBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BENCH_8: zero-copy bundle load, %dx%d projection (%d KiB packed weights)\n",
+		3*res.Hidden, res.Hidden, res.WeightBytes>>10)
+	fmt.Fprintf(&b, "%-10s %12s %12s %14s %10s\n", "mode", "bundle_KiB", "load_us", "allocs/load", "speedup")
+	for _, r := range res.Loads {
+		speed := ""
+		if r.SpeedupX > 0 {
+			speed = fmt.Sprintf("%.1fx", r.SpeedupX)
+		}
+		fmt.Fprintf(&b, "%-10s %12d %12.0f %14.0f %10s\n",
+			r.Mode, r.BundleBytes>>10, r.LoadUS, r.AllocsPerLoad, speed)
+	}
+	fmt.Fprintf(&b, "%-10s %7s %14s %18s %12s\n", "mode", "models", "heap_KiB", "heap_KiB/model", "rss_KiB")
+	for _, r := range res.Scaling {
+		fmt.Fprintf(&b, "%-10s %7d %14d %18d %12d\n", r.Mode, r.Models, r.HeapKiB, r.HeapPerModelKiB, r.RSSKiB)
+	}
+	fmt.Fprintf(&b, "bit_identical: %v\n", res.BitIdentical)
+	return b.String()
+}
+
+// WriteMmapJSON writes the result as indented JSON — the BENCH_8.json
+// artifact schema (see EXPERIMENTS.md).
+func WriteMmapJSON(w io.Writer, res MmapBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

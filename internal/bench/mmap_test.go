@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rtmobile/internal/nn"
+	"rtmobile/internal/rtmobile"
+)
+
+// smallMmapConfig shrinks the study to unit-test scale.
+func smallMmapConfig() MmapBenchConfig {
+	return MmapBenchConfig{
+		Spec: nn.ModelSpec{
+			InputDim: 8, Hidden: 32, NumLayers: 1, OutputDim: 6, Seed: 5,
+		},
+		Prune:       rtmobile.PruneConfig{ColRate: 4, RowRate: 2, RowGroups: 4, ColBlocks: 4},
+		Reps:        2,
+		ModelCounts: []int{1, 2},
+		Frames:      3,
+	}
+}
+
+func TestRunMmapBench(t *testing.T) {
+	res, err := RunMmapBench(smallMmapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loads) != 2 {
+		t.Fatalf("load rows %d, want 2", len(res.Loads))
+	}
+	if res.Loads[0].Mode != "v4-decode" || res.Loads[1].Mode != "v5-map" {
+		t.Fatalf("load row modes %q, %q", res.Loads[0].Mode, res.Loads[1].Mode)
+	}
+	if !res.BitIdentical {
+		t.Fatal("mapped engine not bit-identical to v4 load")
+	}
+	if len(res.Scaling) != 4 {
+		t.Fatalf("scaling rows %d, want 4 (2 modes x 2 counts)", len(res.Scaling))
+	}
+	for _, r := range res.Scaling {
+		if r.Models != 1 && r.Models != 2 {
+			t.Fatalf("scaling row models %d", r.Models)
+		}
+	}
+	if res.Loads[0].LoadUS <= 0 || res.Loads[1].LoadUS <= 0 {
+		t.Fatalf("non-positive load times: %+v", res.Loads)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMmapJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("BENCH_8 JSON malformed: %v", err)
+	}
+	for _, key := range []string{"hidden", "weight_bytes", "loads", "scaling", "bit_identical", "speedup_x"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("BENCH_8 JSON missing %q", key)
+		}
+	}
+	if RenderMmapBench(res) == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,290 @@
+package compiler
+
+import (
+	"fmt"
+
+	"rtmobile/internal/quant"
+)
+
+// Packed-program section serialization. The bundle v5 format stores a
+// PackedProgram / PackedQProgram as raw little-endian flat arrays — the
+// vals, the column indices, the segment descriptors, the row lists — so a
+// mapped bundle can reconstruct an executable program whose slices alias
+// read-only file pages with no per-weight decode and no repack.
+// PackedSections is the exchange form: the flat arrays plus the scalar
+// header fields. Sections() flattens a program into it; the
+// NewPacked*FromSections constructors rebuild a program from it, borrowing
+// the big arrays zero-copy and validating every descriptor up front so the
+// unchecked hot-path kernels (runLane gathers x[c] without bounds checks)
+// can never read out of range even from a corrupt or adversarial bundle.
+
+// segWordsPerSeg is the serialized width of one PackedSeg: six int32 words
+// (kind, nc, arg, valoff, rowoff, nr), lane-major.
+const segWordsPerSeg = 6
+
+// PackedSections is the flat serialized form of a packed program. Exactly
+// one of Vals (float program) or Vals8/Vals16+Scales (quantized program,
+// by Bits) is populated.
+type PackedSections struct {
+	Name       string
+	Rows, Cols int
+	Format     Format
+	ValueBits  int
+	Unroll     int
+	Precision  Precision
+
+	// Quantized-program header: Bits is 0 for a float program; 8, 12, or
+	// 16 selects Vals8/Vals16 storage. NumScales is the scheme's stored
+	// scale count (1 per-tensor, Rows per-row) — Scales itself is always
+	// the per-row expansion the kernels index.
+	Bits      int
+	Scheme    quant.Scheme
+	NumScales int
+
+	Vals   []float32 // float dot payloads (Bits == 0)
+	Vals8  []int8    // quantized payloads (Bits == 8)
+	Vals16 []int16   // quantized payloads (Bits == 12 or 16)
+	Scales []float32 // per-row scales (quantized programs; len == Rows)
+
+	ColIdx []int32 // all gather indices, lane-major
+	// SegWords serializes every lane's segment descriptors, lane-major,
+	// segWordsPerSeg int32 words each. LaneSegCounts[t] segments belong to
+	// lane t; LaneRowCounts[t] entries of RowIdx belong to lane t.
+	SegWords      []int32
+	RowIdx        []int32
+	LaneSegCounts []int32
+	LaneRowCounts []int32
+}
+
+// flattenLanes serializes the shared lane structure (segments + rows) of a
+// packed program.
+func flattenLanes(lanes []PackedLane) (segWords, rowIdx, segCounts, rowCounts []int32) {
+	nSegs, nRows := 0, 0
+	for i := range lanes {
+		nSegs += len(lanes[i].Segs)
+		nRows += len(lanes[i].Rows)
+	}
+	segWords = make([]int32, 0, nSegs*segWordsPerSeg)
+	rowIdx = make([]int32, 0, nRows)
+	segCounts = make([]int32, len(lanes))
+	rowCounts = make([]int32, len(lanes))
+	for i := range lanes {
+		l := &lanes[i]
+		segCounts[i] = int32(len(l.Segs))
+		rowCounts[i] = int32(len(l.Rows))
+		for s := range l.Segs {
+			sg := &l.Segs[s]
+			segWords = append(segWords,
+				int32(sg.Kind), sg.NC, sg.Arg, sg.ValOff, sg.RowOff, sg.NR)
+		}
+		rowIdx = append(rowIdx, l.Rows...)
+	}
+	return segWords, rowIdx, segCounts, rowCounts
+}
+
+// Sections flattens the program for serialization. The flat arrays alias
+// the program's storage (treat both as immutable afterwards).
+func (p *PackedProgram) Sections() *PackedSections {
+	s := &PackedSections{
+		Name: p.Name, Rows: p.Rows, Cols: p.Cols,
+		Format: p.Format, ValueBits: p.ValueBits,
+		Unroll: p.Unroll, Precision: p.Precision,
+		Vals: p.Vals, ColIdx: p.ColIdx,
+	}
+	s.SegWords, s.RowIdx, s.LaneSegCounts, s.LaneRowCounts = flattenLanes(p.Lanes)
+	return s
+}
+
+// Sections flattens the quantized program for serialization. The flat
+// arrays alias the program's storage (treat both as immutable afterwards).
+func (p *PackedQProgram) Sections() *PackedSections {
+	s := &PackedSections{
+		Name: p.Name, Rows: p.Rows, Cols: p.Cols,
+		Format: p.Format, Unroll: p.Unroll, Precision: p.Precision,
+		Bits: p.Bits, Scheme: p.Scheme, NumScales: p.numScales,
+		Vals8: p.Vals8, Vals16: p.Vals16, Scales: p.Scales,
+		ColIdx: p.ColIdx,
+	}
+	s.SegWords, s.RowIdx, s.LaneSegCounts, s.LaneRowCounts = flattenLanes(p.Lanes)
+	return s
+}
+
+// rebuildLanes reconstructs []PackedLane from the flat lane arrays,
+// validating every segment descriptor against the program bounds. numVals
+// is the length of whichever vals array the program carries. The returned
+// lanes borrow s.RowIdx (sub-sliced per lane) and materialize []PackedSeg —
+// O(segments), never O(weights).
+func (s *PackedSections) rebuildLanes(numVals int) (lanes []PackedLane, maxGather, totalMACs int, err error) {
+	if s.Rows < 0 || s.Cols < 0 {
+		return nil, 0, 0, fmt.Errorf("compiler: sections %s: negative shape %dx%d", s.Name, s.Rows, s.Cols)
+	}
+	if len(s.LaneSegCounts) != len(s.LaneRowCounts) {
+		return nil, 0, 0, fmt.Errorf("compiler: sections %s: %d lane seg counts vs %d lane row counts",
+			s.Name, len(s.LaneSegCounts), len(s.LaneRowCounts))
+	}
+	// Totals must tile the flat arrays exactly.
+	var totSegs, totRows int64
+	for i := range s.LaneSegCounts {
+		if s.LaneSegCounts[i] < 0 || s.LaneRowCounts[i] < 0 {
+			return nil, 0, 0, fmt.Errorf("compiler: sections %s: negative lane count", s.Name)
+		}
+		totSegs += int64(s.LaneSegCounts[i])
+		totRows += int64(s.LaneRowCounts[i])
+	}
+	if totSegs*segWordsPerSeg != int64(len(s.SegWords)) {
+		return nil, 0, 0, fmt.Errorf("compiler: sections %s: %d segments need %d words, have %d",
+			s.Name, totSegs, totSegs*segWordsPerSeg, len(s.SegWords))
+	}
+	if totRows != int64(len(s.RowIdx)) {
+		return nil, 0, 0, fmt.Errorf("compiler: sections %s: lane row counts total %d, row list has %d",
+			s.Name, totRows, len(s.RowIdx))
+	}
+	for _, r := range s.RowIdx {
+		if r < 0 || int(r) >= s.Rows {
+			return nil, 0, 0, fmt.Errorf("compiler: sections %s: output row %d out of range [0,%d)",
+				s.Name, r, s.Rows)
+		}
+	}
+	// Every gather index feeds an unchecked x[c] in runLane — reject any
+	// out-of-range column before the program can execute.
+	for _, c := range s.ColIdx {
+		if c < 0 || int(c) >= s.Cols {
+			return nil, 0, 0, fmt.Errorf("compiler: sections %s: gather column %d out of range [0,%d)",
+				s.Name, c, s.Cols)
+		}
+	}
+	lanes = make([]PackedLane, len(s.LaneSegCounts))
+	segOff, rowOff := 0, 0
+	for t := range lanes {
+		lane := &lanes[t]
+		nSegs := int(s.LaneSegCounts[t])
+		nRows := int(s.LaneRowCounts[t])
+		lane.Rows = s.RowIdx[rowOff : rowOff+nRows : rowOff+nRows]
+		lane.Segs = make([]PackedSeg, nSegs)
+		for i := 0; i < nSegs; i++ {
+			w := s.SegWords[(segOff+i)*segWordsPerSeg : (segOff+i+1)*segWordsPerSeg]
+			sg := PackedSeg{NC: w[1], Arg: w[2], ValOff: w[3], RowOff: w[4], NR: w[5]}
+			if w[0] != int32(segGather) && w[0] != int32(segStream) {
+				return nil, 0, 0, fmt.Errorf("compiler: sections %s lane %d seg %d: unknown kind %d",
+					s.Name, t, i, w[0])
+			}
+			sg.Kind = uint8(w[0])
+			if sg.NC < 0 || sg.NR < 0 || sg.Arg < 0 || sg.ValOff < 0 || sg.RowOff < 0 {
+				return nil, 0, 0, fmt.Errorf("compiler: sections %s lane %d seg %d: negative field",
+					s.Name, t, i)
+			}
+			if sg.Kind == segGather {
+				if int64(sg.Arg)+int64(sg.NC) > int64(len(s.ColIdx)) {
+					return nil, 0, 0, fmt.Errorf("compiler: sections %s lane %d seg %d: gather [%d,%d) beyond %d indices",
+						s.Name, t, i, sg.Arg, int64(sg.Arg)+int64(sg.NC), len(s.ColIdx))
+				}
+				if int(sg.NC) > maxGather {
+					maxGather = int(sg.NC)
+				}
+			} else if int64(sg.Arg)+int64(sg.NC) > int64(s.Cols) {
+				return nil, 0, 0, fmt.Errorf("compiler: sections %s lane %d seg %d: stream window [%d,%d) beyond %d columns",
+					s.Name, t, i, sg.Arg, int64(sg.Arg)+int64(sg.NC), s.Cols)
+			}
+			if int64(sg.RowOff)+int64(sg.NR) > int64(nRows) {
+				return nil, 0, 0, fmt.Errorf("compiler: sections %s lane %d seg %d: rows [%d,%d) beyond lane's %d",
+					s.Name, t, i, sg.RowOff, int64(sg.RowOff)+int64(sg.NR), nRows)
+			}
+			payload := int64(sg.NR) * int64(sg.NC)
+			if int64(sg.ValOff)+payload > int64(numVals) {
+				return nil, 0, 0, fmt.Errorf("compiler: sections %s lane %d seg %d: payload [%d,%d) beyond %d vals",
+					s.Name, t, i, sg.ValOff, int64(sg.ValOff)+payload, numVals)
+			}
+			lane.counts.macs += int(payload)
+			lane.counts.streamed += int(payload)
+			if sg.Kind == segGather {
+				lane.counts.gathers += int(sg.NC)
+			}
+			lane.Segs[i] = sg
+		}
+		totalMACs += lane.counts.macs
+		segOff += nSegs
+		rowOff += nRows
+	}
+	return lanes, maxGather, totalMACs, nil
+}
+
+// NewPackedFromSections reconstructs an executable float program from its
+// flat serialized form. The big arrays (Vals, ColIdx, RowIdx) are borrowed,
+// not copied — a caller aliasing them into mapped pages gets a zero-copy
+// program — and every descriptor is bounds-checked here, so execution needs
+// no further validation. Work is O(segments + indices), never O(weights).
+func NewPackedFromSections(s *PackedSections) (*PackedProgram, error) {
+	if s.Bits != 0 {
+		return nil, fmt.Errorf("compiler: sections %s: quantized sections (int%d) need NewPackedQFromSections",
+			s.Name, s.Bits)
+	}
+	if !PrecisionValid(s.Precision) {
+		return nil, fmt.Errorf("compiler: sections %s: unknown precision tier %d", s.Name, s.Precision)
+	}
+	lanes, maxGather, totalMACs, err := s.rebuildLanes(len(s.Vals))
+	if err != nil {
+		return nil, err
+	}
+	return &PackedProgram{
+		Name: s.Name, Rows: s.Rows, Cols: s.Cols,
+		Format: s.Format, ValueBits: s.ValueBits,
+		Unroll:    normalizeUnroll(s.Unroll),
+		Precision: s.Precision,
+		Vals:      s.Vals, ColIdx: s.ColIdx, Lanes: lanes,
+		MaxGather:   maxGather,
+		totalMACs:   totalMACs,
+		streamBytes: 4 * len(s.Vals),
+	}, nil
+}
+
+// NewPackedQFromSections reconstructs an executable quantized program from
+// its flat serialized form, borrowing the big arrays exactly as
+// NewPackedFromSections does.
+func NewPackedQFromSections(s *PackedSections) (*PackedQProgram, error) {
+	if !QuantBitsValid(s.Bits) {
+		return nil, fmt.Errorf("compiler: sections %s: quantized width %d invalid (want 8, 12, or 16)",
+			s.Name, s.Bits)
+	}
+	if s.Scheme != quant.PerTensor && s.Scheme != quant.PerRow {
+		return nil, fmt.Errorf("compiler: sections %s: unknown quant scheme %d", s.Name, s.Scheme)
+	}
+	if !PrecisionValid(s.Precision) {
+		return nil, fmt.Errorf("compiler: sections %s: unknown precision tier %d", s.Name, s.Precision)
+	}
+	numVals := len(s.Vals16)
+	if s.Bits == 8 {
+		numVals = len(s.Vals8)
+		if len(s.Vals16) != 0 {
+			return nil, fmt.Errorf("compiler: sections %s: int8 program carries %d int16 vals",
+				s.Name, len(s.Vals16))
+		}
+	} else if len(s.Vals8) != 0 {
+		return nil, fmt.Errorf("compiler: sections %s: int%d program carries %d int8 vals",
+			s.Name, s.Bits, len(s.Vals8))
+	}
+	if len(s.Scales) != s.Rows {
+		return nil, fmt.Errorf("compiler: sections %s: %d scales for %d rows",
+			s.Name, len(s.Scales), s.Rows)
+	}
+	if s.NumScales != 1 && s.NumScales != s.Rows {
+		return nil, fmt.Errorf("compiler: sections %s: stored scale count %d (want 1 or %d)",
+			s.Name, s.NumScales, s.Rows)
+	}
+	lanes, maxGather, totalMACs, err := s.rebuildLanes(numVals)
+	if err != nil {
+		return nil, err
+	}
+	pq := &PackedQProgram{
+		Name: s.Name, Rows: s.Rows, Cols: s.Cols,
+		Format: s.Format, Bits: s.Bits, Scheme: s.Scheme,
+		Unroll:    normalizeUnroll(s.Unroll),
+		Precision: s.Precision,
+		Vals8:     s.Vals8, Vals16: s.Vals16, Scales: s.Scales,
+		numScales: s.NumScales,
+		ColIdx:    s.ColIdx, Lanes: lanes,
+		MaxGather: maxGather,
+		totalMACs: totalMACs,
+	}
+	pq.streamBytes = pq.elemBytes() * numVals
+	return pq, nil
+}

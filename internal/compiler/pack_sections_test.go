@@ -1,0 +1,179 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"rtmobile/internal/prune"
+	"rtmobile/internal/quant"
+)
+
+// sectionsTestProgram compiles and packs a BSPC test matrix.
+func sectionsTestProgram(t *testing.T, seed uint64, unroll int) *PackedProgram {
+	t.Helper()
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(seed, 48, 40, scheme)
+	s := scheme
+	prog, err := CompileProgram(MatrixSource{Name: "m", W: w, Scheme: &s},
+		DefaultOptions(FormatBSPC, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pack(prog, unroll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+// TestPackedSectionsRoundTrip: Sections → NewPackedFromSections rebuilds a
+// program that executes bit-identically to the original, at every unroll.
+func TestPackedSectionsRoundTrip(t *testing.T) {
+	for _, unroll := range []int{1, 2, 4, 8} {
+		pp := sectionsTestProgram(t, uint64(unroll), unroll)
+		re, err := NewPackedFromSections(pp.Sections())
+		if err != nil {
+			t.Fatalf("unroll=%d: %v", unroll, err)
+		}
+		x := randVec(99, pp.Cols)
+		want := make([]float32, pp.Rows)
+		got := make([]float32, pp.Rows)
+		wantStats, err := pp.Execute(want, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotStats, err := re.Execute(got, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			if want[r] != got[r] {
+				t.Fatalf("unroll=%d row %d: %v vs %v", unroll, r, want[r], got[r])
+			}
+		}
+		if wantStats.GatherLoads != gotStats.GatherLoads ||
+			wantStats.StreamedVals != gotStats.StreamedVals ||
+			wantStats.TotalMACs() != gotStats.TotalMACs() {
+			t.Fatalf("unroll=%d stats differ: %+v vs %+v", unroll, wantStats, gotStats)
+		}
+		if re.MaxGather != pp.MaxGather {
+			t.Fatalf("MaxGather %d vs %d", re.MaxGather, pp.MaxGather)
+		}
+	}
+}
+
+// TestPackedQSectionsRoundTrip: the quantized equivalent, at 8 and 16 bits
+// and both scale schemes.
+func TestPackedQSectionsRoundTrip(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(5, 48, 40, scheme)
+	s := scheme
+	prog, err := CompileProgram(MatrixSource{Name: "m", W: w, Scheme: &s},
+		DefaultOptions(FormatBSPC, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bits := range []int{8, 16} {
+		for _, sc := range []quant.Scheme{quant.PerTensor, quant.PerRow} {
+			pq, err := PackQuant(prog, bits, sc, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := NewPackedQFromSections(pq.Sections())
+			if err != nil {
+				t.Fatalf("bits=%d scheme=%d: %v", bits, sc, err)
+			}
+			x := randVec(7, pq.Cols)
+			want := make([]float32, pq.Rows)
+			got := make([]float32, pq.Rows)
+			if _, err := pq.Execute(want, x); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := re.Execute(got, x); err != nil {
+				t.Fatal(err)
+			}
+			for r := range want {
+				if want[r] != got[r] {
+					t.Fatalf("bits=%d scheme=%d row %d: %v vs %v", bits, sc, r, want[r], got[r])
+				}
+			}
+		}
+	}
+}
+
+// TestPackedSectionsRejectsCorrupt: rebuilt programs execute unchecked
+// gathers, so every malformed section shape must be rejected at
+// construction with a contextual error.
+func TestPackedSectionsRejectsCorrupt(t *testing.T) {
+	base := func() *PackedSections { return sectionsTestProgram(t, 11, 4).Sections() }
+	cases := []struct {
+		name    string
+		mutate  func(*PackedSections)
+		wantErr string
+	}{
+		{"colidx out of range", func(s *PackedSections) { s.ColIdx[0] = int32(s.Cols) }, "column"},
+		{"negative colidx", func(s *PackedSections) { s.ColIdx[0] = -1 }, "column"},
+		{"rowidx out of range", func(s *PackedSections) { s.RowIdx[0] = int32(s.Rows) }, "output row"},
+		{"bad segment kind", func(s *PackedSections) { s.SegWords[0] = 99 }, "kind"},
+		{"ragged segment words", func(s *PackedSections) { s.SegWords = s.SegWords[:len(s.SegWords)-1] }, "segment"},
+		{"lane count mismatch", func(s *PackedSections) { s.LaneSegCounts = s.LaneSegCounts[:1] }, "lane"},
+		{"row total mismatch", func(s *PackedSections) { s.LaneRowCounts[0]++ }, "row"},
+		{"negative rows", func(s *PackedSections) { s.Rows = -1 }, "shape"},
+		{"vals too short", func(s *PackedSections) { s.Vals = s.Vals[:len(s.Vals)-1] }, "vals"},
+		{"quantized into float", func(s *PackedSections) { s.Bits = 8 }, "quantized"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(s)
+			if _, err := NewPackedFromSections(s); err == nil {
+				t.Fatal("corrupt sections accepted")
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPackedQSectionsRejectsCorrupt: the quantized constructor's own
+// validation on top of the shared lane checks.
+func TestPackedQSectionsRejectsCorrupt(t *testing.T) {
+	scheme := prune.BSP{ColRate: 4, RowRate: 2, NumRowGroups: 4, NumColBlocks: 4}
+	w := bspMat(13, 48, 40, scheme)
+	s := scheme
+	prog, err := CompileProgram(MatrixSource{Name: "m", W: w, Scheme: &s},
+		DefaultOptions(FormatBSPC, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func() *PackedSections {
+		pq, err := PackQuant(prog, 8, quant.PerRow, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pq.Sections()
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*PackedSections)
+		wantErr string
+	}{
+		{"bad bits", func(s *PackedSections) { s.Bits = 9 }, "width"},
+		{"bad scale scheme", func(s *PackedSections) { s.Scheme = 7 }, "scheme"},
+		{"scales wrong length", func(s *PackedSections) { s.Scales = s.Scales[:1] }, "scale"},
+		{"bad numscales", func(s *PackedSections) { s.NumScales = 3 }, "scale"},
+		{"both val widths", func(s *PackedSections) { s.Vals16 = make([]int16, len(s.Vals8)) }, "int16"},
+		{"float into quantized", func(s *PackedSections) { s.Bits = 0 }, "quantized"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(s)
+			if _, err := NewPackedQFromSections(s); err == nil {
+				t.Fatal("corrupt sections accepted")
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -114,6 +114,72 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	return m.writePrometheusScopes(w)
+}
+
+// writePrometheusScopes emits the per-model scope families with a model
+// label.
+func (m *Metrics) writePrometheusScopes(w io.Writer) error {
+	scopes := m.ModelScopes()
+	if len(scopes) == 0 {
+		return nil
+	}
+	type scopeCounter struct {
+		name string
+		get  func(*Scope) uint64
+	}
+	counters := []scopeCounter{
+		{"rtmobile_model_requests_total", func(s *Scope) uint64 { return s.RequestsTotal.Value() }},
+		{"rtmobile_model_errors_total", func(s *Scope) uint64 { return s.ErrorsTotal.Value() }},
+		{"rtmobile_model_swaps_total", func(s *Scope) uint64 { return s.SwapsTotal.Value() }},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.name); err != nil {
+			return err
+		}
+		for _, s := range scopes {
+			if _, err := fmt.Fprintf(w, "%s{model=%q} %d\n", c.name, s.Model, c.get(s)); err != nil {
+				return err
+			}
+		}
+	}
+	type scopeGauge struct {
+		name string
+		get  func(*Scope) int64
+	}
+	gauges := []scopeGauge{
+		{"rtmobile_model_version", func(s *Scope) int64 { return s.Version.Value() }},
+		{"rtmobile_model_leases", func(s *Scope) int64 { return s.Leases.Value() }},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", g.name); err != nil {
+			return err
+		}
+		for _, s := range scopes {
+			if _, err := fmt.Fprintf(w, "%s{model=%q} %d\n", g.name, s.Model, g.get(s)); err != nil {
+				return err
+			}
+		}
+	}
+	const hname = "rtmobile_model_latency_ns"
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", hname); err != nil {
+		return err
+	}
+	for _, sc := range scopes {
+		s := sc.Latency.Snapshot()
+		var cum uint64
+		for i, b := range s.Bounds {
+			cum += s.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{model=%q,le=\"%d\"} %d\n", hname, sc.Model, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Counts[len(s.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{model=%q,le=\"+Inf\"} %d\n%s_sum{model=%q} %d\n%s_count{model=%q} %d\n",
+			hname, sc.Model, cum, hname, sc.Model, s.Sum, hname, sc.Model, s.Count); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -157,6 +223,29 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 			}
 		}
 		doc[r.name] = hj
+	}
+	for _, sc := range m.ModelScopes() {
+		s := sc.Latency.Snapshot()
+		hj := histJSON{Count: s.Count, SumNs: s.Sum}
+		if s.Count > 0 {
+			hj.Buckets = make(map[string]uint64)
+			for i, b := range s.Bounds {
+				if s.Counts[i] > 0 {
+					hj.Buckets[fmt.Sprintf("%d", b)] = s.Counts[i]
+				}
+			}
+			if inf := s.Counts[len(s.Bounds)]; inf > 0 {
+				hj.Buckets["+Inf"] = inf
+			}
+		}
+		doc["rtmobile_model:"+sc.Model] = map[string]any{
+			"requests_total": sc.RequestsTotal.Value(),
+			"errors_total":   sc.ErrorsTotal.Value(),
+			"swaps_total":    sc.SwapsTotal.Value(),
+			"version":        sc.Version.Value(),
+			"leases":         sc.Leases.Value(),
+			"latency_ns":     hj,
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

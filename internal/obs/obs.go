@@ -90,6 +90,9 @@ type Metrics struct {
 	SchedQueueWait *Histogram
 	SchedLatency   *Histogram
 	LaneOccupancy  *Histogram
+
+	// Per-model instrument scopes for multi-model serving (see Scope).
+	scopeSet scopeSet
 }
 
 // DefaultOccupancyBounds buckets live-lane counts per panel step at the

@@ -1,0 +1,61 @@
+package obs
+
+import "sync"
+
+// Scope is a per-model instrument group for multi-model serving: request
+// and error counters, hot-swap count, the live version id and lease count,
+// and an end-to-end request latency histogram. Scopes registered on the
+// active Metrics set are emitted by WritePrometheus / WriteJSON as
+// {model="..."}-labeled families alongside the process-wide instruments.
+// Like every other instrument here, all write paths are allocation-free
+// atomics.
+type Scope struct {
+	Model         string
+	RequestsTotal Counter // leases acquired (one per scoring request)
+	ErrorsTotal   Counter // requests that failed with a server-side error
+	SwapsTotal    Counter // hot swaps completed
+	Version       Gauge   // live version sequence number
+	Leases        Gauge   // leases currently held
+	Latency       *Histogram
+}
+
+// NewScope builds a scope and registers it on the active Metrics set (if
+// collection is enabled). The scope works either way, so callers keep
+// per-model accounting even with exposition off.
+func NewScope(model string) *Scope {
+	s := &Scope{Model: model, Latency: NewHistogram(DefaultLatencyBounds())}
+	if m := M(); m != nil {
+		m.AddScope(s)
+	}
+	return s
+}
+
+// scopeSet holds a Metrics set's registered per-model scopes. Kept outside
+// the Metrics struct's atomic-only field set; scope registration is rare
+// (model register / swap), reads copy the slice.
+type scopeSet struct {
+	mu     sync.Mutex
+	scopes []*Scope
+}
+
+// AddScope registers (or, for a repeated model name, replaces) a scope on
+// this instrument set.
+func (m *Metrics) AddScope(s *Scope) {
+	m.scopeSet.mu.Lock()
+	defer m.scopeSet.mu.Unlock()
+	for i, old := range m.scopeSet.scopes {
+		if old.Model == s.Model {
+			m.scopeSet.scopes[i] = s
+			return
+		}
+	}
+	m.scopeSet.scopes = append(m.scopeSet.scopes, s)
+}
+
+// ModelScopes returns a snapshot of the registered per-model scopes, in
+// registration order.
+func (m *Metrics) ModelScopes() []*Scope {
+	m.scopeSet.mu.Lock()
+	defer m.scopeSet.mu.Unlock()
+	return append([]*Scope(nil), m.scopeSet.scopes...)
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScopeRegistersAndReplaces: NewScope registers on the active set,
+// and a repeated model name replaces the old scope (a swap-heavy serve
+// process must not leak one scope per registration).
+func TestScopeRegistersAndReplaces(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(false) // drop any scopes earlier tests registered
+	SetEnabled(true)
+	defer func() {
+		SetEnabled(false)
+		SetEnabled(prev)
+	}()
+
+	a := NewScope("asr")
+	b := NewScope("kws")
+	scopes := M().ModelScopes()
+	if len(scopes) != 2 || scopes[0] != a || scopes[1] != b {
+		t.Fatalf("registered scopes %v", scopes)
+	}
+	a2 := NewScope("asr")
+	scopes = M().ModelScopes()
+	if len(scopes) != 2 || scopes[0] != a2 {
+		t.Fatalf("re-registering %q did not replace: %v", "asr", scopes)
+	}
+}
+
+// TestScopeDisabledCollection: with collection off, NewScope still hands
+// back working instruments (per-model accounting survives exposition off).
+func TestScopeDisabledCollection(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+
+	s := NewScope("offline")
+	s.RequestsTotal.Inc()
+	s.Version.Set(3)
+	s.Latency.Observe(1000)
+	if s.RequestsTotal.Value() != 1 || s.Version.Value() != 3 {
+		t.Fatalf("scope instruments dead with collection off: %+v", s)
+	}
+	if M() != nil {
+		t.Fatal("collection unexpectedly on")
+	}
+}
+
+// TestScopeExposition: registered scopes show up on both wire formats as
+// per-model families with a model label.
+func TestScopeExposition(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(false) // fresh instrument set, no inherited scopes
+	SetEnabled(true)
+	defer func() {
+		SetEnabled(false)
+		SetEnabled(prev)
+	}()
+
+	s := NewScope("asr")
+	s.RequestsTotal.Add(7)
+	s.ErrorsTotal.Inc()
+	s.SwapsTotal.Add(2)
+	s.Version.Set(3)
+	s.Leases.Set(1)
+	s.Latency.Observe(5_000)
+	s.Latency.Observe(50_000_000)
+
+	var prom bytes.Buffer
+	if err := M().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE rtmobile_model_requests_total counter",
+		`rtmobile_model_requests_total{model="asr"} 7`,
+		`rtmobile_model_errors_total{model="asr"} 1`,
+		`rtmobile_model_swaps_total{model="asr"} 2`,
+		"# TYPE rtmobile_model_version gauge",
+		`rtmobile_model_version{model="asr"} 3`,
+		`rtmobile_model_leases{model="asr"} 1`,
+		"# TYPE rtmobile_model_latency_ns histogram",
+		`rtmobile_model_latency_ns_bucket{model="asr",le="+Inf"} 2`,
+		`rtmobile_model_latency_ns_count{model="asr"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := M().WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON not JSON: %v", err)
+	}
+	model, ok := doc["rtmobile_model:asr"].(map[string]any)
+	if !ok {
+		t.Fatalf("JSON exposition missing rtmobile_model:asr: %v", doc)
+	}
+	if model["requests_total"] != float64(7) || model["version"] != float64(3) {
+		t.Fatalf("per-model JSON fields wrong: %v", model)
+	}
+	lat, ok := model["latency_ns"].(map[string]any)
+	if !ok || lat["count"] != float64(2) {
+		t.Fatalf("per-model latency histogram wrong: %v", model["latency_ns"])
+	}
+}

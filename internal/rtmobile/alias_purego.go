@@ -1,0 +1,12 @@
+//go:build purego
+
+package rtmobile
+
+// purego builds never alias section bytes: every section copy-decodes
+// through the portable little-endian readers. Same format, same
+// validation, one allocation per section.
+
+func tryAliasF32(b []byte) ([]float32, bool) { return nil, false }
+func tryAliasI32(b []byte) ([]int32, bool)   { return nil, false }
+func tryAliasI16(b []byte) ([]int16, bool)   { return nil, false }
+func tryAliasI8(b []byte) ([]int8, bool)     { return nil, false }

@@ -1,0 +1,63 @@
+//go:build !purego
+
+package rtmobile
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// Zero-copy section aliasing. v5 payloads are little-endian flat arrays at
+// 64-byte aligned file offsets; on a little-endian host whose mapping base
+// preserves that alignment (mmap bases are page-aligned; the arena
+// fallback usually is too, but is probed, not assumed), a section can be
+// reinterpreted as a typed slice in place. Each helper checks both
+// conditions at runtime and reports ok=false when either fails, sending
+// the caller down the portable copy-decode path. The resulting slices are
+// read-only by contract: they may alias PROT_READ pages, and writing
+// through them would fault.
+
+// hostLittleEndian is probed once, without unsafe, via the stdlib's
+// native-endian view.
+var hostLittleEndian = func() bool {
+	var buf [2]byte
+	binary.NativeEndian.PutUint16(buf[:], 0x0102)
+	return buf[0] == 0x02
+}()
+
+// aliasable reports whether b can be reinterpreted as elements of the
+// given size on this host.
+func aliasable(b []byte, elemSize uintptr) bool {
+	if !hostLittleEndian || len(b) == 0 {
+		return false
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%elemSize == 0
+}
+
+func tryAliasF32(b []byte) ([]float32, bool) {
+	if !aliasable(b, 4) {
+		return nil, false
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+func tryAliasI32(b []byte) ([]int32, bool) {
+	if !aliasable(b, 4) {
+		return nil, false
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+func tryAliasI16(b []byte) ([]int16, bool) {
+	if !aliasable(b, 2) {
+		return nil, false
+	}
+	return unsafe.Slice((*int16)(unsafe.Pointer(&b[0])), len(b)/2), true
+}
+
+func tryAliasI8(b []byte) ([]int8, bool) {
+	if len(b) == 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int8)(unsafe.Pointer(&b[0])), len(b)), true
+}

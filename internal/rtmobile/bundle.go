@@ -63,8 +63,15 @@ const (
 	maxBundleNameLen = 1 << 16
 )
 
-// SaveBundle writes the engine's deployment artifact.
+// SaveBundle writes the engine's deployment artifact in the current
+// default format (version 5, the mmap-loadable section table; see
+// bundle5.go). Use SaveBundleVersion to target the legacy v4 stream.
 func (e *Engine) SaveBundle(w io.Writer, scheme prune.BSP) error {
+	return e.saveBundleV5(w, scheme)
+}
+
+// saveBundleV4 writes the legacy (version 4) per-field artifact.
+func (e *Engine) saveBundleV4(w io.Writer, scheme prune.BSP) error {
 	le := binary.LittleEndian
 	if _, err := io.WriteString(w, bundleMagic); err != nil {
 		return err
@@ -273,6 +280,24 @@ func LoadBundle(r io.Reader, target *device.Target) (*Engine, prune.BSP, error) 
 	var version uint32
 	if err := binary.Read(r, le, &version); err != nil {
 		return nil, zero, fmt.Errorf("rtmobile: reading bundle version: %w", err)
+	}
+	if version == bundleVersion5 {
+		// The portable v5 path: pull the whole stream into one arena
+		// allocation and parse the section table in place (the same parser
+		// MapBundle runs over mapped pages).
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, zero, fmt.Errorf("rtmobile: reading v5 bundle: %w", err)
+		}
+		data := make([]byte, 8+len(rest))
+		copy(data, head)
+		le.PutUint32(data[4:], version)
+		copy(data[8:], rest)
+		img, err := parseV5(data, target)
+		if err != nil {
+			return nil, zero, err
+		}
+		return img.eng, img.scheme, nil
 	}
 	if version < 1 || version > bundleVersion {
 		return nil, zero, fmt.Errorf("rtmobile: unsupported bundle version %d", version)

@@ -1,0 +1,322 @@
+package rtmobile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/quant"
+)
+
+// Bundle v5: the zero-copy section-table format. Versions 1–4 serialize
+// every weight through per-element binary encoding and rebuild the engine
+// with a full recompile at load, so loading is O(weights) in time and heap.
+// v5 instead writes every flat array the runtime executes from — the dense
+// weight matrices functional inference streams, and the packed / quantized
+// program arrays (vals, qvals, colIdx, segment descriptors, scales) the
+// packed backend executes — as raw little-endian sections with 64-byte
+// aligned payloads, plus one JSON metadata section carrying the model spec,
+// the compiled Plan (including the tuned plan cache), and the section
+// directory of each param and program. MapBundle then mmaps the file and
+// aliases those sections in place: no per-weight decode, no repack, no
+// recompile.
+//
+// Layout (little-endian):
+//
+//	magic "RTMB" | version u32 = 5 | sectionCount u32 |
+//	directory: sectionCount × { id u32 | offset u64 | length u64 | crc32 u32 } |
+//	dirCRC u32 (IEEE CRC-32 of the directory bytes) |
+//	payloads, each at its stated absolute offset, 64-byte aligned,
+//	zero padding between
+//
+// Section 1 is always the JSON metadata; all other ids are opaque handles
+// the metadata references. Numeric payloads are little-endian flat arrays:
+// f32 and i32 are 4 bytes per element, i16 is 2, i8 is 1. Offsets are
+// absolute from the file start and multiples of 64 so that any element
+// type's natural alignment is satisfied both under mmap (page-aligned
+// base) and in the fallback arena. Big-endian hosts and purego builds
+// cannot alias and fall back to copy-decoding each section (same format,
+// same validation, one allocation per section).
+
+const (
+	// bundleVersion5 is the section-table format version.
+	bundleVersion5 = 5
+	// v5Align is the payload alignment contract.
+	v5Align = 64
+	// v5MaxSections bounds the section count a directory may declare, so a
+	// corrupt header cannot drive a huge directory allocation.
+	v5MaxSections = 1 << 16
+	// v5SecMeta is the JSON metadata section's fixed id.
+	v5SecMeta = 1
+)
+
+// v5ParamMeta locates one model parameter's raw f32 section.
+type v5ParamMeta struct {
+	Name    string `json:"name"`
+	Rows    int    `json:"rows"`
+	Cols    int    `json:"cols"`
+	Section uint32 `json:"sec"`
+}
+
+// v5ProgramMeta locates one packed program's sections (0 = absent) and
+// carries its scalar header fields.
+type v5ProgramMeta struct {
+	Name      string             `json:"name"`
+	Rows      int                `json:"rows"`
+	Cols      int                `json:"cols"`
+	Format    compiler.Format    `json:"format"`
+	ValueBits int                `json:"value_bits"`
+	Unroll    int                `json:"unroll"`
+	Precision compiler.Precision `json:"precision"`
+	Bits      int                `json:"bits"`
+	Scheme    quant.Scheme       `json:"scheme"`
+	NumScales int                `json:"num_scales"`
+
+	SecVals     uint32 `json:"sec_vals,omitempty"`
+	SecQVals    uint32 `json:"sec_qvals,omitempty"`
+	SecScales   uint32 `json:"sec_scales,omitempty"`
+	SecColIdx   uint32 `json:"sec_colidx,omitempty"`
+	SecSegs     uint32 `json:"sec_segs,omitempty"`
+	SecRows     uint32 `json:"sec_rows,omitempty"`
+	SecLaneSegs uint32 `json:"sec_lane_segs,omitempty"`
+	SecLaneRows uint32 `json:"sec_lane_rows,omitempty"`
+}
+
+// v5Meta is the JSON metadata section: everything LoadBundle's v1–v4
+// header carried, plus the full compiled Plan (so a mapped load skips
+// Compile entirely) and the param/program section directories.
+type v5Meta struct {
+	Spec      nn.ModelSpec    `json:"spec"`
+	Scheme    prune.BSP       `json:"scheme"`
+	Fused     bool            `json:"fused"`
+	TuneMode  uint8           `json:"tune_mode"`
+	TuneCost  float64         `json:"tune_cost"`
+	QuantBits int             `json:"quant_bits"`
+	Plan      *compiler.Plan  `json:"plan"`
+	Params    []v5ParamMeta   `json:"params"`
+	Programs  []v5ProgramMeta `json:"programs"`
+}
+
+// --- writer --------------------------------------------------------------
+
+// v5Writer accumulates sections before the single sequential emit.
+type v5Writer struct {
+	ids      []uint32
+	payloads [][]byte
+	next     uint32
+}
+
+func newV5Writer() *v5Writer { return &v5Writer{next: v5SecMeta + 1} }
+
+// add registers a payload and returns its section id.
+func (w *v5Writer) add(payload []byte) uint32 {
+	id := w.next
+	w.next++
+	w.ids = append(w.ids, id)
+	w.payloads = append(w.payloads, payload)
+	return id
+}
+
+func encodeF32(src []float32) []byte {
+	buf := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+func encodeI32(src []int32) []byte {
+	buf := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return buf
+}
+
+func encodeI16(src []int16) []byte {
+	buf := make([]byte, 2*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	return buf
+}
+
+func encodeI8(src []int8) []byte {
+	buf := make([]byte, len(src))
+	for i, v := range src {
+		buf[i] = byte(v)
+	}
+	return buf
+}
+
+// align64 rounds n up to the next multiple of v5Align.
+func align64(n uint64) uint64 { return (n + v5Align - 1) &^ uint64(v5Align-1) }
+
+// SaveBundleVersion writes the engine's deployment artifact in the chosen
+// format version: 5 (the default, section-table, mmap-loadable) or 4 (the
+// legacy per-field stream, for older readers).
+func (e *Engine) SaveBundleVersion(w io.Writer, scheme prune.BSP, version int) error {
+	switch version {
+	case 4:
+		return e.saveBundleV4(w, scheme)
+	case bundleVersion5:
+		return e.saveBundleV5(w, scheme)
+	default:
+		return fmt.Errorf("rtmobile: unsupported bundle version %d (want 4 or 5)", version)
+	}
+}
+
+// packedSectionsFor lowers the engine's weight matrices into packed (or
+// quantized packed) section form, exactly as the packed backend would
+// execute them: ModelSources (+ fusion when the deployment fused),
+// CompileProgram per matrix, then Pack / PackQuant at the plan's tuned
+// unroll.
+func (e *Engine) packedSectionsFor(scheme prune.BSP) ([]*compiler.PackedSections, error) {
+	opt := e.plan.Options
+	srcs := ModelSources(e.model, scheme, opt.Format)
+	if e.fused {
+		srcs = compiler.FuseSources(srcs)
+	}
+	out := make([]*compiler.PackedSections, 0, len(srcs))
+	for _, src := range srcs {
+		prog, err := compiler.CompileProgram(src, opt, e.target.Threads())
+		if err != nil {
+			return nil, fmt.Errorf("rtmobile: %s: %w", src.Name, err)
+		}
+		if e.quant != 0 {
+			pq, err := compiler.PackQuant(prog, e.quant, quant.PerRow, opt.Tile.Unroll)
+			if err != nil {
+				return nil, fmt.Errorf("rtmobile: %s: %w", src.Name, err)
+			}
+			out = append(out, pq.Sections())
+			continue
+		}
+		pp, err := compiler.Pack(prog, opt.Tile.Unroll)
+		if err != nil {
+			return nil, fmt.Errorf("rtmobile: %s: %w", src.Name, err)
+		}
+		out = append(out, pp.Sections())
+	}
+	return out, nil
+}
+
+// saveBundleV5 writes the section-table artifact.
+func (e *Engine) saveBundleV5(w io.Writer, scheme prune.BSP) error {
+	vw := newV5Writer()
+	meta := v5Meta{
+		Spec:      e.model.Spec,
+		Scheme:    scheme,
+		Fused:     e.fused,
+		TuneMode:  uint8(e.tuned.Mode),
+		TuneCost:  e.tuned.Cost,
+		QuantBits: e.quant,
+		Plan:      e.plan,
+	}
+
+	// Dense weight sections: the exact post-rounding values functional
+	// inference streams (fp16 / integer round-trips already happened at
+	// Compile), so a mapped engine is bit-identical by construction.
+	for _, p := range e.model.Params() {
+		meta.Params = append(meta.Params, v5ParamMeta{
+			Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols,
+			Section: vw.add(encodeF32(p.W.Data)),
+		})
+	}
+
+	// Packed program sections: the flat executable arrays.
+	secs, err := e.packedSectionsFor(scheme)
+	if err != nil {
+		return err
+	}
+	for _, s := range secs {
+		pm := v5ProgramMeta{
+			Name: s.Name, Rows: s.Rows, Cols: s.Cols,
+			Format: s.Format, ValueBits: s.ValueBits,
+			Unroll: s.Unroll, Precision: s.Precision,
+			Bits: s.Bits, Scheme: s.Scheme, NumScales: s.NumScales,
+			SecColIdx:   vw.add(encodeI32(s.ColIdx)),
+			SecSegs:     vw.add(encodeI32(s.SegWords)),
+			SecRows:     vw.add(encodeI32(s.RowIdx)),
+			SecLaneSegs: vw.add(encodeI32(s.LaneSegCounts)),
+			SecLaneRows: vw.add(encodeI32(s.LaneRowCounts)),
+		}
+		switch {
+		case s.Bits == 8:
+			pm.SecQVals = vw.add(encodeI8(s.Vals8))
+			pm.SecScales = vw.add(encodeF32(s.Scales))
+		case s.Bits != 0:
+			pm.SecQVals = vw.add(encodeI16(s.Vals16))
+			pm.SecScales = vw.add(encodeF32(s.Scales))
+		default:
+			pm.SecVals = vw.add(encodeF32(s.Vals))
+		}
+		meta.Programs = append(meta.Programs, pm)
+	}
+
+	metaJSON, err := json.Marshal(&meta)
+	if err != nil {
+		return err
+	}
+
+	// Assemble the directory: metadata first, then the payload sections in
+	// registration order, each at the next 64-byte aligned offset.
+	ids := append([]uint32{v5SecMeta}, vw.ids...)
+	payloads := append([][]byte{metaJSON}, vw.payloads...)
+	headerSize := uint64(4 + 4 + 4 + 24*len(ids) + 4)
+	le := binary.LittleEndian
+	dir := make([]byte, 24*len(ids))
+	off := align64(headerSize)
+	for i, p := range payloads {
+		d := dir[24*i:]
+		le.PutUint32(d[0:], ids[i])
+		le.PutUint64(d[4:], off)
+		le.PutUint64(d[12:], uint64(len(p)))
+		le.PutUint32(d[20:], crc32.ChecksumIEEE(p))
+		off = align64(off + uint64(len(p)))
+	}
+
+	if _, err := io.WriteString(w, bundleMagic); err != nil {
+		return err
+	}
+	var head [8]byte
+	le.PutUint32(head[0:], bundleVersion5)
+	le.PutUint32(head[4:], uint32(len(ids)))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(dir); err != nil {
+		return err
+	}
+	var dcrc [4]byte
+	le.PutUint32(dcrc[:], crc32.ChecksumIEEE(dir))
+	if _, err := w.Write(dcrc[:]); err != nil {
+		return err
+	}
+	// Sequential payload emit with zero padding up to each aligned offset.
+	pos := headerSize
+	var pad [v5Align]byte
+	for i, p := range payloads {
+		target := le.Uint64(dir[24*i+4:])
+		for pos < target {
+			n := target - pos
+			if n > v5Align {
+				n = v5Align
+			}
+			if _, err := w.Write(pad[:n]); err != nil {
+				return err
+			}
+			pos += n
+		}
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+		pos += uint64(len(p))
+	}
+	return nil
+}

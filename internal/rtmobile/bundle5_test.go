@@ -1,0 +1,417 @@
+package rtmobile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"rtmobile/internal/device"
+	"rtmobile/internal/nn"
+	"rtmobile/internal/prune"
+)
+
+// v5TestEngine compiles a pruned test engine for bundle round-trips.
+func v5TestEngine(t *testing.T, seed uint64, cfg DeployConfig) (*Engine, nn.ModelSpec) {
+	t.Helper()
+	m := testModel(seed)
+	res := Prune(m, nil, PruneConfig{ColRate: 4, RowRate: 2, RowGroups: 4, ColBlocks: 4})
+	if cfg.Target == nil {
+		cfg.Target = device.MobileGPU()
+	}
+	eng, err := Compile(m, res.Scheme, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, m.Spec
+}
+
+func testScheme() (s prune.BSP) {
+	s.ColRate, s.RowRate, s.NumRowGroups, s.NumColBlocks = 4, 2, 4, 4
+	return s
+}
+
+// writeBundleFile saves the engine to a temp file at the given version and
+// returns the path.
+func writeBundleFile(t *testing.T, eng *Engine, version int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.rtmb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveBundleVersion(f, testScheme(), version); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// samePosteriors fails unless both engines produce bit-identical output on
+// the same frames.
+func sameEnginePosteriors(t *testing.T, want, got *Engine, seed uint64) {
+	t.Helper()
+	frames := testFrames(seed, 12, want.InputDim())
+	a, b := want.Infer(frames), got.Infer(frames)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("posterior (%d,%d) differs: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// TestBundleV5V4CrossVersionBitIdentical: the same engine saved as v4 and
+// as v5 loads back to bit-identical inference, across float, fp16-valued
+// targets, and quantized deployments.
+func TestBundleV5V4CrossVersionBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  DeployConfig
+	}{
+		{"float-gpu", DeployConfig{Target: device.MobileGPU()}},
+		{"float-cpu", DeployConfig{Target: device.MobileCPU()}},
+		{"quant8", DeployConfig{Target: device.MobileCPU(), Quant: 8}},
+		{"quant16", DeployConfig{Target: device.MobileCPU(), Quant: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, _ := v5TestEngine(t, 91, tc.cfg)
+			var v4, v5 bytes.Buffer
+			if err := eng.SaveBundleVersion(&v4, testScheme(), 4); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.SaveBundleVersion(&v5, testScheme(), 5); err != nil {
+				t.Fatal(err)
+			}
+			from4, s4, err := LoadBundle(bytes.NewReader(v4.Bytes()), eng.Target())
+			if err != nil {
+				t.Fatalf("v4 load: %v", err)
+			}
+			from5, s5, err := LoadBundle(bytes.NewReader(v5.Bytes()), eng.Target())
+			if err != nil {
+				t.Fatalf("v5 load: %v", err)
+			}
+			if s4 != s5 {
+				t.Fatalf("schemes differ: %+v vs %+v", s4, s5)
+			}
+			sameEnginePosteriors(t, from4, from5, 92)
+			sameEnginePosteriors(t, eng, from5, 93)
+			if from4.Tuned() != from5.Tuned() {
+				t.Fatalf("plan cache differs: %+v vs %+v", from4.Tuned(), from5.Tuned())
+			}
+			if q4, _, _ := from4.Quantized(); true {
+				if q5, _, _ := from5.Quantized(); q4 != q5 {
+					t.Fatalf("quant width differs: %d vs %d", q4, q5)
+				}
+			}
+		})
+	}
+}
+
+// TestMapBundleBitIdentical: a mapped engine serves bit-identical
+// posteriors to the decode-loaded engine, reports the mapped state, and
+// exposes the packed programs by name.
+func TestMapBundleBitIdentical(t *testing.T) {
+	eng, _ := v5TestEngine(t, 95, DeployConfig{})
+	path := writeBundleFile(t, eng, 5)
+	mb, err := MapBundle(path, device.MobileGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	if mb.Version() != 5 {
+		t.Fatalf("Version() = %d, want 5", mb.Version())
+	}
+	if (runtime.GOOS == "linux" || runtime.GOOS == "darwin") && !mb.Mapped() {
+		t.Fatalf("Mapped() = false on %s; mmap path not taken", runtime.GOOS)
+	}
+	if mb.Scheme().ColRate != 4 {
+		t.Fatalf("scheme lost: %+v", mb.Scheme())
+	}
+	sameEnginePosteriors(t, eng, mb.Engine(), 96)
+	if mb.Engine().Tuned() != eng.Tuned() {
+		t.Fatalf("plan cache not honored from mapped tune section: %+v vs %+v",
+			mb.Engine().Tuned(), eng.Tuned())
+	}
+	names := mb.ProgramNames()
+	if len(names) == 0 {
+		t.Fatal("no packed programs in mapped bundle")
+	}
+	for _, n := range names {
+		if mb.Packed(n) == nil {
+			t.Fatalf("Packed(%q) = nil for float bundle", n)
+		}
+		if mb.PackedQ(n) != nil {
+			t.Fatalf("PackedQ(%q) != nil for float bundle", n)
+		}
+	}
+	if err := mb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestMapBundleQuantized: quantized deployments map with their quantized
+// packed programs intact and serve bit-identically.
+func TestMapBundleQuantized(t *testing.T) {
+	eng, _ := v5TestEngine(t, 97, DeployConfig{Target: device.MobileCPU(), Quant: 8})
+	path := writeBundleFile(t, eng, 5)
+	mb, err := MapBundle(path, device.MobileCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	sameEnginePosteriors(t, eng, mb.Engine(), 98)
+	for _, n := range mb.ProgramNames() {
+		pq := mb.PackedQ(n)
+		if pq == nil {
+			t.Fatalf("PackedQ(%q) = nil for 8-bit bundle", n)
+		}
+		if len(pq.Vals8) == 0 {
+			t.Fatalf("PackedQ(%q) has no int8 values", n)
+		}
+		if mb.Packed(n) != nil {
+			t.Fatalf("Packed(%q) != nil for quantized bundle", n)
+		}
+	}
+}
+
+// TestMapBundleLegacyFallback: MapBundle on a v4 file transparently loads
+// through the decode path and reports itself unmapped.
+func TestMapBundleLegacyFallback(t *testing.T) {
+	eng, _ := v5TestEngine(t, 99, DeployConfig{})
+	path := writeBundleFile(t, eng, 4)
+	mb, err := MapBundle(path, device.MobileGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	if mb.Mapped() {
+		t.Fatal("legacy bundle claims to be mapped")
+	}
+	if mb.Version() != 4 {
+		t.Fatalf("Version() = %d, want 4", mb.Version())
+	}
+	sameEnginePosteriors(t, eng, mb.Engine(), 100)
+}
+
+// --- corruption ----------------------------------------------------------
+
+// v5Mutate returns a copy of image with mutate applied. fixDir recomputes
+// the directory checksum afterwards, so directory-field corruptions are
+// exercised on their own merits rather than caught by the CRC.
+func v5Mutate(image []byte, fixDir bool, mutate func([]byte)) []byte {
+	out := append([]byte(nil), image...)
+	mutate(out)
+	if fixDir {
+		le := binary.LittleEndian
+		count := le.Uint32(out[8:])
+		dirEnd := 12 + 24*int(count)
+		le.PutUint32(out[dirEnd:], crc32.ChecksumIEEE(out[12:dirEnd]))
+	}
+	return out
+}
+
+// TestLoadBundleV5Corrupt: every corruption class yields a contextual
+// error — never a panic, never a silent misload.
+func TestLoadBundleV5Corrupt(t *testing.T) {
+	eng, _ := v5TestEngine(t, 101, DeployConfig{})
+	var buf bytes.Buffer
+	if err := eng.SaveBundleVersion(&buf, testScheme(), 5); err != nil {
+		t.Fatal(err)
+	}
+	image := buf.Bytes()
+	le := binary.LittleEndian
+
+	cases := []struct {
+		name    string
+		image   []byte
+		wantErr string
+	}{
+		{"bad magic", v5Mutate(image, false, func(b []byte) { copy(b, "XXXX") }), "magic"},
+		{"future version", v5Mutate(image, false, func(b []byte) { le.PutUint32(b[4:], 99) }), "version"},
+		{"zero section count", v5Mutate(image, false, func(b []byte) { le.PutUint32(b[8:], 0) }), "section count"},
+		{"huge section count", v5Mutate(image, false, func(b []byte) { le.PutUint32(b[8:], 1<<30) }), "section count"},
+		{"truncated section table", image[:20], "truncated"},
+		{"truncated payloads", image[:len(image)-64], "out of range"},
+		{"directory checksum", v5Mutate(image, false, func(b []byte) { b[13] ^= 0xff }), "directory checksum"},
+		{"offset out of range", v5Mutate(image, true, func(b []byte) {
+			past := (uint64(len(b)) + v5Align - 1) &^ uint64(v5Align-1) // aligned, past EOF
+			le.PutUint64(b[12+4:], past+v5Align)
+		}), "out of range"},
+		{"misaligned offset", v5Mutate(image, true, func(b []byte) {
+			off := le.Uint64(b[12+4:])
+			le.PutUint64(b[12+4:], off+1)
+		}), "alignment"},
+		{"length overflow", v5Mutate(image, true, func(b []byte) {
+			le.PutUint64(b[12+12:], ^uint64(0)) // length u64 max: must not wrap
+		}), "out of range"},
+		{"payload checksum", v5Mutate(image, false, func(b []byte) { b[len(b)-1] ^= 0xff }), "checksum"},
+		{"duplicate section id", v5Mutate(image, true, func(b []byte) {
+			copy(b[12+24:12+28], b[12:12+4]) // second entry takes first entry's id
+		}), "duplicate"},
+		{"meta not json", v5Mutate(image, true, func(b []byte) {
+			off := le.Uint64(b[12+4:]) // section 1 = metadata; zap its payload and re-CRC
+			b[off] = '!'
+			length := le.Uint64(b[12+12:])
+			le.PutUint32(b[12+20:], crc32.ChecksumIEEE(b[off:off+length]))
+		}), "metadata"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := LoadBundle(bytes.NewReader(tc.image), device.MobileGPU())
+			if err == nil {
+				t.Fatal("corrupt v5 bundle accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestMapBundleCorruptFile: the file-based loader surfaces the same
+// contextual errors (and unmaps on the way out).
+func TestMapBundleCorruptFile(t *testing.T) {
+	eng, _ := v5TestEngine(t, 103, DeployConfig{})
+	var buf bytes.Buffer
+	if err := eng.SaveBundleVersion(&buf, testScheme(), 5); err != nil {
+		t.Fatal(err)
+	}
+	image := buf.Bytes()
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := MapBundle(write("magic", v5Mutate(image, false, func(b []byte) { copy(b, "NOPE") })),
+		device.MobileGPU()); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic not rejected: %v", err)
+	}
+	if _, err := MapBundle(write("crc", v5Mutate(image, false, func(b []byte) { b[len(b)-1] ^= 1 })),
+		device.MobileGPU()); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("payload corruption not rejected: %v", err)
+	}
+	if _, err := MapBundle(write("trunc", image[:9]), device.MobileGPU()); err == nil {
+		t.Fatal("truncated header not rejected")
+	}
+	if _, err := MapBundle(filepath.Join(dir, "missing"), device.MobileGPU()); err == nil {
+		t.Fatal("missing file not rejected")
+	}
+}
+
+// --- allocation gates ----------------------------------------------------
+
+// TestMapBundleLoadAllocsWeightIndependent: mapping performs zero
+// per-weight allocations — the allocation count of MapBundle stays flat
+// while the weight count grows ~50x.
+func TestMapBundleLoadAllocsWeightIndependent(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; alloc gate runs in the non-race suite")
+	}
+	allocsFor := func(hidden int) float64 {
+		m := nn.NewGRUModel(nn.ModelSpec{
+			InputDim: 8, Hidden: hidden, NumLayers: 2, OutputDim: 6, Seed: 7,
+		})
+		res := Prune(m, nil, PruneConfig{ColRate: 4, RowRate: 2, RowGroups: 4, ColBlocks: 4})
+		eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileGPU()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "m.rtmb")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.SaveBundle(f, res.Scheme); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return testing.AllocsPerRun(5, func() {
+			mb, err := MapBundle(path, device.MobileGPU())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb.Close()
+		})
+	}
+	small, large := allocsFor(32), allocsFor(224)
+	// 32→224 hidden is ~49x the weights; a per-weight decode would scale
+	// the allocation count with it. Allow fixed slack for map growth.
+	if large > small+96 {
+		t.Fatalf("MapBundle allocations scale with weights: %v allocs at hidden=32, %v at hidden=224",
+			small, large)
+	}
+}
+
+// TestMappedStreamStepIntoZeroAlloc: the first inference after a mapped
+// load runs the same zero-allocation steady state as a compiled engine —
+// no lazy decode hiding in the hot path.
+func TestMappedStreamStepIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; alloc gate runs in the non-race suite")
+	}
+	eng, _ := v5TestEngine(t, 105, DeployConfig{})
+	path := writeBundleFile(t, eng, 5)
+	mb, err := MapBundle(path, device.MobileGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	s := mb.Engine().NewStream()
+	frame := testFrames(106, 1, mb.Engine().InputDim())[0]
+	dst := make([]float32, mb.Engine().OutputDim())
+	s.StepInto(dst, frame) // warm the softmax scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.StepInto(dst, frame)
+	}); allocs != 0 {
+		t.Fatalf("mapped StepInto allocates %v times per frame, want 0", allocs)
+	}
+}
+
+// FuzzMapBundle: arbitrary bytes through the full file-based loader must
+// produce an error or a working bundle — never a panic or an out-of-range
+// slice. Every section access length-checks before slicing.
+func FuzzMapBundle(f *testing.F) {
+	m := testModel(107)
+	res := Prune(m, nil, PruneConfig{ColRate: 4, RowRate: 2, RowGroups: 4, ColBlocks: 4})
+	eng, err := Compile(m, res.Scheme, DeployConfig{Target: device.MobileGPU()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveBundleVersion(&buf, testScheme(), 5); err != nil {
+		f.Fatal(err)
+	}
+	image := buf.Bytes()
+	f.Add(image)
+	f.Add(image[:len(image)/2])
+	f.Add(v5Mutate(image, false, func(b []byte) { b[13] ^= 0xff }))
+	f.Add(v5Mutate(image, true, func(b []byte) {
+		binary.LittleEndian.PutUint64(b[12+4:], ^uint64(0))
+	}))
+	f.Add([]byte("RTMB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.rtmb")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		mb, err := MapBundle(path, device.MobileGPU())
+		if err == nil {
+			mb.Close()
+		}
+	})
+}

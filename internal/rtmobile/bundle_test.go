@@ -62,8 +62,10 @@ func TestBundleSmallerThanDenseCheckpoint(t *testing.T) {
 	if err := m.Save(&dense); err != nil {
 		t.Fatal(err)
 	}
+	// v4 is the compact wire format; v5 trades size for zero-copy load by
+	// carrying dense params alongside the packed arrays.
 	var bundle bytes.Buffer
-	if err := eng.SaveBundle(&bundle, res.Scheme); err != nil {
+	if err := eng.SaveBundleVersion(&bundle, res.Scheme, 4); err != nil {
 		t.Fatal(err)
 	}
 	ratio := float64(dense.Len()) / float64(bundle.Len())
@@ -191,7 +193,9 @@ func validBundleImage(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := eng.SaveBundle(&buf, res.Scheme); err != nil {
+	// The fixed byte offsets below describe the v4 stream layout, so this
+	// helper pins version 4 regardless of the current default.
+	if err := eng.SaveBundleVersion(&buf, res.Scheme, 4); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()

@@ -1,0 +1,17 @@
+//go:build purego || (!linux && !darwin)
+
+package rtmobile
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("rtmobile: mmap unavailable on this platform/build")
+
+// mmapFile on platforms (or purego builds) without mmap support always
+// errors; MapBundle falls back to reading the file into one heap arena
+// and parsing the identical format there.
+func mmapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	return nil, nil, errNoMmap
+}

@@ -1,0 +1,23 @@
+//go:build (linux || darwin) && !purego
+
+package rtmobile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: every MapBundle of
+// the same file shares the same physical pages, which is what makes N
+// registry entries over one bundle sublinear in resident memory. The
+// returned release function unmaps.
+func mmapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	if size == 0 {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

@@ -209,8 +209,9 @@ func TestQuantBundleV3RoundTrip(t *testing.T) {
 }
 
 // TestQuantBundleSmaller: at the same (dense) storage format, the 8-bit
-// bundle is well under half the float bundle — integers at 1 byte per
-// element vs raw float32 at 4.
+// v4 bundle is well under half the float bundle — integers at 1 byte per
+// element vs raw float32 at 4. (v5 adds dense f32 param sections for
+// zero-copy load, so the size claim is about the compact v4 wire format.)
 func TestQuantBundleSmaller(t *testing.T) {
 	m := testModel(57)
 	res := Prune(m, nil, PruneConfig{ColRate: 4, RowRate: 2, RowGroups: 4, ColBlocks: 4})
@@ -220,7 +221,7 @@ func TestQuantBundleSmaller(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := feng.SaveBundle(&fbuf, res.Scheme); err != nil {
+	if err := feng.SaveBundleVersion(&fbuf, res.Scheme, 4); err != nil {
 		t.Fatal(err)
 	}
 	qeng, err := Compile(m.Clone(), res.Scheme, DeployConfig{
@@ -228,7 +229,7 @@ func TestQuantBundleSmaller(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := qeng.SaveBundle(&qbuf, res.Scheme); err != nil {
+	if err := qeng.SaveBundleVersion(&qbuf, res.Scheme, 4); err != nil {
 		t.Fatal(err)
 	}
 	if 2*qbuf.Len() >= fbuf.Len() {

@@ -149,6 +149,11 @@ type core struct {
 	completed []*request
 
 	closed bool
+	// draining: dispatch immediately (no window wait, no panel-mate wait)
+	// while still admitting work. A superseded registry version drains so
+	// requests already holding a lease on it finish promptly and its
+	// storage can be released.
+	draining bool
 }
 
 func newCore(b Batcher, cfg Config) *core {
@@ -224,7 +229,7 @@ func (c *core) runnable(now time.Time) bool {
 	if c.n == 0 {
 		return false
 	}
-	if c.n >= c.cfg.MaxBatch || c.closed {
+	if c.n >= c.cfg.MaxBatch || c.closed || c.draining {
 		return true
 	}
 	dl, _ := c.deadline()

@@ -182,6 +182,22 @@ func (s *Scheduler) AcquireStreamLane() (release func(), err error) {
 	}, nil
 }
 
+// Drain switches the scheduler to immediate dispatch: pending and future
+// requests stop waiting for the batch window or panel-mates. Admission
+// stays open — unlike Close, a draining scheduler still serves; it just
+// stops optimizing for batching. The registry drains a superseded model
+// version's scheduler so requests that acquired a lease before the swap
+// finish promptly, letting the old version's storage be released.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	s.core.draining = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
 // Close stops admission, drains every admitted request to completion, and
 // waits for the dispatcher to exit (or ctx to give up on the wait — the
 // drain itself is not abandoned).
