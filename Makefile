@@ -33,6 +33,8 @@ race:
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve|Obs|Metrics|Trac' ./cmd/rtmobile ./internal/rtmobile
 	RTMOBILE_METRICS=1 $(GO) test -race ./internal/sched
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve' -count=2 ./cmd/rtmobile
+	RTMOBILE_METRICS=1 RTMOBILE_WORKERS=2 $(GO) test -race -run 'Trace|Tail|SLO' ./internal/obs ./internal/sched ./internal/serve
+	RTMOBILE_METRICS=1 RTMOBILE_WORKERS=8 $(GO) test -race -run 'Trace|Tail|SLO' ./internal/obs ./internal/sched ./internal/serve
 	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Swap|Registry' ./internal/registry ./cmd/rtmobile
 	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Swap|Registry' ./internal/registry ./cmd/rtmobile
 
@@ -48,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzPackQuant -fuzztime=$(FUZZTIME) ./internal/compiler
 	$(GO) test -run=^$$ -fuzz=FuzzSchedTrace -fuzztime=$(FUZZTIME) ./internal/sched
 	$(GO) test -run=^$$ -fuzz=FuzzMapBundle -fuzztime=$(FUZZTIME) ./internal/rtmobile
+	$(GO) test -run=^$$ -fuzz=FuzzTraceparent -fuzztime=$(FUZZTIME) ./internal/obs
 
 # Static checks: vet under both build configurations — the default build
 # (which includes the unsafe mmap/alias files in internal/rtmobile) and
@@ -70,6 +73,7 @@ bench:
 	$(GO) run ./cmd/rtmobile bench -exp serve -json BENCH_6.json
 	$(GO) run ./cmd/rtmobile bench -exp precision -json BENCH_7.json
 	$(GO) run ./cmd/rtmobile bench -exp mmap -json BENCH_8.json
+	$(GO) run ./cmd/rtmobile bench -exp slo -json BENCH_9.json
 
 # Coverage gates: the observability primitives and the quantization
 # package must each stay above their statement-coverage floor.

@@ -289,10 +289,10 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, precision, scaling, workers, packed, batch, obs, serve, mmap, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, precision, scaling, workers, packed, batch, obs, serve, mmap, slo, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
-	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, precision, serve, or mmap: also write the rows as JSON to this path (e.g. BENCH_8.json)")
+	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, precision, serve, mmap, or slo: also write the rows as JSON to this path (e.g. BENCH_9.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -459,6 +459,40 @@ func cmdBench(args []string) error {
 				return err
 			}
 			if err := bench.WriteServeJSON(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+	case "slo":
+		cfg := bench.DefaultLoadgenConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rep, err := bench.RunLoadgenBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderLoadgen(rep))
+		if rep.KneeRPS > 0 {
+			fmt.Printf("  saturation knee: goodput falls below %.0f%% of offered load at %.0f rps\n",
+				bench.LoadgenKneeFraction*100, rep.KneeRPS)
+		} else {
+			fmt.Printf("  saturation knee: not reached in this sweep\n")
+		}
+		verdict := "within"
+		if rep.TracingOverheadPct >= bench.LoadgenOverheadTargetPct {
+			verdict = "OVER"
+		}
+		fmt.Printf("  tracing+slo overhead on the scheduler path: %+.2f%% (%s the %.0f%% target, traced allocs/op %.0f)\n",
+			rep.TracingOverheadPct, verdict, bench.LoadgenOverheadTargetPct, rep.TracedAllocsPerOp)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteLoadgenJSON(f, rep); err != nil {
 				f.Close()
 				return err
 			}

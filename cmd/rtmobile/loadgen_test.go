@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The SLO and loadgen flags reject nonsense up front with contextual
+// errors (same contract as -workers): the flag name and offending value
+// appear in the message, and validation fires before any corpus or bundle
+// work happens.
+
+func TestCmdLoadgenFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-qps", "0"}, "-qps"},
+		{[]string{"-qps", "-3"}, "-qps"},
+		{[]string{"-duration", "0s"}, "-duration"},
+		{[]string{"-duration", "-1s"}, "-duration"},
+		{[]string{"-slo-latency-ms", "0"}, "-slo-latency-ms"},
+		{[]string{"-slo-latency-ms", "-5"}, "-slo-latency-ms"},
+		{[]string{"-max-frames", "-1"}, "-max-frames"},
+		{[]string{"-dim", "-2"}, "-dim"},
+	}
+	for _, tc := range cases {
+		err := cmdLoadgen(tc.args)
+		if err == nil {
+			t.Errorf("loadgen %v accepted, want rejection", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("loadgen %v error %q does not name %s", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestCmdServeSLOFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-slo-latency-ms", "0"}, "-slo-latency-ms"},
+		{[]string{"-slo-latency-ms", "-10"}, "-slo-latency-ms"},
+		{[]string{"-slo-target", "0"}, "-slo-target"},
+		{[]string{"-slo-target", "-0.5"}, "-slo-target"},
+		{[]string{"-slo-target", "1.5"}, "-slo-target"},
+		{[]string{"-trace-tail", "0"}, "-trace-tail"},
+	}
+	for _, tc := range cases {
+		err := cmdServe(tc.args)
+		if err == nil {
+			t.Errorf("serve %v accepted, want rejection", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("serve %v error %q does not name %s", tc.args, err, tc.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	rtmobile prune    — BSP/ADMM-prune a saved model and report PER
 //	rtmobile compile  — lower a model for a mobile target, report latency
 //	rtmobile serve    — serve a bundle over HTTP with metrics and profiling
+//	rtmobile loadgen  — replay the seeded corpus at target QPS against a server
 //	rtmobile autotune — search BSP block grid + tiling for a target
 //	rtmobile bench    — regenerate the paper's tables and figures
 package main
@@ -36,6 +37,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "autotune":
 		err = cmdAutotune(os.Args[2:])
 	case "bench":
@@ -64,6 +67,7 @@ commands:
   deploy     compile and write a deployment bundle (BSPC weight storage)
   run        load a deployment bundle and score it on the test corpus
   serve      load a bundle and expose /metrics, /healthz, /statz, pprof over HTTP
+  loadgen    replay the seeded corpus open-loop at target QPS against a server
   autotune   search the BSP block grid and tiling for a target
   bench      regenerate the paper's tables and figures
 

@@ -2,362 +2,41 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
-	"rtmobile/internal/compiler"
 	"rtmobile/internal/obs"
 	"rtmobile/internal/registry"
 	"rtmobile/internal/rtmobile"
 	"rtmobile/internal/sched"
+	"rtmobile/internal/serve"
 )
 
 // rtmobile serve: expose one or more deployment bundles over HTTP with the
 // full observability surface — Prometheus metrics, JSON metrics, a health
-// probe, the per-layer latency table, Go's pprof profiles — through a
-// multi-model engine registry. Each model gets its own continuous-batching
-// scheduler so concurrent scoring requests coalesce into lockstep panels,
-// and bundles can be hot-swapped atomically while traffic flows: in-flight
-// requests finish on the version they acquired, new requests see only the
-// replacement, and the old mapping is released after the last lease drops.
+// probe, the per-layer latency table, request-scoped traces with W3C
+// traceparent propagation (/debug/traces), SLO burn-rate reporting (/slo),
+// Go's pprof profiles — through a multi-model engine registry. Each model
+// gets its own continuous-batching scheduler so concurrent scoring
+// requests coalesce into lockstep panels, and bundles can be hot-swapped
+// atomically while traffic flows. The handlers themselves live in
+// internal/serve, shared with the in-process load generator.
 
-// retryAfterHeader formats a Retry-After value in whole seconds (min 1).
-func retryAfterHeader(d time.Duration) string {
-	secs := int(d / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return strconv.Itoa(secs)
-}
-
-// acquireModel resolves the request's model name ("" means the default
-// model) to a lease, writing the HTTP error itself when it cannot.
-func acquireModel(reg *registry.Registry, w http.ResponseWriter, name string) *registry.Lease {
-	if name == "" {
-		name = reg.DefaultModel()
-	}
-	l, err := reg.Acquire(name)
-	switch {
-	case errors.Is(err, registry.ErrUnknownModel):
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return nil
-	case err != nil:
-		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-		return nil
-	}
-	return l
-}
-
-// newServeMux wires the serving endpoints onto a fresh mux. Split out of
-// cmdServe so tests can drive the handlers through httptest without
-// binding a socket.
-//
-// Endpoints:
-//
-//	GET  /metrics              Prometheus text format 0.0.4 (process-wide
-//	                           plus {model="..."}-labeled per-model families)
-//	GET  /metrics.json         the same instrument set as flat JSON
-//	GET  /healthz              liveness + deployment identity
-//	GET  /statz                per-model latency tables + scheduler state
-//	POST /infer                score one utterance on the default model:
-//	                           JSON [][]float32 frames in, [][]float32
-//	                           posteriors out; batched across concurrent
-//	                           requests, 429 + Retry-After on overload
-//	POST /infer/{model}        the same against a named model (404 unknown)
-//	POST /infer/stream         frame-at-a-time scoring over one request:
-//	                           NDJSON []float32 frames in, []float32
-//	                           posteriors out, flushed per frame on a
-//	                           dedicated stream lane (default model)
-//	POST /infer/{model}/stream the same against a named model
-//	GET  /admin/models         registry snapshot as JSON
-//	POST /admin/models/{name}/swap
-//	                           hot-swap the named model to the bundle in the
-//	                           JSON body {"path": "..."} (empty body or path
-//	                           reloads the current bundle path)
-//	GET  /debug/pprof/         CPU/heap/goroutine profiles (net/http/pprof)
-//
-// A model literally named "stream" is shadowed on the /infer/{model} route
-// by the default model's /infer/stream endpoint; use a different name.
+// newServeMux wires the serving endpoints onto a fresh mux with default
+// observability settings — the shape handler tests drive through httptest.
 func newServeMux(reg *registry.Registry) *http.ServeMux {
-	mux := http.NewServeMux()
-
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		m := obs.M()
-		if m == nil {
-			http.Error(w, "metrics collection disabled (RTMOBILE_METRICS)", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		m.WritePrometheus(w)
-	})
-
-	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		m := obs.M()
-		if m == nil {
-			http.Error(w, "metrics collection disabled (RTMOBILE_METRICS)", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		m.WriteJSON(w)
-	})
-
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		lease, err := reg.Acquire(reg.DefaultModel())
-		if err != nil {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			json.NewEncoder(w).Encode(map[string]any{"status": "unavailable", "error": err.Error()})
-			return
-		}
-		defer lease.Release()
-		eng := lease.Engine()
-		json.NewEncoder(w).Encode(map[string]any{
-			"status":          "ok",
-			"model":           eng.Plan().ModelName,
-			"format":          eng.Plan().Options.Format.String(),
-			"models":          reg.Names(),
-			"metrics_enabled": obs.Enabled(),
-			"tracing_enabled": eng.Tracer() != nil,
-		})
-	})
-
-	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, name := range reg.Names() {
-			st, _ := reg.Stats(name)
-			fmt.Fprintf(w, "model %s: version=%d path=%s leases=%d requests=%d errors=%d swaps=%d retired=%d\n",
-				name, st.Version, st.Path, st.Leases, st.Requests, st.Errors, st.Swaps, st.Retired)
-			lease, err := reg.Acquire(name)
-			if err != nil {
-				fmt.Fprintf(w, "  unavailable: %v\n", err)
-				continue
-			}
-			fmt.Fprint(w, renderLayerStats(lease.Engine()))
-			sch := lease.Scheduler()
-			cfg := sch.Config()
-			fmt.Fprintf(w, "sched: window=%v max_batch=%d queue=%d/%d max_streams=%d\n",
-				cfg.Window, cfg.MaxBatch, sch.QueueLen(), cfg.QueueDepth, cfg.MaxStreams)
-			lease.Release()
-		}
-	})
-
-	score := func(w http.ResponseWriter, r *http.Request) {
-		lease := acquireModel(reg, w, r.PathValue("model"))
-		if lease == nil {
-			return
-		}
-		defer lease.Release()
-		start := time.Now()
-		var frames [][]float32
-		if err := json.NewDecoder(r.Body).Decode(&frames); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		if len(frames) == 0 {
-			http.Error(w, "bad request: empty frame sequence", http.StatusBadRequest)
-			return
-		}
-		want := lease.Engine().InputDim()
-		for t, f := range frames {
-			if len(f) != want {
-				http.Error(w, fmt.Sprintf("bad request: frame %d has %d features, model wants %d",
-					t, len(f), want), http.StatusBadRequest)
-				return
-			}
-		}
-		sch := lease.Scheduler()
-		post, err := sch.Infer(r.Context(), frames)
-		switch {
-		case errors.Is(err, sched.ErrQueueFull):
-			w.Header().Set("Retry-After", retryAfterHeader(sch.RetryAfter()))
-			http.Error(w, "server overloaded: inference queue full", http.StatusTooManyRequests)
-			return
-		case errors.Is(err, sched.ErrClosed):
-			lease.Error()
-			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-			return
-		case err != nil: // request context cancelled; client is gone
-			return
-		}
-		lease.ObserveLatency(time.Since(start).Nanoseconds())
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(post)
-	}
-	mux.HandleFunc("POST /infer", score)
-	mux.HandleFunc("POST /infer/{model}", score)
-
-	stream := func(w http.ResponseWriter, r *http.Request) {
-		lease := acquireModel(reg, w, r.PathValue("model"))
-		if lease == nil {
-			return
-		}
-		defer lease.Release()
-		// Streaming sessions hold recurrent state across frames, which
-		// lockstep panels cannot pause, so each gets a dedicated serial
-		// stream — admitted against the scheduler's stream-lane budget.
-		sch := lease.Scheduler()
-		release, err := sch.AcquireStreamLane()
-		if errors.Is(err, sched.ErrClosed) {
-			lease.Error()
-			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-			return
-		}
-		if err != nil {
-			w.Header().Set("Retry-After", retryAfterHeader(sch.RetryAfter()))
-			http.Error(w, "server overloaded: all stream lanes busy", http.StatusTooManyRequests)
-			return
-		}
-		defer release()
-
-		eng := lease.Engine()
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		flusher, _ := w.(http.Flusher)
-		s := eng.NewStream()
-		dst := make([]float32, eng.OutputDim())
-		dec := json.NewDecoder(r.Body)
-		enc := json.NewEncoder(w)
-		want := eng.InputDim()
-		for frame := 0; ; frame++ {
-			var f []float32
-			if err := dec.Decode(&f); err != nil {
-				return // EOF or malformed mid-stream; response is committed
-			}
-			if len(f) != want {
-				return
-			}
-			s.StepInto(dst, f)
-			if enc.Encode(dst) != nil {
-				return
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-	}
-	mux.HandleFunc("POST /infer/stream", stream)
-	mux.HandleFunc("POST /infer/{model}/stream", stream)
-
-	mux.HandleFunc("GET /admin/models", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(reg.AllStats())
-	})
-
-	mux.HandleFunc("POST /admin/models/{name}/swap", func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
-		var req struct {
-			Path string `json:"path"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		path := req.Path
-		if path == "" {
-			st, ok := reg.Stats(name)
-			if !ok {
-				http.Error(w, registry.ErrUnknownModel.Error()+": "+name, http.StatusNotFound)
-				return
-			}
-			path = st.Path
-		}
-		err := reg.Swap(name, path)
-		switch {
-		case errors.Is(err, registry.ErrUnknownModel):
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		case errors.Is(err, registry.ErrClosed):
-			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-			return
-		case err != nil: // the replacement bundle failed to load; old serves on
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		st, _ := reg.Stats(name)
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(st)
-	})
-
-	// net/http/pprof registers on DefaultServeMux at import; re-register
-	// explicitly so the serving mux carries the profiles without inheriting
-	// whatever else landed on the default mux.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	return mux
+	return serve.New(serve.Config{Registry: reg}).Mux()
 }
 
-// renderLayerStats formats Engine.LayerStats as the per-layer latency
-// table run -stats and /statz print. The MAC column is the plan's priced
-// per-timestep count; the timing columns are measured spans when tracing
-// is on (all zero otherwise). The per-layer MAC rows sum to exactly the
-// plan total printed in the footer.
+// renderLayerStats formats the per-layer latency table (run -stats).
 func renderLayerStats(eng *rtmobile.Engine) string {
-	stats := eng.LayerStats()
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %-8s %12s %10s %12s %10s\n",
-		"layer", "name", "MACs/step", "steps", "total_us", "avg_us")
-	totalMACs, totalNs := 0, int64(0)
-	for _, ls := range stats {
-		fmt.Fprintf(&b, "%-6d %-8s %12d %10d %12.1f %10.2f\n",
-			ls.Index, ls.Name, ls.MACs, ls.Spans,
-			float64(ls.TotalNs)/1e3, float64(ls.AvgNs())/1e3)
-		totalMACs += ls.MACs
-		totalNs += ls.TotalNs
-	}
-	fmt.Fprintf(&b, "%-6s %-8s %12d %10s %12.1f\n",
-		"total", "", totalMACs, "", float64(totalNs)/1e3)
-	plan := eng.Plan()
-	fmt.Fprintf(&b, "plan check: %d MACs/step x %d timesteps = %d MACs/frame (plan prices %d)\n",
-		totalMACs, rtmobile.TimestepsPerFrame,
-		totalMACs*rtmobile.TimestepsPerFrame, plan.FrameMACs())
-	if bits, delta, fell := eng.Quantized(); bits != 0 || fell {
-		switch {
-		case fell:
-			fmt.Fprintf(&b, "quantization: float32 (guardrail fallback, PER delta %+.4f)\n", delta)
-		case delta != 0:
-			fmt.Fprintf(&b, "quantization: int%d weights (guardrail PER delta %+.4f)\n", bits, delta)
-		default:
-			fmt.Fprintf(&b, "quantization: int%d weights\n", bits)
-		}
-	}
-	if tier, delta, fell := eng.Precision(); tier != compiler.PrecisionExact || fell {
-		switch {
-		case fell:
-			fmt.Fprintf(&b, "precision: exact (guardrail fallback, PER delta %+.4f)\n", delta)
-		case delta != 0:
-			fmt.Fprintf(&b, "precision: %s kernels (guardrail PER delta %+.4f)\n", tier, delta)
-		default:
-			fmt.Fprintf(&b, "precision: %s kernels\n", tier)
-		}
-	}
-	if m := obs.M(); m != nil {
-		fmt.Fprintf(&b, "bytes_streamed_total: %d\n", m.BytesStreamed.Value())
-	}
-	if tr := eng.Tracer(); tr != nil {
-		for _, k := range []obs.StageKind{
-			obs.StageKernel, obs.StageKernelQ8, obs.StageKernelQ16,
-			obs.StageKernelFast, obs.StageKernelQ8Fast, obs.StageKernelQ16Fast,
-		} {
-			if n, ns := tr.KindTotal(k); n > 0 {
-				fmt.Fprintf(&b, "kernel spans %-10s count=%d total_us=%.1f\n", k, n, float64(ns)/1e3)
-			}
-		}
-	}
-	return b.String()
+	return serve.RenderLayerStats(eng)
 }
 
 // modelArg is one -model name=path registration.
@@ -383,6 +62,9 @@ func cmdServe(args []string) error {
 	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "max time a request waits for panel-mates before dispatch")
 	maxBatch := fs.Int("max-batch", 8, fmt.Sprintf("lockstep panel width cap, 1..%d", rtmobile.MaxBatchWidth))
 	queueDepth := fs.Int("queue-depth", 64, "bound on waiting requests before 429s")
+	sloLatencyMs := fs.Float64("slo-latency-ms", 100, "per-request latency objective in milliseconds (a request is good when it succeeds within it)")
+	sloTarget := fs.Float64("slo-target", 0.99, "SLO attainment target in (0,1], e.g. 0.999")
+	traceTail := fs.Int("trace-tail", serve.DefaultTailSlow, "slowest-N request traces retained for /debug/traces (errored ring sized to match)")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -398,6 +80,15 @@ func cmdServe(args []string) error {
 	}
 	if *batchWindow < 0 {
 		return fmt.Errorf("-batch-window %v: negative", *batchWindow)
+	}
+	if *sloLatencyMs <= 0 {
+		return fmt.Errorf("-slo-latency-ms %v: the latency objective must be positive milliseconds", *sloLatencyMs)
+	}
+	if *sloTarget <= 0 || *sloTarget > 1 {
+		return fmt.Errorf("-slo-target %v: the attainment target must be in (0,1]", *sloTarget)
+	}
+	if *traceTail < 1 {
+		return fmt.Errorf("-trace-tail %d: need at least 1 retained trace", *traceTail)
 	}
 	target, err := parseTarget(*targetName)
 	if err != nil {
@@ -455,14 +146,30 @@ func cmdServe(args []string) error {
 		fmt.Printf("model %s: %s (%s)\n", m.name, m.path, lease.Engine().Plan())
 		lease.Release()
 	}
+	slo, err := obs.NewSLO(obs.SLOConfig{
+		LatencyNs: int64(*sloLatencyMs * 1e6),
+		Target:    *sloTarget,
+	})
+	if err != nil {
+		reg.Close(context.Background())
+		return err
+	}
+	// Fresh ids across restarts; the loadgen reseeds deterministically.
+	obs.SeedTraceIDs(uint64(time.Now().UnixNano()))
+	srv := serve.New(serve.Config{
+		Registry: reg,
+		SLO:      slo,
+		Tail:     obs.NewTraceTail(*traceTail, *traceTail),
+	})
 	fmt.Printf("serving %d model(s) on http://%s (default %s)\n", len(models), *addr, reg.DefaultModel())
 	fmt.Printf("batching: window=%v max-batch=%d queue-depth=%d (per model)\n", *batchWindow, *maxBatch, *queueDepth)
-	fmt.Printf("endpoints: /metrics /metrics.json /healthz /statz /infer /infer/{model} /infer/stream /admin/models /debug/pprof/\n")
+	fmt.Printf("slo: latency=%.1fms target=%.4f (burn rates on /slo)\n", *sloLatencyMs, *sloTarget)
+	fmt.Printf("endpoints: /metrics /metrics.json /healthz /statz /slo /debug/traces /infer /infer/{model} /infer/stream /admin/models /debug/pprof/\n")
 	if !obs.Enabled() {
 		fmt.Printf("note: metrics collection is disabled (%s); /metrics will return 503\n", obs.EnvMetrics)
 	}
 
-	server := &http.Server{Addr: *addr, Handler: newServeMux(reg)}
+	server := &http.Server{Addr: *addr, Handler: srv.Mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rtmobile/internal/obs"
+	"rtmobile/internal/speech"
+	"rtmobile/internal/tensor"
+)
+
+// SLO load study (BENCH_9, ROADMAP 2a): a deterministic open-loop load
+// generator replays the seeded speech corpus at target QPS against a serve
+// endpoint and turns "beyond real-time" into a measured curve — latency
+// percentiles, goodput, and SLO attainment per offered-load level, with
+// the saturation knee located explicitly. Open loop matters: a closed-loop
+// client backs off exactly when the server struggles, hiding the knee;
+// Poisson arrivals keep offering load through the overload, which is what
+// production traffic does.
+//
+// Determinism: the workload plan — arrival instants, utterance choice,
+// trace ids — is derived entirely from the seed, so two runs with the same
+// seed issue bit-identical request streams (measured latencies of course
+// vary with the machine).
+
+// Arrival is one planned request of the open-loop schedule.
+type Arrival struct {
+	// AtNs is the arrival offset from the run start.
+	AtNs int64 `json:"at_ns"`
+	// Utt indexes the corpus utterance this request replays.
+	Utt int `json:"utt"`
+	// Trace is the request's pre-assigned W3C trace id (propagated via
+	// traceparent, so server-side tail samples correlate with the plan).
+	Trace obs.TraceID `json:"-"`
+	// Span is the caller-side parent span id.
+	Span obs.SpanID `json:"-"`
+}
+
+// LoadgenSchedule derives the deterministic open-loop arrival plan: a
+// Poisson process at rate qps over the duration, each arrival replaying a
+// uniformly drawn utterance. Same seed, same plan — bit for bit.
+func LoadgenSchedule(seed uint64, nUtts int, qps float64, d time.Duration) []Arrival {
+	rng := tensor.NewRNG(seed)
+	var plan []Arrival
+	t := 0.0 // seconds
+	for {
+		// Exponential inter-arrival with mean 1/qps; 1-U keeps log's
+		// argument in (0,1].
+		t += -math.Log(1-rng.Float64()) / qps
+		at := int64(t * 1e9)
+		if at >= d.Nanoseconds() {
+			return plan
+		}
+		plan = append(plan, Arrival{
+			AtNs:  at,
+			Utt:   rng.Intn(nUtts),
+			Trace: obs.NewTraceID(rng.Uint64(), rng.Uint64()),
+			Span:  loadgenSpan(rng.Uint64()),
+		})
+	}
+}
+
+// loadgenSpan folds one RNG word into a non-zero span id.
+func loadgenSpan(x uint64) (s obs.SpanID) {
+	x |= 1
+	for i := 7; i >= 0; i-- {
+		s[i] = byte(x)
+		x >>= 8
+	}
+	return s
+}
+
+// LoadgenRow is one offered-load level's measurement.
+type LoadgenRow struct {
+	// TargetQPS is the planned offered load; OfferedRPS is what the plan
+	// actually realized (finite-duration Poisson sample).
+	TargetQPS  float64 `json:"target_qps"`
+	OfferedRPS float64 `json:"offered_rps"`
+	Requests   int     `json:"requests"`
+	// Completed are 200s; Rejected are 429s (admission control); Failed is
+	// everything else (5xx, transport errors).
+	Completed int     `json:"completed"`
+	Rejected  int     `json:"rejected"`
+	Failed    int     `json:"failed"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	// GoodputRPS counts only good responses — 200 within the SLO latency —
+	// per wall second.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// Attainment is the client-measured good fraction; ServerAttainment is
+	// the server's own /slo cumulative attainment for the same run —
+	// the cross-check that the burn-rate engine and the loadgen agree.
+	Attainment       float64 `json:"attainment"`
+	ServerAttainment float64 `json:"server_attainment"`
+	// Saturated flags the level past the knee: goodput fell below
+	// LoadgenKneeFraction of the offered load.
+	Saturated bool `json:"saturated"`
+}
+
+// LoadgenKneeFraction defines the saturation knee: a level is saturated
+// when goodput < this fraction of the offered load.
+const LoadgenKneeFraction = 0.95
+
+// LoadgenReport is the BENCH_9.json document.
+type LoadgenReport struct {
+	Seed         uint64  `json:"seed"`
+	SLOLatencyMs float64 `json:"slo_latency_ms"`
+	SLOTarget    float64 `json:"slo_target"`
+	// CapacityRPS is the closed-loop burst estimate the QPS sweep scales
+	// from.
+	CapacityRPS float64      `json:"capacity_rps"`
+	Levels      []LoadgenRow `json:"levels"`
+	// KneeRPS is the lowest offered load measured past the saturation
+	// knee (0 when no level saturated).
+	KneeRPS float64 `json:"knee_rps"`
+	// TracingOverheadPct is the hot-path cost of request tracing + SLO
+	// accounting over the metrics-only scheduler path (BENCH_4
+	// methodology: testing.Benchmark both, report the delta).
+	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
+	// TracedAllocsPerOp must hold 0 on the warm traced path.
+	TracedAllocsPerOp float64 `json:"traced_allocs_per_op"`
+}
+
+// LoadgenOverheadTargetPct is the acceptance ceiling for the tracing+SLO
+// hot-path overhead versus metrics-only.
+const LoadgenOverheadTargetPct = 2.0
+
+// loadResult is one request's outcome.
+type loadResult struct {
+	latency time.Duration
+	status  int
+	err     bool
+}
+
+// RunLoadLevel replays the plan open-loop against baseURL's /infer
+// endpoint: each arrival fires at its planned offset whether or not
+// earlier requests came back. bodies[i] is the pre-encoded JSON for
+// utterance i; sloNs classifies good responses.
+func RunLoadLevel(client *http.Client, baseURL string, plan []Arrival, bodies [][]byte, sloNs int64, d time.Duration) LoadgenRow {
+	results := make([]loadResult, len(plan))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range plan {
+		a := &plan[i]
+		if wait := time.Duration(a.AtNs) - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(i int, a *Arrival) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, baseURL+"/infer", bytes.NewReader(bodies[a.Utt]))
+			if err != nil {
+				results[i].err = true
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("traceparent", obs.Traceparent(a.Trace, a.Span, 0x01))
+			t0 := time.Now()
+			resp, err := client.Do(req)
+			if err != nil {
+				results[i].err = true
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results[i] = loadResult{latency: time.Since(t0), status: resp.StatusCode}
+		}(i, a)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if wall < d {
+		wall = d
+	}
+
+	row := LoadgenRow{Requests: len(plan)}
+	if len(plan) > 0 {
+		row.OfferedRPS = float64(len(plan)) / d.Seconds()
+	}
+	lat := make([]time.Duration, 0, len(plan))
+	good := 0
+	for _, r := range results {
+		switch {
+		case r.err:
+			row.Failed++
+		case r.status == http.StatusTooManyRequests:
+			row.Rejected++
+		case r.status != http.StatusOK:
+			row.Failed++
+		default:
+			row.Completed++
+			lat = append(lat, r.latency)
+			if r.latency.Nanoseconds() <= sloNs {
+				good++
+			}
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	row.P50Ms, row.P95Ms, row.P99Ms = pctile(lat, 0.50), pctile(lat, 0.95), pctile(lat, 0.99)
+	row.GoodputRPS = float64(good) / wall.Seconds()
+	if row.Requests > 0 {
+		row.Attainment = float64(good) / float64(row.Requests)
+	}
+	row.Saturated = row.GoodputRPS < LoadgenKneeFraction*row.OfferedRPS
+	return row
+}
+
+// LoadgenBodies pre-encodes each utterance's /infer JSON body, truncating
+// to maxFrames (0 = no cap) and adapting the feature dimension to dim by
+// truncating or tiling each frame — so the corpus drives models of any
+// input width deterministically.
+func LoadgenBodies(utts []speech.Utterance, dim, maxFrames int) ([][]byte, error) {
+	bodies := make([][]byte, len(utts))
+	for i, u := range utts {
+		frames := u.Frames
+		if maxFrames > 0 && len(frames) > maxFrames {
+			frames = frames[:maxFrames]
+		}
+		fitted := FitFrames(frames, dim)
+		b, err := json.Marshal(fitted)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// FitFrames adapts feature rows to width dim: truncate wider rows, tile
+// narrower ones. The mapping is deterministic and shape-only.
+func FitFrames(frames [][]float32, dim int) [][]float32 {
+	out := make([][]float32, len(frames))
+	for t, f := range frames {
+		if len(f) == dim {
+			out[t] = f
+			continue
+		}
+		row := make([]float32, dim)
+		for i := range row {
+			row[i] = f[i%len(f)]
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// WriteLoadgenJSON writes the report as indented JSON — the BENCH_9.json
+// artifact.
+func WriteLoadgenJSON(w io.Writer, rep *LoadgenReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteLoadgenRowJSON writes a single level's row (the standalone loadgen
+// subcommand's artifact).
+func WriteLoadgenRowJSON(w io.Writer, row LoadgenRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(row)
+}
+
+// RenderLoadgen formats the study.
+func RenderLoadgen(rep *LoadgenReport) string {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Open-loop corpus loadgen (seed %d, SLO %.0fms @ %.2f, capacity est %.0f rps, knee fraction %.2f)",
+			rep.Seed, rep.SLOLatencyMs, rep.SLOTarget, rep.CapacityRPS, LoadgenKneeFraction),
+		Headers: []string{"Offered rps", "Reqs", "200", "429", "fail", "p50 ms", "p95 ms", "p99 ms", "Goodput", "Attain", "Server", "knee"},
+	}
+	for _, r := range rep.Levels {
+		knee := ""
+		if r.Saturated {
+			knee = "PAST"
+		}
+		t.AddRow(f(r.OfferedRPS, 1), f(float64(r.Requests), 0), f(float64(r.Completed), 0),
+			f(float64(r.Rejected), 0), f(float64(r.Failed), 0),
+			f(r.P50Ms, 2), f(r.P95Ms, 2), f(r.P99Ms, 2),
+			f(r.GoodputRPS, 1), f(r.Attainment, 3), f(r.ServerAttainment, 3), knee)
+	}
+	return t.Render()
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"plain", "default", "default"},
+		{"empty", "", ""},
+		{"backslash", `a\b`, `a\\b`},
+		{"quote", `a"b`, `a\"b`},
+		{"newline", "a\nb", `a\nb`},
+		{"all three", "\\\"\n", `\\\"\n`},
+		{"repeated", `""`, `\"\"`},
+		{"utf8 passthrough", "modèle-日本語", "modèle-日本語"},
+		{"mixed", "v2\"beta\\x\n", `v2\"beta\\x\n`},
+		{"tab untouched", "a\tb", "a\tb"},
+	}
+	for _, tc := range cases {
+		if got := EscapeLabel(tc.in); got != tc.want {
+			t.Errorf("%s: EscapeLabel(%q) = %q, want %q", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestScopePrometheusEscapesModelLabel(t *testing.T) {
+	m := NewMetrics()
+	s := &Scope{Model: "evil\"model\\v1\n", Latency: NewHistogram(DefaultLatencyBounds())}
+	m.AddScope(s)
+	s.RequestsTotal.Inc()
+	s.Latency.Observe(1000)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `model="evil\"model\\v1\n"`
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing escaped label %q in:\n%s", want, out)
+	}
+	// No line may contain an unescaped interior quote or raw newline
+	// inside a label value.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `model="evil"`) {
+			t.Errorf("unescaped quote leaked: %s", line)
+		}
+	}
+	if strings.Contains(out, "evil\"model") {
+		t.Error("raw quote from model name leaked into exposition")
+	}
+}
+
+func TestScopePrometheusUTF8ModelNotMangled(t *testing.T) {
+	m := NewMetrics()
+	s := &Scope{Model: "modèle", Latency: NewHistogram(DefaultLatencyBounds())}
+	m.AddScope(s)
+	s.RequestsTotal.Inc()
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `model="modèle"`) {
+		t.Fatalf("UTF-8 model name mangled (the old %%q path would emit \\u escapes):\n%s", buf.String())
+	}
+}

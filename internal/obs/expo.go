@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Exposition. Two wire formats over the same instrument set: Prometheus
@@ -117,6 +118,23 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	return m.writePrometheusScopes(w)
 }
 
+// labelEscaper rewrites the three characters the Prometheus text format
+// requires escaping inside label values: backslash, double quote, newline.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabel escapes a string for use as a Prometheus label value
+// (text format 0.0.4: backslash, double quote, and line feed must be
+// escaped; everything else — including raw UTF-8 — passes through).
+// Note Go's %q is NOT a substitute: it escapes non-ASCII bytes too,
+// which corrupts UTF-8 model names on the wire.
+func EscapeLabel(s string) string {
+	// Fast path: nothing to escape (the common case for model names).
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return labelEscaper.Replace(s)
+}
+
 // writePrometheusScopes emits the per-model scope families with a model
 // label.
 func (m *Metrics) writePrometheusScopes(w io.Writer) error {
@@ -138,7 +156,7 @@ func (m *Metrics) writePrometheusScopes(w io.Writer) error {
 			return err
 		}
 		for _, s := range scopes {
-			if _, err := fmt.Fprintf(w, "%s{model=%q} %d\n", c.name, s.Model, c.get(s)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{model=\"%s\"} %d\n", c.name, EscapeLabel(s.Model), c.get(s)); err != nil {
 				return err
 			}
 		}
@@ -156,7 +174,7 @@ func (m *Metrics) writePrometheusScopes(w io.Writer) error {
 			return err
 		}
 		for _, s := range scopes {
-			if _, err := fmt.Fprintf(w, "%s{model=%q} %d\n", g.name, s.Model, g.get(s)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{model=\"%s\"} %d\n", g.name, EscapeLabel(s.Model), g.get(s)); err != nil {
 				return err
 			}
 		}
@@ -167,16 +185,17 @@ func (m *Metrics) writePrometheusScopes(w io.Writer) error {
 	}
 	for _, sc := range scopes {
 		s := sc.Latency.Snapshot()
+		model := EscapeLabel(sc.Model)
 		var cum uint64
 		for i, b := range s.Bounds {
 			cum += s.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{model=%q,le=\"%d\"} %d\n", hname, sc.Model, b, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{model=\"%s\",le=\"%d\"} %d\n", hname, model, b, cum); err != nil {
 				return err
 			}
 		}
 		cum += s.Counts[len(s.Bounds)]
-		if _, err := fmt.Fprintf(w, "%s_bucket{model=%q,le=\"+Inf\"} %d\n%s_sum{model=%q} %d\n%s_count{model=%q} %d\n",
-			hname, sc.Model, cum, hname, sc.Model, s.Sum, hname, sc.Model, s.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{model=\"%s\",le=\"+Inf\"} %d\n%s_sum{model=\"%s\"} %d\n%s_count{model=\"%s\"} %d\n",
+			hname, model, cum, hname, model, s.Sum, hname, model, s.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// SLO engine. "Beyond real-time" at serving scale is a service-level
+// objective, not an average: some target fraction of requests must finish
+// inside the latency budget. The SLO type tracks one latency/availability
+// objective with multi-window burn-rate counters — the standard alerting
+// shape (a short window catches fast burns, a long window catches slow
+// ones) — over an injectable clock so the window math is testable to the
+// nanosecond.
+//
+// Implementation: one ring of per-bucket (good, total) atomic cells covers
+// the longest window at BucketNs granularity. Observe is allocation-free
+// and lock-free: it indexes the ring by epoch (now / BucketNs), lazily
+// reclaiming cells whose epoch has passed. Window reads sum the cells in
+// the window's epoch range; cumulative totals are exact counters.
+
+// SLOWindow names one burn-rate evaluation window.
+type SLOWindow struct {
+	Name string
+	Dur  time.Duration
+}
+
+// DefaultSLOWindows is the classic pair: a fast-burn and a slow-burn
+// window.
+func DefaultSLOWindows() []SLOWindow {
+	return []SLOWindow{
+		{Name: "5m", Dur: 5 * time.Minute},
+		{Name: "1h", Dur: time.Hour},
+	}
+}
+
+// SLOConfig sizes an SLO.
+type SLOConfig struct {
+	// LatencyNs is the per-request latency objective: a request is "good"
+	// when it succeeds within LatencyNs. Required (> 0).
+	LatencyNs int64
+	// Target is the objective's attainment target in (0, 1], e.g. 0.999.
+	Target float64
+	// Windows are the burn-rate evaluation windows (DefaultSLOWindows when
+	// empty). The longest window sizes the bucket ring.
+	Windows []SLOWindow
+	// BucketNs is the ring granularity (default 1s).
+	BucketNs int64
+	// Now returns wall-clock UnixNano; nil means time.Now().UnixNano. Tests
+	// inject a fake.
+	Now func() int64
+}
+
+// sloCell is one bucket of the window ring.
+type sloCell struct {
+	epoch atomic.Int64
+	good  atomic.Uint64
+	total atomic.Uint64
+}
+
+// SLO tracks one latency/availability objective.
+type SLO struct {
+	cfg   SLOConfig
+	cells []sloCell
+
+	// Cumulative (process-lifetime) totals.
+	goodTotal Counter
+	reqTotal  Counter
+}
+
+// NewSLO validates the config and builds the tracker.
+func NewSLO(cfg SLOConfig) (*SLO, error) {
+	if cfg.LatencyNs <= 0 {
+		return nil, fmt.Errorf("obs: SLO latency objective must be positive, got %dns", cfg.LatencyNs)
+	}
+	if cfg.Target <= 0 || cfg.Target > 1 {
+		return nil, fmt.Errorf("obs: SLO target must be in (0,1], got %v", cfg.Target)
+	}
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = DefaultSLOWindows()
+	}
+	if cfg.BucketNs <= 0 {
+		cfg.BucketNs = int64(time.Second)
+	}
+	var longest time.Duration
+	for _, w := range cfg.Windows {
+		if w.Dur <= 0 {
+			return nil, fmt.Errorf("obs: SLO window %q must be positive, got %v", w.Name, w.Dur)
+		}
+		if w.Dur > longest {
+			longest = w.Dur
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	// One cell per bucket across the longest window, plus one so the
+	// oldest in-window epoch and the current epoch never share a cell.
+	n := int(int64(longest)/cfg.BucketNs) + 1
+	return &SLO{cfg: cfg, cells: make([]sloCell, n)}, nil
+}
+
+// Config returns the resolved configuration.
+func (s *SLO) Config() SLOConfig { return s.cfg }
+
+// cell resolves the ring cell for an epoch, reclaiming it if a previous
+// epoch still owns it. Concurrent reclaims race benignly: the CAS loser
+// re-checks and both end up adding to a cell stamped with the right epoch.
+func (s *SLO) cell(epoch int64) *sloCell {
+	c := &s.cells[int(epoch%int64(len(s.cells)))]
+	for {
+		e := c.epoch.Load()
+		if e == epoch {
+			return c
+		}
+		if c.epoch.CompareAndSwap(e, epoch) {
+			c.good.Store(0)
+			c.total.Store(0)
+			return c
+		}
+	}
+}
+
+// Observe records one request outcome at the injected clock's now: ok
+// reports server-side success, latencyNs the end-to-end latency. Good
+// means ok within the latency objective. Allocation-free.
+func (s *SLO) Observe(latencyNs int64, ok bool) {
+	s.ObserveAt(s.cfg.Now(), latencyNs, ok)
+}
+
+// ObserveAt is Observe with an explicit timestamp (UnixNano).
+func (s *SLO) ObserveAt(now, latencyNs int64, ok bool) {
+	good := ok && latencyNs <= s.cfg.LatencyNs
+	c := s.cell(now / s.cfg.BucketNs)
+	c.total.Add(1)
+	if good {
+		c.good.Add(1)
+	}
+	s.reqTotal.Inc()
+	if good {
+		s.goodTotal.Inc()
+	}
+}
+
+// window sums the cells covering [now-d, now].
+func (s *SLO) window(now int64, d time.Duration) (good, total uint64) {
+	cur := now / s.cfg.BucketNs
+	n := int64(d) / s.cfg.BucketNs
+	if n >= int64(len(s.cells)) {
+		n = int64(len(s.cells)) - 1
+	}
+	for e := cur - n; e <= cur; e++ {
+		c := &s.cells[int(((e%int64(len(s.cells)))+int64(len(s.cells)))%int64(len(s.cells)))]
+		if c.epoch.Load() != e {
+			continue // cell owned by another epoch (stale or reclaimed)
+		}
+		good += c.good.Load()
+		total += c.total.Load()
+	}
+	return good, total
+}
+
+// Totals reports the cumulative good/total request counts.
+func (s *SLO) Totals() (good, total uint64) {
+	return s.goodTotal.Value(), s.reqTotal.Value()
+}
+
+// SLOWindowReport is one window's burn-rate evaluation.
+type SLOWindowReport struct {
+	Window     string  `json:"window"`
+	Seconds    float64 `json:"seconds"`
+	Requests   uint64  `json:"requests"`
+	Good       uint64  `json:"good"`
+	Attainment float64 `json:"attainment"`
+	ErrorRate  float64 `json:"error_rate"`
+	// BurnRate is the observed error rate over the window divided by the
+	// objective's error budget (1 - target): 1.0 burns the budget exactly
+	// as fast as allowed, >1 exhausts it early.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLOReport is the /slo endpoint's document.
+type SLOReport struct {
+	LatencyMs     float64           `json:"latency_objective_ms"`
+	Target        float64           `json:"target"`
+	TotalRequests uint64            `json:"requests_total"`
+	TotalGood     uint64            `json:"good_total"`
+	Attainment    float64           `json:"attainment"`
+	Met           bool              `json:"objective_met"`
+	Windows       []SLOWindowReport `json:"windows"`
+}
+
+// Report evaluates every window at the injected clock's now.
+func (s *SLO) Report() SLOReport {
+	return s.ReportAt(s.cfg.Now())
+}
+
+// ReportAt is Report with an explicit timestamp (UnixNano).
+func (s *SLO) ReportAt(now int64) SLOReport {
+	good, total := s.Totals()
+	r := SLOReport{
+		LatencyMs:     float64(s.cfg.LatencyNs) / 1e6,
+		Target:        s.cfg.Target,
+		TotalRequests: total,
+		TotalGood:     good,
+		Attainment:    attainment(good, total),
+	}
+	r.Met = total == 0 || r.Attainment >= s.cfg.Target
+	budget := 1 - s.cfg.Target
+	for _, w := range s.cfg.Windows {
+		wg, wt := s.window(now, w.Dur)
+		wr := SLOWindowReport{
+			Window: w.Name, Seconds: w.Dur.Seconds(),
+			Requests: wt, Good: wg,
+			Attainment: attainment(wg, wt),
+		}
+		wr.ErrorRate = 1 - wr.Attainment
+		if budget > 0 {
+			wr.BurnRate = wr.ErrorRate / budget
+		} else if wr.ErrorRate > 0 {
+			wr.BurnRate = 1e9 // zero budget and burning: effectively infinite
+		}
+		r.Windows = append(r.Windows, wr)
+	}
+	return r
+}
+
+func attainment(good, total uint64) float64 {
+	if total == 0 {
+		return 1
+	}
+	return float64(good) / float64(total)
+}
+
+// WriteJSON writes the report as indented JSON.
+func (s *SLO) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Report())
+}
+
+// WritePrometheus writes the rtmobile_slo_* metric families: the objective
+// (threshold + target), cumulative totals, and per-window attainment and
+// burn rate with the window as a label.
+func (s *SLO) WritePrometheus(w io.Writer) error {
+	r := s.Report()
+	if _, err := fmt.Fprintf(w,
+		"# TYPE rtmobile_slo_latency_threshold_ns gauge\nrtmobile_slo_latency_threshold_ns %d\n"+
+			"# TYPE rtmobile_slo_target gauge\nrtmobile_slo_target %g\n"+
+			"# TYPE rtmobile_slo_requests_total counter\nrtmobile_slo_requests_total %d\n"+
+			"# TYPE rtmobile_slo_good_total counter\nrtmobile_slo_good_total %d\n"+
+			"# TYPE rtmobile_slo_attainment gauge\nrtmobile_slo_attainment %g\n",
+		s.cfg.LatencyNs, s.cfg.Target, r.TotalRequests, r.TotalGood, r.Attainment); err != nil {
+		return err
+	}
+	for _, fam := range []struct {
+		name string
+		get  func(SLOWindowReport) any
+	}{
+		{"rtmobile_slo_window_requests", func(w SLOWindowReport) any { return w.Requests }},
+		{"rtmobile_slo_window_good", func(w SLOWindowReport) any { return w.Good }},
+		{"rtmobile_slo_window_attainment", func(w SLOWindowReport) any { return w.Attainment }},
+		{"rtmobile_slo_burn_rate", func(w SLOWindowReport) any { return w.BurnRate }},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", fam.name); err != nil {
+			return err
+		}
+		for _, win := range r.Windows {
+			var err error
+			switch v := fam.get(win).(type) {
+			case uint64:
+				_, err = fmt.Fprintf(w, "%s{window=\"%s\"} %d\n", fam.name, EscapeLabel(win.Window), v)
+			case float64:
+				_, err = fmt.Fprintf(w, "%s{window=\"%s\"} %g\n", fam.name, EscapeLabel(win.Window), v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package obs
+
+import "sync/atomic"
+
+// W3C Trace Context (traceparent) support. The serve tier parses the
+// traceparent header on ingress so rtmobile request traces join whatever
+// distributed trace the caller is already running, and echoes a child
+// traceparent on egress. The parser is strict per the W3C spec (version
+// 00 framing, lowercase hex, non-zero ids) and never panics on arbitrary
+// input — FuzzTraceparent holds it to that.
+
+// TraceID is a 16-byte W3C trace id.
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C parent/span id.
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero trace id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports the invalid all-zero span id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// TraceparentLen is the exact length of a version-00 traceparent value:
+// "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const TraceparentLen = 55
+
+const hexDigits = "0123456789abcdef"
+
+// unhex decodes one lowercase hex digit; ok is false for anything else
+// (uppercase is rejected — the W3C grammar requires lowercase).
+func unhex(c byte) (v byte, ok bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// unhexBytes decodes 2n lowercase hex chars from s into dst[:n].
+func unhexBytes(dst []byte, s string) bool {
+	for i := range dst {
+		hi, ok1 := unhex(s[2*i])
+		lo, ok2 := unhex(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header value. ok is false for
+// malformed input: wrong length or framing, non-lowercase-hex fields,
+// version ff, or all-zero trace/parent ids. Allocation-free.
+func ParseTraceparent(s string) (tid TraceID, parent SpanID, flags byte, ok bool) {
+	if len(s) != TraceparentLen || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tid, parent, 0, false
+	}
+	var ver [1]byte
+	if !unhexBytes(ver[:], s[0:2]) || ver[0] == 0xff {
+		return tid, parent, 0, false
+	}
+	if !unhexBytes(tid[:], s[3:35]) || !unhexBytes(parent[:], s[36:52]) {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	var fl [1]byte
+	if !unhexBytes(fl[:], s[53:55]) {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if tid.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	return tid, parent, fl[0], true
+}
+
+// AppendTraceparent appends a version-00 traceparent value to dst. With a
+// caller-provided buffer of TraceparentLen capacity the call is
+// allocation-free.
+func AppendTraceparent(dst []byte, tid TraceID, span SpanID, flags byte) []byte {
+	dst = append(dst, '0', '0', '-')
+	for _, b := range tid {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	dst = append(dst, '-')
+	for _, b := range span {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	dst = append(dst, '-', hexDigits[flags>>4], hexDigits[flags&0xf])
+	return dst
+}
+
+// Traceparent formats a version-00 traceparent value as a string.
+func Traceparent(tid TraceID, span SpanID, flags byte) string {
+	var buf [TraceparentLen]byte
+	return string(AppendTraceparent(buf[:0], tid, span, flags))
+}
+
+// hexString formats a byte slice as lowercase hex.
+func hexString(b []byte) string {
+	out := make([]byte, 2*len(b))
+	for i, v := range b {
+		out[2*i] = hexDigits[v>>4]
+		out[2*i+1] = hexDigits[v&0xf]
+	}
+	return string(out)
+}
+
+// String formats the trace id as 32 lowercase hex chars.
+func (t TraceID) String() string { return hexString(t[:]) }
+
+// String formats the span id as 16 lowercase hex chars.
+func (s SpanID) String() string { return hexString(s[:]) }
+
+// splitmix64 is the id-generation mixer: full-period, well-distributed,
+// and cheap. Deterministic given the input.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// idSeq drives process-local id generation.
+var idSeq atomic.Uint64
+
+// SeedTraceIDs reseeds the process id generator (tests and the loadgen use
+// it for reproducible ids; the serve tier seeds from the wall clock at
+// startup so restarts do not repeat ids).
+func SeedTraceIDs(seed uint64) { idSeq.Store(splitmix64(seed)) }
+
+// putUint64BE writes x big-endian into b[:8].
+func putUint64BE(b []byte, x uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(x)
+		x >>= 8
+	}
+}
+
+// NewTraceID derives a trace id deterministically from two words —
+// loadgen's reproducible-workload path.
+func NewTraceID(hi, lo uint64) TraceID {
+	var t TraceID
+	putUint64BE(t[0:8], hi|1) // keep non-zero
+	putUint64BE(t[8:16], lo)
+	return t
+}
+
+// GenTraceID returns a fresh process-local trace id. Allocation-free.
+func GenTraceID() TraceID {
+	n := idSeq.Add(2)
+	return NewTraceID(splitmix64(n), splitmix64(n+1))
+}
+
+// GenSpanID returns a fresh process-local span id. Allocation-free.
+func GenSpanID() SpanID {
+	var s SpanID
+	putUint64BE(s[:], splitmix64(idSeq.Add(1))|1)
+	return s
+}

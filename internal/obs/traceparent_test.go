@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const validTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestParseTraceparentValid(t *testing.T) {
+	tid, parent, flags, ok := ParseTraceparent(validTP)
+	if !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+	if tid.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", tid.String())
+	}
+	if parent.String() != "00f067aa0ba902b7" {
+		t.Errorf("parent id = %s", parent.String())
+	}
+	if flags != 0x01 {
+		t.Errorf("flags = %#x, want 0x01", flags)
+	}
+	// Round trip.
+	if got := Traceparent(tid, parent, flags); got != validTP {
+		t.Errorf("round trip = %s, want %s", got, validTP)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"short", validTP[:54]},
+		{"long", validTP + "0"},
+		{"uppercase hex", strings.ToUpper(validTP)},
+		{"version ff", "ff" + validTP[2:]},
+		{"bad version hex", "zz" + validTP[2:]},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"bad framing 1", strings.Replace(validTP, "-", "_", 1)},
+		{"bad framing 2", validTP[:35] + "_" + validTP[36:]},
+		{"bad framing 3", validTP[:52] + "_" + validTP[53:]},
+		{"bad trace hex", "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01"},
+		{"bad parent hex", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bg-01"},
+		{"bad flags hex", validTP[:53] + "xy"},
+	}
+	for _, tc := range cases {
+		if _, _, _, ok := ParseTraceparent(tc.in); ok {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestParseTraceparentAcceptsFutureVersion(t *testing.T) {
+	// Versions other than 00 (except ff) parse under version-00 rules.
+	if _, _, _, ok := ParseTraceparent("01" + validTP[2:]); !ok {
+		t.Error("version 01 rejected")
+	}
+}
+
+func TestParseTraceparentNoAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(200, func() {
+		_, _, _, _ = ParseTraceparent(validTP)
+	})
+	if allocs != 0 {
+		t.Fatalf("ParseTraceparent = %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAppendTraceparentNoAllocs(t *testing.T) {
+	tid, parent, flags, _ := ParseTraceparent(validTP)
+	buf := make([]byte, 0, TraceparentLen)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendTraceparent(buf[:0], tid, parent, flags)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTraceparent = %v allocs/op, want 0", allocs)
+	}
+	if string(buf) != validTP {
+		t.Fatalf("AppendTraceparent = %s, want %s", buf, validTP)
+	}
+}
+
+func TestGenIDsDeterministic(t *testing.T) {
+	SeedTraceIDs(42)
+	a1, a2 := GenTraceID(), GenSpanID()
+	SeedTraceIDs(42)
+	b1, b2 := GenTraceID(), GenSpanID()
+	if a1 != b1 || a2 != b2 {
+		t.Fatal("same seed produced different ids")
+	}
+	if a1.IsZero() || a2.IsZero() {
+		t.Fatal("generated id is zero")
+	}
+	if c1 := GenTraceID(); c1 == b1 {
+		t.Fatal("consecutive trace ids collided")
+	}
+}
+
+func TestNewTraceIDNonZero(t *testing.T) {
+	if NewTraceID(0, 0).IsZero() {
+		t.Fatal("NewTraceID(0,0) must still be non-zero")
+	}
+}
+
+func FuzzTraceparent(f *testing.F) {
+	f.Add(validTP)
+	f.Add("")
+	f.Add("00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-00")
+	f.Add(strings.Repeat("-", TraceparentLen))
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Fuzz(func(t *testing.T, s string) {
+		tid, parent, flags, ok := ParseTraceparent(s)
+		if !ok {
+			return
+		}
+		// Accepted values must round-trip to a string that re-parses
+		// to identical components (version normalizes to 00).
+		out := Traceparent(tid, parent, flags)
+		tid2, parent2, flags2, ok2 := ParseTraceparent(out)
+		if !ok2 || tid2 != tid || parent2 != parent || flags2 != flags {
+			t.Fatalf("round trip failed: %q -> %q", s, out)
+		}
+		if tid.IsZero() || parent.IsZero() {
+			t.Fatalf("parser accepted zero id in %q", s)
+		}
+	})
+}

@@ -52,6 +52,12 @@ type BatchStream struct {
 	qkind  obs.StageKind
 	qspan  bool
 	tracer *obs.Tracer
+	// lastStepNs is the wall time of the most recent StepBatchInto,
+	// captured only when the step is already being timed for metrics or
+	// stage tracing (0 otherwise). The serve scheduler reads it through
+	// LastStepNs to attribute kernel time to request traces without
+	// paying a second clock read per panel step.
+	lastStepNs int64
 }
 
 // NewBatchStream opens a lockstep session of width bw. State persists
@@ -143,6 +149,7 @@ func (s *BatchStream) StepBatchInto(dst, panel []float32) {
 	}
 	if track {
 		dur := time.Since(t0).Nanoseconds()
+		s.lastStepNs = dur
 		if m != nil {
 			m.BatchStepsTotal.IncAt(s.shard)
 			m.BatchLanesTotal.AddAt(s.shard, uint64(live))
@@ -162,6 +169,11 @@ func (s *BatchStream) StepBatchInto(dst, panel []float32) {
 		}
 	}
 }
+
+// LastStepNs reports the measured wall time of the most recent
+// StepBatch/StepBatchInto call. Steps are only timed when metrics
+// collection or stage tracing is active; otherwise LastStepNs is 0.
+func (s *BatchStream) LastStepNs() int64 { return s.lastStepNs }
 
 // Reset clears every lane's recurrent state and re-activates all lanes.
 func (s *BatchStream) Reset() { s.inner.Reset() }
@@ -260,6 +272,11 @@ func (l *BatchLease) Width() int { return l.a.bw }
 // Step advances every lane one frame: posteriors for live lanes land in
 // Out, retired lanes' columns are left untouched.
 func (l *BatchLease) Step() { l.a.bs.StepBatchInto(l.a.post, l.a.in) }
+
+// LastStepNs reports the measured wall time of the most recent Step (0
+// when neither metrics nor stage tracing is timing steps). Request traces
+// use it to attribute kernel time without an extra clock read.
+func (l *BatchLease) LastStepNs() int64 { return l.a.bs.LastStepNs() }
 
 // ResetLane clears lane i's recurrent state and re-activates it.
 func (l *BatchLease) ResetLane(i int) { l.a.bs.ResetLane(i) }

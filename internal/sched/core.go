@@ -64,6 +64,11 @@ type Session interface {
 	// Retire marks lane l's outputs meaningless; the lockstep keeps
 	// computing the column but stops writing posteriors for it.
 	Retire(l int)
+	// LastStepNs reports the measured wall time of the most recent Step,
+	// or 0 when the engine is not timing steps (metrics and stage tracing
+	// both off). Request tracing attributes kernel time from it, keeping
+	// the core's no-clock-reads rule intact.
+	LastStepNs() int64
 	// Release returns the session to its owner's arena.
 	Release()
 }
@@ -86,6 +91,13 @@ type request struct {
 	done   chan struct{} // buffered 1; exactly one completion token per job
 	enq    time.Time
 	next   int // frames scored so far
+
+	// trace, when non-nil, is the caller's request trace: the core records
+	// queue-wait, batch-formation, generation, and kernel spans into it.
+	// Single-writer is preserved — the core only touches it under the
+	// scheduler mutex, and the caller only after receiving the done token.
+	trace  *obs.ReqTrace
+	seated time.Time // when the request took a lane (generation span start)
 }
 
 // Config sizes the scheduler.
@@ -249,6 +261,11 @@ func (c *core) assign(l int, now time.Time) bool {
 		c.sess.ResetLane(l)
 		c.lanes[l] = r
 		c.live++
+		r.seated = now
+		if r.trace != nil {
+			r.trace.AddSpan(obs.ReqSpanQueueWait, int16(l), int16(c.width),
+				r.enq.UnixNano(), now.Sub(r.enq).Nanoseconds())
+		}
 		if m := obs.M(); m != nil {
 			m.SchedJoins.Inc()
 			m.SchedQueueWait.Observe(now.Sub(r.enq).Nanoseconds())
@@ -295,6 +312,15 @@ func (c *core) open(now time.Time) {
 	for l := 0; l < w && c.n > 0; l++ {
 		c.assign(l, now)
 	}
+	// Batch formation: admission → this generation opening, recorded for
+	// the founding members only. Mid-flight joiners (seated in step) ride a
+	// generation that already existed, so they carry no batch_form span.
+	for l := 0; l < w; l++ {
+		if r := c.lanes[l]; r != nil && r.trace != nil {
+			r.trace.AddSpan(obs.ReqSpanBatchForm, int16(l), int16(w),
+				r.enq.UnixNano(), now.Sub(r.enq).Nanoseconds())
+		}
+	}
 	if m := obs.M(); m != nil {
 		m.SchedDispatch.Inc()
 	}
@@ -332,11 +358,23 @@ func (c *core) step(now time.Time) {
 		}
 	}
 	c.sess.Step()
+	// Kernel attribution: the panel step's measured wall time is shared by
+	// every live lane, so each traced participant accumulates the full step
+	// duration (lazily fetched — untraced panels never ask). LastStepNs is
+	// 0 when the engine is not timing steps; AddKernel ignores zeros.
+	stepNs := int64(-1)
 	out := c.sess.Out()
 	for l := 0; l < bw; l++ {
 		r := c.lanes[l]
 		if r == nil {
 			continue
+		}
+		if r.trace != nil {
+			if stepNs < 0 {
+				stepNs = c.sess.LastStepNs()
+			}
+			r.trace.Steps++
+			r.trace.AddKernel(now.UnixNano(), stepNs)
 		}
 		row := r.out[r.next]
 		for i := range row {
@@ -347,6 +385,10 @@ func (c *core) step(now time.Time) {
 			c.sess.Retire(l)
 			c.lanes[l] = nil
 			c.live--
+			if r.trace != nil {
+				r.trace.AddSpan(obs.ReqSpanGeneration, int16(l), int16(bw),
+					r.seated.UnixNano(), now.Sub(r.seated).Nanoseconds())
+			}
 			c.completed = append(c.completed, r)
 		}
 	}

@@ -68,12 +68,14 @@ type fakeSession struct {
 	out    []float32
 	acc    []float32
 	active []bool
+	steps  int64
 }
 
 func (s *fakeSession) In() []float32  { return s.in }
 func (s *fakeSession) Out() []float32 { return s.out }
 
 func (s *fakeSession) Step() {
+	s.steps++
 	for l := 0; l < s.bw; l++ {
 		if !s.active[l] {
 			continue
@@ -95,6 +97,13 @@ func (s *fakeSession) ResetLane(l int) {
 }
 
 func (s *fakeSession) Retire(l int) { s.active[l] = false }
+
+// LastStepNs reports a deterministic per-step cost (fakeStepNs) so kernel
+// span attribution is exactly assertable: a request scored over T steps
+// accumulates T*fakeStepNs.
+func (s *fakeSession) LastStepNs() int64 { return fakeStepNs }
+
+const fakeStepNs = 1000
 
 func (s *fakeSession) Release() {
 	s.b.mu.Lock()

@@ -79,7 +79,7 @@ func (s *Scheduler) getReq() *request {
 
 // putReq returns a request whose completion token has been consumed.
 func (s *Scheduler) putReq(r *request) {
-	r.frames, r.out, r.err = nil, nil, nil
+	r.frames, r.out, r.err, r.trace = nil, nil, nil, nil
 	s.freeMu.Lock()
 	s.free = append(s.free, r)
 	s.freeMu.Unlock()
@@ -107,12 +107,39 @@ func (s *Scheduler) Infer(ctx context.Context, frames [][]float32) ([][]float32,
 // request may still be scored — dst must stay writable until the scheduler
 // finishes with it, so recycle dst only on a nil or admission error.
 func (s *Scheduler) InferInto(ctx context.Context, dst, frames [][]float32) error {
+	return s.inferInto(ctx, nil, dst, frames)
+}
+
+// InferTraced is Infer with a request trace attached: the scheduler
+// records queue-wait, batch-formation, generation, and kernel spans into
+// tr as the request moves through the batching tier.
+func (s *Scheduler) InferTraced(ctx context.Context, tr *obs.ReqTrace, frames [][]float32) ([][]float32, error) {
+	outDim := s.core.outDim
+	flat := make([]float32, len(frames)*outDim)
+	out := make([][]float32, len(frames))
+	for t := range out {
+		out[t] = flat[t*outDim : (t+1)*outDim]
+	}
+	if err := s.InferTracedInto(ctx, tr, out, frames); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InferTracedInto is InferInto with a request trace attached. Like dst,
+// tr stays in the scheduler's hands on a ctx cancellation — recycle it
+// only on a nil or admission error return.
+func (s *Scheduler) InferTracedInto(ctx context.Context, tr *obs.ReqTrace, dst, frames [][]float32) error {
+	return s.inferInto(ctx, tr, dst, frames)
+}
+
+func (s *Scheduler) inferInto(ctx context.Context, tr *obs.ReqTrace, dst, frames [][]float32) error {
 	if len(dst) != len(frames) {
 		return fmt.Errorf("sched: dst has %d rows for %d frames", len(dst), len(frames))
 	}
 	m := obs.M()
 	r := s.getReq()
-	r.frames, r.out = frames, dst
+	r.frames, r.out, r.trace = frames, dst, tr
 	s.mu.Lock()
 	now := s.clock.Now()
 	err := s.core.submit(r, now)

@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rtmobile/internal/obs"
+)
+
+// Request-trace propagation tests: the scripted harness drives the core
+// with explicit clocks, so every span — queue wait, batch formation,
+// generation membership, kernel accumulation — is asserted to the
+// nanosecond, not approximately.
+
+// submitTraced enqueues a T-frame request tagged id carrying a trace.
+func (h *harness) submitTraced(id, T int, tr *obs.ReqTrace) error {
+	h.t.Helper()
+	frames := traceFrames(id, T, h.b.inDim)
+	out := outRows(T, h.b.outDim)
+	r := &request{done: make(chan struct{}, 1), frames: frames, out: out, trace: tr}
+	if err := h.c.submit(r, h.now); err != nil {
+		return err
+	}
+	h.frames[id] = frames
+	h.outs[id] = out
+	h.byReq[r] = id
+	return nil
+}
+
+func spanOf(t *testing.T, tr *obs.ReqTrace, kind obs.ReqSpanKind) obs.ReqSpan {
+	t.Helper()
+	for _, sp := range tr.Spans() {
+		if sp.Kind == kind {
+			return sp
+		}
+	}
+	t.Fatalf("trace has no %v span: %+v", kind, tr.Spans())
+	return obs.ReqSpan{}
+}
+
+func hasSpan(tr *obs.ReqTrace, kind obs.ReqSpanKind) bool {
+	for _, sp := range tr.Spans() {
+		if sp.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCoreRecordsFounderSpans(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 4, Window: 2 * time.Millisecond})
+	var tr obs.ReqTrace
+	tr.Reset()
+	if err := h.submitTraced(0, 3, &tr); err != nil {
+		t.Fatal(err)
+	}
+	h.tick(2 * time.Millisecond) // window expires
+	h.drain()
+	h.checkOutputs()
+
+	qw := spanOf(t, &tr, obs.ReqSpanQueueWait)
+	if qw.Dur != (2 * time.Millisecond).Nanoseconds() {
+		t.Errorf("queue wait = %dns, want full 2ms window", qw.Dur)
+	}
+	if qw.Lane != 0 || qw.Width != 1 {
+		t.Errorf("queue wait lane/width = %d/%d, want 0/1", qw.Lane, qw.Width)
+	}
+	bf := spanOf(t, &tr, obs.ReqSpanBatchForm)
+	if bf.Dur != qw.Dur {
+		t.Errorf("batch form = %dns, want = queue wait %dns for a founder", bf.Dur, qw.Dur)
+	}
+	gen := spanOf(t, &tr, obs.ReqSpanGeneration)
+	if gen.Width != 1 {
+		t.Errorf("generation width = %d, want 1", gen.Width)
+	}
+	k := spanOf(t, &tr, obs.ReqSpanKernel)
+	if k.Dur != 3*fakeStepNs {
+		t.Errorf("kernel = %dns, want %d (3 steps × fake cost)", k.Dur, 3*fakeStepNs)
+	}
+	if tr.Steps != 3 {
+		t.Errorf("steps = %d, want 3", tr.Steps)
+	}
+}
+
+func TestCoreMidFlightJoinSkipsBatchForm(t *testing.T) {
+	h := newHarness(t, Config{MaxBatch: 2, Window: time.Millisecond})
+	var founder, joiner obs.ReqTrace
+	founder.Reset()
+	joiner.Reset()
+	if err := h.submitTraced(0, 4, &founder); err != nil {
+		t.Fatal(err)
+	}
+	h.tick(time.Millisecond)
+	h.advance() // generation opens width 1 on window expiry
+	h.advance() // step 1
+	h.tick(500 * time.Microsecond)
+	if err := h.submitTraced(1, 2, &joiner); err != nil {
+		t.Fatal(err)
+	}
+	h.drain()
+	h.checkOutputs()
+
+	if !hasSpan(&founder, obs.ReqSpanBatchForm) {
+		t.Error("founder lost its batch_form span")
+	}
+	if hasSpan(&joiner, obs.ReqSpanBatchForm) {
+		t.Error("mid-flight joiner must not record batch_form")
+	}
+	jq := spanOf(t, &joiner, obs.ReqSpanQueueWait)
+	if jq.Dur != 0 {
+		t.Errorf("joiner queue wait = %dns, want 0 (free lane, immediate seat)", jq.Dur)
+	}
+	if joiner.Steps != 2 {
+		t.Errorf("joiner steps = %d, want 2", joiner.Steps)
+	}
+	// Kernel time is the shared panel step, attributed in full to each
+	// traced participant.
+	jk := spanOf(t, &joiner, obs.ReqSpanKernel)
+	if jk.Dur != 2*fakeStepNs {
+		t.Errorf("joiner kernel = %dns, want %d", jk.Dur, 2*fakeStepNs)
+	}
+}
+
+func TestCoreUntracedLanesUnaffected(t *testing.T) {
+	// Mixing traced and untraced requests in one panel must neither panic
+	// nor attribute spans to the untraced request.
+	h := newHarness(t, Config{MaxBatch: 2, Window: 0})
+	var tr obs.ReqTrace
+	tr.Reset()
+	if err := h.submitTraced(0, 2, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.submit(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	h.drain()
+	h.checkOutputs()
+	if tr.Steps != 2 {
+		t.Errorf("traced steps = %d, want 2", tr.Steps)
+	}
+}
+
+func TestSchedulerInferTraced(t *testing.T) {
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 2, Window: 0})
+	defer s.Close(context.Background())
+
+	var pool obs.TracePool
+	tr := pool.Get()
+	frames := traceFrames(7, 5, 3)
+	got, err := s.InferTraced(context.Background(), tr, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustEqual(got, fakeRef(3, 2, frames)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps != 5 {
+		t.Errorf("steps = %d, want 5", tr.Steps)
+	}
+	for _, kind := range []obs.ReqSpanKind{
+		obs.ReqSpanQueueWait, obs.ReqSpanBatchForm,
+		obs.ReqSpanGeneration, obs.ReqSpanKernel,
+	} {
+		if !hasSpan(tr, kind) {
+			t.Errorf("missing %v span", kind)
+		}
+	}
+	pool.Put(tr)
+
+	// The free-listed request must not leak the trace into an untraced
+	// follow-up (putReq clears it; this exercises the recycled object).
+	got2, err := s.Infer(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustEqual(got2, fakeRef(3, 2, frames)); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := pool.Get()
+	if len(tr2.Spans()) != 0 {
+		t.Errorf("recycled trace carries %d spans", len(tr2.Spans()))
+	}
+}
+
+func TestSchedulerTracedConcurrent(t *testing.T) {
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 4, Window: 500 * time.Microsecond})
+	defer s.Close(context.Background())
+	var pool obs.TracePool
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				tr := pool.Get()
+				frames := traceFrames(g*100+i, 1+i%6, 3)
+				got, err := s.InferTraced(context.Background(), tr, frames)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := mustEqual(got, fakeRef(3, 2, frames)); err != nil {
+					errs <- err
+					return
+				}
+				if int(tr.Steps) != len(frames) {
+					t.Errorf("steps = %d, want %d", tr.Steps, len(frames))
+				}
+				pool.Put(tr)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestTracedWarmPathNoAllocs is the satellite gate: the warm traced
+// inference path — trace checkout, traced submit, spans, completion,
+// recycle — holds 0 allocs/op.
+func TestTracedWarmPathNoAllocs(t *testing.T) {
+	b := newFakeBatcher(3, 2)
+	s := New(b, Config{MaxBatch: 1, Window: 0})
+	defer s.Close(context.Background())
+	var pool obs.TracePool
+	ctx := context.Background()
+	frames := traceFrames(1, 4, 3)
+	dst := outRows(4, 2)
+	// Warm: request free list, trace pool, session arena.
+	for i := 0; i < 4; i++ {
+		tr := pool.Get()
+		if err := s.InferTracedInto(ctx, tr, dst, frames); err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(tr)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := pool.Get()
+		if err := s.InferTracedInto(ctx, tr, dst, frames); err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(tr)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm traced inference = %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/obs"
+	"rtmobile/internal/rtmobile"
+)
+
+// RenderLayerStats formats Engine.LayerStats as the per-layer latency
+// table run -stats and /statz print. The MAC column is the plan's priced
+// per-timestep count; the timing columns are measured spans when tracing
+// is on (all zero otherwise). The per-layer MAC rows sum to exactly the
+// plan total printed in the footer.
+func RenderLayerStats(eng *rtmobile.Engine) string {
+	stats := eng.LayerStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-8s %12s %10s %12s %10s\n",
+		"layer", "name", "MACs/step", "steps", "total_us", "avg_us")
+	totalMACs, totalNs := 0, int64(0)
+	for _, ls := range stats {
+		fmt.Fprintf(&b, "%-6d %-8s %12d %10d %12.1f %10.2f\n",
+			ls.Index, ls.Name, ls.MACs, ls.Spans,
+			float64(ls.TotalNs)/1e3, float64(ls.AvgNs())/1e3)
+		totalMACs += ls.MACs
+		totalNs += ls.TotalNs
+	}
+	fmt.Fprintf(&b, "%-6s %-8s %12d %10s %12.1f\n",
+		"total", "", totalMACs, "", float64(totalNs)/1e3)
+	plan := eng.Plan()
+	fmt.Fprintf(&b, "plan check: %d MACs/step x %d timesteps = %d MACs/frame (plan prices %d)\n",
+		totalMACs, rtmobile.TimestepsPerFrame,
+		totalMACs*rtmobile.TimestepsPerFrame, plan.FrameMACs())
+	if bits, delta, fell := eng.Quantized(); bits != 0 || fell {
+		switch {
+		case fell:
+			fmt.Fprintf(&b, "quantization: float32 (guardrail fallback, PER delta %+.4f)\n", delta)
+		case delta != 0:
+			fmt.Fprintf(&b, "quantization: int%d weights (guardrail PER delta %+.4f)\n", bits, delta)
+		default:
+			fmt.Fprintf(&b, "quantization: int%d weights\n", bits)
+		}
+	}
+	if tier, delta, fell := eng.Precision(); tier != compiler.PrecisionExact || fell {
+		switch {
+		case fell:
+			fmt.Fprintf(&b, "precision: exact (guardrail fallback, PER delta %+.4f)\n", delta)
+		case delta != 0:
+			fmt.Fprintf(&b, "precision: %s kernels (guardrail PER delta %+.4f)\n", tier, delta)
+		default:
+			fmt.Fprintf(&b, "precision: %s kernels\n", tier)
+		}
+	}
+	if m := obs.M(); m != nil {
+		fmt.Fprintf(&b, "bytes_streamed_total: %d\n", m.BytesStreamed.Value())
+	}
+	if tr := eng.Tracer(); tr != nil {
+		for _, k := range []obs.StageKind{
+			obs.StageKernel, obs.StageKernelQ8, obs.StageKernelQ16,
+			obs.StageKernelFast, obs.StageKernelQ8Fast, obs.StageKernelQ16Fast,
+		} {
+			if n, ns := tr.KindTotal(k); n > 0 {
+				fmt.Fprintf(&b, "kernel spans %-10s count=%d total_us=%.1f\n", k, n, float64(ns)/1e3)
+			}
+		}
+	}
+	return b.String()
+}
