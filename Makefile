@@ -29,6 +29,8 @@ race:
 	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Quant' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Fast|Precision' ./internal/compiler ./internal/rtmobile
 	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Fast|Precision' ./internal/compiler ./internal/rtmobile
+	RTMOBILE_WORKERS=2 $(GO) test -race -run 'Epilogue|Fused' ./internal/tensor ./internal/nn ./internal/rtmobile
+	RTMOBILE_WORKERS=8 $(GO) test -race -run 'Epilogue|Fused' ./internal/tensor ./internal/nn ./internal/rtmobile
 	RTMOBILE_METRICS=1 $(GO) test -race ./internal/obs
 	RTMOBILE_METRICS=1 $(GO) test -race -run 'Serve|Obs|Metrics|Trac' ./cmd/rtmobile ./internal/rtmobile
 	RTMOBILE_METRICS=1 $(GO) test -race ./internal/sched
@@ -42,6 +44,7 @@ race:
 # pack lowering + fast-tier tolerance equivalence + bundle mapping).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFastEquiv -fuzztime=$(FUZZTIME) ./internal/tensor
+	$(GO) test -run=^$$ -fuzz=FuzzEpilogueEquiv -fuzztime=$(FUZZTIME) ./internal/tensor
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBSPC -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run=^$$ -fuzz=FuzzBSPCRoundTrip -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run=^$$ -fuzz=FuzzCompileProgram -fuzztime=$(FUZZTIME) ./internal/compiler
@@ -74,6 +77,7 @@ bench:
 	$(GO) run ./cmd/rtmobile bench -exp precision -json BENCH_7.json
 	$(GO) run ./cmd/rtmobile bench -exp mmap -json BENCH_8.json
 	$(GO) run ./cmd/rtmobile bench -exp slo -json BENCH_9.json
+	$(GO) run ./cmd/rtmobile bench -exp epilogue -json BENCH_10.json
 
 # Coverage gates: the observability primitives and the quantization
 # package must each stay above their statement-coverage floor.

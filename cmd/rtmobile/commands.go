@@ -289,10 +289,10 @@ func cmdAutotune(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, precision, scaling, workers, packed, batch, obs, serve, mmap, slo, or all")
+	exp := fs.String("exp", "all", "experiment: table1, table2, fig4, ablation, blocksize, quant, precision, epilogue, scaling, workers, packed, batch, obs, serve, mmap, slo, or all")
 	full := fs.Bool("full", false, "full-scale Table I (minutes of training)")
 	stages := fs.Int("stages", 0, "override the BSP gradual-pruning stage count (0 = config default)")
-	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, precision, serve, mmap, or slo: also write the rows as JSON to this path (e.g. BENCH_9.json)")
+	jsonOut := fs.String("json", "", "with -exp packed, batch, obs, quant, precision, epilogue, serve, mmap, or slo: also write the rows as JSON to this path (e.g. BENCH_10.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -604,6 +604,45 @@ func cmdBench(args []string) error {
 				return err
 			}
 			if err := bench.WritePrecisionJSON(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+	case "epilogue":
+		cfg := bench.DefaultEpilogueBenchConfig()
+		cfg.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+		rows, err := bench.RunEpilogueBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderEpilogueBench(rows, cfg))
+		gains := bench.EpilogueSpeedup(rows)
+		ops := make([]string, 0, len(gains))
+		for op := range gains {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Printf("  fused/fast gain @ %s: %.2fx\n", op, gains[op])
+		}
+		if speed, ok := gains[bench.EpilogueHeadlineOp]; ok {
+			verdict := "meets"
+			if speed < bench.EpilogueStepSpeedupTarget {
+				verdict = "MISSES"
+			}
+			fmt.Printf("  headline fused step: %.2fx the scalar-epilogue step (%s the %.2fx target)\n",
+				speed, verdict, bench.EpilogueStepSpeedupTarget)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteEpilogueJSON(f, rows); err != nil {
 				f.Close()
 				return err
 			}

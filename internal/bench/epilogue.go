@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"rtmobile/internal/compiler"
+	"rtmobile/internal/prune"
+	"rtmobile/internal/tensor"
+)
+
+// Gate-epilogue fusion study. At high compression the GEMVs shrink with
+// the pruning rate but the elementwise gate work does not, so the scalar
+// σ/tanh epilogue comes to dominate the timestep — the motivation for the
+// fused SIMD epilogue kernels. Each row times one kernel or one composed
+// GRU timestep (two packed GEMVs + epilogue) at the Table-II 301× point,
+// so the artifact records what fusion buys where it matters most.
+// Correctness gates run before any timing: the fused exact epilogue must
+// be bit-identical to the pre-fusion unfused loop, the fast epilogue
+// tolerance-close to it (tensor.FastGRUTol), and every row must be
+// allocation-free or the run errors out.
+
+// EpilogueStepSpeedupTarget is the acceptance floor: the fused fast
+// epilogue must beat the pre-fusion scalar epilogue by at least this
+// factor on the composed fast-GEMV timestep (EpilogueHeadlineOp).
+const EpilogueStepSpeedupTarget = 1.15
+
+// EpilogueHeadlineOp keys the acceptance entry in EpilogueSpeedup's
+// result: the composed single-stream timestep.
+const EpilogueHeadlineOp = "step"
+
+// EpilogueBenchConfig sizes the epilogue fusion study.
+type EpilogueBenchConfig struct {
+	// Hidden is the recurrent state width (paper scale: 1024).
+	Hidden int
+	// Point is the Table-II compression setting for the packed GEMVs.
+	Point OperatingPoint
+	// Lanes is the compiled programs' thread-chunk count.
+	Lanes int
+	Logf  func(string, ...any)
+}
+
+// DefaultEpilogueBenchConfig measures the paper-scale layer at the
+// highest-compression Table-II point (301×), where the epilogue's share
+// of the timestep is largest.
+func DefaultEpilogueBenchConfig() EpilogueBenchConfig {
+	pts := PaperOperatingPoints()
+	return EpilogueBenchConfig{Hidden: 1024, Point: pts[len(pts)-1], Lanes: 8}
+}
+
+// EpilogueBenchRow is one (op, tier) measurement. N is the number of
+// output elements one op produces (H for the epilogue and step rows: the
+// blended hidden state).
+type EpilogueBenchRow struct {
+	Op          string  `json:"op"`   // "sigmoid", "tanh", "softmax", "epilogue", "step"
+	Tier        string  `json:"tier"` // "exact"/"fast", plus "unfused"/"fast-unfused"/"fast-fused"
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	ElemsPerSec float64 `json:"elems_per_sec"`
+}
+
+func epilogueRow(op, tier string, n int, fn func()) EpilogueBenchRow {
+	r := benchRow(op, 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	row := EpilogueBenchRow{
+		Op: op, Tier: tier, N: n,
+		NsPerOp: r.NsPerOp, AllocsPerOp: r.AllocsPerOp,
+	}
+	if row.NsPerOp > 0 {
+		row.ElemsPerSec = float64(n) / (row.NsPerOp * 1e-9)
+	}
+	return row
+}
+
+// unfusedEpilogue is the pre-fusion streaming gate pass: per-element
+// scalar gates into a separate out buffer, copied back into h — exactly
+// what the stepper executed before the fused kernels landed. Kept here as
+// the study's baseline (and the exact-tier bit-identity oracle: the fused
+// kernel reorders nothing, it only drops the out-buffer round trip).
+func unfusedEpilogue(h, ax, ah, out []float32) {
+	n := len(h)
+	for i := 0; i < n; i++ {
+		z := tensor.Sigmoid32(ax[i] + ah[i])
+		r := tensor.Sigmoid32(ax[n+i] + ah[n+i])
+		c := tensor.Tanh32(ax[2*n+i] + r*ah[2*n+i])
+		out[i] = (1-z)*h[i] + z*c
+	}
+	copy(h, out)
+}
+
+// RunEpilogueBench measures the activation kernels, the gate epilogue,
+// and the composed GRU timestep at the configured compression point.
+func RunEpilogueBench(cfg EpilogueBenchConfig) ([]EpilogueBenchRow, error) {
+	H := cfg.Hidden
+	if H <= 0 {
+		return nil, fmt.Errorf("bench: epilogue study needs Hidden > 0")
+	}
+	lanes := cfg.Lanes
+	if lanes <= 0 {
+		lanes = 8
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	scheme := prune.BSP{
+		ColRate: cfg.Point.ColRate, RowRate: cfg.Point.EffectiveRowRate(),
+		NumRowGroups: 8, NumColBlocks: 4,
+	}
+
+	// One [3H × H] BSP-pruned projection per gate matrix, packed once per
+	// tier over shared IR (biases are omitted: Run zeroes y, and the
+	// epilogue's cost does not depend on a constant offset).
+	buildGEMV := func(name string, seed uint64) (run [2]func(y, x []float32) error, err error) {
+		w := tensor.NewMatrix(3*H, H)
+		w.XavierInit(tensor.NewRNG(seed), H, 3*H)
+		w = scheme.Project(w)
+		src := compiler.MatrixSource{Name: name, W: w, Scheme: &scheme}
+		prog, err := compiler.CompileProgram(src, compiler.DefaultOptions(compiler.FormatBSPC, 32), lanes)
+		if err != nil {
+			return run, err
+		}
+		for tier := 0; tier < 2; tier++ {
+			prog.Precision = compiler.PrecisionExact
+			if tier == 1 {
+				prog.Precision = compiler.PrecisionFast
+			}
+			pp, err := compiler.Pack(prog, 0)
+			if err != nil {
+				return run, err
+			}
+			s := pp.NewScratch()
+			run[tier] = func(y, x []float32) error { return pp.Run(y, x, s) }
+		}
+		prog.Precision = compiler.PrecisionExact
+		return run, nil
+	}
+	wx, err := buildGEMV("gru.Wx", 31)
+	if err != nil {
+		return nil, err
+	}
+	wh, err := buildGEMV("gru.Wh", 37)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := tensor.NewRNG(41)
+	x := make([]float32, H)
+	v := make([]float32, H) // activation-kernel input, pre-activation scale
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+		v[i] = float32(4 * rng.NormFloat64())
+	}
+	dst := make([]float32, H)
+	ax := make([]float32, 3*H)
+	ah := make([]float32, 3*H)
+	out := make([]float32, H)
+
+	// Correctness gates, from one shared set of gate vectors.
+	h0 := make([]float32, H)
+	if err := wx[0](ax, x); err != nil {
+		return nil, err
+	}
+	if err := wh[0](ah, h0); err != nil {
+		return nil, err
+	}
+	hRef := make([]float32, H)
+	unfusedEpilogue(hRef, ax, ah, out)
+	hFused := make([]float32, H)
+	tensor.GRUEpilogue(hFused, ax, ah)
+	for i := range hRef {
+		if hFused[i] != hRef[i] {
+			return nil, fmt.Errorf("bench: fused exact epilogue diverged from unfused at %d: %v vs %v",
+				i, hFused[i], hRef[i])
+		}
+	}
+	hFast := make([]float32, H)
+	tensor.GRUEpilogueFast(hFast, ax, ah)
+	for i := range hRef {
+		if d := math.Abs(float64(hFast[i] - hRef[i])); d > tensor.FastGRUTol {
+			return nil, fmt.Errorf("bench: fast epilogue outside tolerance at %d (|Δ|=%g > %g)",
+				i, d, tensor.FastGRUTol)
+		}
+	}
+	logf("correctness gates passed (exact bit-identical, fast within %g)", tensor.FastGRUTol)
+
+	// Kernel micro rows on H-length vectors.
+	rows := []EpilogueBenchRow{
+		epilogueRow("sigmoid", "exact", H, func() { tensor.Sigmoid(dst, v) }),
+		epilogueRow("sigmoid", "fast", H, func() { tensor.SigmoidFast(dst, v) }),
+		epilogueRow("tanh", "exact", H, func() { tensor.Tanh(dst, v) }),
+		epilogueRow("tanh", "fast", H, func() { tensor.TanhFast(dst, v) }),
+		epilogueRow("softmax", "exact", H, func() { tensor.Softmax(dst, v) }),
+		epilogueRow("softmax", "fast", H, func() { tensor.SoftmaxFast(dst, v) }),
+	}
+	logf("activation kernels measured")
+
+	// Epilogue rows: the unfused baseline against both fused tiers, all
+	// from the same gate vectors (h evolves in place; gates are
+	// contractive, so the state stays in (−1, 1) throughout).
+	h1, h2, h3 := make([]float32, H), make([]float32, H), make([]float32, H)
+	rows = append(rows,
+		epilogueRow("epilogue", "unfused", H, func() { unfusedEpilogue(h1, ax, ah, out) }),
+		epilogueRow("epilogue", "exact", H, func() { tensor.GRUEpilogue(h2, ax, ah) }),
+		epilogueRow("epilogue", "fast", H, func() { tensor.GRUEpilogueFast(h3, ax, ah) }),
+	)
+	logf("epilogue kernels measured")
+
+	// Composed timestep rows: two packed GEMVs + epilogue. fast-unfused is
+	// the pre-fusion fast configuration (fast GEMVs, scalar gates) — the
+	// headline speedup holds the GEMV tier fixed so the epilogue is the
+	// only delta.
+	step := func(tier int, h []float32, ep func()) func() error {
+		return func() error {
+			if err := wx[tier](ax, x); err != nil {
+				return err
+			}
+			if err := wh[tier](ah, h); err != nil {
+				return err
+			}
+			ep()
+			return nil
+		}
+	}
+	hs1, hs2, hs3 := make([]float32, H), make([]float32, H), make([]float32, H)
+	steps := []struct {
+		tier string
+		fn   func() error
+	}{
+		{"exact", step(0, hs1, func() { tensor.GRUEpilogue(hs1, ax, ah) })},
+		{"fast-unfused", step(1, hs2, func() { unfusedEpilogue(hs2, ax, ah, out) })},
+		{"fast-fused", step(1, hs3, func() { tensor.GRUEpilogueFast(hs3, ax, ah) })},
+	}
+	for _, s := range steps {
+		if err := s.fn(); err != nil { // surface GEMV errors before timing
+			return nil, err
+		}
+		fn := s.fn
+		rows = append(rows, epilogueRow("step", s.tier, H, func() { fn() }))
+	}
+	logf("composed timesteps measured")
+
+	for _, r := range rows {
+		if r.AllocsPerOp != 0 {
+			return nil, fmt.Errorf("bench: %s/%s allocates %.0f/op on the hot path",
+				r.Op, r.Tier, r.AllocsPerOp)
+		}
+	}
+	return rows, nil
+}
+
+// EpilogueSpeedup returns the study's ns-per-op ratios: each activation
+// kernel's fast-vs-exact gain, the epilogue's fused-fast-vs-unfused gain,
+// and — the acceptance entry — the composed timestep's gain from fusing
+// the epilogue at a fixed fast GEMV tier ("step"), plus the end-to-end
+// "step/exact" ratio against the all-exact timestep.
+func EpilogueSpeedup(rows []EpilogueBenchRow) map[string]float64 {
+	ns := map[string]float64{}
+	for _, r := range rows {
+		ns[r.Op+"/"+r.Tier] = r.NsPerOp
+	}
+	out := map[string]float64{}
+	ratio := func(key, num, den string) {
+		if a, b := ns[num], ns[den]; a > 0 && b > 0 {
+			out[key] = a / b
+		}
+	}
+	ratio("sigmoid", "sigmoid/exact", "sigmoid/fast")
+	ratio("tanh", "tanh/exact", "tanh/fast")
+	ratio("softmax", "softmax/exact", "softmax/fast")
+	ratio("epilogue", "epilogue/unfused", "epilogue/fast")
+	ratio("step", "step/fast-unfused", "step/fast-fused")
+	ratio("step/exact", "step/exact", "step/fast-fused")
+	return out
+}
+
+// RenderEpilogueBench formats the study.
+func RenderEpilogueBench(rows []EpilogueBenchRow, cfg EpilogueBenchConfig) string {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Gate-epilogue fusion (H=%d, %s point: col %gx / row %gx, exact tier bit-identical)",
+			cfg.Hidden, cfg.Point.Label, cfg.Point.ColRate, cfg.Point.EffectiveRowRate()),
+		Headers: []string{"Op", "tier", "n", "ns/op", "allocs/op", "Melems/s"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Op, r.Tier, f(float64(r.N), 0),
+			f(r.NsPerOp, 0), f(r.AllocsPerOp, 0), f(r.ElemsPerSec/1e6, 1))
+	}
+	return t.Render()
+}
+
+// WriteEpilogueJSON writes the rows as indented JSON — the BENCH_<n>.json
+// artifact recording the fusion work's perf trajectory.
+func WriteEpilogueJSON(w io.Writer, rows []EpilogueBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

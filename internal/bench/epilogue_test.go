@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func smallEpilogueBenchConfig() EpilogueBenchConfig {
+	cfg := DefaultEpilogueBenchConfig()
+	cfg.Hidden = 64
+	cfg.Lanes = 2
+	return cfg
+}
+
+func TestRunEpilogueBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark study")
+	}
+	cfg := smallEpilogueBenchConfig()
+	rows, err := RunEpilogueBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 activation kernels × 2 tiers + 3 epilogue variants + 3 step
+	// variants.
+	if want := 3*2 + 3 + 3; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	type key struct{ op, tier string }
+	seen := map[key]bool{}
+	for _, r := range rows {
+		seen[key{r.Op, r.Tier}] = true
+		if r.NsPerOp <= 0 || r.N <= 0 || r.ElemsPerSec <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// RunEpilogueBench promises an error instead of an allocating row.
+		if r.AllocsPerOp != 0 {
+			t.Fatalf("%s/%s allocates %v per op, want 0", r.Op, r.Tier, r.AllocsPerOp)
+		}
+	}
+	for _, k := range []key{
+		{"sigmoid", "exact"}, {"sigmoid", "fast"},
+		{"tanh", "exact"}, {"tanh", "fast"},
+		{"softmax", "exact"}, {"softmax", "fast"},
+		{"epilogue", "unfused"}, {"epilogue", "exact"}, {"epilogue", "fast"},
+		{"step", "exact"}, {"step", "fast-unfused"}, {"step", "fast-fused"},
+	} {
+		if !seen[k] {
+			t.Fatalf("missing row %s/%s", k.op, k.tier)
+		}
+	}
+	sp := EpilogueSpeedup(rows)
+	for _, k := range []string{"sigmoid", "tanh", "softmax", "epilogue", EpilogueHeadlineOp, "step/exact"} {
+		if sp[k] <= 0 {
+			t.Fatalf("speedup map missing %q: %v", k, sp)
+		}
+	}
+
+	out := RenderEpilogueBench(rows, cfg)
+	if !strings.Contains(out, "epilogue") || !strings.Contains(out, "fast-fused") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteEpilogueJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []EpilogueBenchRow
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0].Op != rows[0].Op || back[0].Tier != rows[0].Tier {
+		t.Fatal("JSON round trip lost rows")
+	}
+}

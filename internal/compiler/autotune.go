@@ -26,6 +26,12 @@ type TuneSpace struct {
 	Placements []Placement
 	RowGroups  []int // BSP grid candidates (only used when tuning block size)
 	ColBlocks  []int
+	// EpilogueHidden, when positive, is the recurrent state width whose
+	// gate-epilogue cost the measured tuner folds into every candidate's
+	// objective (see MeasureEpilogueNs). Zero keeps the GEMV-only
+	// objective. Ignored by the analytic tuner, whose cost model prices
+	// elementwise work separately.
+	EpilogueHidden int
 }
 
 // DefaultTuneSpace covers the configurations the paper's tuner explores:

@@ -94,6 +94,43 @@ func MeasurePackedNs(srcs []MatrixSource, opt Options, threads, reps int) (float
 	return best, nil
 }
 
+// MeasureEpilogueNs times one fused GRU gate-epilogue pass (σ/σ/tanh
+// blend over a hidden-sized state, see tensor.GRUEpilogue) on the given
+// kernel tier, returning best-of-reps wall nanoseconds. This is the
+// elementwise cost a timestep pays after its GEMVs; the measured tuner
+// adds it to each candidate's objective so the fast-vs-exact verdict
+// prices the whole step, not just the matrix work.
+func MeasureEpilogueNs(hidden int, prec Precision, reps int) (float64, error) {
+	if hidden <= 0 {
+		return 0, fmt.Errorf("compiler: non-positive epilogue width %d", hidden)
+	}
+	if reps <= 0 {
+		reps = 8
+	}
+	ep := tensor.GRUEpilogue
+	if prec == PrecisionFast {
+		ep = tensor.GRUEpilogueFast
+	}
+	rng := tensor.NewRNG(0xEB10)
+	h := make([]float32, hidden)
+	ax := make([]float32, 3*hidden)
+	ah := make([]float32, 3*hidden)
+	for i := range ax {
+		ax[i] = float32(rng.NormFloat64())
+		ah[i] = float32(rng.NormFloat64())
+	}
+	ep(h, ax, ah) // warm caches (h stays in (−1,1): gates are contractive)
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		ep(h, ax, ah)
+		if ns := float64(time.Since(start).Nanoseconds()); ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
 // TuneTilingMeasured is TuneTiling with the measured-nanoseconds
 // objective. Only the unroll factor is searched on the exact tier:
 // row/column tile sizes and memory placement parameterize the analytic
@@ -122,6 +159,20 @@ func TuneTilingMeasured(srcs []MatrixSource, opt Options, threads int, space Tun
 	if opt.Precision == PrecisionFast {
 		cands = append(cands, candidate{PrecisionFast, DefaultUnroll})
 	}
+	// A candidate's full-step cost is its GEMV pass plus the per-tier gate
+	// epilogue (constant across unrolls, so measure each tier once). With
+	// no EpilogueHidden the objective degrades to GEMV-only, the pre-fusion
+	// behavior.
+	epNs := map[Precision]float64{}
+	if space.EpilogueHidden > 0 {
+		for _, prec := range []Precision{PrecisionExact, PrecisionFast} {
+			ns, err := MeasureEpilogueNs(space.EpilogueHidden, prec, reps)
+			if err != nil {
+				return TuneResult{}, err
+			}
+			epNs[prec] = ns
+		}
+	}
 	best := TuneResult{Cost: -1}
 	for _, c := range cands {
 		o := opt
@@ -134,6 +185,7 @@ func TuneTilingMeasured(srcs []MatrixSource, opt Options, threads int, space Tun
 		if err != nil {
 			return TuneResult{}, err
 		}
+		ns += epNs[c.prec]
 		best.Evaluated++
 		if best.Cost < 0 || ns < best.Cost {
 			best.Cost = ns

@@ -102,3 +102,42 @@ func TestTuneBlockSizeMeasured(t *testing.T) {
 		t.Fatal("empty space accepted")
 	}
 }
+
+// TestMeasureEpilogueNs: the gate-epilogue microbenchmark returns a
+// positive wall time on both kernel tiers and rejects degenerate widths.
+func TestMeasureEpilogueNs(t *testing.T) {
+	for _, prec := range []Precision{PrecisionExact, PrecisionFast} {
+		ns, err := MeasureEpilogueNs(256, prec, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ns <= 0 {
+			t.Fatalf("tier %v: measured %v ns, want > 0", prec, ns)
+		}
+	}
+	if _, err := MeasureEpilogueNs(0, PrecisionExact, 2); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+// TestTuneTilingMeasuredEpilogueObjective: with EpilogueHidden set the
+// tuner folds the per-tier epilogue cost into every candidate, and the
+// search still lands on a valid configuration.
+func TestTuneTilingMeasuredEpilogueObjective(t *testing.T) {
+	srcs := []MatrixSource{measureSrc(45)}
+	space := DefaultTuneSpace()
+	space.EpilogueHidden = 64
+	res, err := TuneTilingMeasured(srcs, DefaultOptions(FormatBSPC, 32), 4, space, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Measured || res.Cost <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.Evaluated != len(space.Unrolls) {
+		t.Fatalf("evaluated %d candidates, want %d", res.Evaluated, len(space.Unrolls))
+	}
+	if res.Precision != PrecisionExact {
+		t.Fatalf("exact-tier caller got tier %v", res.Precision)
+	}
+}

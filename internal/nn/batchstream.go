@@ -68,62 +68,57 @@ func matVecAddBatch(fast bool) func(y []float32, w *tensor.Matrix, x []float32, 
 	return tensor.MatVecAddBatch
 }
 
-// gruBatchStream is a GRU cell's batched streaming state.
+// gruBatchStream is a GRU cell's batched streaming state. The column-major
+// [3H × bw] gate panels flattened row-major are exactly the [z | r | c]
+// layout tensor.GRUEpilogue expects with n = H·bw, so one fused call blends
+// the whole panel — element (i, l) sees the same float operations as the
+// historical per-row lane loop, keeping lane/serial bit-identity.
 type gruBatchStream struct {
 	g      *GRU
 	bw     int
 	h      []float32
 	ax, ah []float32
-	out    []float32
 	mv     func(y []float32, w *tensor.Matrix, x []float32, bw int)
+	ep     func(h, ax, ah []float32)
+	tracer *obs.Tracer
+	layer  int32
 }
 
 // BatchStream returns a stepper advancing bw independent streams over this
 // GRU's (shared, read-only) weights.
-func (g *GRU) BatchStream(bw int) BatchStepper { return g.batchStream(bw, false) }
+func (g *GRU) BatchStream(bw int) BatchStepper { return g.batchStream(bw, false, false) }
 
 // BatchStreamFast is BatchStream on the relaxed-precision kernel tier.
-func (g *GRU) BatchStreamFast(bw int) BatchStepper { return g.batchStream(bw, true) }
+func (g *GRU) BatchStreamFast(bw int) BatchStepper { return g.batchStream(bw, true, true) }
 
-func (g *GRU) batchStream(bw int, fast bool) BatchStepper {
+func (g *GRU) batchStream(bw int, fastMV, fastEp bool) BatchStepper {
 	return &gruBatchStream{
-		g:   g,
-		bw:  bw,
-		h:   make([]float32, g.Hidden*bw),
-		ax:  make([]float32, 3*g.Hidden*bw),
-		ah:  make([]float32, 3*g.Hidden*bw),
-		out: make([]float32, g.Hidden*bw),
-		mv:  matVecAddBatch(fast),
+		g:  g,
+		bw: bw,
+		h:  make([]float32, g.Hidden*bw),
+		ax: make([]float32, 3*g.Hidden*bw),
+		ah: make([]float32, 3*g.Hidden*bw),
+		mv: matVecAddBatch(fastMV),
+		ep: gruEpilogue(fastEp),
 	}
 }
 
 // StepBatch implements BatchStepper.
 func (s *gruBatchStream) StepBatch(x []float32) []float32 {
 	g := s.g
-	H, bw := g.Hidden, s.bw
+	bw := s.bw
 	broadcastRows(s.ax, g.Bx.W.Data, bw)
 	s.mv(s.ax, g.Wx.W, x, bw)
 	broadcastRows(s.ah, g.Bh.W.Data, bw)
 	s.mv(s.ah, g.Wh.W, s.h, bw)
-	out := s.out
-	for i := 0; i < H; i++ {
-		axz := s.ax[i*bw : (i+1)*bw]
-		ahz := s.ah[i*bw : (i+1)*bw]
-		axr := s.ax[(H+i)*bw : (H+i+1)*bw]
-		ahr := s.ah[(H+i)*bw : (H+i+1)*bw]
-		axc := s.ax[(2*H+i)*bw : (2*H+i+1)*bw]
-		ahc := s.ah[(2*H+i)*bw : (2*H+i+1)*bw]
-		hrow := s.h[i*bw : (i+1)*bw]
-		orow := out[i*bw : (i+1)*bw]
-		for l := range orow {
-			z := sigmoid(axz[l] + ahz[l])
-			r := sigmoid(axr[l] + ahr[l])
-			c := tanh32(axc[l] + r*ahc[l])
-			orow[l] = (1-z)*hrow[l] + z*c
-		}
+	if s.tracer != nil {
+		t0 := time.Now()
+		s.ep(s.h, s.ax, s.ah)
+		s.tracer.RecordSince(obs.StageEpilogue, s.layer, int32(bw), t0)
+	} else {
+		s.ep(s.h, s.ax, s.ah)
 	}
-	copy(s.h, out)
-	return out
+	return s.h
 }
 
 // Reset implements BatchStepper.
@@ -131,6 +126,11 @@ func (s *gruBatchStream) Reset() { tensor.ZeroVec(s.h) }
 
 // ResetLane implements BatchStepper.
 func (s *gruBatchStream) ResetLane(l int) { zeroLane(s.h, s.g.Hidden, s.bw, l) }
+
+// setStageTracer implements stageTraced.
+func (s *gruBatchStream) setStageTracer(tr *obs.Tracer, layerID int32) {
+	s.tracer, s.layer = tr, layerID
+}
 
 // lstmBatchStream is an LSTM cell's batched streaming state.
 type lstmBatchStream struct {
@@ -255,19 +255,29 @@ type BatchStream struct {
 }
 
 // SetTracer attaches (or detaches, with nil) a stage tracer recording
-// per-layer panel timings. Allocation-free when tracing.
-func (s *BatchStream) SetTracer(tr *obs.Tracer) { s.tracer = tr }
+// per-layer panel timings plus sub-layer stages (the GRU epilogue).
+// Allocation-free when tracing.
+func (s *BatchStream) SetTracer(tr *obs.Tracer) {
+	s.tracer = tr
+	for i, st := range s.steppers {
+		if et, ok := st.(stageTraced); ok {
+			et.setStageTracer(tr, int32(i))
+		}
+	}
+}
 
 // NewBatchStream builds a lockstep pipeline of width bw sharing the model's
 // weights. Panics if bw < 1 or a layer type has no streaming form.
-func (m *Model) NewBatchStream(bw int) *BatchStream { return m.newBatchStream(bw, false) }
+func (m *Model) NewBatchStream(bw int) *BatchStream { return m.NewBatchStreamTiers(bw, false, false) }
 
 // NewBatchStreamFast is NewBatchStream on the relaxed-precision kernel
 // tier: lane l is tolerance-close to a NewStreamFast session fed lane l's
 // frames, and lanes still never mix.
-func (m *Model) NewBatchStreamFast(bw int) *BatchStream { return m.newBatchStream(bw, true) }
+func (m *Model) NewBatchStreamFast(bw int) *BatchStream { return m.NewBatchStreamTiers(bw, true, true) }
 
-func (m *Model) newBatchStream(bw int, fast bool) *BatchStream {
+// NewBatchStreamTiers picks the panel-projection and gate-epilogue kernel
+// tiers independently, mirroring Model.NewStreamTiers.
+func (m *Model) NewBatchStreamTiers(bw int, fastMV, fastEpilogue bool) *BatchStream {
 	if bw < 1 {
 		panic("nn: batch width must be >= 1")
 	}
@@ -278,11 +288,11 @@ func (m *Model) newBatchStream(bw int, fast bool) *BatchStream {
 	for _, layer := range m.Layers {
 		switch v := layer.(type) {
 		case *GRU:
-			s.steppers = append(s.steppers, v.batchStream(bw, fast))
+			s.steppers = append(s.steppers, v.batchStream(bw, fastMV, fastEpilogue))
 		case *LSTM:
-			s.steppers = append(s.steppers, v.batchStream(bw, fast))
+			s.steppers = append(s.steppers, v.batchStream(bw, fastMV))
 		case *Dense:
-			s.steppers = append(s.steppers, v.batchStream(bw, fast))
+			s.steppers = append(s.steppers, v.batchStream(bw, fastMV))
 		default:
 			panic("nn: layer has no streaming form")
 		}

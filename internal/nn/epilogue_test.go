@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rtmobile/internal/obs"
+	"rtmobile/internal/tensor"
+)
+
+// Fused-epilogue stepper suite. The exact tier must stay bit-identical to
+// the historical unfused loops (covered transitively by the stream/batch
+// bit-identity tests plus tensor's GRUEpilogue pin); here we pin the new
+// tier-selection axis: every (matvec, epilogue) tier combination runs,
+// fast combinations stay tolerance-close to the exact stream, the batch
+// panels keep their lane discipline, epilogue spans are recorded, and the
+// hot path stays allocation-free.
+
+// epilogueStreamTol bounds a whole fast-tier stack (fast GEMVs + fast
+// epilogue, recurrence compounding over the utterance) against the exact
+// stack — far looser than the per-kernel bounds, same order as the
+// stream-vs-forward tolerance used elsewhere in this package.
+const epilogueStreamTol = 1e-3
+
+func TestStreamTiersFusedEpilogue(t *testing.T) {
+	m := NewGRUModel(ModelSpec{InputDim: 9, Hidden: 24, NumLayers: 2, OutputDim: 6, Seed: 17})
+	const T = 12
+	frames := make([][]float32, T)
+	for i := range frames {
+		frames[i] = batchFrame(5, 0, i, 9)
+	}
+	exact := m.NewStreamTiers(false, false)
+	ref := m.NewStream()
+	for _, tiers := range [][2]bool{{true, false}, {false, true}, {true, true}} {
+		s := m.NewStreamTiers(tiers[0], tiers[1])
+		exact.Reset()
+		ref.Reset()
+		for step, f := range frames {
+			want := ref.Step(f)
+			got := s.Step(f)
+			base := exact.Step(f)
+			for j := range want {
+				// The plain-tier stream must stay bit-identical to NewStream.
+				if want[j] != base[j] {
+					t.Fatalf("tiers(false,false) diverged from NewStream at step %d dim %d", step, j)
+				}
+				if math.Abs(float64(got[j]-want[j])) > epilogueStreamTol {
+					t.Fatalf("tiers(%v,%v) step %d dim %d: %v vs exact %v",
+						tiers[0], tiers[1], step, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchStreamFusedEpilogueLanes: with the fused epilogue on either
+// tier, lane l of a batch panel must match a dedicated serial stream of
+// the same tiers — bit-identical on the exact tier (same scalar ops per
+// element), tolerance-close on the fast tier (the 8-wide vector split
+// lands on different elements at different widths).
+func TestBatchStreamFusedEpilogueLanes(t *testing.T) {
+	const T, bw = 7, 5
+	m := batchTestModel(41, false)
+	in, out := m.Spec.InputDim, m.Spec.OutputDim
+	for _, fastEp := range []bool{false, true} {
+		label := fmt.Sprintf("fastEp=%v", fastEp)
+		refs := make([]*Stream, bw)
+		for l := range refs {
+			refs[l] = m.NewStreamTiers(false, fastEp)
+		}
+		bs := m.NewBatchStreamTiers(bw, false, fastEp)
+		panel := make([]float32, in*bw)
+		for step := 0; step < T; step++ {
+			for l := 0; l < bw; l++ {
+				frame := batchFrame(9, l, step, in)
+				for i, v := range frame {
+					panel[i*bw+l] = v
+				}
+			}
+			got := bs.StepBatch(panel)
+			for l := 0; l < bw; l++ {
+				frame := batchFrame(9, l, step, in)
+				want := refs[l].Step(frame)
+				for i := 0; i < out; i++ {
+					g, w := got[i*bw+l], want[i]
+					if !fastEp && g != w {
+						t.Fatalf("%s step %d lane %d elem %d: batch %v vs serial %v",
+							label, step, l, i, g, w)
+					}
+					if fastEp && math.Abs(float64(g-w)) > epilogueStreamTol {
+						t.Fatalf("%s step %d lane %d elem %d: batch %v vs serial %v",
+							label, step, l, i, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamEpilogueSpans: a traced stream records one StageEpilogue span
+// per GRU layer per step, nested inside the layer spans.
+func TestStreamEpilogueSpans(t *testing.T) {
+	m := NewGRUModel(ModelSpec{InputDim: 6, Hidden: 16, NumLayers: 2, OutputDim: 4, Seed: 23})
+	s := m.NewStreamFast()
+	tr := obs.NewTracer(256, 8)
+	s.SetTracer(tr)
+	const steps = 5
+	x := make([]float32, 6)
+	for i := 0; i < steps; i++ {
+		s.Step(x)
+	}
+	count, ns := tr.KindTotal(obs.StageEpilogue)
+	if want := uint64(2 * steps); count != want { // 2 GRU layers; Dense head has no epilogue
+		t.Fatalf("epilogue spans = %d, want %d", count, want)
+	}
+	if ns < 0 {
+		t.Fatalf("negative epilogue time %d", ns)
+	}
+	_, layerNs := tr.KindTotal(obs.StageLayer)
+	if ns > layerNs {
+		t.Fatalf("epilogue time %d exceeds layer time %d", ns, layerNs)
+	}
+	// Detach: spans stop accumulating.
+	s.SetTracer(nil)
+	s.Step(x)
+	if c2, _ := tr.KindTotal(obs.StageEpilogue); c2 != count {
+		t.Fatalf("detached tracer still recording (%d -> %d)", count, c2)
+	}
+
+	// Batch panels record epilogue spans with the panel width.
+	bs := m.NewBatchStreamFast(3)
+	trb := obs.NewTracer(256, 8)
+	bs.SetTracer(trb)
+	bs.StepBatch(make([]float32, 6*3))
+	if c, _ := trb.KindTotal(obs.StageEpilogue); c != 2 {
+		t.Fatalf("batch epilogue spans = %d, want 2", c)
+	}
+	for _, sp := range trb.Spans() {
+		if sp.Kind == obs.StageEpilogue && sp.Width != 3 {
+			t.Fatalf("batch epilogue span width = %d, want 3", sp.Width)
+		}
+	}
+}
+
+// TestStreamFusedStepZeroAlloc gates the fused stepper hot path — traced
+// and untraced, serial and batch, both tiers — at zero heap allocations.
+func TestStreamFusedStepZeroAlloc(t *testing.T) {
+	m := NewGRUModel(ModelSpec{InputDim: 8, Hidden: 32, NumLayers: 2, OutputDim: 5, Seed: 31})
+	x := make([]float32, 8)
+	tr := obs.NewTracer(256, 8)
+	for _, tiers := range [][2]bool{{false, false}, {true, true}} {
+		s := m.NewStreamTiers(tiers[0], tiers[1])
+		s.Step(x)
+		if n := testing.AllocsPerRun(50, func() { s.Step(x) }); n != 0 {
+			t.Errorf("tiers %v untraced Step allocates %.0f/op, want 0", tiers, n)
+		}
+		s.SetTracer(tr)
+		if n := testing.AllocsPerRun(50, func() { s.Step(x) }); n != 0 {
+			t.Errorf("tiers %v traced Step allocates %.0f/op, want 0", tiers, n)
+		}
+		bs := m.NewBatchStreamTiers(4, tiers[0], tiers[1])
+		panel := make([]float32, 8*4)
+		bs.StepBatch(panel)
+		if n := testing.AllocsPerRun(50, func() { bs.StepBatch(panel) }); n != 0 {
+			t.Errorf("tiers %v StepBatch allocates %.0f/op, want 0", tiers, n)
+		}
+	}
+	_ = tensor.FastSIMD() // suite exercises both dispatch outcomes via build tags
+}

@@ -160,24 +160,10 @@ func (g *GRU) Backward(grad [][]float32) [][]float32 {
 	return din
 }
 
-func sigmoid(x float32) float32 {
-	// Clamp to avoid exp overflow in float64 conversion extremes.
-	if x > 30 {
-		return 1
-	}
-	if x < -30 {
-		return 0
-	}
-	return float32(1 / (1 + exp64(-float64(x))))
-}
+// sigmoid and tanh32 are the exact-tier gate scalars. Their historical
+// bodies (clamps included) moved verbatim to the tensor package so the
+// fused epilogue kernels and these training-path loops share one bit-pinned
+// definition.
+func sigmoid(x float32) float32 { return tensor.Sigmoid32(x) }
 
-func tanh32(x float32) float32 {
-	if x > 15 {
-		return 1
-	}
-	if x < -15 {
-		return -1
-	}
-	e2 := exp64(2 * float64(x))
-	return float32((e2 - 1) / (e2 + 1))
-}
+func tanh32(x float32) float32 { return tensor.Tanh32(x) }

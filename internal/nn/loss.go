@@ -1,12 +1,17 @@
 package nn
 
-import "math"
+import (
+	"math"
 
-func exp64(x float64) float64 { return math.Exp(x) }
+	"rtmobile/internal/tensor"
+)
 
 // SoftmaxCrossEntropy computes the mean framewise cross-entropy of logits
 // against integer labels, returning the loss and dLoss/dLogits
-// (softmax(x) − onehot(label), scaled by 1/T).
+// (softmax(x) − onehot(label), scaled by 1/T). The per-row softmax and its
+// log-partition come from the one shared tensor kernel
+// (tensor.SoftmaxStats) instead of a hand-rolled duplicate of the same
+// max-subtract loop.
 func SoftmaxCrossEntropy(logits [][]float32, labels []int) (float64, [][]float32) {
 	if len(logits) != len(labels) {
 		panic("nn: logits/labels length mismatch")
@@ -23,24 +28,12 @@ func SoftmaxCrossEntropy(logits [][]float32, labels []int) (float64, [][]float32
 		if label < 0 || label >= len(row) {
 			panic("nn: label out of range")
 		}
-		// log-sum-exp with max subtraction
-		mx := row[0]
-		for _, v := range row[1:] {
-			if v > mx {
-				mx = v
-			}
-		}
-		sum := 0.0
-		for _, v := range row {
-			sum += math.Exp(float64(v - mx))
-		}
+		g := make([]float32, len(row))
+		mx, sum := tensor.SoftmaxStats(g, row)
 		logZ := math.Log(sum) + float64(mx)
 		total += logZ - float64(row[label])
-
-		g := make([]float32, len(row))
-		for j, v := range row {
-			p := float32(math.Exp(float64(v) - logZ))
-			g[j] = p * invT
+		for j := range g {
+			g[j] *= invT
 		}
 		g[label] -= invT
 		grad[t] = g
@@ -61,28 +54,9 @@ func Posteriors(logits [][]float32) [][]float32 {
 	off := 0
 	for t, row := range logits {
 		p := flat[off : off+len(row)]
-		softmaxInto(p, row)
+		tensor.Softmax(p, row)
 		out[t] = p
 		off += len(row)
 	}
 	return out
-}
-
-func softmaxInto(dst, src []float32) {
-	mx := src[0]
-	for _, v := range src[1:] {
-		if v > mx {
-			mx = v
-		}
-	}
-	sum := 0.0
-	for i, v := range src {
-		e := math.Exp(float64(v - mx))
-		dst[i] = float32(e)
-		sum += e
-	}
-	inv := float32(1 / sum)
-	for i := range dst {
-		dst[i] *= inv
-	}
 }

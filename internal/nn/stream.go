@@ -37,55 +37,80 @@ func matVecAdd(fast bool) func(y []float32, w *tensor.Matrix, x []float32) {
 	return tensor.MatVecAdd
 }
 
-// gruStream is a GRU cell's streaming state.
+// gruEpilogue selects the gate-epilogue tier: the exact fused kernel is
+// bit-identical to the historical unfused gate loop, the fast kernel runs
+// the SIMD polynomial σ/tanh blend (tolerance-verified, see
+// tensor.FastActClose). Like matVecAdd, captured once at construction.
+func gruEpilogue(fast bool) func(h, ax, ah []float32) {
+	if fast {
+		return tensor.GRUEpilogueFast
+	}
+	return tensor.GRUEpilogue
+}
+
+// stageTraced is implemented by steppers that record sub-layer stage spans
+// (currently the GRU epilogue); Stream/BatchStream.SetTracer wires it.
+type stageTraced interface {
+	setStageTracer(tr *obs.Tracer, layerID int32)
+}
+
+// gruStream is a GRU cell's streaming state. The fused epilogue updates h
+// in place, so the stepper owns no separate output buffer — one fewer
+// H-sized copy per step than the historical unfused loop, with bit-equal
+// results on the exact tier.
 type gruStream struct {
 	g      *GRU
 	h      []float32
 	ax, ah []float32
-	out    []float32
 	mv     func(y []float32, w *tensor.Matrix, x []float32)
+	ep     func(h, ax, ah []float32)
+	tracer *obs.Tracer
+	layer  int32
 }
 
 // Stream returns a stateful stepper over this GRU's weights. The stepper
 // shares weights with the layer (training would be visible) but owns its
 // state.
-func (g *GRU) Stream() Stepper { return g.stream(false) }
+func (g *GRU) Stream() Stepper { return g.stream(false, false) }
 
 // StreamFast is Stream on the relaxed-precision kernel tier.
-func (g *GRU) StreamFast() Stepper { return g.stream(true) }
+func (g *GRU) StreamFast() Stepper { return g.stream(true, true) }
 
-func (g *GRU) stream(fast bool) Stepper {
+func (g *GRU) stream(fastMV, fastEp bool) Stepper {
 	return &gruStream{
-		g:   g,
-		h:   make([]float32, g.Hidden),
-		ax:  make([]float32, 3*g.Hidden),
-		ah:  make([]float32, 3*g.Hidden),
-		out: make([]float32, g.Hidden),
-		mv:  matVecAdd(fast),
+		g:  g,
+		h:  make([]float32, g.Hidden),
+		ax: make([]float32, 3*g.Hidden),
+		ah: make([]float32, 3*g.Hidden),
+		mv: matVecAdd(fastMV),
+		ep: gruEpilogue(fastEp),
 	}
 }
 
 // Step implements Stepper.
 func (s *gruStream) Step(x []float32) []float32 {
 	g := s.g
-	H := g.Hidden
 	copy(s.ax, g.Bx.W.Data)
 	s.mv(s.ax, g.Wx.W, x)
 	copy(s.ah, g.Bh.W.Data)
 	s.mv(s.ah, g.Wh.W, s.h)
-	out := s.out
-	for i := 0; i < H; i++ {
-		z := sigmoid(s.ax[i] + s.ah[i])
-		r := sigmoid(s.ax[H+i] + s.ah[H+i])
-		c := tanh32(s.ax[2*H+i] + r*s.ah[2*H+i])
-		out[i] = (1-z)*s.h[i] + z*c
+	if s.tracer != nil {
+		t0 := time.Now()
+		s.ep(s.h, s.ax, s.ah)
+		s.tracer.RecordSince(obs.StageEpilogue, s.layer, 1, t0)
+	} else {
+		s.ep(s.h, s.ax, s.ah)
 	}
-	copy(s.h, out)
-	return out
+	return s.h
 }
 
 // Reset implements Stepper.
 func (s *gruStream) Reset() { tensor.ZeroVec(s.h) }
+
+// setStageTracer implements stageTraced.
+func (s *gruStream) setStageTracer(tr *obs.Tracer, layerID int32) {
+	s.tracer, s.layer = tr, layerID
+}
 
 // lstmStream is an LSTM cell's streaming state.
 type lstmStream struct {
@@ -178,30 +203,42 @@ type Stream struct {
 }
 
 // SetTracer attaches (or detaches, with nil) a stage tracer. Each Step then
-// records a per-layer timing span; the tracing path performs zero heap
+// records a per-layer timing span, and steppers with sub-layer stages (the
+// GRU epilogue) record those too; the tracing path performs zero heap
 // allocations, so a traced stream keeps the streaming allocation contract.
-func (s *Stream) SetTracer(tr *obs.Tracer) { s.tracer = tr }
+func (s *Stream) SetTracer(tr *obs.Tracer) {
+	s.tracer = tr
+	for i, st := range s.steppers {
+		if et, ok := st.(stageTraced); ok {
+			et.setStageTracer(tr, int32(i))
+		}
+	}
+}
 
 // NewStream builds a streaming pipeline sharing the model's weights.
 // Panics if a layer type has no streaming form.
-func (m *Model) NewStream() *Stream { return m.newStream(false) }
+func (m *Model) NewStream() *Stream { return m.NewStreamTiers(false, false) }
 
 // NewStreamFast is NewStream on the relaxed-precision kernel tier: every
 // layer's projections run the FMA'd float32-accumulation kernels instead
-// of the bit-pinned exact reference. Outputs are tolerance-close to
-// NewStream's, not bit-identical (see tensor.FastClose).
-func (m *Model) NewStreamFast() *Stream { return m.newStream(true) }
+// of the bit-pinned exact reference, and recurrent gate epilogues run the
+// fused SIMD polynomial kernels. Outputs are tolerance-close to
+// NewStream's, not bit-identical (see tensor.FastClose/FastActClose).
+func (m *Model) NewStreamFast() *Stream { return m.NewStreamTiers(true, true) }
 
-func (m *Model) newStream(fast bool) *Stream {
+// NewStreamTiers picks the projection (matvec) and gate-epilogue kernel
+// tiers independently — the ablation axis the epilogue bench sweeps. The
+// public constructors are (false,false) and (true,true).
+func (m *Model) NewStreamTiers(fastMV, fastEpilogue bool) *Stream {
 	s := &Stream{}
 	for _, l := range m.Layers {
 		switch v := l.(type) {
 		case *GRU:
-			s.steppers = append(s.steppers, v.stream(fast))
+			s.steppers = append(s.steppers, v.stream(fastMV, fastEpilogue))
 		case *LSTM:
-			s.steppers = append(s.steppers, v.stream(fast))
+			s.steppers = append(s.steppers, v.stream(fastMV))
 		case *Dense:
-			s.steppers = append(s.steppers, v.stream(fast))
+			s.steppers = append(s.steppers, v.stream(fastMV))
 		default:
 			panic("nn: layer has no streaming form")
 		}

@@ -44,6 +44,10 @@ const (
 	// StageKernelQ16Fast is one fast-tier int16-stored packed-program
 	// execution.
 	StageKernelQ16Fast
+	// StageEpilogue is one fused gate-epilogue pass (the non-GEMM tail of a
+	// recurrent step: σ/tanh gates + state blend); ID is the layer index.
+	// Subtracting it from StageLayer isolates matmul time.
+	StageEpilogue
 
 	// NumStageKinds is the number of distinct kinds (array sizing).
 	NumStageKinds
@@ -74,6 +78,8 @@ func (k StageKind) String() string {
 		return "kernel_q8_fast"
 	case StageKernelQ16Fast:
 		return "kernel_q16_fast"
+	case StageEpilogue:
+		return "epilogue"
 	default:
 		return "unknown"
 	}

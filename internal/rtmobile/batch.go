@@ -52,6 +52,10 @@ type BatchStream struct {
 	qkind  obs.StageKind
 	qspan  bool
 	tracer *obs.Tracer
+	// sm is the per-lane posterior softmax on the engine's kernel tier
+	// (see softmaxTier) — each lane's row is extracted to a serial buffer
+	// first, so the softmax itself is lane-order-independent.
+	sm func(dst, src []float32)
 	// lastStepNs is the wall time of the most recent StepBatchInto,
 	// captured only when the step is already being timed for metrics or
 	// stage tracing (0 otherwise). The serve scheduler reads it through
@@ -77,6 +81,7 @@ func (e *Engine) NewBatchStream(bw int) *BatchStream {
 		shard: obs.NextShard(),
 		macs:  e.stepMACs,
 		bytes: e.stepBytes,
+		sm:    softmaxTier(e.precision == compiler.PrecisionFast),
 	}
 	s.qkind, s.qspan = e.quantStageKind()
 	if e.tracer != nil {
@@ -142,7 +147,7 @@ func (s *BatchStream) StepBatchInto(dst, panel []float32) {
 		for i := 0; i < n; i++ {
 			lane[i] = logits[i*s.bw+l]
 		}
-		tensor.Softmax(post, lane)
+		s.sm(post, lane)
 		for i, v := range post {
 			dst[i*s.bw+l] = v
 		}

@@ -258,7 +258,19 @@ func (e *Engine) Infer(frames [][]float32) [][]float32 {
 		copy(row, out)
 		logits[t] = row
 	}
-	post := nn.Posteriors(logits)
+	var post [][]float32
+	if e.precision == compiler.PrecisionFast {
+		// Fast tier: posteriors on the vectorized-exp softmax, in place over
+		// the local logits arena (aliasing-safe, and it keeps the entry
+		// points consistent — every softmax a fast deployment executes runs
+		// the same kernel).
+		for _, row := range logits {
+			tensor.SoftmaxFast(row, row)
+		}
+		post = logits
+	} else {
+		post = nn.Posteriors(logits)
+	}
 	if track {
 		dur := time.Since(t0).Nanoseconds()
 		if m != nil {
@@ -315,6 +327,21 @@ type Stream struct {
 	qkind  obs.StageKind
 	qspan  bool
 	tracer *obs.Tracer
+	// sm is the posterior softmax on the engine's kernel tier (exact
+	// float64-sum reference, or the vectorized-exp fast kernel), captured
+	// once at open time like the steppers' matvec/epilogue selections.
+	sm func(dst, src []float32)
+}
+
+// softmaxTier selects the posterior softmax for a deployment's kernel
+// tier: exact deployments keep the bit-pinned float64-accumulation
+// normalize, fast deployments run tensor.SoftmaxFast (vectorized exp,
+// float32 sum — tolerance-verified, see tensor.FastSoftmaxTol).
+func softmaxTier(fast bool) func(dst, src []float32) {
+	if fast {
+		return tensor.SoftmaxFast
+	}
+	return tensor.Softmax
 }
 
 // NewStream opens a streaming session. State persists across Step calls
@@ -328,7 +355,8 @@ func (e *Engine) NewStream() *Stream {
 	}
 	s := &Stream{inner: inner, fp16: e.fp16,
 		shard: obs.NextShard(), macs: e.stepMACs, bytes: e.stepBytes,
-		tracer: e.tracer}
+		tracer: e.tracer,
+		sm:     softmaxTier(e.precision == compiler.PrecisionFast)}
 	s.qkind, s.qspan = e.quantStageKind()
 	if e.tracer != nil {
 		s.inner.SetTracer(e.tracer)
@@ -382,7 +410,7 @@ func (s *Stream) step(frame []float32) []float32 {
 func (s *Stream) Step(frame []float32) []float32 {
 	logits := s.step(frame)
 	post := make([]float32, len(logits))
-	tensor.Softmax(post, logits)
+	s.sm(post, logits)
 	return post
 }
 
@@ -391,7 +419,7 @@ func (s *Stream) Step(frame []float32) []float32 {
 // performs zero heap allocations — the real-time inner loop the packed
 // backend exists for.
 func (s *Stream) StepInto(dst []float32, frame []float32) {
-	tensor.Softmax(dst, s.step(frame))
+	s.sm(dst, s.step(frame))
 }
 
 // Reset clears recurrent state at an utterance boundary.

@@ -210,8 +210,12 @@ func Compile(model *nn.Model, scheme prune.BSP, cfg DeployConfig) (*Engine, erro
 		var res compiler.TuneResult
 		var err error
 		if cfg.MeasuredTuning {
+			// The measured objective prices the whole timestep: packed GEMV
+			// wall time plus the hidden-width gate-epilogue pass per tier.
+			space := compiler.DefaultTuneSpace()
+			space.EpilogueHidden = model.Spec.Hidden
 			res, err = compiler.TuneTilingMeasured(srcs, opt,
-				cfg.Target.Threads(), compiler.DefaultTuneSpace(), 0)
+				cfg.Target.Threads(), space, 0)
 		} else {
 			res, err = compiler.TuneTiling(model.Spec.String(), srcs, opt,
 				cfg.Target.Threads(), TimestepsPerFrame, elementwiseOps(model),

@@ -60,10 +60,23 @@ func RenderLayerStats(eng *rtmobile.Engine) string {
 		for _, k := range []obs.StageKind{
 			obs.StageKernel, obs.StageKernelQ8, obs.StageKernelQ16,
 			obs.StageKernelFast, obs.StageKernelQ8Fast, obs.StageKernelQ16Fast,
+			obs.StageEpilogue,
 		} {
 			if n, ns := tr.KindTotal(k); n > 0 {
 				fmt.Fprintf(&b, "kernel spans %-10s count=%d total_us=%.1f\n", k, n, float64(ns)/1e3)
 			}
+		}
+		// Epilogue spans nest inside layer spans, so layer − epilogue is
+		// the time the recurrent layers spent in their projections.
+		if epN, epNs := tr.KindTotal(obs.StageEpilogue); epN > 0 {
+			_, layerNs := tr.KindTotal(obs.StageLayer)
+			matmulNs := layerNs - epNs
+			if matmulNs < 0 {
+				matmulNs = 0
+			}
+			fmt.Fprintf(&b, "step split: matmul_us=%.1f epilogue_us=%.1f (epilogue %.1f%% of layer time)\n",
+				float64(matmulNs)/1e3, float64(epNs)/1e3,
+				100*float64(epNs)/float64(max(layerNs, 1)))
 		}
 	}
 	return b.String()

@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderLayerStatsEpilogueSplit: once a traced stream has stepped, the
+// stats table reports the epilogue kernel spans and the matmul/epilogue
+// split line the fusion work exists to expose.
+func TestRenderLayerStatsEpilogueSplit(t *testing.T) {
+	eng := testEngine(t)
+	eng.EnableTracing(256)
+	s := eng.NewStream()
+	dst := make([]float32, eng.OutputDim())
+	frame := make([]float32, eng.InputDim())
+	for i := 0; i < 4; i++ {
+		s.StepInto(dst, frame)
+	}
+	out := RenderLayerStats(eng)
+	if !strings.Contains(out, "kernel spans epilogue") {
+		t.Fatalf("stats missing epilogue span line:\n%s", out)
+	}
+	if !strings.Contains(out, "step split: matmul_us=") {
+		t.Fatalf("stats missing matmul/epilogue split line:\n%s", out)
+	}
+
+	// An untraced engine renders neither (no spans, no split).
+	cold := testEngine(t)
+	out = RenderLayerStats(cold)
+	if strings.Contains(out, "step split:") || strings.Contains(out, "epilogue") {
+		t.Fatalf("untraced stats mention the epilogue split:\n%s", out)
+	}
+}

@@ -81,3 +81,35 @@ func FastClose(got, want float32, ulps uint64, atol float64) bool {
 	}
 	return math.Abs(float64(got)-float64(want)) <= atol
 }
+
+// FastActULPs is the per-element ULP budget for the fast-tier activation
+// kernels (SigmoidFast/TanhFast/SoftmaxFast/GRUEpilogueFast) against their
+// exact oracles. The rational tanh approximation is good to ~2 ULP over
+// most of its range, the derived sigmoid and the exp polynomial to a few
+// more; 64 carries headroom for the FMA'd vector evaluation orders.
+const FastActULPs = 64
+
+// Absolute-error arms for the activation kernels, paired with FastActULPs
+// through FastActClose. A pure ULP bound fails where the exact result's
+// magnitude collapses — sigmoid's ~e^x tail, tanh near 0, softmax's
+// smallest classes, a GRU blend that cancels — so each kernel gets an
+// absolute floor sized to its output range: sigmoid and tanh map into
+// [−1, 1] (bounds a few ×2⁻²⁴ of that span), softmax stacks the exp and
+// the float32 sum/normalize roundings. The GRU blend compounds
+// |Δh′| ≤ |Δz|·|h−c| + |Δc| where |Δc| ≤ FastTanhTol + FastSigmoidTol·|ah_c|
+// — the reset gate multiplies the sigmoid error by the candidate recurrent
+// pre-activation — so its floor is sized for gate pre-activations up to
+// magnitude ~32, far beyond anything a trained, bounded-state GRU produces.
+const (
+	FastSigmoidTol = 2.5e-7
+	FastTanhTol    = 5e-7
+	FastSoftmaxTol = 1e-6
+	FastGRUTol     = 1e-5
+)
+
+// FastActClose is FastClose with the shared activation ULP budget: callers
+// pick the absolute arm for the kernel under test from the tolerances
+// above.
+func FastActClose(got, want float32, atol float64) bool {
+	return FastClose(got, want, FastActULPs, atol)
+}

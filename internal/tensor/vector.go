@@ -116,35 +116,65 @@ func ArgMax(v []float32) int {
 }
 
 // Sigmoid applies the logistic function element-wise, writing into dst
-// (dst may alias src).
+// (dst may alias src). The saturated tails skip the float64
+// convert-exp-convert round-trip where the result is provably the same
+// bits: for x ≥ 18, e⁻ˣ < 2⁻²⁵ so 1/(1+e⁻ˣ) narrows to exactly 1; for
+// x ≤ −104, the result is below 2⁻¹⁵⁰ and narrows to exactly +0. NaN fails
+// both comparisons and still takes the full formula. The bit-equality
+// regression test pins both branches against the raw formula.
 func Sigmoid(dst, src []float32) {
 	for i, x := range src {
-		dst[i] = float32(1 / (1 + math.Exp(-float64(x))))
+		switch {
+		case x >= 18:
+			dst[i] = 1
+		case x <= -104:
+			dst[i] = 0
+		default:
+			dst[i] = float32(1 / (1 + math.Exp(-float64(x))))
+		}
 	}
 }
 
 // Tanh applies tanh element-wise, writing into dst (dst may alias src).
+// For |x| ≥ 9.5, 1 − |tanh(x)| < 2e⁻¹⁹ < 2⁻²⁵, so the float32 narrowing is
+// exactly ±1 and the math.Tanh call is skipped (same bits, proven by the
+// regression test). NaN fails both comparisons and takes the full call.
 func Tanh(dst, src []float32) {
 	for i, x := range src {
-		dst[i] = float32(math.Tanh(float64(x)))
+		switch {
+		case x >= 9.5:
+			dst[i] = 1
+		case x <= -9.5:
+			dst[i] = -1
+		default:
+			dst[i] = float32(math.Tanh(float64(x)))
+		}
 	}
 }
 
 // Softmax writes the softmax of src into dst using the max-subtraction trick.
 func Softmax(dst, src []float32) {
+	SoftmaxStats(dst, src)
+}
+
+// SoftmaxStats is Softmax exposing the reduction by-products: the input
+// max and the float64 sum of e^(x−mx). Callers recover the log-partition
+// as log(sum)+mx, which is what lets nn's cross-entropy share this one
+// kernel instead of hand-rolling the same loop. The normalization path is
+// bit-identical to what Softmax has always produced.
+func SoftmaxStats(dst, src []float32) (mx float32, sum float64) {
 	if len(dst) != len(src) {
 		panic("tensor: Softmax length mismatch")
 	}
 	if len(src) == 0 {
-		return
+		return 0, 0
 	}
-	mx := src[0]
+	mx = src[0]
 	for _, x := range src[1:] {
 		if x > mx {
 			mx = x
 		}
 	}
-	sum := 0.0
 	for i, x := range src {
 		e := math.Exp(float64(x - mx))
 		dst[i] = float32(e)
@@ -154,4 +184,5 @@ func Softmax(dst, src []float32) {
 	for i := range dst {
 		dst[i] *= inv
 	}
+	return mx, sum
 }
